@@ -1,0 +1,68 @@
+#pragma once
+// Shared pieces of the paper-reproduction benchmark harness.
+//
+// Every bench binary prints a self-describing header, the paper artifact it
+// regenerates, a human-readable table, and (with --csv) machine-readable
+// output. The paper's workload is reproduced with the synthetic DW-MRI
+// dataset (1024 order-4 dim-3 voxel tensors, half with crossing fibers) and
+// 128 random starting vectors, alpha = 0, single precision (Section V-A).
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "te/batch/batch.hpp"
+#include "te/dwmri/dataset.hpp"
+#include "te/parallel/cpu_model.hpp"
+#include "te/util/cli.hpp"
+#include "te/util/sphere.hpp"
+#include "te/util/table.hpp"
+
+namespace te::bench {
+
+/// The paper's experimental configuration (Section V-A).
+struct PaperWorkload {
+  int num_tensors = 1024;
+  int num_starts = 128;
+  double alpha = 0.0;
+  std::uint64_t seed = 20110516;  // IPDPS-W 2011 vintage
+};
+
+/// Build the paper-equivalent batch problem from the synthetic DW-MRI set.
+inline batch::BatchProblem<float> make_paper_problem(const PaperWorkload& w) {
+  dwmri::DatasetOptions dopt;
+  dopt.num_voxels = w.num_tensors;
+  dopt.two_fiber_fraction = 0.5;
+  const auto ds = dwmri::make_dataset<float>(w.seed, dopt);
+
+  batch::BatchProblem<float> p;
+  p.order = 4;
+  p.dim = 3;
+  p.tensors = ds.tensors();
+  CounterRng rng(w.seed ^ 0x5eedULL);
+  p.starts = random_sphere_batch<float>(rng, 0, w.num_starts, 3);
+  p.options.alpha = w.alpha;
+  p.options.tolerance = 1e-6;  // single-precision appropriate
+  p.options.max_iterations = 200;
+  return p;
+}
+
+/// Print the standard bench banner.
+inline void banner(const std::string& artifact, const std::string& what) {
+  std::cout << "==========================================================\n"
+            << "Reproduces: " << artifact << "\n"
+            << what << "\n"
+            << "==========================================================\n";
+}
+
+/// Emit a table, optionally as CSV too.
+inline void emit(const TextTable& t, bool csv) {
+  t.print(std::cout);
+  if (csv) {
+    std::cout << "\n[csv]\n";
+    t.print_csv(std::cout);
+  }
+  std::cout << "\n";
+}
+
+}  // namespace te::bench

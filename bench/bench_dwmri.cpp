@@ -1,0 +1,247 @@
+// Application validation A4 (paper Section IV pipeline end to end): on the
+// synthetic DW-MRI dataset, run the batched eigensolver, keep the local
+// maxima per voxel, and score fiber-direction recovery against the known
+// ground truth -- overall and bucketed by crossing angle. The paper could
+// not score recovery (its data had no ground truth); this bench validates
+// that the computation the paper accelerates actually solves the
+// application problem.
+// Flags: --voxels N --starts V --csv.
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "te/dwmri/grid_search.hpp"
+#include "te/sshopm/spectrum.hpp"
+
+int main(int argc, char** argv) {
+  using namespace te;
+
+  CliArgs args(argc, argv);
+  const bool csv = args.has("csv");
+  const int nvox = static_cast<int>(args.get_or("voxels", 1024L));
+  const int nv = static_cast<int>(args.get_or("starts", 128L));
+
+  bench::banner("Application A4 (Sec. IV)",
+                "Fiber-direction recovery on " + std::to_string(nvox) +
+                    " synthetic voxels, " + std::to_string(nv) +
+                    " starts, alpha=0");
+
+  dwmri::DatasetOptions dopt;
+  dopt.num_voxels = nvox;
+  dopt.two_fiber_fraction = 0.5;
+  dopt.min_crossing_deg = 30;
+  dopt.max_crossing_deg = 90;
+  const auto ds = dwmri::make_dataset<float>(2011, dopt);
+
+  CounterRng rng(99);
+  const auto starts = random_sphere_batch<float>(rng, 0, nv, 3);
+
+  sshopm::MultiStartOptions mopt;
+  mopt.inner.alpha = 0.0;  // the paper's setting
+  mopt.inner.tolerance = 1e-6;
+  mopt.inner.max_iterations = 200;
+
+  struct Bucket {
+    int voxels = 0;
+    int fibers = 0;
+    int matched = 0;
+    double err_sum = 0;
+    int err_count = 0;
+  };
+  std::map<int, Bucket> by_angle;  // bucket key: crossing angle / 15
+  Bucket singles;
+
+  // Solve every (voxel, start) pair on the paper's batched GPU path, then
+  // post-process the device results into per-voxel eigenpair lists.
+  batch::BatchProblem<float> prob;
+  prob.order = 4;
+  prob.dim = 3;
+  prob.tensors = ds.tensors();
+  prob.starts = starts;
+  prob.options = mopt.inner;
+
+  WallTimer timer;
+  const auto solved = batch::solve_gpusim(prob, kernels::Tier::kUnrolled);
+  const auto eigen_lists = batch::extract_eigenpairs(prob, solved, mopt);
+
+  for (std::size_t v = 0; v < ds.voxels.size(); ++v) {
+    const auto& voxel = ds.voxels[v];
+    const auto& pairs = eigen_lists[v];
+    std::vector<std::vector<float>> peaks;
+    for (const auto& p : pairs) {
+      if (p.type == sshopm::SpectralType::kLocalMax) peaks.push_back(p.x);
+    }
+    const auto score = dwmri::score_recovery(
+        voxel, std::span<const std::vector<float>>(peaks.data(), peaks.size()),
+        12.0);
+
+    Bucket* b = nullptr;
+    if (voxel.fibers.size() == 1) {
+      b = &singles;
+    } else {
+      const double deg = dwmri::angular_error_deg(
+          std::span<const double>(voxel.fibers[0].direction.data(), 3),
+          std::span<const double>(voxel.fibers[1].direction.data(), 3));
+      b = &by_angle[static_cast<int>(deg) / 15];
+    }
+    b->voxels += 1;
+    b->fibers += score.true_fibers;
+    b->matched += score.matched;
+    if (score.matched > 0) {
+      b->err_sum += score.mean_error_deg * score.matched;
+      b->err_count += score.matched;
+    }
+  }
+  const double secs = timer.seconds();
+
+  TextTable t;
+  t.set_header({"voxel class", "voxels", "fibers", "recovered",
+                "success %", "mean err deg"});
+  auto emit_bucket = [&](const std::string& label, const Bucket& b) {
+    t.add_row({label, std::to_string(b.voxels), std::to_string(b.fibers),
+               std::to_string(b.matched),
+               fmt_fixed(100.0 * b.matched / std::max(1, b.fibers), 1),
+               fmt_fixed(b.err_count ? b.err_sum / b.err_count : 0.0, 2)});
+  };
+  emit_bucket("1 fiber", singles);
+  for (const auto& [bucket, stats] : by_angle) {
+    emit_bucket("2 fibers, " + std::to_string(bucket * 15) + "-" +
+                    std::to_string(bucket * 15 + 14) + " deg",
+                stats);
+  }
+  bench::emit(t, csv);
+
+  // ----- Baseline comparison: discrete sphere-grid peak search -----
+  // The approach a practitioner uses *without* a tensor eigensolver; the
+  // eigenvector method needs ~iterations x (ttsv0 + ttsv1) per start but
+  // converges to machine-precision directions, while the grid pays one
+  // ttsv0 per lattice direction and is limited to lattice resolution.
+  {
+    TextTable tb;
+    tb.set_header({"method", "ttsv0 evals/voxel", "success %",
+                   "mean err deg", "host s"});
+
+    auto run_grid = [&](int samples, int polish) {
+      dwmri::GridSearchOptions gopt;
+      gopt.num_samples = samples;
+      gopt.polish_steps = polish;
+      int fibers = 0, matched = 0;
+      double err_sum = 0;
+      int err_n = 0;
+      WallTimer gt;
+      for (const auto& voxel : ds.voxels) {
+        const auto peaks = dwmri::grid_search_peaks(voxel.tensor, gopt);
+        std::vector<std::vector<float>> dirs;
+        for (const auto& pk : peaks) dirs.push_back(pk.direction);
+        const auto score = dwmri::score_recovery(
+            voxel,
+            std::span<const std::vector<float>>(dirs.data(), dirs.size()),
+            12.0);
+        fibers += score.true_fibers;
+        matched += score.matched;
+        if (score.matched) {
+          err_sum += score.mean_error_deg * score.matched;
+          err_n += score.matched;
+        }
+      }
+      tb.add_row({"grid-" + std::to_string(samples) +
+                      (polish ? "+polish" : ""),
+                  std::to_string(samples),
+                  fmt_fixed(100.0 * matched / std::max(1, fibers), 1),
+                  fmt_fixed(err_n ? err_sum / err_n : 0.0, 2),
+                  fmt_fixed(gt.seconds(), 2)});
+    };
+
+    int fibers = singles.fibers, matched = singles.matched;
+    double err_sum = singles.err_sum;
+    int err_n = singles.err_count;
+    for (const auto& [bucket, stats] : by_angle) {
+      fibers += stats.fibers;
+      matched += stats.matched;
+      err_sum += stats.err_sum;
+      err_n += stats.err_count;
+    }
+    // Eigensolver cost: ~iterations * 1 ttsv0-equivalent per start (ttsv1
+    // costs ~2x a ttsv0; fold into the estimate).
+    std::int64_t iters = 0;
+    for (const auto& r : solved.results) iters += r.iterations;
+    const auto evals = 3 * iters / std::max(1, static_cast<int>(nvox));
+    tb.add_row({"sshopm (gpu-sim)", std::to_string(evals),
+                fmt_fixed(100.0 * matched / std::max(1, fibers), 1),
+                fmt_fixed(err_n ? err_sum / err_n : 0.0, 2),
+                fmt_fixed(secs, 2)});
+
+    run_grid(256, 0);
+    run_grid(1024, 0);
+    run_grid(256, 10);
+    std::cout << "--- method comparison: eigensolver vs sphere-grid "
+                 "baseline ---\n";
+    bench::emit(tb, csv);
+  }
+
+  // ----- Order sweep: why the application uses higher orders (Sec. IV:
+  // "orders m = 4 and m = 6 are most commonly used"). Controlled crossing
+  // angles, one tensor order per row: higher orders resolve tighter
+  // crossings because their lobes are sharper.
+  {
+    TextTable to;
+    to.set_header({"crossing deg", "order 4", "order 6", "order 8"});
+    CounterRng orng(7);
+    const auto ostarts = random_sphere_batch<float>(orng, 0, 64, 3);
+    sshopm::MultiStartOptions omopt;
+    omopt.inner.alpha = 0.0;
+    omopt.inner.tolerance = 1e-6;
+    omopt.inner.max_iterations = 300;
+
+    for (double deg : {30.0, 40.0, 50.0, 60.0, 75.0, 90.0}) {
+      std::vector<std::string> row = {fmt_fixed(deg, 0)};
+      for (int order : {4, 6, 8}) {
+        // A fixed pair of fibers at the controlled angle.
+        const double rad = deg * 3.14159265358979 / 180.0;
+        dwmri::Fiber f1, f2;
+        f1.direction = {1, 0, 0};
+        f1.weight = 0.5;
+        f2.direction = {std::cos(rad), std::sin(rad), 0};
+        f2.weight = 0.5;
+        dwmri::Voxel<float> voxel;
+        voxel.fibers = {f1, f2};
+        voxel.tensor = dwmri::make_voxel_tensor_order<float>(
+            order, voxel.fibers, dwmri::DiffusionParams{});
+        const auto pairs = sshopm::find_eigenpairs(
+            voxel.tensor, kernels::Tier::kUnrolled,
+            {ostarts.data(), ostarts.size()}, omopt);
+        std::vector<std::vector<float>> peaks;
+        for (const auto& pr : pairs) {
+          if (pr.type == sshopm::SpectralType::kLocalMax) {
+            peaks.push_back(pr.x);
+          }
+        }
+        const auto sc = dwmri::score_recovery(
+            voxel,
+            std::span<const std::vector<float>>(peaks.data(), peaks.size()),
+            10.0);
+        row.push_back(std::to_string(sc.matched) + "/2 (" +
+                      fmt_fixed(sc.mean_error_deg, 1) + " deg)");
+      }
+      to.add_row(row);
+    }
+    std::cout << "--- order sweep: fibers resolved at a controlled "
+                 "crossing angle ---\n";
+    bench::emit(to, csv);
+    std::cout << "(higher tensor order = sharper lobes = tighter crossings\n"
+                 " resolved, at the cost of more unique coefficients: 15 /\n"
+                 " 28 / 45 -- the Sec. IV measurement-count trade)\n\n";
+  }
+
+  std::cout << "Pipeline time (host, incl. clustering+classification): "
+            << fmt_fixed(secs, 2) << " s\n"
+            << "Modeled GPU solve: "
+            << fmt_fixed(solved.modeled_seconds * 1e3, 2) << " ms + "
+            << fmt_fixed(solved.transfer_seconds * 1e3, 2)
+            << " ms PCIe transfer\n"
+            << "Shape check: single-fiber voxels recover at ~100% with\n"
+            << "sub-degree error; crossing-fiber success degrades as the\n"
+            << "crossing angle tightens (quartic lobes merge), which is the\n"
+            << "known physics of order-4 ADC profiles, not a solver defect.\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Extension benches (A5-A7): the features the paper leaves as remarks or
+// future work, measured.
+//
+//   A5 blocked tier  -- "to scale to larger problems we need a blocked
+//      approach" (Sec. V-D): per-call kernel time for shapes too large to
+//      unroll, general vs precomputed vs blocked.
+//   A6 adaptive shift -- "choice of shift" open problem (Sec. II):
+//      iteration counts and wall time, conservative fixed shift vs
+//      adaptive local-curvature shift.
+//   A7 multi-GPU      -- "this approach generalizes to a system with
+//      multiple GPUs" (Sec. V-B): modeled scaling over 1..8 devices.
+//
+// Flags: --csv.
+
+#include "bench_common.hpp"
+#include "te/kernels/blocked.hpp"
+#include "te/sshopm/adaptive.hpp"
+
+int main(int argc, char** argv) {
+  using namespace te;
+  using kernels::Tier;
+
+  CliArgs args(argc, argv);
+  const bool csv = args.has("csv");
+
+  // ----- A5: blocked kernels for large shapes -----
+  bench::banner("Ablation A5 (Sec. V-D future work)",
+                "Blocked tier for shapes beyond the unrolled registry: "
+                "per-call ttsv1 time (microseconds, averaged)");
+  {
+    TextTable t;
+    t.set_header({"m,n", "classes", "general us", "precomp us", "blocked us",
+                  "blocked speedup"});
+    CounterRng rng(1);
+    for (const auto& [m, n] :
+         {std::pair{4, 10}, {4, 16}, {5, 8}, {6, 6}, {3, 24}}) {
+      auto a = random_symmetric_tensor<float>(
+          rng, static_cast<std::uint64_t>(m * 100 + n), m, n);
+      kernels::KernelTables<float> tab(m, n);
+      std::vector<float> x(static_cast<std::size_t>(n), 0.3f),
+          y(static_cast<std::size_t>(n));
+      const int reps = 2000;
+
+      auto time_us = [&](auto&& f) {
+        WallTimer w;
+        for (int r = 0; r < reps; ++r) f();
+        return w.seconds() * 1e6 / reps;
+      };
+      const double tg = time_us([&] {
+        kernels::ttsv1_general(a, {x.data(), x.size()}, {y.data(), y.size()});
+      });
+      const double tp = time_us([&] {
+        kernels::ttsv1_precomputed(a, tab, {x.data(), x.size()},
+                                   {y.data(), y.size()});
+      });
+      const double tb = time_us([&] {
+        kernels::ttsv1_blocked(a, tab, {x.data(), x.size()},
+                               {y.data(), y.size()});
+      });
+      t.add_row({std::to_string(m) + "," + std::to_string(n),
+                 std::to_string(a.num_unique()), fmt_fixed(tg, 2),
+                 fmt_fixed(tp, 2), fmt_fixed(tb, 2), fmt_fixed(tg / tb, 2)});
+    }
+    bench::emit(t, csv);
+  }
+
+  // ----- A6: adaptive shift -----
+  bench::banner("Ablation A6 (Sec. II open problem)",
+                "Conservative fixed shift vs adaptive local-curvature "
+                "shift: iterations to convergence");
+  {
+    TextTable t;
+    t.set_header({"m,n", "fixed alpha", "fixed iters", "adaptive iters",
+                  "adaptive max alpha", "same lambda"});
+    CounterRng rng(2);
+    for (const auto& [m, n] : {std::pair{3, 3}, {4, 3}, {4, 5}, {6, 3}}) {
+      auto a = random_symmetric_tensor<double>(
+          rng, static_cast<std::uint64_t>(m * 100 + n), m, n);
+      auto x0 = random_sphere_vector<double>(rng, 9, n);
+
+      sshopm::Options fixed;
+      fixed.alpha = sshopm::suggest_shift(a);
+      fixed.tolerance = 1e-10;
+      fixed.max_iterations = 200000;
+      kernels::BoundKernels<double> k(a, Tier::kGeneral);
+      const auto rf = sshopm::solve(k, {x0.data(), x0.size()}, fixed);
+
+      sshopm::AdaptiveOptions ad;
+      ad.tolerance = 1e-10;
+      const auto ra = sshopm::solve_adaptive(a, {x0.data(), x0.size()}, ad);
+
+      t.add_row({std::to_string(m) + "," + std::to_string(n),
+                 fmt_fixed(fixed.alpha, 2), std::to_string(rf.iterations),
+                 std::to_string(ra.iterations), fmt_fixed(ra.max_alpha, 2),
+                 std::abs(rf.lambda - ra.lambda) < 1e-5 ? "yes" : "no*"});
+    }
+    bench::emit(t, csv);
+    std::cout << "(*different eigenpair: both are valid -- different shifts\n"
+                 " can route the same start to different basins)\n\n";
+  }
+
+  // ----- A7: multi-GPU scaling -----
+  bench::banner("Extension A7 (Sec. V-B remark)",
+                "Multi-GPU scaling of the 1024-tensor workload "
+                "(modeled C2050s)");
+  {
+    bench::PaperWorkload w;
+    const auto p = bench::make_paper_problem(w);
+    TextTable t;
+    t.set_header({"devices", "time ms", "speedup", "GFLOPS total"});
+    double base = 0;
+    for (int d : {1, 2, 4, 8}) {
+      const auto r = batch::solve_gpusim_multi(p, Tier::kUnrolled, d);
+      if (d == 1) base = r.modeled_seconds;
+      t.add_row({std::to_string(d), fmt_fixed(r.modeled_seconds * 1e3, 3),
+                 fmt_fixed(base / r.modeled_seconds, 2),
+                 fmt_fixed(static_cast<double>(r.useful_flops) /
+                               r.modeled_seconds / 1e9,
+                           1)});
+    }
+    bench::emit(t, csv);
+    std::cout << "Shape check: near-linear until the per-device grid drops\n"
+              << "below full occupancy (1024 blocks / d devices vs 112\n"
+              << "resident blocks per device).\n";
+  }
+  return 0;
+}

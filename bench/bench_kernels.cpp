@@ -1,0 +1,157 @@
+// Microbenchmarks of the computational kernels (google-benchmark):
+// ttsv0 / ttsv1 across the three symmetric tiers and the dense matricized
+// baseline, over a sweep of shapes. These are the per-call numbers behind
+// Table III's tier gaps: the unrolled tier should beat the general tier by
+// roughly the paper's ~8.5x on one core at (m=4, n=3).
+
+#include <benchmark/benchmark.h>
+
+#include "te/kernels/dense.hpp"
+#include "te/kernels/dispatch.hpp"
+#include "te/kernels/precomputed.hpp"
+#include "te/tensor/generators.hpp"
+#include "te/util/rng.hpp"
+
+namespace {
+
+using namespace te;
+
+struct Fixture {
+  SymmetricTensor<float> a;
+  kernels::KernelTables<float> tables;
+  std::vector<float> x;
+  std::vector<float> y;
+
+  explicit Fixture(int m, int n)
+      : a(random_symmetric_tensor<float>(CounterRng(7),
+                                         static_cast<std::uint64_t>(m * 32 + n),
+                                         m, n)),
+        tables(m, n),
+        x(static_cast<std::size_t>(n)),
+        y(static_cast<std::size_t>(n)) {
+    CounterRng rng(9);
+    for (int i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] =
+          static_cast<float>(rng.in(0, static_cast<std::uint64_t>(i), -1, 1));
+    }
+  }
+};
+
+void args_shapes(benchmark::internal::Benchmark* b) {
+  for (const auto& [m, n] :
+       {std::pair{3, 3}, {4, 3}, {4, 5}, {6, 3}, {6, 4}}) {
+    b->Args({m, n});
+  }
+}
+
+void BM_Ttsv0_General(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::ttsv0_general(f.a, {f.x.data(), f.x.size()}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ttsv0_General)->Apply(args_shapes);
+
+void BM_Ttsv0_Precomputed(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::ttsv0_precomputed(f.a, f.tables, {f.x.data(), f.x.size()}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ttsv0_Precomputed)->Apply(args_shapes);
+
+void BM_Ttsv0_Unrolled(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  const auto* e = kernels::find_unrolled<float>(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  if (e == nullptr) {
+    state.SkipWithError("shape not registered");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e->ttsv0(f.a.values().data(), f.x.data()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ttsv0_Unrolled)->Apply(args_shapes);
+
+void BM_Ttsv1_General(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    kernels::ttsv1_general(f.a, {f.x.data(), f.x.size()},
+                           {f.y.data(), f.y.size()});
+    benchmark::DoNotOptimize(f.y.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ttsv1_General)->Apply(args_shapes);
+
+void BM_Ttsv1_Precomputed(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    kernels::ttsv1_precomputed(f.a, f.tables, {f.x.data(), f.x.size()},
+                               {f.y.data(), f.y.size()});
+    benchmark::DoNotOptimize(f.y.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ttsv1_Precomputed)->Apply(args_shapes);
+
+void BM_Ttsv1_Unrolled(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  const auto* e = kernels::find_unrolled<float>(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  if (e == nullptr) {
+    state.SkipWithError("shape not registered");
+    return;
+  }
+  for (auto _ : state) {
+    e->ttsv1(f.a.values().data(), f.x.data(), f.y.data());
+    benchmark::DoNotOptimize(f.y.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ttsv1_Unrolled)->Apply(args_shapes);
+
+void BM_Ttsv0_DenseContract(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Fixture f(m, n);
+  const auto d = to_dense(f.a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::ttsv0_dense_contract(d, {f.x.data(), f.x.size()}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ttsv0_DenseContract)->Apply(args_shapes);
+
+void BM_SshopmIteration_Unrolled43(benchmark::State& state) {
+  // One full SS-HOPM iteration at the application shape: the unit of work
+  // behind every Table III number.
+  Fixture f(4, 3);
+  const auto* e = kernels::find_unrolled<float>(4, 3);
+  float x[3] = {0.26f, 0.74f, 0.62f};
+  for (auto _ : state) {
+    float y[3];
+    e->ttsv1(f.a.values().data(), x, y);
+    float n2 = 0;
+    for (int i = 0; i < 3; ++i) {
+      x[i] = y[i];
+      n2 += x[i] * x[i];
+    }
+    const float inv = 1.0f / std::sqrt(n2);
+    for (float& v : x) v *= inv;
+    benchmark::DoNotOptimize(e->ttsv0(f.a.values().data(), x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SshopmIteration_Unrolled43);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Ablation A2 (paper Section V-E observation): "We observe decreased
+// performance for tensor sizes past a threshold of around order 4 and
+// dimension 5" -- the per-thread register and per-block shared-memory
+// footprints grow with (m, n), resident warps per SM drop, and the device
+// can no longer hide latency. This bench sweeps the registered shapes,
+// reports occupancy (and its limiter) and modeled GFLOPS on the simulated
+// C2050 for the unrolled kernel.
+// Flags: --tensors N --starts V --csv.
+
+#include "bench_common.hpp"
+#include "te/gpusim/occupancy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace te;
+  using kernels::Tier;
+
+  CliArgs args(argc, argv);
+  const bool csv = args.has("csv");
+  const int nt = static_cast<int>(args.get_or("tensors", 112L));  // 8 waves/SM
+  const int nv = static_cast<int>(args.get_or("starts", 128L));
+
+  bench::banner("Ablation A2 (Sec. V-E)",
+                "GPU occupancy and modeled throughput vs tensor shape, "
+                "unrolled kernels, " +
+                    std::to_string(nt) + " tensors x " + std::to_string(nv) +
+                    " starts");
+
+  const auto dev = gpusim::DeviceSpec::tesla_c2050();
+
+  TextTable t;
+  t.set_header({"m,n", "unique", "regs/thr", "shmem B", "blocks/SM",
+                "warps/SM", "limiter", "occupancy", "GFLOPS (sim)",
+                "%peak", "blocked GFLOPS"});
+
+  for (const auto& [m, n] :
+       {std::pair{4, 3}, {4, 4}, {4, 5}, {4, 6}, {3, 3}, {3, 6}, {5, 3},
+        {6, 3}, {6, 4}, {8, 3}}) {
+    if (kernels::find_unrolled<float>(m, n) == nullptr) continue;
+
+    auto p = batch::BatchProblem<float>::random(
+        static_cast<std::uint64_t>(m * 100 + n), nt, nv, m, n);
+    p.options.alpha = sshopm::suggest_shift(p.tensors.front());
+    p.options.tolerance = 1e-5;
+    p.options.max_iterations = 100;
+
+    const auto r = batch::solve_gpusim(p, Tier::kUnrolled, dev);
+    const auto rb = batch::solve_gpusim(p, Tier::kBlocked, dev);
+    const auto cfg = gpusim::sshopm_launch_config(m, n, nt, nv,
+                                                  Tier::kUnrolled);
+    const double gflops = static_cast<double>(r.useful_flops) /
+                          r.modeled_seconds / 1e9;
+    const double gflops_b = static_cast<double>(rb.useful_flops) /
+                            rb.modeled_seconds / 1e9;
+
+    t.add_row({std::to_string(m) + "," + std::to_string(n),
+               std::to_string(p.tensors.front().num_unique()),
+               std::to_string(cfg.registers_per_thread),
+               std::to_string(cfg.shared_bytes_per_block),
+               std::to_string(r.gpu.occupancy.blocks_per_sm),
+               std::to_string(r.gpu.occupancy.warps_per_sm),
+               r.gpu.occupancy.limiter,
+               fmt_fixed(r.gpu.occupancy.fraction, 2),
+               fmt_fixed(gflops, 1),
+               fmt_fixed(100 * gflops / dev.peak_sp_gflops(), 1) + "%",
+               fmt_fixed(gflops_b, 1)});
+  }
+  bench::emit(t, csv);
+
+  std::cout << "Shape check: occupancy (and with it achievable GFLOPS)\n"
+            << "declines as (m, n) grows past the paper's order-4/dim-5\n"
+            << "threshold; the limiter shifts from the block cap to\n"
+            << "registers as per-thread state grows. The blocked tier\n"
+            << "(paper future work, implemented here) dodges both the\n"
+            << "register growth and the I-cache overflow, overtaking the\n"
+            << "unrolled tier exactly where it collapses.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Eigenspectrum exploration: how the shift alpha and the number of starting
+// vectors change what SS-HOPM finds -- the open questions the paper points
+// at in Section II ("choice of starting vector, choice of shift, finding
+// eigenpairs with certain properties").
+//
+//   $ ./eigenspectrum [--order 4] [--dim 3] [--seed 3]
+//
+// For one random tensor:
+//   * sweeps alpha over {0, 0.1, 0.5, 1, 2} x suggest_shift and reports how
+//     many distinct eigenpairs are found, of which types, and how many
+//     iterations convergence takes (large shifts converge reliably but
+//     slowly -- the tradeoff the paper mentions in Section V-A);
+//   * sweeps the number of starting vectors and reports the discovery curve
+//     (more starts -> more of the spectrum, with diminishing returns);
+//   * compares random starts against the deterministic Fibonacci scheme.
+
+#include <iostream>
+#include <set>
+
+#include "te/sshopm/spectrum.hpp"
+#include "te/tensor/generators.hpp"
+#include "te/util/cli.hpp"
+#include "te/util/sphere.hpp"
+#include "te/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace te;
+
+  CliArgs args(argc, argv);
+  const int order = static_cast<int>(args.get_or("order", 4L));
+  const int dim = static_cast<int>(args.get_or("dim", 3L));
+  const auto seed = static_cast<std::uint64_t>(args.get_or("seed", 3L));
+
+  CounterRng rng(seed);
+  const auto a = random_symmetric_tensor<double>(rng, 0, order, dim);
+  const double alpha0 = sshopm::suggest_shift(a);
+  std::cout << "random symmetric tensor, order " << order << ", dim " << dim
+            << ", ||A||_F = " << fmt_fixed(a.frobenius_norm(), 4)
+            << ", suggested shift = " << fmt_fixed(alpha0, 4) << "\n\n";
+
+  const auto starts = random_sphere_batch<double>(rng, 100, 256, dim);
+
+  // ---- shift sweep ----
+  std::cout << "shift sweep (128 random starts each):\n";
+  TextTable ts;
+  ts.set_header({"alpha", "converged", "distinct", "max", "saddle/other",
+                 "mean iters"});
+  for (double f : {0.0, 0.1, 0.5, 1.0, 2.0}) {
+    sshopm::MultiStartOptions opt;
+    opt.inner.alpha = f * alpha0;
+    opt.inner.tolerance = 1e-12;
+    opt.inner.max_iterations = 20000;
+    opt.keep_unconverged = false;
+    const auto pairs = sshopm::find_eigenpairs(
+        a, kernels::Tier::kGeneral,
+        std::span<const std::vector<double>>(starts.data(), 128), opt);
+    int conv = 0, maxima = 0, other = 0;
+    for (const auto& p : pairs) {
+      conv += p.basin_count;
+      if (p.type == sshopm::SpectralType::kLocalMax) {
+        ++maxima;
+      } else {
+        ++other;
+      }
+    }
+    // Mean iterations: rerun a few starts individually for the statistic.
+    kernels::BoundKernels<double> k(a, kernels::Tier::kGeneral);
+    long iters = 0;
+    int n_iter = 0;
+    for (int s = 0; s < 16; ++s) {
+      const auto r = sshopm::solve(
+          k, {starts[static_cast<std::size_t>(s)].data(),
+              starts[static_cast<std::size_t>(s)].size()},
+          opt.inner);
+      if (r.converged) {
+        iters += r.iterations;
+        ++n_iter;
+      }
+    }
+    ts.add_row({fmt_fixed(opt.inner.alpha, 3), std::to_string(conv) + "/128",
+                std::to_string(pairs.size()), std::to_string(maxima),
+                std::to_string(other),
+                n_iter ? fmt_fixed(static_cast<double>(iters) / n_iter, 1)
+                       : "-"});
+  }
+  ts.print(std::cout);
+  std::cout << "(larger shifts: everything converges, to maxima only, but "
+               "slower)\n\n";
+
+  // ---- start-count sweep ----
+  std::cout << "discovery curve (alpha = suggested):\n";
+  TextTable td;
+  td.set_header({"starts", "distinct eigenpairs"});
+  sshopm::MultiStartOptions opt;
+  opt.inner.alpha = alpha0;
+  opt.inner.tolerance = 1e-12;
+  opt.inner.max_iterations = 20000;
+  for (int n : {4, 8, 16, 32, 64, 128, 256}) {
+    const auto pairs = sshopm::find_eigenpairs(
+        a, kernels::Tier::kGeneral,
+        std::span<const std::vector<double>>(starts.data(),
+                                             static_cast<std::size_t>(n)),
+        opt);
+    td.add_row({std::to_string(n), std::to_string(pairs.size())});
+  }
+  td.print(std::cout);
+
+  // ---- random vs deterministic starts (3D only) ----
+  if (dim == 3) {
+    const auto fib = fibonacci_sphere<double>(128);
+    const auto pf = sshopm::find_eigenpairs(
+        a, kernels::Tier::kGeneral,
+        std::span<const std::vector<double>>(fib.data(), fib.size()), opt);
+    const auto pr = sshopm::find_eigenpairs(
+        a, kernels::Tier::kGeneral,
+        std::span<const std::vector<double>>(starts.data(), 128), opt);
+    std::cout << "\n128 Fibonacci starts find " << pf.size()
+              << " eigenpairs; 128 random starts find " << pr.size()
+              << " (the paper notes both schemes as options).\n";
+  }
+  return 0;
+}

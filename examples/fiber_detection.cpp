@@ -1,0 +1,102 @@
+// Nerve-fiber detection demo: the paper's Section IV application end to
+// end on synthetic DW-MRI data.
+//
+//   $ ./fiber_detection [--voxels 64] [--starts 128] [--noise 0.0]
+//                       [--gradients 30] [--refit]
+//
+// Pipeline per voxel:
+//   1. simulate fiber bundles (1 or 2 per voxel) and their ADC profile;
+//   2. (--refit) sample the ADC at a gradient scheme, add noise, and fit
+//      the order-4 symmetric tensor by least squares -- the measurement
+//      path real data takes (>= 15 gradient directions, Section IV);
+//   3. find the tensor's Z-eigenpairs with SS-HOPM (128 random starts,
+//      alpha = 0, exactly the paper's setting);
+//   4. keep the local maxima: those are the fiber directions;
+//   5. score against the known ground truth.
+
+#include <iostream>
+
+#include "te/dwmri/dataset.hpp"
+#include "te/sshopm/spectrum.hpp"
+#include "te/util/cli.hpp"
+#include "te/util/sphere.hpp"
+#include "te/util/table.hpp"
+#include "te/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace te;
+
+  CliArgs args(argc, argv);
+  dwmri::DatasetOptions dopt;
+  dopt.num_voxels = static_cast<int>(args.get_or("voxels", 64L));
+  dopt.two_fiber_fraction = 0.5;
+  dopt.refit_from_measurements = args.has("refit") ||
+                                 args.get_or("noise", 0.0) > 0;
+  dopt.noise_sigma = args.get_or("noise", 0.0);
+  dopt.num_gradients = static_cast<int>(args.get_or("gradients", 30L));
+  const int nstarts = static_cast<int>(args.get_or("starts", 128L));
+
+  std::cout << "DW-MRI fiber detection (paper Section IV)\n"
+            << "voxels=" << dopt.num_voxels << " starts=" << nstarts
+            << " refit=" << (dopt.refit_from_measurements ? "yes" : "no")
+            << " noise=" << dopt.noise_sigma << "\n\n";
+
+  const auto ds = dwmri::make_dataset<float>(42, dopt);
+  CounterRng rng(7);
+  const auto starts = random_sphere_batch<float>(rng, 0, nstarts, 3);
+
+  sshopm::MultiStartOptions mopt;
+  mopt.inner.alpha = 0.0;
+  mopt.inner.tolerance = 1e-6;
+  mopt.inner.max_iterations = 200;
+
+  WallTimer timer;
+  int fibers_total = 0, fibers_found = 0, false_peaks = 0;
+  double err_sum = 0;
+  int err_n = 0;
+  TextTable sample;
+  sample.set_header({"voxel", "true fibers", "peaks", "matched",
+                     "mean err deg", "top lambda"});
+
+  for (std::size_t v = 0; v < ds.voxels.size(); ++v) {
+    const auto& voxel = ds.voxels[v];
+    const auto pairs = sshopm::find_eigenpairs(
+        voxel.tensor, kernels::Tier::kUnrolled,
+        {starts.data(), starts.size()}, mopt);
+    std::vector<std::vector<float>> peaks;
+    for (const auto& p : pairs) {
+      if (p.type == sshopm::SpectralType::kLocalMax) peaks.push_back(p.x);
+    }
+    const auto score = dwmri::score_recovery(
+        voxel, std::span<const std::vector<float>>(peaks.data(), peaks.size()),
+        12.0);
+    fibers_total += score.true_fibers;
+    fibers_found += score.matched;
+    false_peaks +=
+        std::max(0, score.recovered_peaks - score.true_fibers);
+    if (score.matched) {
+      err_sum += score.mean_error_deg * score.matched;
+      err_n += score.matched;
+    }
+    if (v < 8) {
+      sample.add_row({std::to_string(v), std::to_string(score.true_fibers),
+                      std::to_string(score.recovered_peaks),
+                      std::to_string(score.matched),
+                      fmt_fixed(score.mean_error_deg, 2),
+                      fmt_fixed(pairs.empty() ? 0.0 : pairs.front().lambda,
+                                4)});
+    }
+  }
+
+  std::cout << "first voxels:\n";
+  sample.print(std::cout);
+  std::cout << "\nsummary over " << ds.voxels.size() << " voxels ("
+            << fmt_fixed(timer.seconds(), 2) << " s):\n"
+            << "  fibers recovered: " << fibers_found << " / " << fibers_total
+            << " (" << fmt_fixed(100.0 * fibers_found / fibers_total, 1)
+            << "%)\n"
+            << "  mean angular error: "
+            << fmt_fixed(err_n ? err_sum / err_n : 0.0, 2) << " deg\n"
+            << "  spurious extra peaks: " << false_peaks << "\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Hypergraph spectral analysis with H-eigenpairs: the classic consumer of
+// the *other* tensor eigenvalue definition (A x^{m-1} = lambda x^[m-1]).
+//
+//   $ ./hypergraph_spectrum [--vertices 6]
+//
+// A k-uniform hypergraph's adjacency tensor is symmetric and nonnegative:
+//   a_{i1..ik} = 1 / (k-1)!   whenever {i1..ik} is an edge (all orderings).
+// Its largest H-eigenvalue (the spectral radius) is a central quantity in
+// spectral hypergraph theory, with classical bounds
+//   average degree <= lambda_max <= max degree,
+// both tight for regular hypergraphs. The NQZ method computes lambda_max
+// with a certified enclosure; this example builds a few 3-uniform
+// hypergraphs, computes their spectral radii and checks the degree bounds.
+
+#include <iostream>
+#include <vector>
+
+#include "te/sshopm/h_eigen.hpp"
+#include "te/tensor/symmetric_tensor.hpp"
+#include "te/util/cli.hpp"
+#include "te/util/table.hpp"
+
+namespace {
+
+using namespace te;
+
+/// Adjacency tensor of a 3-uniform hypergraph given by its edge list.
+SymmetricTensor<double> adjacency_tensor(
+    int n, const std::vector<std::array<int, 3>>& edges) {
+  SymmetricTensor<double> a(3, n);
+  for (const auto& e : edges) {
+    std::vector<index_t> idx = {static_cast<index_t>(e[0]),
+                                static_cast<index_t>(e[1]),
+                                static_cast<index_t>(e[2])};
+    a({idx.data(), idx.size()}) = 1.0 / 2.0;  // 1 / (k-1)! with k = 3
+  }
+  return a;
+}
+
+/// Vertex degrees (number of edges containing each vertex).
+std::vector<int> degrees(int n, const std::vector<std::array<int, 3>>& edges) {
+  std::vector<int> d(static_cast<std::size_t>(n), 0);
+  for (const auto& e : edges) {
+    for (int v : e) d[static_cast<std::size_t>(v)] += 1;
+  }
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int n = static_cast<int>(args.get_or("vertices", 6L));
+  TE_REQUIRE(n >= 3, "need at least 3 vertices");
+
+  struct Case {
+    std::string name;
+    std::vector<std::array<int, 3>> edges;
+  };
+  std::vector<Case> cases;
+
+  // Complete 3-uniform hypergraph K_n^(3).
+  {
+    Case c;
+    c.name = "complete K_" + std::to_string(n) + "^(3)";
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        for (int k = j + 1; k < n; ++k) c.edges.push_back({i, j, k});
+      }
+    }
+    cases.push_back(std::move(c));
+  }
+  // A loose cycle: edges {0,1,2}, {2,3,4}, {4,5,0} (for n >= 6).
+  if (n >= 6) {
+    Case c;
+    c.name = "loose 3-cycle";
+    c.edges = {{0, 1, 2}, {2, 3, 4}, {4, 5, 0}};
+    cases.push_back(std::move(c));
+  }
+  // A single edge.
+  {
+    Case c;
+    c.name = "single edge";
+    c.edges = {{0, 1, 2}};
+    cases.push_back(std::move(c));
+  }
+
+  std::cout << "3-uniform hypergraph spectral radii via NQZ "
+               "(certified bounds)\n\n";
+  TextTable t;
+  t.set_header({"hypergraph", "edges", "avg deg", "max deg",
+                "lambda_max [lo, hi]", "iters", "certified"});
+  for (const auto& c : cases) {
+    const auto a = adjacency_tensor(n, c.edges);
+    const auto deg = degrees(n, c.edges);
+    double avg = 0;
+    int dmax = 0;
+    for (int d : deg) {
+      avg += d;
+      dmax = std::max(dmax, d);
+    }
+    avg /= n;
+
+    sshopm::HEigenOptions opt;
+    opt.max_iterations = 5000;
+    const auto r = sshopm::dominant_h_eigenpair(a, opt);
+    t.add_row({c.name, std::to_string(c.edges.size()), fmt_fixed(avg, 2),
+               std::to_string(dmax),
+               fmt_fixed(r.lambda, 4) + " [" + fmt_fixed(r.lower, 4) + ", " +
+                   fmt_fixed(r.upper, 4) + "]",
+               std::to_string(r.iterations), r.converged ? "yes" : "no"});
+
+    // Degree bounds (classical): avg deg <= lambda_max <= max deg.
+    if (r.converged) {
+      TE_REQUIRE(r.upper >= avg - 1e-6 && r.lower <= dmax + 1e-6,
+                 "degree bounds violated for " << c.name);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nEvery converged radius sits inside the classical degree\n"
+               "bounds [average degree, max degree]; the complete\n"
+               "hypergraph is regular, so its bounds pinch to the degree\n"
+               "itself.\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Dataset tool: generate the synthetic DW-MRI voxel set (the stand-in for
+// the paper's SCI Utah data) and write it to disk, or inspect an existing
+// file.
+//
+//   $ ./make_dataset --out voxels.tesymb [--voxels 1024] [--two 0.5]
+//                    [--min-angle 30] [--max-angle 90] [--seed 2011]
+//                    [--refit] [--noise 0.02] [--text]
+//   $ ./make_dataset --inspect voxels.tesymb
+//
+// The binary file can be fed back into the library via
+// read_tensor_batch_binary (see te/tensor/io_binary.hpp), making benchmark
+// inputs portable across machines.
+
+#include <fstream>
+#include <iostream>
+
+#include "te/dwmri/dataset.hpp"
+#include "te/kernels/general.hpp"
+#include "te/tensor/io.hpp"
+#include "te/tensor/io_binary.hpp"
+#include "te/util/cli.hpp"
+#include "te/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace te;
+
+  CliArgs args(argc, argv);
+
+  if (auto path = args.get("inspect")) {
+    std::ifstream in(*path, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open " << *path << "\n";
+      return 1;
+    }
+    const auto batch = read_tensor_batch_binary<float>(in);
+    std::cout << *path << ": " << batch.size() << " tensors";
+    if (!batch.empty()) {
+      std::cout << ", order " << batch.front().order() << ", dim "
+                << batch.front().dim() << ", " << batch.front().num_unique()
+                << " unique values each";
+    }
+    std::cout << "\n";
+    TextTable t;
+    t.set_header({"tensor", "frobenius", "A e1^m", "first values"});
+    for (std::size_t i = 0; i < std::min<std::size_t>(batch.size(), 5); ++i) {
+      std::vector<float> e1(static_cast<std::size_t>(batch[i].dim()), 0.0f);
+      e1[0] = 1.0f;
+      std::string head;
+      for (offset_t j = 0; j < std::min<offset_t>(4, batch[i].num_unique());
+           ++j) {
+        head += fmt_fixed(batch[i].value(j), 3) + " ";
+      }
+      t.add_row({std::to_string(i), fmt_fixed(batch[i].frobenius_norm(), 4),
+                 fmt_fixed(kernels::ttsv0_general(
+                               batch[i], {e1.data(), e1.size()}),
+                           4),
+                 head});
+    }
+    t.print(std::cout);
+    return 0;
+  }
+
+  dwmri::DatasetOptions opt;
+  opt.num_voxels = static_cast<int>(args.get_or("voxels", 1024L));
+  opt.two_fiber_fraction = args.get_or("two", 0.5);
+  opt.min_crossing_deg = args.get_or("min-angle", 30.0);
+  opt.max_crossing_deg = args.get_or("max-angle", 90.0);
+  opt.refit_from_measurements = args.has("refit") ||
+                                args.get_or("noise", 0.0) > 0;
+  opt.noise_sigma = args.get_or("noise", 0.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_or("seed", 2011L));
+  const std::string out_path = args.get_or("out", std::string("voxels.tesymb"));
+
+  std::cout << "generating " << opt.num_voxels << " voxels (seed " << seed
+            << ", " << opt.two_fiber_fraction * 100 << "% crossings"
+            << (opt.refit_from_measurements ? ", measured+refit" : "")
+            << ")...\n";
+  const auto ds = dwmri::make_dataset<float>(seed, opt);
+  const auto tensors = ds.tensors();
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  if (args.has("text")) {
+    write_tensor_batch(out, std::span<const SymmetricTensor<float>>(
+                                tensors.data(), tensors.size()));
+  } else {
+    write_tensor_batch_binary(out, std::span<const SymmetricTensor<float>>(
+                                       tensors.data(), tensors.size()));
+  }
+  out.close();
+  std::cout << "wrote " << out_path << " (" << tensors.size()
+            << " tensors, order 4, dim 3)\n";
+
+  // Ground-truth sidecar for scoring.
+  const std::string truth_path = out_path + ".truth";
+  std::ofstream truth(truth_path);
+  truth << "# voxel num_fibers dir1(x y z) w1 [dir2 w2]\n";
+  for (std::size_t v = 0; v < ds.voxels.size(); ++v) {
+    truth << v << ' ' << ds.voxels[v].fibers.size();
+    for (const auto& f : ds.voxels[v].fibers) {
+      truth << ' ' << f.direction[0] << ' ' << f.direction[1] << ' '
+            << f.direction[2] << ' ' << f.weight;
+    }
+    truth << '\n';
+  }
+  std::cout << "wrote " << truth_path << " (ground-truth fiber directions)\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Quickstart: build a small symmetric tensor, compute its Z-eigenpairs with
+// SS-HOPM from a handful of random starts, and verify them.
+//
+//   $ ./quickstart [--order 3] [--dim 3] [--starts 32] [--seed 7]
+//
+// Walks through the core public API: SymmetricTensor construction and
+// element access, kernel tiers, the SS-HOPM multi-start driver, residual
+// checks and eigenpair classification.
+
+#include <iostream>
+
+#include "te/sshopm/spectrum.hpp"
+#include "te/sshopm/sshopm.hpp"
+#include "te/tensor/generators.hpp"
+#include "te/util/cli.hpp"
+#include "te/util/sphere.hpp"
+#include "te/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace te;
+
+  CliArgs args(argc, argv);
+  const int order = static_cast<int>(args.get_or("order", 3L));
+  const int dim = static_cast<int>(args.get_or("dim", 3L));
+  const int nstarts = static_cast<int>(args.get_or("starts", 32L));
+  const auto seed = static_cast<std::uint64_t>(args.get_or("seed", 7L));
+
+  std::cout << "tensoreig quickstart\n"
+            << "--------------------\n";
+
+  // 1. Make a random symmetric tensor. Only the C(m+n-1, m) unique values
+  //    are stored; any index permutation addresses the same value.
+  CounterRng rng(seed);
+  SymmetricTensor<double> a =
+      random_symmetric_tensor<double>(rng, /*stream=*/0, order, dim);
+  std::cout << "tensor: order " << order << ", dim " << dim << ", "
+            << a.num_unique() << " unique values (dense would be "
+            << a.num_dense() << ")\n";
+  if (order >= 2 && dim >= 2) {
+    std::vector<index_t> i1 = {0, 1};
+    i1.resize(static_cast<std::size_t>(order), 0);
+    std::vector<index_t> i2(i1.rbegin(), i1.rend());
+    std::cout << "symmetry check: a[0,1,0...] == a[...0,1,0] -> "
+              << a({i1.data(), i1.size()}) << " == "
+              << a({i2.data(), i2.size()}) << "\n";
+  }
+
+  // 2. Pick a shift that guarantees convergence to local maxima of
+  //    f(x) = A x^m on the unit sphere.
+  sshopm::MultiStartOptions opt;
+  opt.inner.alpha = sshopm::suggest_shift(a);
+  opt.inner.tolerance = 1e-12;
+  opt.inner.max_iterations = 5000;
+  std::cout << "shift alpha = " << opt.inner.alpha
+            << " (= (m-1) * ||A||_F)\n\n";
+
+  // 3. Run SS-HOPM from many random starting vectors and deduplicate.
+  const auto starts = random_sphere_batch<double>(rng, 1000, nstarts, dim);
+  const auto pairs = sshopm::find_eigenpairs(
+      a, kernels::Tier::kGeneral, {starts.data(), starts.size()}, opt);
+
+  // 4. Report, with the residual ||A x^{m-1} - lambda x|| as the proof.
+  TextTable t;
+  t.set_header({"lambda", "type", "basins", "residual", "x"});
+  for (const auto& p : pairs) {
+    std::string x = "(";
+    for (std::size_t i = 0; i < p.x.size(); ++i) {
+      x += fmt_fixed(p.x[i], 4) + (i + 1 < p.x.size() ? ", " : ")");
+    }
+    t.add_row({fmt_fixed(p.lambda, 6), sshopm::spectral_type_name(p.type),
+               std::to_string(p.basin_count),
+               fmt_auto(static_cast<double>(p.worst_residual)), x});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n" << pairs.size() << " distinct eigenpair(s) from "
+            << nstarts << " starts. With alpha >= (m-1)||A||_F every\n"
+            << "converged run is a constrained local maximum; different\n"
+            << "starts may reach different eigenpairs (unlike the matrix\n"
+            << "power method).\n";
+  return 0;
+}

@@ -1,0 +1,371 @@
+#pragma once
+// Batched tensor eigensolving: the computational problem of the paper's
+// Section V. A batch is many same-shape symmetric tensors (voxels) times
+// many shared starting vectors; every (tensor, start) pair runs SS-HOPM
+// independently. Three backends execute a batch:
+//
+//   solve_cpu_sequential -- one host thread (the paper's "CPU - 1 core"),
+//   solve_cpu_parallel   -- ThreadPool over tensors, mirroring the paper's
+//                           `omp parallel for` (functionally correct at any
+//                           thread count; wall-clock speedup obviously
+//                           requires real cores),
+//   solve_gpusim         -- the simulated GPU (paper's CUDA implementation).
+//
+// All backends produce bitwise-comparable eigenpair streams for the same
+// tier (the parallel backend partitions over tensors only, and the GPU
+// backend runs the identical per-thread arithmetic), which the integration
+// tests exploit.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "te/gpusim/memory.hpp"
+#include "te/gpusim/sshopm_kernels.hpp"
+#include "te/kernels/dispatch.hpp"
+#include "te/kernels/flop_model.hpp"
+#include "te/parallel/thread_pool.hpp"
+#include "te/sshopm/spectrum.hpp"
+#include "te/sshopm/sshopm.hpp"
+#include "te/tensor/generators.hpp"
+#include "te/util/rng.hpp"
+#include "te/util/sphere.hpp"
+#include "te/util/timer.hpp"
+
+namespace te::batch {
+
+/// The batched problem: same-shape tensors, shared starting vectors.
+template <Real T>
+struct BatchProblem {
+  int order = 0;
+  int dim = 0;
+  std::vector<SymmetricTensor<T>> tensors;
+  std::vector<std::vector<T>> starts;  ///< each unit length, size dim
+  sshopm::Options options;
+
+  [[nodiscard]] int num_tensors() const {
+    return static_cast<int>(tensors.size());
+  }
+  [[nodiscard]] int num_starts() const {
+    return static_cast<int>(starts.size());
+  }
+
+  /// Synthetic batch: random symmetric tensors (unique values uniform in
+  /// [-1, 1]) and the paper's random starting vectors. Deterministic in
+  /// `seed`.
+  [[nodiscard]] static BatchProblem random(std::uint64_t seed,
+                                           int num_tensors, int num_starts,
+                                           int order, int dim) {
+    CounterRng rng(seed);
+    BatchProblem p;
+    p.order = order;
+    p.dim = dim;
+    p.tensors.reserve(static_cast<std::size_t>(num_tensors));
+    for (int t = 0; t < num_tensors; ++t) {
+      p.tensors.push_back(
+          random_symmetric_tensor<T>(rng, static_cast<std::uint64_t>(t),
+                                     order, dim));
+    }
+    p.starts = random_sphere_batch<T>(rng, 1u << 20, num_starts, dim);
+    return p;
+  }
+};
+
+/// One backend run over a full batch.
+template <Real T>
+struct BatchResult {
+  int num_tensors = 0;
+  int num_starts = 0;
+  /// Flat (tensor-major) results: entry t * num_starts + v.
+  std::vector<sshopm::Result<T>> results;
+  double wall_seconds = 0;     ///< measured host execution time
+  double modeled_seconds = 0;  ///< platform-model time (GPU backend only;
+                               ///< equals wall_seconds on CPU backends)
+  std::int64_t useful_flops = 0;  ///< symmetric-kernel flop count actually
+                                  ///< executed (paper's GFLOPS convention)
+  double transfer_seconds = 0;  ///< modeled host<->device PCIe time (GPU
+                                ///< backends only; reported separately, as
+                                ///< the paper's kernel times exclude it)
+  gpusim::LaunchResult gpu;    ///< populated by the GPU backend
+
+  [[nodiscard]] const sshopm::Result<T>& at(int tensor, int start) const {
+    return results[static_cast<std::size_t>(tensor) * num_starts + start];
+  }
+  [[nodiscard]] double gflops_measured() const {
+    return wall_seconds > 0 ? static_cast<double>(useful_flops) /
+                                  wall_seconds / 1e9
+                            : 0;
+  }
+  [[nodiscard]] double gflops_modeled() const {
+    return modeled_seconds > 0 ? static_cast<double>(useful_flops) /
+                                     modeled_seconds / 1e9
+                               : 0;
+  }
+};
+
+/// Useful-flop count of a finished result set under the paper's convention
+/// (symmetric-kernel arithmetic only; one setup ttsv0 plus per-iteration
+/// work per (tensor, start)).
+template <Real T>
+[[nodiscard]] std::int64_t count_useful_flops(
+    const std::vector<sshopm::Result<T>>& results, int order, int dim) {
+  const std::int64_t iter_flops =
+      kernels::flops_sshopm_iteration(order, dim).flops();
+  const std::int64_t setup_flops =
+      kernels::flops_symmetric_ttsv0(order, dim).flops() + 3 * dim + 1;
+  std::int64_t total = 0;
+  for (const auto& r : results) {
+    total += setup_flops + iter_flops * r.iterations;
+  }
+  return total;
+}
+
+/// Sequential CPU backend (paper "CPU - 1 core").
+template <Real T>
+[[nodiscard]] BatchResult<T> solve_cpu_sequential(const BatchProblem<T>& p,
+                                                  kernels::Tier tier) {
+  TE_REQUIRE(p.num_tensors() > 0 && p.num_starts() > 0, "empty batch");
+  BatchResult<T> out;
+  out.num_tensors = p.num_tensors();
+  out.num_starts = p.num_starts();
+  out.results.resize(static_cast<std::size_t>(p.num_tensors()) *
+                     p.num_starts());
+
+  const kernels::KernelTables<T> tables(p.order, p.dim);
+  WallTimer timer;
+  for (int t = 0; t < p.num_tensors(); ++t) {
+    kernels::BoundKernels<T> k(p.tensors[static_cast<std::size_t>(t)], tier,
+                               &tables);
+    for (int v = 0; v < p.num_starts(); ++v) {
+      const auto& x0 = p.starts[static_cast<std::size_t>(v)];
+      out.results[static_cast<std::size_t>(t) * p.num_starts() + v] =
+          sshopm::solve(k, std::span<const T>(x0.data(), x0.size()),
+                        p.options);
+    }
+  }
+  out.wall_seconds = timer.seconds();
+  out.modeled_seconds = out.wall_seconds;
+  out.useful_flops = count_useful_flops(out.results, p.order, p.dim);
+  return out;
+}
+
+/// Parallel CPU backend: the tensor loop is chunked over a thread pool,
+/// exactly the paper's OpenMP mapping.
+template <Real T>
+[[nodiscard]] BatchResult<T> solve_cpu_parallel(const BatchProblem<T>& p,
+                                                kernels::Tier tier,
+                                                ThreadPool& pool) {
+  TE_REQUIRE(p.num_tensors() > 0 && p.num_starts() > 0, "empty batch");
+  BatchResult<T> out;
+  out.num_tensors = p.num_tensors();
+  out.num_starts = p.num_starts();
+  out.results.resize(static_cast<std::size_t>(p.num_tensors()) *
+                     p.num_starts());
+
+  const kernels::KernelTables<T> tables(p.order, p.dim);
+  WallTimer timer;
+  pool.parallel_for(p.num_tensors(), [&](std::int64_t t) {
+    kernels::BoundKernels<T> k(p.tensors[static_cast<std::size_t>(t)], tier,
+                               &tables);
+    for (int v = 0; v < p.num_starts(); ++v) {
+      const auto& x0 = p.starts[static_cast<std::size_t>(v)];
+      out.results[static_cast<std::size_t>(t) * p.num_starts() + v] =
+          sshopm::solve(k, std::span<const T>(x0.data(), x0.size()),
+                        p.options);
+    }
+  });
+  out.wall_seconds = timer.seconds();
+  out.modeled_seconds = out.wall_seconds;
+  out.useful_flops = count_useful_flops(out.results, p.order, p.dim);
+  return out;
+}
+
+/// Simulated-GPU backend (paper Sections V-B..V-D). `tier` must be
+/// kGeneral or kUnrolled. Functional results come from executing the
+/// kernel; `modeled_seconds` comes from the device timing model.
+template <Real T>
+[[nodiscard]] BatchResult<T> solve_gpusim(
+    const BatchProblem<T>& p, kernels::Tier tier,
+    const gpusim::DeviceSpec& dev = gpusim::DeviceSpec::tesla_c2050()) {
+  TE_REQUIRE(p.num_tensors() > 0 && p.num_starts() > 0, "empty batch");
+  TE_REQUIRE(p.dim <= gpusim::kMaxDim, "dimension exceeds device kernel cap");
+
+  const int nt = p.num_tensors();
+  const int nv = p.num_starts();
+  const int n = p.dim;
+  const offset_t u = p.tensors.front().num_unique();
+
+  // Stage the inputs on the host, then copy to "device memory" through the
+  // explicit transfer API (the cudaMemcpy analog; the ledger prices PCIe).
+  std::vector<T> tensors(static_cast<std::size_t>(nt) * u);
+  for (int t = 0; t < nt; ++t) {
+    const auto vals = p.tensors[static_cast<std::size_t>(t)].values();
+    std::copy(vals.begin(), vals.end(),
+              tensors.begin() + static_cast<std::size_t>(t) * u);
+  }
+  std::vector<T> starts(static_cast<std::size_t>(nv) * n);
+  for (int v = 0; v < nv; ++v) {
+    const auto& s = p.starts[static_cast<std::size_t>(v)];
+    std::copy(s.begin(), s.end(),
+              starts.begin() + static_cast<std::size_t>(v) * n);
+  }
+
+  gpusim::TransferLedger ledger;
+  gpusim::DeviceBuffer<T> d_tensors(ledger, tensors.size());
+  gpusim::DeviceBuffer<T> d_starts(ledger, starts.size());
+  gpusim::DeviceBuffer<T> d_out_vectors(
+      ledger, static_cast<std::size_t>(nt) * nv * n);
+  gpusim::DeviceBuffer<T> d_out_values(ledger,
+                                       static_cast<std::size_t>(nt) * nv);
+  gpusim::DeviceBuffer<std::int32_t> d_out_iters(
+      ledger, static_cast<std::size_t>(nt) * nv);
+  d_tensors.h2d(tensors);
+  d_starts.h2d(starts);
+
+  gpusim::DeviceBatchView<T> view;
+  view.order = p.order;
+  view.dim = n;
+  view.num_unique = u;
+  view.num_tensors = nt;
+  view.num_starts = nv;
+  view.tensors = d_tensors.device_ptr();
+  view.starts = d_starts.device_ptr();
+  view.out_vectors = d_out_vectors.device_ptr();
+  view.out_values = d_out_values.device_ptr();
+  view.out_iters = d_out_iters.device_ptr();
+
+  TE_REQUIRE(tier == kernels::Tier::kGeneral ||
+                 tier == kernels::Tier::kBlocked ||
+                 tier == kernels::Tier::kUnrolled,
+             "GPU backend implements the general, blocked and unrolled "
+             "tiers");
+  std::optional<kernels::KernelTables<T>> tables;
+  if (tier == kernels::Tier::kBlocked) tables.emplace(p.order, n);
+
+  const gpusim::GpuIterationCost cost =
+      tier == kernels::Tier::kUnrolled
+          ? gpusim::unrolled_iteration_cost(p.order, n)
+          : (tier == kernels::Tier::kBlocked
+                 ? gpusim::blocked_iteration_cost(p.order, n)
+                 : gpusim::general_iteration_cost(p.order, n));
+  gpusim::LaunchConfig cfg =
+      gpusim::sshopm_launch_config(p.order, n, nt, nv, tier);
+  cfg.shared_bytes_per_block = gpusim::sshopm_shared_bytes(
+      p.order, n, tier, static_cast<int>(sizeof(T)));
+
+  WallTimer timer;
+  auto launch_result = gpusim::launch(
+      dev, cfg, [&](gpusim::ThreadCtx& ctx) {
+        return gpusim::sshopm_device_thread<T>(
+            ctx, view, tier, p.options, cost,
+            tables ? &*tables : nullptr);
+      });
+  TE_REQUIRE(launch_result.launchable,
+             "kernel does not fit on the device (occupancy limiter: "
+                 << launch_result.occupancy.limiter << ")");
+
+  // Copy the results back (cudaMemcpyDeviceToHost analog).
+  std::vector<T> out_vectors(d_out_vectors.size());
+  std::vector<T> out_values(d_out_values.size());
+  std::vector<std::int32_t> out_iters(d_out_iters.size());
+  d_out_vectors.d2h(out_vectors);
+  d_out_values.d2h(out_values);
+  d_out_iters.d2h(std::span<std::int32_t>(out_iters.data(), out_iters.size()));
+
+  BatchResult<T> out;
+  out.num_tensors = nt;
+  out.num_starts = nv;
+  out.results.resize(static_cast<std::size_t>(nt) * nv);
+  for (std::size_t slot = 0; slot < out.results.size(); ++slot) {
+    auto& r = out.results[slot];
+    r.lambda = out_values[slot];
+    r.x.assign(out_vectors.begin() + static_cast<std::ptrdiff_t>(slot * n),
+               out_vectors.begin() + static_cast<std::ptrdiff_t>((slot + 1) * n));
+    r.converged = out_iters[slot] >= 0;
+    r.iterations = std::abs(out_iters[slot]);
+  }
+  out.wall_seconds = timer.seconds();
+  out.gpu = launch_result;
+  out.modeled_seconds = launch_result.modeled_seconds;
+  out.useful_flops = count_useful_flops(out.results, p.order, p.dim);
+  out.transfer_seconds = ledger.modeled_seconds(dev);
+  return out;
+}
+
+/// Post-process a finished batch into per-tensor eigenpair lists: the
+/// application step after the accelerated solve (cluster the num_starts
+/// runs of each tensor, classify, sort). Works on the output of any
+/// backend, which is how the DW-MRI pipeline consumes the GPU results.
+template <Real T>
+[[nodiscard]] std::vector<std::vector<sshopm::Eigenpair<T>>>
+extract_eigenpairs(const BatchProblem<T>& p, const BatchResult<T>& r,
+                   const sshopm::MultiStartOptions& opt) {
+  TE_REQUIRE(r.num_tensors == p.num_tensors() &&
+                 r.num_starts == p.num_starts(),
+             "result does not belong to this problem");
+  std::vector<std::vector<sshopm::Eigenpair<T>>> out;
+  out.reserve(static_cast<std::size_t>(r.num_tensors));
+  for (int t = 0; t < r.num_tensors; ++t) {
+    const auto* first =
+        r.results.data() + static_cast<std::size_t>(t) * r.num_starts;
+    out.push_back(sshopm::cluster_results(
+        p.tensors[static_cast<std::size_t>(t)],
+        std::span<const sshopm::Result<T>>(first,
+                                           static_cast<std::size_t>(
+                                               r.num_starts)),
+        opt));
+  }
+  return out;
+}
+
+/// Multi-GPU backend (paper Section V-B: "for larger numbers of tensors,
+/// this approach generalizes to a system with multiple GPUs"). Tensors are
+/// split into contiguous chunks, one per device; devices run independently
+/// (no inter-device communication is needed -- every (tensor, start) pair
+/// is independent), so the modeled batch time is the slowest device's time.
+template <Real T>
+[[nodiscard]] BatchResult<T> solve_gpusim_multi(
+    const BatchProblem<T>& p, kernels::Tier tier, int num_devices,
+    const gpusim::DeviceSpec& dev = gpusim::DeviceSpec::tesla_c2050()) {
+  TE_REQUIRE(num_devices >= 1, "need at least one device");
+  TE_REQUIRE(p.num_tensors() > 0 && p.num_starts() > 0, "empty batch");
+
+  BatchResult<T> out;
+  out.num_tensors = p.num_tensors();
+  out.num_starts = p.num_starts();
+  out.results.reserve(static_cast<std::size_t>(p.num_tensors()) *
+                      p.num_starts());
+
+  WallTimer timer;
+  const int chunk = (p.num_tensors() + num_devices - 1) / num_devices;
+  double slowest = 0;
+  for (int d = 0; d < num_devices; ++d) {
+    const int begin = d * chunk;
+    const int end = std::min(begin + chunk, p.num_tensors());
+    if (begin >= end) break;
+
+    BatchProblem<T> part;
+    part.order = p.order;
+    part.dim = p.dim;
+    part.tensors.assign(p.tensors.begin() + begin, p.tensors.begin() + end);
+    part.starts = p.starts;  // shared scheme, replicated per device
+    part.options = p.options;
+
+    auto r = solve_gpusim(part, tier, dev);
+    slowest = std::max(slowest, r.modeled_seconds);
+    out.useful_flops += r.useful_flops;
+    out.gpu.total_ops += r.gpu.total_ops;
+    out.gpu.warp_issue_slots += r.gpu.warp_issue_slots;
+    if (d == 0) out.gpu.occupancy = r.gpu.occupancy;
+    out.results.insert(out.results.end(),
+                       std::make_move_iterator(r.results.begin()),
+                       std::make_move_iterator(r.results.end()));
+  }
+  out.gpu.launchable = true;
+  out.gpu.modeled_seconds = slowest;
+  out.modeled_seconds = slowest;
+  out.wall_seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace te::batch

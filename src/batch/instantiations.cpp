@@ -1,0 +1,25 @@
+// Explicit instantiations of the batch backends for float and double.
+
+#include "te/batch/batch.hpp"
+
+namespace te::batch {
+
+template struct BatchProblem<float>;
+template struct BatchProblem<double>;
+
+template BatchResult<float> solve_cpu_sequential(const BatchProblem<float>&,
+                                                 kernels::Tier);
+template BatchResult<double> solve_cpu_sequential(const BatchProblem<double>&,
+                                                  kernels::Tier);
+template BatchResult<float> solve_cpu_parallel(const BatchProblem<float>&,
+                                               kernels::Tier, ThreadPool&);
+template BatchResult<double> solve_cpu_parallel(const BatchProblem<double>&,
+                                                kernels::Tier, ThreadPool&);
+template BatchResult<float> solve_gpusim(const BatchProblem<float>&,
+                                         kernels::Tier,
+                                         const gpusim::DeviceSpec&);
+template BatchResult<double> solve_gpusim(const BatchProblem<double>&,
+                                          kernels::Tier,
+                                          const gpusim::DeviceSpec&);
+
+}  // namespace te::batch

@@ -1,0 +1,74 @@
+#pragma once
+// Exact integer combinatorics: factorials, binomial and multinomial
+// coefficients (paper Properties 1 and 2).
+//
+// All results are exact 64-bit integers. The orders that occur in practice
+// are tiny (m <= 8 in the application, m <= 20 at the 64-bit factorial
+// limit), so plain integer arithmetic with overflow guards is both exact and
+// fast. binom() uses the multiplicative formula with interleaved division so
+// intermediates stay bounded by the result.
+
+#include <cstdint>
+#include <span>
+
+#include "te/util/assert.hpp"
+#include "te/util/types.hpp"
+
+namespace te::comb {
+
+/// Largest m with m! representable in int64.
+inline constexpr int kMaxFactorialArg = 20;
+
+/// m! as an exact 64-bit integer. Precondition: 0 <= m <= 20.
+[[nodiscard]] constexpr std::int64_t factorial(int m) {
+  TE_REQUIRE(m >= 0 && m <= kMaxFactorialArg,
+             "factorial(" << m << ") out of exact 64-bit range");
+  std::int64_t f = 1;
+  for (int i = 2; i <= m; ++i) f *= i;
+  return f;
+}
+
+/// Binomial coefficient C(n, k), exact, with interleaved division so the
+/// intermediate product never exceeds the (64-bit) result by more than a
+/// factor of n. Returns 0 for k < 0 or k > n.
+[[nodiscard]] constexpr std::int64_t binomial(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::int64_t r = 1;
+  for (std::int64_t i = 1; i <= k; ++i) {
+    // r * (n - k + i) is divisible by i after the multiply because r already
+    // equals C(n-k+i-1, i-1) * ... -- the standard exact update.
+    TE_REQUIRE(r <= INT64_MAX / (n - k + i),
+               "binomial(" << n << ", " << k << ") overflows 64 bits");
+    r = r * (n - k + i) / i;
+  }
+  return r;
+}
+
+/// Number of unique values of a symmetric tensor in R^[m,n]
+/// (paper Property 1): C(m + n - 1, m).
+[[nodiscard]] constexpr std::int64_t num_unique_entries(int order, int dim) {
+  TE_REQUIRE(order >= 1 && dim >= 1, "order and dim must be positive");
+  return binomial(order + dim - 1, order);
+}
+
+/// Multinomial coefficient m! / (k_1! ... k_n!) from the *monomial*
+/// representation [k_1, ..., k_n] (paper Property 2). Precondition:
+/// sum(k) <= 20 so the numerator is exact.
+[[nodiscard]] std::int64_t multinomial_from_monomial(
+    std::span<const index_t> monomial);
+
+/// Multinomial coefficient of an index class given its *index*
+/// representation (nondecreasing array of m indices): the paper's
+/// MULTINOMIAL0 (Fig. 2). One pass; relies on equal indices being adjacent.
+[[nodiscard]] std::int64_t multinomial_from_index(
+    std::span<const index_t> index_rep);
+
+/// sigma(j) of Eq. 6: the number of tensor indices of the class that
+/// contribute to output entry j when computing A x^{m-1}; equals
+/// C(m-1; k_1, ..., k_j - 1, ..., k_n). The paper's MULTINOMIAL1 (Fig. 3).
+/// Precondition: index `j` occurs in `index_rep`.
+[[nodiscard]] std::int64_t multinomial_drop_one(
+    std::span<const index_t> index_rep, index_t j);
+
+}  // namespace te::comb

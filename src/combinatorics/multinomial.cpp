@@ -1,0 +1,63 @@
+#include "te/comb/multinomial.hpp"
+
+namespace te::comb {
+
+std::int64_t multinomial_from_monomial(std::span<const index_t> monomial) {
+  int m = 0;
+  for (index_t k : monomial) {
+    TE_REQUIRE(k >= 0, "monomial entries must be nonnegative");
+    m += k;
+  }
+  std::int64_t denom = 1;
+  for (index_t k : monomial) denom *= factorial(k);
+  return factorial(m) / denom;
+}
+
+std::int64_t multinomial_from_index(std::span<const index_t> index_rep) {
+  const int m = static_cast<int>(index_rep.size());
+  // Paper Fig. 2 (MULTINOMIAL0): accumulate prod k_i! in one pass over the
+  // nondecreasing index representation -- the r-th consecutive repeat of an
+  // index multiplies the divisor by r.
+  std::int64_t div = 1;
+  index_t curr = -1;
+  std::int64_t mult = 0;
+  for (int j = 0; j < m; ++j) {
+    if (index_rep[j] != curr) {
+      mult = 1;
+      curr = index_rep[j];
+    } else {
+      ++mult;
+      div *= mult;
+    }
+  }
+  return factorial(m) / div;
+}
+
+std::int64_t multinomial_drop_one(std::span<const index_t> index_rep,
+                                  index_t j) {
+  const int m = static_cast<int>(index_rep.size());
+  // As MULTINOMIAL0, but one occurrence of index j is ignored, yielding
+  // (m-1)! / (k_1! ... (k_j - 1)! ... k_n!).
+  std::int64_t div = 1;
+  index_t curr = -1;
+  std::int64_t mult = 0;
+  bool skipped = false;
+  for (int t = 0; t < m; ++t) {
+    index_t idx = index_rep[t];
+    if (idx == j && !skipped) {
+      skipped = true;  // drop exactly one occurrence of j
+      continue;
+    }
+    if (idx != curr) {
+      mult = 1;
+      curr = idx;
+    } else {
+      ++mult;
+      div *= mult;
+    }
+  }
+  TE_REQUIRE(skipped, "index " << j << " does not occur in the index class");
+  return factorial(m - 1) / div;
+}
+
+}  // namespace te::comb

@@ -1,0 +1,91 @@
+#pragma once
+// Greedy symmetric CP decomposition by rank-1 deflation.
+//
+// Repeatedly extract the best symmetric rank-1 term and subtract it:
+//   A_0 = A;   (w_r, x_r) = best_rank_one(A_{r-1});
+//   A_r = A_{r-1} - w_r x_r^(x m).
+// Each step removes w_r^2 from the squared Frobenius norm, so the residual
+// decreases monotonically. For orthogonally decomposable (odeco) tensors
+// the greedy scheme recovers the exact decomposition in weight-magnitude
+// order (the classical result); for general tensors it is a good heuristic
+// -- greedy deflation is not globally optimal for CP, which the API
+// documents rather than hides.
+
+#include "te/decomp/rank_one.hpp"
+
+namespace te::decomp {
+
+/// Controls for greedy_symmetric_cp.
+struct CpOptions {
+  int max_rank = 8;
+  /// Stop when ||residual||_F / ||A||_F falls below this.
+  double target_relative_error = 1e-6;
+  RankOneOptions rank_one;
+};
+
+/// Result of a greedy decomposition.
+template <Real T>
+struct CpDecomposition {
+  int order = 0;
+  int dim = 0;
+  std::vector<RankOneTerm<T>> terms;
+  /// Relative residual after 0, 1, 2, ... terms (terms.size() + 1 entries).
+  std::vector<double> residual_history;
+
+  [[nodiscard]] int rank() const { return static_cast<int>(terms.size()); }
+
+  [[nodiscard]] double relative_error() const {
+    return residual_history.empty() ? 1.0 : residual_history.back();
+  }
+
+  /// Sum of the extracted terms.
+  [[nodiscard]] SymmetricTensor<T> reconstruct() const {
+    SymmetricTensor<T> a(order, dim);
+    for (const auto& t : terms) {
+      a.add_scaled(rank_one_tensor<T>(t.weight,
+                                      std::span<const T>(t.x.data(),
+                                                         t.x.size()),
+                                      order),
+                   T(1));
+    }
+    return a;
+  }
+};
+
+/// Greedy deflation. Stops at max_rank terms, at the target error, or when
+/// a step fails to reduce the residual (numerical floor).
+template <Real T>
+[[nodiscard]] CpDecomposition<T> greedy_symmetric_cp(
+    const SymmetricTensor<T>& a, const CpOptions& opt = {}) {
+  TE_REQUIRE(opt.max_rank >= 1, "max_rank must be positive");
+  CpDecomposition<T> out;
+  out.order = a.order();
+  out.dim = a.dim();
+
+  const double norm_a = static_cast<double>(a.frobenius_norm());
+  if (norm_a == 0) {
+    out.residual_history.push_back(0.0);
+    return out;
+  }
+  out.residual_history.push_back(1.0);
+
+  SymmetricTensor<T> residual = a;
+  RankOneOptions r1 = opt.rank_one;
+  for (int r = 0; r < opt.max_rank; ++r) {
+    r1.seed = opt.rank_one.seed + static_cast<std::uint64_t>(r) * 7919;
+    const auto term = best_rank_one(residual, r1);
+    if (term.weight == T(0)) break;
+    residual = deflate(residual, term);
+    const double rel =
+        static_cast<double>(residual.frobenius_norm()) / norm_a;
+    // Guard against a step that fails to improve (converged to a spurious
+    // tiny eigenpair of the residual).
+    if (rel >= out.residual_history.back() * (1.0 - 1e-12)) break;
+    out.terms.push_back(term);
+    out.residual_history.push_back(rel);
+    if (rel <= opt.target_relative_error) break;
+  }
+  return out;
+}
+
+}  // namespace te::decomp

@@ -1,0 +1,91 @@
+#pragma once
+// Best symmetric rank-1 approximation.
+//
+// The problem that motivated the symmetric higher-order power method in the
+// first place (the paper's references: Kofidis & Regalia, De Lathauwer et
+// al.): find unit x and scalar w minimizing || A - w * x^(x m) ||_F. At a
+// critical point, w = A x^m and x is a Z-eigenvector; the residual
+// satisfies || A - w x^(x m) ||^2 = ||A||^2 - w^2, so the *best* rank-1
+// term corresponds to the eigenvalue of largest magnitude. This header
+// finds it by multi-start SS-HOPM run in both shift directions (positive
+// shifts reach maxima of f = A x^m, negative shifts reach minima, whose
+// |lambda| can dominate for even order).
+
+#include <cstdint>
+
+#include "te/sshopm/spectrum.hpp"
+#include "te/tensor/generators.hpp"
+#include "te/util/rng.hpp"
+#include "te/util/sphere.hpp"
+
+namespace te::decomp {
+
+/// One symmetric rank-1 term: weight * x^(x m), ||x|| = 1.
+template <Real T>
+struct RankOneTerm {
+  T weight = T(0);
+  std::vector<T> x;
+};
+
+/// Search controls for best_rank_one.
+struct RankOneOptions {
+  int num_starts = 32;        ///< random starts per shift direction
+  std::uint64_t seed = 1;     ///< start-vector seed
+  double tolerance = 1e-10;
+  int max_iterations = 5000;
+};
+
+/// Best rank-1 approximation of a symmetric tensor. The returned term
+/// satisfies || A - w x^(x m) ||_F^2 == ||A||_F^2 - w^2 up to solver
+/// tolerance; the search is heuristic-global (multi-start) like every
+/// power-method approach.
+template <Real T>
+[[nodiscard]] RankOneTerm<T> best_rank_one(const SymmetricTensor<T>& a,
+                                           const RankOneOptions& opt = {}) {
+  TE_REQUIRE(opt.num_starts >= 1, "need at least one start");
+  CounterRng rng(opt.seed);
+  const auto starts =
+      random_sphere_batch<T>(rng, 0, opt.num_starts, a.dim());
+
+  sshopm::MultiStartOptions mopt;
+  mopt.inner.tolerance = opt.tolerance;
+  mopt.inner.max_iterations = opt.max_iterations;
+  mopt.classify_pairs = false;
+
+  RankOneTerm<T> best;
+  const double alpha = sshopm::suggest_shift(a);
+  for (const double sign : {+1.0, -1.0}) {
+    // Odd order: (lambda, x) and (-lambda, -x) pair up, so one direction
+    // already covers both signs of lambda.
+    if (sign < 0 && a.order() % 2 == 1) break;
+    mopt.inner.alpha = sign * alpha;
+    const auto pairs = sshopm::find_eigenpairs(
+        a, kernels::Tier::kGeneral,
+        std::span<const std::vector<T>>(starts.data(), starts.size()), mopt);
+    for (const auto& p : pairs) {
+      if (std::abs(static_cast<double>(p.lambda)) >
+          std::abs(static_cast<double>(best.weight))) {
+        best.weight = p.lambda;
+        best.x = p.x;
+      }
+    }
+  }
+  TE_REQUIRE(!best.x.empty(),
+             "no SS-HOPM run converged; raise max_iterations");
+  return best;
+}
+
+/// Residual tensor A - w x^(x m).
+template <Real T>
+[[nodiscard]] SymmetricTensor<T> deflate(const SymmetricTensor<T>& a,
+                                         const RankOneTerm<T>& term) {
+  SymmetricTensor<T> r = a;
+  r.add_scaled(rank_one_tensor<T>(term.weight,
+                                  std::span<const T>(term.x.data(),
+                                                     term.x.size()),
+                                  a.order()),
+               T(-1));
+  return r;
+}
+
+}  // namespace te::decomp

@@ -1,0 +1,21 @@
+// Explicit instantiations for the decomposition templates.
+
+#include "te/decomp/greedy_cp.hpp"
+#include "te/decomp/rank_one.hpp"
+
+namespace te::decomp {
+
+template struct RankOneTerm<float>;
+template struct RankOneTerm<double>;
+
+template RankOneTerm<float> best_rank_one(const SymmetricTensor<float>&,
+                                          const RankOneOptions&);
+template RankOneTerm<double> best_rank_one(const SymmetricTensor<double>&,
+                                           const RankOneOptions&);
+
+template CpDecomposition<float> greedy_symmetric_cp(
+    const SymmetricTensor<float>&, const CpOptions&);
+template CpDecomposition<double> greedy_symmetric_cp(
+    const SymmetricTensor<double>&, const CpOptions&);
+
+}  // namespace te::decomp

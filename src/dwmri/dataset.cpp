@@ -1,0 +1,196 @@
+#include "te/dwmri/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "te/kernels/general.hpp"
+#include "te/util/sphere.hpp"
+
+namespace te::dwmri {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Uniform random unit 3-vector (via normalized normals, which *is*
+/// uniform, unlike the cube-rejection recipe used for starting vectors).
+std::array<double, 3> random_direction(const CounterRng& rng,
+                                       std::uint64_t stream,
+                                       std::uint64_t base_counter) {
+  std::array<double, 3> d{};
+  double norm2 = 0;
+  do {
+    for (int i = 0; i < 3; ++i) {
+      d[static_cast<std::size_t>(i)] =
+          rng.normal(stream, base_counter + static_cast<std::uint64_t>(i));
+    }
+    norm2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+    base_counter += 3;
+  } while (norm2 < 1e-12);
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (auto& v : d) v *= inv;
+  return d;
+}
+
+/// A unit vector at angle `theta` from `d`, in a random azimuth.
+std::array<double, 3> rotated_direction(const std::array<double, 3>& d,
+                                        double theta, double phi) {
+  // Build an orthonormal frame {d, u, v}.
+  std::array<double, 3> u{};
+  if (std::abs(d[0]) < 0.9) {
+    u = {0, d[2], -d[1]};  // d x e1 (up to sign)
+  } else {
+    u = {d[2], 0, -d[0]};  // d x e2
+  }
+  double un = std::sqrt(u[0] * u[0] + u[1] * u[1] + u[2] * u[2]);
+  for (auto& c : u) c /= un;
+  const std::array<double, 3> v = {d[1] * u[2] - d[2] * u[1],
+                                   d[2] * u[0] - d[0] * u[2],
+                                   d[0] * u[1] - d[1] * u[0]};
+  std::array<double, 3> out{};
+  const double ct = std::cos(theta), st = std::sin(theta);
+  const double cp = std::cos(phi), sp = std::sin(phi);
+  for (int i = 0; i < 3; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        ct * d[static_cast<std::size_t>(i)] +
+        st * (cp * u[static_cast<std::size_t>(i)] +
+              sp * v[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+template <Real T>
+Dataset<T> make_dataset(std::uint64_t seed, const DatasetOptions& opt) {
+  TE_REQUIRE(opt.num_voxels >= 1, "dataset needs voxels");
+  TE_REQUIRE(opt.order >= 2 && opt.order % 2 == 0,
+             "tensor order must be even");
+  TE_REQUIRE(opt.two_fiber_fraction >= 0 && opt.two_fiber_fraction <= 1,
+             "fraction must be in [0, 1]");
+  CounterRng rng(seed);
+  Dataset<T> ds;
+  ds.voxels.reserve(static_cast<std::size_t>(opt.num_voxels));
+
+  // Gradient scheme shared by all voxels when refitting.
+  std::vector<std::vector<double>> gradients;
+  if (opt.refit_from_measurements) {
+    for (const auto& g : fibonacci_hemisphere<double>(opt.num_gradients)) {
+      gradients.push_back(g);
+    }
+  }
+
+  for (int vx = 0; vx < opt.num_voxels; ++vx) {
+    const auto stream = static_cast<std::uint64_t>(vx);
+    Voxel<T> voxel;
+
+    const bool two = rng.unit(stream, 0) < opt.two_fiber_fraction;
+    Fiber f1;
+    f1.direction = random_direction(rng, stream, 8);
+    if (two) {
+      const double theta =
+          (opt.min_crossing_deg +
+           (opt.max_crossing_deg - opt.min_crossing_deg) *
+               rng.unit(stream, 1)) *
+          kPi / 180.0;
+      const double phi = 2.0 * kPi * rng.unit(stream, 2);
+      Fiber f2;
+      f2.direction = rotated_direction(f1.direction, theta, phi);
+      // Unequal but comparable volume fractions.
+      const double w1 = 0.4 + 0.2 * rng.unit(stream, 3);
+      f1.weight = w1;
+      f2.weight = 1.0 - w1;
+      voxel.fibers = {f1, f2};
+    } else {
+      f1.weight = 1.0;
+      voxel.fibers = {f1};
+    }
+
+    voxel.tensor =
+        make_voxel_tensor_order<T>(opt.order, voxel.fibers, opt.diffusion);
+
+    if (opt.refit_from_measurements) {
+      std::vector<AdcSample> samples;
+      samples.reserve(gradients.size());
+      for (std::size_t g = 0; g < gradients.size(); ++g) {
+        AdcSample s;
+        s.gradient = {gradients[g][0], gradients[g][1], gradients[g][2]};
+        const std::array<T, 3> gt = {static_cast<T>(s.gradient[0]),
+                                     static_cast<T>(s.gradient[1]),
+                                     static_cast<T>(s.gradient[2])};
+        s.adc = static_cast<double>(kernels::ttsv0_general(
+            voxel.tensor, std::span<const T>(gt.data(), gt.size())));
+        if (opt.noise_sigma > 0) {
+          s.adc += opt.noise_sigma *
+                   rng.normal(stream, 100 + static_cast<std::uint64_t>(g));
+        }
+        samples.push_back(s);
+      }
+      voxel.tensor = fit_tensor<T>(
+          opt.order,
+          std::span<const AdcSample>(samples.data(), samples.size()),
+          opt.noise_sigma > 0 ? 1e-8 : 0.0);
+    }
+
+    ds.voxels.push_back(std::move(voxel));
+  }
+  return ds;
+}
+
+template Dataset<float> make_dataset(std::uint64_t, const DatasetOptions&);
+template Dataset<double> make_dataset(std::uint64_t, const DatasetOptions&);
+
+double angular_error_deg(std::span<const double> truth,
+                         std::span<const double> recovered) {
+  TE_REQUIRE(truth.size() == 3 && recovered.size() == 3,
+             "directions must be 3-vectors");
+  double dot_ = 0, nt = 0, nr = 0;
+  for (int i = 0; i < 3; ++i) {
+    dot_ += truth[static_cast<std::size_t>(i)] *
+            recovered[static_cast<std::size_t>(i)];
+    nt += truth[static_cast<std::size_t>(i)] *
+          truth[static_cast<std::size_t>(i)];
+    nr += recovered[static_cast<std::size_t>(i)] *
+          recovered[static_cast<std::size_t>(i)];
+  }
+  const double c =
+      std::clamp(std::abs(dot_) / std::sqrt(nt * nr), 0.0, 1.0);
+  return std::acos(c) * 180.0 / kPi;
+}
+
+template <Real T>
+RecoveryScore score_recovery(const Voxel<T>& voxel,
+                             std::span<const std::vector<T>> peaks,
+                             double tol_deg) {
+  RecoveryScore s;
+  s.true_fibers = static_cast<int>(voxel.fibers.size());
+  s.recovered_peaks = static_cast<int>(peaks.size());
+  double sum_err = 0;
+  for (const auto& f : voxel.fibers) {
+    double best = 180.0;
+    for (const auto& p : peaks) {
+      std::array<double, 3> pd = {static_cast<double>(p[0]),
+                                  static_cast<double>(p[1]),
+                                  static_cast<double>(p[2])};
+      best = std::min(best, angular_error_deg(
+                                std::span<const double>(f.direction.data(), 3),
+                                std::span<const double>(pd.data(), 3)));
+    }
+    if (best <= tol_deg) {
+      ++s.matched;
+      sum_err += best;
+      s.max_error_deg = std::max(s.max_error_deg, best);
+    }
+  }
+  s.mean_error_deg = s.matched > 0 ? sum_err / s.matched : 0.0;
+  return s;
+}
+
+template RecoveryScore score_recovery(const Voxel<float>&,
+                                      std::span<const std::vector<float>>,
+                                      double);
+template RecoveryScore score_recovery(const Voxel<double>&,
+                                      std::span<const std::vector<double>>,
+                                      double);
+
+}  // namespace te::dwmri

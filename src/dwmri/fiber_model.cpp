@@ -1,0 +1,58 @@
+#include "te/dwmri/fiber_model.hpp"
+
+#include "te/kernels/general.hpp"
+
+namespace te::dwmri {
+
+Matrix<double> fiber_diffusion_tensor(const Fiber& f,
+                                      const DiffusionParams& params) {
+  Matrix<double> d(3, 3);
+  const double c = params.lambda_par - params.lambda_perp;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      d(i, j) = c * f.direction[static_cast<std::size_t>(i)] *
+                f.direction[static_cast<std::size_t>(j)];
+    }
+    d(i, i) += params.lambda_perp;
+  }
+  return d;
+}
+
+template <Real T>
+double adc_quartic(const SymmetricTensor<T>& a, std::span<const double> g) {
+  TE_REQUIRE(a.order() == 4 && a.dim() == 3, "expects an order-4 3D tensor");
+  TE_REQUIRE(g.size() == 3, "gradient must be a 3-vector");
+  const std::array<T, 3> gt = {static_cast<T>(g[0]), static_cast<T>(g[1]),
+                               static_cast<T>(g[2])};
+  return static_cast<double>(
+      kernels::ttsv0_general(a, std::span<const T>(gt.data(), gt.size())));
+}
+
+template double adc_quartic(const SymmetricTensor<float>&,
+                            std::span<const double>);
+template double adc_quartic(const SymmetricTensor<double>&,
+                            std::span<const double>);
+
+double adc_signal_model(const std::vector<Fiber>& fibers,
+                        const DiffusionParams& params,
+                        std::span<const double> g) {
+  TE_REQUIRE(g.size() == 3, "gradient must be a 3-vector");
+  TE_REQUIRE(!fibers.empty(), "voxel needs at least one fiber");
+  double total_weight = 0;
+  double signal = 0;
+  for (const auto& f : fibers) {
+    const Matrix<double> d = fiber_diffusion_tensor(f, params);
+    double q = 0;  // g^T D g
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        q += g[static_cast<std::size_t>(i)] * d(i, j) *
+             g[static_cast<std::size_t>(j)];
+      }
+    }
+    signal += f.weight * std::exp(-params.b_value * q);
+    total_weight += f.weight;
+  }
+  return -std::log(signal / total_weight) / params.b_value;
+}
+
+}  // namespace te::dwmri

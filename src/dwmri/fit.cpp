@@ -1,0 +1,18 @@
+#include "te/dwmri/fit.hpp"
+
+namespace te::dwmri {
+
+std::vector<double> design_row(int order, std::span<const double> g) {
+  TE_REQUIRE(g.size() == 3, "gradient must be a 3-vector");
+  const offset_t u = comb::num_unique_entries(order, 3);
+  std::vector<double> row(static_cast<std::size_t>(u));
+  for (comb::IndexClassIterator it(order, 3); !it.done(); it.next()) {
+    double p = 1.0;
+    for (index_t i : it.index()) p *= g[static_cast<std::size_t>(i)];
+    row[static_cast<std::size_t>(it.rank())] =
+        static_cast<double>(comb::multinomial_from_index(it.index())) * p;
+  }
+  return row;
+}
+
+}  // namespace te::dwmri

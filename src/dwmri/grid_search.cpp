@@ -1,0 +1,99 @@
+#include "te/dwmri/grid_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "te/kernels/general.hpp"
+#include "te/util/sphere.hpp"
+
+namespace te::dwmri {
+
+template <Real T>
+std::vector<GridPeak<T>> grid_search_peaks(const SymmetricTensor<T>& a,
+                                           const GridSearchOptions& opt) {
+  TE_REQUIRE(a.dim() == 3, "grid search operates on S^2 (dim = 3)");
+  TE_REQUIRE(opt.num_samples >= 16, "lattice too sparse");
+
+  const auto pts = fibonacci_sphere<double>(opt.num_samples);
+  std::vector<T> values(pts.size());
+  std::vector<std::array<T, 3>> dirs(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    dirs[i] = {static_cast<T>(pts[i][0]), static_cast<T>(pts[i][1]),
+               static_cast<T>(pts[i][2])};
+    values[i] = kernels::ttsv0_general(
+        a, std::span<const T>(dirs[i].data(), 3));
+  }
+
+  const double cos_r = std::cos(opt.neighbor_deg * 3.14159265358979 / 180.0);
+  std::vector<GridPeak<T>> peaks;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    bool is_max = true;
+    for (std::size_t j = 0; j < pts.size() && is_max; ++j) {
+      if (j == i) continue;
+      // Antipodal-invariant angular proximity (D is even).
+      double dp = 0;
+      for (int c = 0; c < 3; ++c) {
+        dp += static_cast<double>(dirs[i][static_cast<std::size_t>(c)]) *
+              static_cast<double>(dirs[j][static_cast<std::size_t>(c)]);
+      }
+      if (std::abs(dp) >= cos_r && values[j] > values[i]) is_max = false;
+    }
+    if (!is_max) continue;
+
+    GridPeak<T> peak;
+    peak.direction.assign(dirs[i].begin(), dirs[i].end());
+    peak.value = values[i];
+    // Canonical hemisphere: z >= 0 (ties broken on y, then x).
+    auto& d = peak.direction;
+    if (d[2] < T(0) || (d[2] == T(0) && (d[1] < T(0) ||
+                                         (d[1] == T(0) && d[0] < T(0))))) {
+      for (auto& c : d) c = -c;
+    }
+    // Merge with an existing antipodally-equal peak (lattice may yield
+    // both hemispheres of the same lobe).
+    bool dup = false;
+    for (const auto& q : peaks) {
+      double dp = 0;
+      for (int c = 0; c < 3; ++c) {
+        dp += static_cast<double>(q.direction[static_cast<std::size_t>(c)]) *
+              static_cast<double>(d[static_cast<std::size_t>(c)]);
+      }
+      if (std::abs(dp) >= cos_r) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) peaks.push_back(std::move(peak));
+  }
+
+  // Optional projected-gradient polish: g <- normalize(g + rate * grad),
+  // grad = m * A g^{m-1} (we fold m into the rate).
+  for (auto& peak : peaks) {
+    std::vector<T> y(3);
+    for (int s = 0; s < opt.polish_steps; ++s) {
+      kernels::ttsv1_general(
+          a, std::span<const T>(peak.direction.data(), 3),
+          std::span<T>(y.data(), 3));
+      for (int c = 0; c < 3; ++c) {
+        peak.direction[static_cast<std::size_t>(c)] +=
+            static_cast<T>(opt.polish_rate) * y[static_cast<std::size_t>(c)];
+      }
+      normalize(std::span<T>(peak.direction.data(), 3));
+    }
+    peak.value = kernels::ttsv0_general(
+        a, std::span<const T>(peak.direction.data(), 3));
+  }
+
+  std::sort(peaks.begin(), peaks.end(),
+            [](const GridPeak<T>& l, const GridPeak<T>& r) {
+              return l.value > r.value;
+            });
+  return peaks;
+}
+
+template std::vector<GridPeak<float>> grid_search_peaks(
+    const SymmetricTensor<float>&, const GridSearchOptions&);
+template std::vector<GridPeak<double>> grid_search_peaks(
+    const SymmetricTensor<double>&, const GridSearchOptions&);
+
+}  // namespace te::dwmri

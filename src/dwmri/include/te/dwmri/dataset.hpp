@@ -1,0 +1,78 @@
+#pragma once
+// Synthetic DW-MRI voxel dataset: the substitute for the paper's 1024-voxel
+// SCI Utah test set (Section V-A). A 2D grid of voxels, each holding one or
+// two fiber bundles; per voxel the ground-truth order-4 tensor is built
+// from the fiber model, optionally pushed through the measurement pipeline
+// (ADC sampling at a gradient scheme + noise + least-squares refit) to
+// mimic acquisition, and the true directions are retained so recovery can
+// be scored -- something the original data did not support.
+
+#include <cstdint>
+#include <vector>
+
+#include "te/dwmri/fiber_model.hpp"
+#include "te/dwmri/fit.hpp"
+#include "te/util/rng.hpp"
+
+namespace te::dwmri {
+
+/// One voxel: its fibers (ground truth) and its even-order tensor.
+template <Real T>
+struct Voxel {
+  std::vector<Fiber> fibers;
+  SymmetricTensor<T> tensor{4, 3};
+};
+
+/// Dataset generation controls.
+struct DatasetOptions {
+  int num_voxels = 1024;          ///< paper: 32 x 32 grid
+  int order = 4;                  ///< tensor order (even; paper uses 4)
+  double two_fiber_fraction = 0.5;  ///< voxels with crossing fibers
+  double min_crossing_deg = 35;   ///< minimum crossing angle
+  double max_crossing_deg = 90;
+  DiffusionParams diffusion;
+  bool refit_from_measurements = false;  ///< run the ADC-sampling pipeline
+  int num_gradients = 30;         ///< gradient directions when refitting
+  double noise_sigma = 0.0;       ///< ADC noise std-dev when refitting
+};
+
+/// The generated set.
+template <Real T>
+struct Dataset {
+  std::vector<Voxel<T>> voxels;
+
+  [[nodiscard]] std::vector<SymmetricTensor<T>> tensors() const {
+    std::vector<SymmetricTensor<T>> out;
+    out.reserve(voxels.size());
+    for (const auto& v : voxels) out.push_back(v.tensor);
+    return out;
+  }
+};
+
+/// Generate a dataset; deterministic in `seed`.
+template <Real T>
+[[nodiscard]] Dataset<T> make_dataset(std::uint64_t seed,
+                                      const DatasetOptions& opt);
+
+/// Angular error in degrees between a recovered direction and the closest
+/// true fiber (antipodal-invariant).
+[[nodiscard]] double angular_error_deg(std::span<const double> truth,
+                                       std::span<const double> recovered);
+
+/// Recovery score of one voxel given the recovered principal directions.
+struct RecoveryScore {
+  int true_fibers = 0;
+  int recovered_peaks = 0;
+  int matched = 0;            ///< true fibers matched within the tolerance
+  double mean_error_deg = 0;  ///< over matched fibers
+  double max_error_deg = 0;
+};
+
+/// Match recovered unit directions against a voxel's true fibers; a fiber
+/// counts as matched when some recovered peak lies within `tol_deg`.
+template <Real T>
+[[nodiscard]] RecoveryScore score_recovery(
+    const Voxel<T>& voxel, std::span<const std::vector<T>> peaks,
+    double tol_deg = 10.0);
+
+}  // namespace te::dwmri

@@ -1,0 +1,43 @@
+#pragma once
+// Baseline fiber-direction extraction by discrete sphere search.
+//
+// Without a tensor eigensolver, practitioners find ADC maxima by sampling
+// D(g) = A g^m on a dense set of unit directions and keeping the local
+// maxima of the sampled field. This module implements that baseline so the
+// paper's approach (SS-HOPM eigenpairs) can be compared against it on both
+// accuracy (grid resolution limits angular precision) and cost (the grid
+// must be dense: each direction costs one ttsv0).
+//
+// Algorithm: sample a Fibonacci lattice, mark points that strictly
+// dominate every neighbour within an angular radius, merge antipodal
+// duplicates (D is even), and optionally polish each peak with a few
+// steps of projected gradient ascent (using ttsv1, which is the gradient
+// up to the factor m).
+
+#include <vector>
+
+#include "te/tensor/symmetric_tensor.hpp"
+
+namespace te::dwmri {
+
+/// Controls for the grid search.
+struct GridSearchOptions {
+  int num_samples = 512;       ///< lattice size (cost: one ttsv0 each)
+  double neighbor_deg = 12.0;  ///< local-max neighbourhood radius
+  int polish_steps = 0;        ///< projected-gradient refinement steps
+  double polish_rate = 0.1;    ///< ascent step size
+};
+
+/// One detected peak.
+template <Real T>
+struct GridPeak {
+  std::vector<T> direction;  ///< unit vector (canonical hemisphere)
+  T value = T(0);            ///< A g^m at the peak
+};
+
+/// Find local maxima of g -> A g^m on the sphere by dense sampling.
+template <Real T>
+[[nodiscard]] std::vector<GridPeak<T>> grid_search_peaks(
+    const SymmetricTensor<T>& a, const GridSearchOptions& opt = {});
+
+}  // namespace te::dwmri

@@ -1,0 +1,55 @@
+#pragma once
+// Real even spherical harmonics and their correspondence with symmetric
+// tensors (paper Section IV; Schultz & Seidel / Ozarslan & Mareci).
+//
+// The ADC profile is commonly fit as a truncated spherical-harmonic series;
+// because D(g) = D(-g), only *even* degrees appear. The space of even SH
+// up to degree L equals the space of homogeneous degree-L polynomials
+// restricted to the sphere, whose coefficient space is exactly the packed
+// symmetric tensor of order L:
+//     sum_{l even <= L} (2l + 1)  ==  C(L + 2, 2)  ==  num_unique(L, 3).
+// (L = 4: 1 + 5 + 9 = 15; L = 6: 28; L = 8: 45 -- the paper's measurement
+// counts.) This module provides the basis evaluation, least-squares SH
+// fitting of ADC samples, and numerically exact basis conversion in both
+// directions, completing the application pipeline the paper references.
+
+#include <span>
+#include <vector>
+
+#include "te/dwmri/fit.hpp"
+#include "te/tensor/symmetric_tensor.hpp"
+
+namespace te::dwmri {
+
+/// Number of even-degree real SH basis functions up to degree L (L even).
+[[nodiscard]] int num_even_sh_coeffs(int max_degree);
+
+/// Evaluate every even real SH basis function up to degree L at the unit
+/// direction g (length 3). Order: l = 0, 2, ..., L; within l,
+/// m = -l, ..., +l. Uses the orthonormalized real convention.
+[[nodiscard]] std::vector<double> eval_even_sh_basis(
+    int max_degree, std::span<const double> g);
+
+/// Evaluate a coefficient vector at g.
+[[nodiscard]] double eval_sh(int max_degree, std::span<const double> coeffs,
+                             std::span<const double> g);
+
+/// Least-squares fit of even SH coefficients to ADC samples; needs at
+/// least num_even_sh_coeffs(L) samples.
+[[nodiscard]] std::vector<double> fit_sh(int max_degree,
+                                         std::span<const AdcSample> samples,
+                                         double ridge = 0.0);
+
+/// Convert an even SH series of degree L into the order-L symmetric tensor
+/// representing the same function on the sphere (basis change via exact-
+/// dimension least squares on a spherical design; the spaces coincide so
+/// the conversion is exact up to rounding).
+template <Real T>
+[[nodiscard]] SymmetricTensor<T> tensor_from_sh(
+    int max_degree, std::span<const double> coeffs);
+
+/// Inverse conversion: SH coefficients of the sphere-restricted form A g^m.
+template <Real T>
+[[nodiscard]] std::vector<double> sh_from_tensor(const SymmetricTensor<T>& a);
+
+}  // namespace te::dwmri

@@ -1,0 +1,171 @@
+#include "te/dwmri/spherical_harmonics.hpp"
+
+#include <cmath>
+
+#include "te/comb/multinomial.hpp"
+#include "te/kernels/general.hpp"
+#include "te/util/sphere.hpp"
+
+namespace te::dwmri {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Associated Legendre P_l^m(x) for m >= 0 via the standard stable
+/// recurrences (no Condon-Shortley phase surprises: we include the usual
+/// (-1)^m in P_mm and absorb everything into the normalization).
+double assoc_legendre(int l, int m, double x) {
+  // P_m^m.
+  double pmm = 1.0;
+  if (m > 0) {
+    const double somx2 = std::sqrt((1.0 - x) * (1.0 + x));
+    double fact = 1.0;
+    for (int i = 1; i <= m; ++i) {
+      pmm *= -fact * somx2;
+      fact += 2.0;
+    }
+  }
+  if (l == m) return pmm;
+  // P_{m+1}^m.
+  double pmmp1 = x * (2.0 * m + 1.0) * pmm;
+  if (l == m + 1) return pmmp1;
+  // Upward recurrence in l.
+  double pll = 0.0;
+  for (int ll = m + 2; ll <= l; ++ll) {
+    pll = (x * (2.0 * ll - 1.0) * pmmp1 - (ll + m - 1.0) * pmm) / (ll - m);
+    pmm = pmmp1;
+    pmmp1 = pll;
+  }
+  return pll;
+}
+
+/// Orthonormalization constant K_l^m = sqrt((2l+1)/(4 pi) (l-m)!/(l+m)!).
+double sh_norm(int l, int m) {
+  double ratio = 1.0;
+  for (int i = l - m + 1; i <= l + m; ++i) ratio *= i;
+  return std::sqrt((2.0 * l + 1.0) / (4.0 * kPi) / ratio);
+}
+
+}  // namespace
+
+int num_even_sh_coeffs(int max_degree) {
+  TE_REQUIRE(max_degree >= 0 && max_degree % 2 == 0,
+             "max_degree must be even and nonnegative");
+  int n = 0;
+  for (int l = 0; l <= max_degree; l += 2) n += 2 * l + 1;
+  return n;
+}
+
+std::vector<double> eval_even_sh_basis(int max_degree,
+                                       std::span<const double> g) {
+  TE_REQUIRE(g.size() == 3, "direction must be a 3-vector");
+  const double norm = std::sqrt(g[0] * g[0] + g[1] * g[1] + g[2] * g[2]);
+  TE_REQUIRE(norm > 0, "direction must be nonzero");
+  const double z = g[2] / norm;
+  const double phi = std::atan2(g[1], g[0]);
+
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(num_even_sh_coeffs(max_degree)));
+  for (int l = 0; l <= max_degree; l += 2) {
+    for (int m = -l; m <= l; ++m) {
+      const int am = std::abs(m);
+      const double k = sh_norm(l, am);
+      const double p = assoc_legendre(l, am, z);
+      double v;
+      if (m == 0) {
+        v = k * p;
+      } else if (m > 0) {
+        v = std::sqrt(2.0) * k * std::cos(am * phi) * p;
+      } else {
+        v = std::sqrt(2.0) * k * std::sin(am * phi) * p;
+      }
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+double eval_sh(int max_degree, std::span<const double> coeffs,
+               std::span<const double> g) {
+  const auto basis = eval_even_sh_basis(max_degree, g);
+  TE_REQUIRE(coeffs.size() == basis.size(),
+             "coefficient count mismatch: expected " << basis.size());
+  double s = 0;
+  for (std::size_t i = 0; i < basis.size(); ++i) s += coeffs[i] * basis[i];
+  return s;
+}
+
+std::vector<double> fit_sh(int max_degree,
+                           std::span<const AdcSample> samples, double ridge) {
+  const int nc = num_even_sh_coeffs(max_degree);
+  TE_REQUIRE(static_cast<int>(samples.size()) >= nc,
+             "need at least " << nc << " samples for degree " << max_degree);
+  Matrix<double> a(static_cast<int>(samples.size()), nc);
+  std::vector<double> b(samples.size());
+  for (std::size_t s = 0; s < samples.size(); ++s) {
+    const auto row = eval_even_sh_basis(
+        max_degree, std::span<const double>(samples[s].gradient.data(), 3));
+    for (int j = 0; j < nc; ++j) {
+      a(static_cast<int>(s), j) = row[static_cast<std::size_t>(j)];
+    }
+    b[s] = samples[s].adc;
+  }
+  return least_squares(a, std::span<const double>(b.data(), b.size()), ridge);
+}
+
+template <Real T>
+SymmetricTensor<T> tensor_from_sh(int max_degree,
+                                  std::span<const double> coeffs) {
+  const int nc = num_even_sh_coeffs(max_degree);
+  TE_REQUIRE(static_cast<int>(coeffs.size()) == nc,
+             "coefficient count mismatch");
+  // Sample the SH series on enough sphere points and fit the order-L
+  // symmetric tensor: the spaces coincide (same dimension, both restrict
+  // homogeneous even polynomials), so the LS system is consistent and the
+  // conversion exact up to rounding.
+  const int samples = 4 * nc;
+  const auto pts = fibonacci_sphere<double>(samples);
+  std::vector<AdcSample> obs(static_cast<std::size_t>(samples));
+  for (int s = 0; s < samples; ++s) {
+    obs[static_cast<std::size_t>(s)].gradient = {
+        pts[static_cast<std::size_t>(s)][0],
+        pts[static_cast<std::size_t>(s)][1],
+        pts[static_cast<std::size_t>(s)][2]};
+    obs[static_cast<std::size_t>(s)].adc = eval_sh(
+        max_degree, coeffs,
+        std::span<const double>(obs[static_cast<std::size_t>(s)].gradient.data(), 3));
+  }
+  return fit_tensor<T>(max_degree,
+                       std::span<const AdcSample>(obs.data(), obs.size()));
+}
+
+template SymmetricTensor<float> tensor_from_sh(int, std::span<const double>);
+template SymmetricTensor<double> tensor_from_sh(int, std::span<const double>);
+
+template <Real T>
+std::vector<double> sh_from_tensor(const SymmetricTensor<T>& a) {
+  TE_REQUIRE(a.dim() == 3, "SH correspondence is for 3D tensors");
+  TE_REQUIRE(a.order() % 2 == 0, "SH correspondence needs even order");
+  const int nc = num_even_sh_coeffs(a.order());
+  const int samples = 4 * nc;
+  const auto pts = fibonacci_sphere<double>(samples);
+  std::vector<AdcSample> obs(static_cast<std::size_t>(samples));
+  for (int s = 0; s < samples; ++s) {
+    auto& o = obs[static_cast<std::size_t>(s)];
+    o.gradient = {pts[static_cast<std::size_t>(s)][0],
+                  pts[static_cast<std::size_t>(s)][1],
+                  pts[static_cast<std::size_t>(s)][2]};
+    const std::array<T, 3> g = {static_cast<T>(o.gradient[0]),
+                                static_cast<T>(o.gradient[1]),
+                                static_cast<T>(o.gradient[2])};
+    o.adc = static_cast<double>(
+        kernels::ttsv0_general(a, std::span<const T>(g.data(), g.size())));
+  }
+  return fit_sh(a.order(), std::span<const AdcSample>(obs.data(), obs.size()));
+}
+
+template std::vector<double> sh_from_tensor(const SymmetricTensor<float>&);
+template std::vector<double> sh_from_tensor(const SymmetricTensor<double>&);
+
+}  // namespace te::dwmri

@@ -1,0 +1,68 @@
+#include "te/gpusim/exec.hpp"
+
+namespace te::gpusim {
+
+double lane_issue_cost(const DeviceSpec& dev, const OpCounts& c) {
+  return static_cast<double>(c.fma) * dev.cost_fma +
+         static_cast<double>(c.fmul) * dev.cost_fmul +
+         static_cast<double>(c.fadd) * dev.cost_fadd +
+         static_cast<double>(c.fdiv) * dev.cost_fdiv +
+         static_cast<double>(c.sfu) * dev.cost_sfu +
+         static_cast<double>(c.iop) * dev.cost_iop +
+         static_cast<double>(c.shmem) * dev.cost_shmem +
+         static_cast<double>(c.lmem) * dev.cost_lmem +
+         static_cast<double>(c.gmem) * dev.cost_gmem;
+}
+
+LaunchResult aggregate_timing(const DeviceSpec& dev, const LaunchConfig& cfg,
+                              const Occupancy& occ,
+                              const std::vector<double>& block_warp_slots,
+                              const OpCounts& total_ops) {
+  LaunchResult out;
+  out.occupancy = occ;
+  out.total_ops = total_ops;
+
+  // Distribute blocks round-robin over SMs (the hardware scheduler assigns
+  // a new block to the least-loaded SM; round-robin is equivalent for the
+  // near-uniform blocks we launch).
+  std::vector<double> sm_slots(static_cast<std::size_t>(dev.num_sms), 0.0);
+  std::vector<int> sm_blocks(static_cast<std::size_t>(dev.num_sms), 0);
+  for (std::size_t b = 0; b < block_warp_slots.size(); ++b) {
+    sm_slots[b % sm_slots.size()] += block_warp_slots[b];
+    sm_blocks[b % sm_blocks.size()] += 1;
+  }
+
+  const int warps_per_block =
+      (cfg.block_dim + dev.warp_size - 1) / dev.warp_size;
+
+  // Instruction-fetch derating: straight-line bodies larger than the
+  // I-cache are fetch-bound and issue at (cache / footprint) of peak.
+  const double ifetch =
+      cfg.static_instructions > dev.icache_instructions
+          ? static_cast<double>(cfg.static_instructions) /
+                dev.icache_instructions
+          : 1.0;
+
+  double device_cycles = 0;
+  double total_slots = 0;
+  for (std::size_t s = 0; s < sm_slots.size(); ++s) {
+    if (sm_blocks[s] == 0) continue;
+    const int resident_blocks = std::min(sm_blocks[s], occ.blocks_per_sm);
+    const int resident_warps = resident_blocks * warps_per_block;
+    const double eff = std::min(
+        1.0, static_cast<double>(resident_warps) / dev.latency_hiding_warps);
+    const double cycles = sm_slots[s] * ifetch / dev.issue_per_cycle / eff;
+    device_cycles = std::max(device_cycles, cycles);
+    total_slots += sm_slots[s];
+  }
+
+  out.warp_issue_slots = static_cast<std::int64_t>(total_slots);
+  out.compute_seconds = device_cycles / (dev.clock_ghz * 1e9);
+  out.memory_seconds = static_cast<double>(total_ops.gmem) * 4.0 /
+                       (dev.global_bw_gbps * 1e9);
+  out.modeled_seconds = std::max(out.compute_seconds, out.memory_seconds) +
+                        dev.launch_overhead_s;
+  return out;
+}
+
+}  // namespace te::gpusim

@@ -1,0 +1,98 @@
+#pragma once
+// Parametric description of the simulated GPU.
+//
+// The default is the paper's NVIDIA Tesla C2050 (Fermi GF100):
+//   14 SMs x 32 CUDA cores at 1.15 GHz, FMA-capable
+//     => 14 * 32 * 1.15e9 * 2 = 1030 SP GFLOPS peak (the paper's number),
+//   one warp instruction issued per SM per cycle (two schedulers, 16 cores
+//   each, half-warp per scheduler per cycle),
+//   4 SFUs per SM (transcendentals / rsqrt),
+//   48 KiB shared memory + 16 KiB L1 per SM (the compute-preferred split),
+//   32768 32-bit registers per SM, at most 1536 threads and 8 blocks
+//   resident per SM, 144 GB/s GDDR5.
+//
+// Nothing in the timing model is fit to the paper's results; it is all
+// derived from these published hardware parameters plus the operation
+// tallies of the executed kernels.
+
+#include <cstdint>
+
+namespace te::gpusim {
+
+/// Hardware parameters of the simulated device.
+struct DeviceSpec {
+  const char* name = "Tesla C2050 (simulated)";
+  int num_sms = 14;
+  int cores_per_sm = 32;
+  int sfus_per_sm = 4;
+  double clock_ghz = 1.15;
+  int warp_size = 32;
+
+  int max_threads_per_sm = 1536;
+  int max_blocks_per_sm = 8;
+  int max_threads_per_block = 1024;
+  std::int32_t registers_per_sm = 32768;
+  std::int32_t shared_bytes_per_sm = 49152;
+
+  /// Warp-instruction issue rate per SM per cycle (Fermi: 1).
+  double issue_per_cycle = 1.0;
+
+  /// Resident warps needed per SM to fully hide arithmetic latency
+  /// (Fermi ALU latency ~22 cycles / ~2 independent instructions per warp).
+  int latency_hiding_warps = 12;
+
+  /// Global memory bandwidth (GB/s) and kernel launch overhead (s).
+  double global_bw_gbps = 144.0;
+  double launch_overhead_s = 5e-6;
+
+  /// Host-device interconnect (PCIe 2.0 x16 era) for transfer modeling.
+  double pcie_gbps = 6.0;
+
+  /// Instructions that fit in an SM's instruction cache (~8 KiB / 8 B).
+  /// Fully unrolled kernels whose straight-line body exceeds this stall on
+  /// instruction fetch -- the mechanism behind the paper's observation
+  /// that unrolling stops paying off past roughly order 4 / dimension 5.
+  int icache_instructions = 1024;
+
+  /// Issue-cost weights, in warp-instruction slots per tallied op.
+  /// An FMA is one slot (two flops); mul/add are one slot (one flop);
+  /// divides are emulated multi-slot sequences; SFU ops serialize over the
+  /// 4 SFUs (32 lanes / 4 = 8 slots); shared-memory accesses are one slot
+  /// (broadcast or conflict-free); local-memory accesses (runtime-indexed
+  /// per-thread arrays, L1-resident) cost ~4 slots of issue+latency but no
+  /// DRAM bandwidth; true global accesses cost one issue slot and are
+  /// additionally charged against global_bw_gbps.
+  double cost_fma = 1.0;
+  double cost_fmul = 1.0;
+  double cost_fadd = 1.0;
+  double cost_fdiv = 8.0;
+  double cost_sfu = 8.0;
+  double cost_iop = 1.0;
+  double cost_shmem = 1.0;
+  double cost_lmem = 4.0;
+  double cost_gmem = 1.0;
+
+  /// SP peak in GFLOPS: cores * clock * 2 (FMA).
+  [[nodiscard]] double peak_sp_gflops() const {
+    return num_sms * cores_per_sm * clock_ghz * 2.0;
+  }
+
+  /// The paper's device.
+  [[nodiscard]] static DeviceSpec tesla_c2050() { return DeviceSpec{}; }
+
+  /// A smaller Fermi-class part (GTX 460-like), used to check that relative
+  /// performance is stable across devices, as the paper reports.
+  [[nodiscard]] static DeviceSpec gtx460() {
+    DeviceSpec d;
+    d.name = "GeForce GTX 460 (simulated)";
+    d.num_sms = 7;
+    d.cores_per_sm = 48;
+    d.clock_ghz = 1.35;
+    d.max_threads_per_sm = 1536;
+    d.shared_bytes_per_sm = 49152;
+    d.global_bw_gbps = 115.0;
+    return d;
+  }
+};
+
+}  // namespace te::gpusim

@@ -1,0 +1,82 @@
+#pragma once
+// Simulated device memory and host<->device transfers.
+//
+// Mirrors the CUDA host API shape (allocate, memcpy H2D/D2H) so code using
+// the simulator reads like a CUDA host program, and centralizes transfer
+// accounting: every copy is tallied on a TransferLedger, which the batch
+// backends convert to modeled PCIe time. Device "memory" is host memory --
+// the simulator is functional -- but access through DeviceBuffer keeps the
+// direction of every copy explicit and auditable.
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "te/gpusim/device_spec.hpp"
+#include "te/util/assert.hpp"
+
+namespace te::gpusim {
+
+/// Accumulates transfer volumes for one logical device context.
+class TransferLedger {
+ public:
+  void record_h2d(std::size_t bytes) { h2d_bytes_ += bytes; }
+  void record_d2h(std::size_t bytes) { d2h_bytes_ += bytes; }
+
+  [[nodiscard]] std::size_t h2d_bytes() const { return h2d_bytes_; }
+  [[nodiscard]] std::size_t d2h_bytes() const { return d2h_bytes_; }
+  [[nodiscard]] std::size_t total_bytes() const {
+    return h2d_bytes_ + d2h_bytes_;
+  }
+
+  /// Modeled transfer time over the device's interconnect.
+  [[nodiscard]] double modeled_seconds(const DeviceSpec& dev) const {
+    return static_cast<double>(total_bytes()) / (dev.pcie_gbps * 1e9);
+  }
+
+  void reset() { h2d_bytes_ = d2h_bytes_ = 0; }
+
+ private:
+  std::size_t h2d_bytes_ = 0;
+  std::size_t d2h_bytes_ = 0;
+};
+
+/// A typed allocation in simulated device memory.
+template <typename T>
+class DeviceBuffer {
+ public:
+  /// Allocate `count` elements on the device tracked by `ledger` (which
+  /// must outlive the buffer).
+  DeviceBuffer(TransferLedger& ledger, std::size_t count)
+      : ledger_(&ledger), data_(count) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  /// Device-side view (for passing into kernels).
+  [[nodiscard]] T* device_ptr() { return data_.data(); }
+  [[nodiscard]] const T* device_ptr() const { return data_.data(); }
+  [[nodiscard]] std::span<T> device_span() { return data_; }
+  [[nodiscard]] std::span<const T> device_span() const { return data_; }
+
+  /// Host-to-device copy (cudaMemcpyHostToDevice analog).
+  void h2d(std::span<const T> host) {
+    TE_REQUIRE(host.size() == data_.size(),
+               "h2d size mismatch: " << host.size() << " vs " << data_.size());
+    std::memcpy(data_.data(), host.data(), host.size() * sizeof(T));
+    ledger_->record_h2d(host.size() * sizeof(T));
+  }
+
+  /// Device-to-host copy (cudaMemcpyDeviceToHost analog).
+  void d2h(std::span<T> host) const {
+    TE_REQUIRE(host.size() == data_.size(),
+               "d2h size mismatch: " << host.size() << " vs " << data_.size());
+    std::memcpy(host.data(), data_.data(), host.size() * sizeof(T));
+    ledger_->record_d2h(host.size() * sizeof(T));
+  }
+
+ private:
+  TransferLedger* ledger_;
+  std::vector<T> data_;
+};
+
+}  // namespace te::gpusim

@@ -1,0 +1,42 @@
+#pragma once
+// Occupancy calculation: how many blocks/warps of a kernel fit on one SM.
+//
+// This is the mechanism behind two of the paper's observations:
+//   * Figure 5's saturation shape (few tensors => few blocks => idle SMs),
+//   * the performance collapse "past a threshold of around order 4 and
+//     dimension 5": register and shared-memory footprints grow with the
+//     tensor size, resident warps drop, latency can no longer be hidden.
+
+#include <string>
+
+#include "te/gpusim/device_spec.hpp"
+
+namespace te::gpusim {
+
+/// Per-kernel resource footprint.
+struct KernelResources {
+  int threads_per_block = 128;
+  int registers_per_thread = 20;
+  std::int32_t shared_bytes_per_block = 0;
+};
+
+/// Result of the occupancy computation.
+struct Occupancy {
+  int blocks_per_sm = 0;   ///< resident blocks an SM can hold
+  int warps_per_sm = 0;    ///< resident warps
+  std::string limiter;     ///< which resource bound
+  double fraction = 0.0;   ///< warps_per_sm / max warps
+};
+
+/// Compute occupancy of `res` on `dev`. blocks_per_sm == 0 means the kernel
+/// cannot launch (a single block exceeds an SM's resources).
+[[nodiscard]] Occupancy compute_occupancy(const DeviceSpec& dev,
+                                          const KernelResources& res);
+
+/// Register estimate for the batched SS-HOPM kernels, by tier, as a
+/// function of tensor shape: the unrolled tier keeps x, y and iteration
+/// state in registers (~2n + overhead); the general tier additionally burns
+/// registers on iteration bookkeeping but spills x/y to local memory.
+[[nodiscard]] int estimate_registers(int order, int dim, bool unrolled);
+
+}  // namespace te::gpusim

@@ -1,0 +1,75 @@
+#pragma once
+// Coroutine plumbing for simulated GPU threads.
+//
+// A simulated kernel is a C++20 coroutine: it starts suspended, runs at
+// native speed between barriers, and suspends at each `co_await ctx.sync()`
+// (the __syncthreads analog). The block scheduler resumes every live thread
+// once per epoch, which gives exact barrier semantics provided all threads
+// of a block execute the same number of barriers -- the same contract CUDA
+// imposes.
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace te::gpusim {
+
+/// Handle type returned by simulated kernels.
+class ThreadTask {
+ public:
+  struct promise_type {
+    ThreadTask get_return_object() {
+      return ThreadTask(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { error = std::current_exception(); }
+    std::exception_ptr error;
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  explicit ThreadTask(Handle h) : handle_(h) {}
+  ThreadTask(ThreadTask&& o) noexcept
+      : handle_(std::exchange(o.handle_, nullptr)) {}
+  ThreadTask& operator=(ThreadTask&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  ThreadTask(const ThreadTask&) = delete;
+  ThreadTask& operator=(const ThreadTask&) = delete;
+  ~ThreadTask() { destroy(); }
+
+  /// Resume until the next barrier or completion. Returns false once done.
+  bool step() {
+    if (!handle_ || handle_.done()) return false;
+    handle_.resume();
+    if (handle_.promise().error) {
+      std::rethrow_exception(handle_.promise().error);
+    }
+    return !handle_.done();
+  }
+
+  [[nodiscard]] bool done() const { return !handle_ || handle_.done(); }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+  }
+  Handle handle_;
+};
+
+/// Awaitable returned by ThreadCtx::sync(): unconditional suspension; the
+/// scheduler provides the barrier by resuming all block threads per epoch.
+struct Barrier {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+}  // namespace te::gpusim

@@ -1,0 +1,90 @@
+#include "te/gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+#include "te/comb/multinomial.hpp"
+#include "te/util/assert.hpp"
+
+namespace te::gpusim {
+
+Occupancy compute_occupancy(const DeviceSpec& dev,
+                            const KernelResources& res) {
+  TE_REQUIRE(res.threads_per_block >= 1, "block must have threads");
+  Occupancy o;
+  if (res.threads_per_block > dev.max_threads_per_block) {
+    o.limiter = "threads-per-block";
+    return o;
+  }
+
+  const int warps_per_block =
+      (res.threads_per_block + dev.warp_size - 1) / dev.warp_size;
+  const std::int32_t regs_per_block =
+      static_cast<std::int32_t>(res.registers_per_thread) *
+      warps_per_block * dev.warp_size;  // allocated at warp granularity
+
+  // Candidate bounds from each resource.
+  const int by_threads = dev.max_threads_per_sm / res.threads_per_block;
+  const int by_blocks = dev.max_blocks_per_sm;
+  const int by_regs =
+      regs_per_block > 0
+          ? static_cast<int>(dev.registers_per_sm / regs_per_block)
+          : dev.max_blocks_per_sm;
+  const int by_shared =
+      res.shared_bytes_per_block > 0
+          ? static_cast<int>(dev.shared_bytes_per_sm /
+                             res.shared_bytes_per_block)
+          : dev.max_blocks_per_sm;
+
+  o.blocks_per_sm = std::min({by_threads, by_blocks, by_regs, by_shared});
+  if (o.blocks_per_sm <= 0) {
+    o.blocks_per_sm = 0;
+    if (by_shared <= 0) {
+      o.limiter = "shared-memory";
+    } else if (by_regs <= 0) {
+      o.limiter = "registers";
+    } else {
+      o.limiter = "threads";
+    }
+    return o;
+  }
+
+  if (o.blocks_per_sm == by_shared && by_shared <= by_regs &&
+      by_shared <= by_threads && by_shared <= by_blocks) {
+    o.limiter = "shared-memory";
+  } else if (o.blocks_per_sm == by_regs && by_regs <= by_threads &&
+             by_regs <= by_blocks) {
+    o.limiter = "registers";
+  } else if (o.blocks_per_sm == by_threads && by_threads <= by_blocks) {
+    o.limiter = "threads";
+  } else {
+    o.limiter = "blocks";
+  }
+
+  o.warps_per_sm = o.blocks_per_sm * warps_per_block;
+  const int max_warps = dev.max_threads_per_sm / dev.warp_size;
+  o.fraction = static_cast<double>(o.warps_per_sm) / max_warps;
+  return o;
+}
+
+int estimate_registers(int order, int dim, bool unrolled) {
+  // Bookkeeping registers common to both tiers: iteration counter, lambda,
+  // convergence state, norm accumulators, pointers.
+  constexpr int kOverhead = 10;
+  if (unrolled) {
+    // x and y live entirely in registers (2n), and the register allocator
+    // keeps roughly U/4 independent product chains live across the
+    // straight-line body for ILP -- register demand grows with the number
+    // of unique entries, the effect behind the paper's occupancy collapse
+    // for larger shapes. Fermi caps threads at 63 registers; demand beyond
+    // that spills (modeled by the caller as local-memory traffic).
+    const auto u = comb::num_unique_entries(order, dim);
+    const std::int64_t demand = kOverhead + 2 * dim + u / 4;
+    return static_cast<int>(std::min<std::int64_t>(demand, 63));
+  }
+  // General tier: x/y spill to local memory (runtime indexing); registers
+  // hold the index array cursor (order entries up to 8 cached), multinomial
+  // scratch and loop state.
+  return kOverhead + std::min(order, 8) + 6;
+}
+
+}  // namespace te::gpusim

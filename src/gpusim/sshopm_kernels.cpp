@@ -1,0 +1,196 @@
+#include "te/gpusim/sshopm_kernels.hpp"
+
+#include "te/comb/index_class.hpp"
+#include "te/comb/multinomial.hpp"
+
+namespace te::gpusim {
+
+namespace {
+
+/// FMA-aware float-op tally of the two kernels' shared arithmetic:
+/// per ttsv0 class: (m-1)-product, optional coefficient scale, accumulate
+/// as FMA; per ttsv1 contribution likewise. Memory and integer components
+/// are added by the per-tier functions below.
+struct KernelShapeCounts {
+  std::int64_t classes = 0;
+  std::int64_t contributions = 0;
+  std::int64_t unit_coeff0 = 0;   ///< classes whose Eq. 4 coefficient is 1
+  std::int64_t unit_sigma = 0;    ///< contributions with sigma == 1
+};
+
+KernelShapeCounts shape_counts(int order, int dim) {
+  KernelShapeCounts s;
+  for (comb::IndexClassIterator it(order, dim); !it.done(); it.next()) {
+    const auto idx = it.index();
+    ++s.classes;
+    if (comb::multinomial_from_index(idx) == 1) ++s.unit_coeff0;
+    for (int t = 0; t < order;) {
+      const index_t i = idx[t];
+      ++s.contributions;
+      if (comb::multinomial_drop_one(idx, i) == 1) ++s.unit_sigma;
+      while (t < order && idx[t] == i) ++t;
+    }
+  }
+  return s;
+}
+
+/// Vector bookkeeping of one iteration (shift, normalize, convergence
+/// check) with state in registers.
+OpCounts vec_ops_registers(int dim) {
+  OpCounts c;
+  c.fma += dim;   // x = sign * (y + alpha x): one FMA per lane-element
+  c.fma += dim;   // norm^2 accumulation
+  c.sfu += 1;     // rsqrt
+  c.fmul += dim;  // scale by 1/norm
+  c.fadd += 1;    // lambda difference
+  c.iop += 2;     // branch + iteration counter
+  return c;
+}
+
+}  // namespace
+
+GpuIterationCost unrolled_iteration_cost(int order, int dim) {
+  const KernelShapeCounts s = shape_counts(order, dim);
+  const int m = order;
+
+  GpuIterationCost out;
+  OpCounts& c = out.per_iteration;
+  // ttsv1: per contribution, skip-one product of m-1 factors, optional
+  // sigma scale, FMA accumulate into a register, tensor value from shared.
+  c.fmul += s.contributions * (m - 1) + (s.contributions - s.unit_sigma);
+  c.fma += s.contributions;
+  c.shmem += s.contributions;
+  // vector bookkeeping.
+  c += vec_ops_registers(dim);
+  // ttsv0 (Rayleigh quotient): per class, m-1 product, optional scale, FMA.
+  c.fmul += s.classes * (m - 1) + (s.classes - s.unit_coeff0);
+  c.fma += s.classes;
+  c.shmem += s.classes;
+
+  // Setup: load + normalize the start, initial ttsv0.
+  OpCounts& p = out.per_setup;
+  p.gmem += dim;  // start vector from global
+  p.fma += dim;
+  p.sfu += 1;
+  p.fmul += dim;
+  p.fmul += s.classes * (m - 1) + (s.classes - s.unit_coeff0);
+  p.fma += s.classes;
+  p.shmem += s.classes;
+  return out;
+}
+
+GpuIterationCost general_iteration_cost(int order, int dim) {
+  // Start from the same useful arithmetic...
+  GpuIterationCost out = unrolled_iteration_cost(order, dim);
+  const KernelShapeCounts s = shape_counts(order, dim);
+  const int m = order;
+
+  // ...and add what the on-the-fly tier pays per kernel call (paper
+  // Figs. 2-4): the UPDATEINDEX sweep, the MULTINOMIAL passes, and --
+  // decisive on a real GPU -- local-memory traffic for every runtime-
+  // indexed array (the index representation I, the x/y vectors, and the
+  // prefix/suffix product scratch of the ttsv1 inner loop).
+  OpCounts& c = out.per_iteration;
+
+  // Per class, both kernels run UPDATEINDEX (iops + I-array traffic).
+  c.iop += 2 * s.classes * (2 * m);
+  c.lmem += 2 * s.classes * m;
+
+  // ttsv0: MULTINOMIAL0 pass (iops + I reads) and x reads from local.
+  c.iop += s.classes * m;
+  c.lmem += s.classes * m   // I reads in the multinomial pass
+            + s.classes * m;  // x reads for the product
+
+  // ttsv1: prefix/suffix build (x reads + scratch writes), and per
+  // contribution a MULTINOMIAL1 pass plus local accumulator traffic.
+  c.lmem += s.classes * (2 * m + 2 * m);
+  c.iop += s.contributions * (m + 2);
+  c.lmem += s.contributions * (m + 2);
+
+  // Vector bookkeeping operates on local x/y instead of registers.
+  c.lmem += 5 * dim;
+
+  // Setup pays one general ttsv0.
+  OpCounts& p = out.per_setup;
+  p.iop += s.classes * (3 * m);
+  p.lmem += s.classes * (3 * m);
+  return out;
+}
+
+GpuIterationCost blocked_iteration_cost(int order, int dim) {
+  const KernelShapeCounts s = shape_counts(order, dim);
+  const int m = order;
+
+  GpuIterationCost out;
+  OpCounts& c = out.per_iteration;
+  // ttsv1: per contribution the same arithmetic as the unrolled tier, but
+  // the index row (m bytes), the tensor value, sigma and the output slot
+  // stream from shared memory (conflict-free broadcasts: all lanes of a
+  // warp read the same table entry).
+  c.fmul += s.contributions * (m - 1) + (s.contributions - s.unit_sigma);
+  c.fma += s.contributions;
+  c.shmem += s.contributions * (m + 3);
+  c.iop += s.contributions * 2;  // panel loop bookkeeping
+  c += vec_ops_registers(dim);
+  // ttsv0: per class likewise.
+  c.fmul += s.classes * (m - 1) + (s.classes - s.unit_coeff0);
+  c.fma += s.classes;
+  c.shmem += s.classes * (m + 2);
+  c.iop += s.classes * 2;
+
+  OpCounts& p = out.per_setup;
+  p.gmem += dim;
+  p.fma += dim;
+  p.sfu += 1;
+  p.fmul += dim;
+  p.fmul += s.classes * (m - 1) + (s.classes - s.unit_coeff0);
+  p.fma += s.classes;
+  p.shmem += s.classes * (m + 2);
+  return out;
+}
+
+std::int32_t sshopm_shared_bytes(int order, int dim, kernels::Tier tier,
+                                 int scalar_bytes) {
+  const auto u = comb::num_unique_entries(order, dim);
+  std::int64_t bytes = u * scalar_bytes;  // the tensor values
+  if (tier == kernels::Tier::kBlocked) {
+    // Shape tables, shared by all threads of the block: index rows as
+    // packed bytes (dim <= 255), one scalar coefficient per class, and the
+    // Eq. 6 contribution list at 8 bytes per entry (cls:2, out:1, skip:1,
+    // sigma:4).
+    const auto s = kernels::num_contributions(order, dim);
+    bytes += u * order        // index rows
+             + u * scalar_bytes  // coeff0
+             + s * 8;            // contribution records
+  }
+  return static_cast<std::int32_t>(bytes);
+}
+
+LaunchConfig sshopm_launch_config(int order, int dim, int num_tensors,
+                                  int num_starts, kernels::Tier tier) {
+  LaunchConfig cfg;
+  cfg.grid_dim = num_tensors;
+  cfg.block_dim = num_starts;
+  cfg.shared_bytes_per_block =
+      sshopm_shared_bytes(order, dim, tier, sizeof(float));
+  if (tier == kernels::Tier::kBlocked) {
+    // Register-resident x/y plus panel bookkeeping; independent of the
+    // class count (that's the point of blocking).
+    cfg.registers_per_thread = 10 + 2 * dim + 8;
+  } else {
+    cfg.registers_per_thread =
+        estimate_registers(order, dim, tier == kernels::Tier::kUnrolled);
+  }
+  if (tier == kernels::Tier::kUnrolled) {
+    // The unrolled body is straight-line code: its static instruction count
+    // is (nearly) its dynamic per-iteration issue count, and it overflows
+    // the I-cache for large shapes (fetch-bound; see DeviceSpec).
+    const auto c = unrolled_iteration_cost(order, dim).per_iteration;
+    cfg.static_instructions = static_cast<int>(
+        c.fma + c.fmul + c.fadd + c.sfu + c.iop + c.shmem);
+  }
+  // The general and blocked tiers are compact loop code: no I-cache issue.
+  return cfg;
+}
+
+}  // namespace te::gpusim

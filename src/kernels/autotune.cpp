@@ -1,0 +1,81 @@
+#include "te/kernels/autotune.hpp"
+
+#include "te/tensor/generators.hpp"
+#include "te/util/rng.hpp"
+#include "te/util/timer.hpp"
+
+namespace te::kernels {
+
+double AutotuneReport::best_us() const {
+  switch (best) {
+    case Tier::kGeneral:
+      return general_us;
+    case Tier::kPrecomputed:
+      return precomputed_us;
+    case Tier::kCse:
+      return cse_us;
+    case Tier::kBlocked:
+      return blocked_us;
+    case Tier::kUnrolled:
+      return unrolled_us;
+  }
+  return -1;
+}
+
+AutotuneReport autotune_tier(int order, int dim, int min_reps) {
+  TE_REQUIRE(min_reps >= 1, "need at least one rep");
+  CounterRng rng(0x7e57);
+  const auto a = random_symmetric_tensor<float>(rng, 1, order, dim);
+  const KernelTables<float> tables(order, dim);
+  std::vector<float> x(static_cast<std::size_t>(dim));
+  std::vector<float> y(static_cast<std::size_t>(dim));
+  for (int i = 0; i < dim; ++i) {
+    x[static_cast<std::size_t>(i)] =
+        static_cast<float>(rng.in(2, static_cast<std::uint64_t>(i), -1, 1));
+  }
+
+  AutotuneReport report;
+  float sink = 0;
+
+  const auto measure = [&](Tier tier) -> double {
+    const KernelTables<float>* tab =
+        (tier == Tier::kPrecomputed || tier == Tier::kBlocked) ? &tables
+                                                               : nullptr;
+    if (tier == Tier::kUnrolled && find_unrolled<float>(order, dim) == nullptr) {
+      return -1;
+    }
+    BoundKernels<float> k(a, tier, tab);
+    WallTimer timer;
+    for (int r = 0; r < min_reps; ++r) {
+      sink += k.ttsv0({x.data(), x.size()});
+      k.ttsv1({x.data(), x.size()}, {y.data(), y.size()});
+      sink += y[0];
+    }
+    return timer.seconds() * 1e6 / min_reps;
+  };
+
+  report.general_us = measure(Tier::kGeneral);
+  report.precomputed_us = measure(Tier::kPrecomputed);
+  report.cse_us = measure(Tier::kCse);
+  report.blocked_us = measure(Tier::kBlocked);
+  report.unrolled_us = measure(Tier::kUnrolled);
+
+  // Keep the compiler from deleting the measurement loops.
+  if (sink == 12345.678f) report.general_us += 1e-9;
+
+  double best = report.general_us;
+  report.best = Tier::kGeneral;
+  const auto consider = [&](Tier tier, double us) {
+    if (us >= 0 && us < best) {
+      best = us;
+      report.best = tier;
+    }
+  };
+  consider(Tier::kPrecomputed, report.precomputed_us);
+  consider(Tier::kCse, report.cse_us);
+  consider(Tier::kBlocked, report.blocked_us);
+  consider(Tier::kUnrolled, report.unrolled_us);
+  return report;
+}
+
+}  // namespace te::kernels

@@ -1,0 +1,61 @@
+#include "te/kernels/dispatch.hpp"
+
+#include "te/kernels/unrolled.hpp"
+
+namespace te::kernels {
+
+namespace {
+
+template <Real T, int M, int N>
+UnrolledEntry<T> make_entry() {
+  return {M,
+          N,
+          &ttsv0_unrolled<T, M, N>,
+          &ttsv1_unrolled<T, M, N>,
+          ttsv0_unrolled_ops<M, N>(),
+          ttsv1_unrolled_ops<M, N>()};
+}
+
+// The prebuilt shape set: the application sizes (4,3) and neighbours, the
+// matrix case m = 2 (used by tests to cross-check against a matrix
+// eigensolver), and the larger shapes exercised by the occupancy study.
+template <Real T>
+std::span<const UnrolledEntry<T>> registry() {
+  static const UnrolledEntry<T> entries[] = {
+      make_entry<T, 2, 2>(), make_entry<T, 2, 3>(), make_entry<T, 2, 4>(),
+      make_entry<T, 2, 5>(), make_entry<T, 2, 6>(),
+      make_entry<T, 3, 2>(), make_entry<T, 3, 3>(), make_entry<T, 3, 4>(),
+      make_entry<T, 3, 5>(), make_entry<T, 3, 6>(),
+      make_entry<T, 4, 2>(), make_entry<T, 4, 3>(), make_entry<T, 4, 4>(),
+      make_entry<T, 4, 5>(), make_entry<T, 4, 6>(),
+      make_entry<T, 5, 3>(),
+      make_entry<T, 6, 3>(), make_entry<T, 6, 4>(),
+      make_entry<T, 8, 3>(),
+  };
+  return entries;
+}
+
+}  // namespace
+
+template <>
+std::span<const UnrolledEntry<float>> unrolled_registry<float>() {
+  return registry<float>();
+}
+
+template <>
+std::span<const UnrolledEntry<double>> unrolled_registry<double>() {
+  return registry<double>();
+}
+
+template <Real T>
+const UnrolledEntry<T>* find_unrolled(int order, int dim) {
+  for (const auto& e : unrolled_registry<T>()) {
+    if (e.order == order && e.dim == dim) return &e;
+  }
+  return nullptr;
+}
+
+template const UnrolledEntry<float>* find_unrolled<float>(int, int);
+template const UnrolledEntry<double>* find_unrolled<double>(int, int);
+
+}  // namespace te::kernels

@@ -1,0 +1,89 @@
+#include "te/kernels/flop_model.hpp"
+
+#include "te/comb/index_class.hpp"
+#include "te/comb/multinomial.hpp"
+#include "te/util/assert.hpp"
+
+namespace te::kernels {
+
+std::int64_t storage_dense(int order, int dim) {
+  std::int64_t s = 1;
+  for (int i = 0; i < order; ++i) {
+    TE_REQUIRE(s <= INT64_MAX / dim, "dense storage count overflows");
+    s *= dim;
+  }
+  return s;
+}
+
+std::int64_t storage_symmetric(int order, int dim) {
+  return comb::num_unique_entries(order, dim);
+}
+
+std::int64_t flops_dense_ttsv0(int order, int dim) {
+  std::int64_t total = 0;
+  std::int64_t p = 1;
+  for (int q = 1; q <= order; ++q) {
+    p *= dim;
+    total += 2 * p;
+  }
+  return total;
+}
+
+std::int64_t flops_dense_ttsv1(int order, int dim) {
+  return flops_dense_ttsv0(order, dim) - 2 * dim;
+}
+
+OpCounts flops_symmetric_ttsv0(int order, int dim) {
+  OpCounts c;
+  for (comb::IndexClassIterator it(order, dim); !it.done(); it.next()) {
+    const auto coeff = comb::multinomial_from_index(it.index());
+    c.fmul += (order - 1) + (coeff == 1 ? 1 : 2);
+    c.fadd += 1;
+  }
+  return c;
+}
+
+OpCounts flops_symmetric_ttsv1(int order, int dim) {
+  OpCounts c;
+  for (comb::IndexClassIterator it(order, dim); !it.done(); it.next()) {
+    const auto idx = it.index();
+    const int m = order;
+    for (int t = 0; t < m;) {
+      const index_t i = idx[t];
+      const auto sigma = comb::multinomial_drop_one(idx, i);
+      c.fmul += (m - 1) + (sigma == 1 ? 1 : 2);
+      c.fadd += 1;
+      while (t < m && idx[t] == i) ++t;
+    }
+  }
+  return c;
+}
+
+OpCounts flops_sshopm_iteration(int order, int dim) {
+  OpCounts c = flops_symmetric_ttsv1(order, dim);
+  // Shift: xhat = y + alpha * x  (n fma-equivalent: count mul + add).
+  c.fmul += dim;
+  c.fadd += dim;
+  // Normalization: dot (n mul + n add), rsqrt, n scaling multiplies.
+  c.fmul += 2 * dim;
+  c.fadd += dim;
+  c.sfu += 1;
+  // Rayleigh quotient lambda = A x^m.
+  c += flops_symmetric_ttsv0(order, dim);
+  return c;
+}
+
+std::int64_t num_contributions(int order, int dim) {
+  std::int64_t s = 0;
+  for (comb::IndexClassIterator it(order, dim); !it.done(); it.next()) {
+    const auto idx = it.index();
+    for (int t = 0; t < order;) {
+      const index_t i = idx[t];
+      ++s;
+      while (t < order && idx[t] == i) ++t;
+    }
+  }
+  return s;
+}
+
+}  // namespace te::kernels

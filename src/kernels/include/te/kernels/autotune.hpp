@@ -1,0 +1,35 @@
+#pragma once
+// Kernel-tier autotuning.
+//
+// Which tier wins depends on the shape: unrolled dominates small shapes
+// (when an instantiation exists), blocked/precomputed take over when the
+// unrolled body outgrows the instruction budget, and the general tier is
+// the always-available fallback. autotune_tier() measures the actual
+// per-call cost of every *available* tier on the host and returns the
+// fastest -- the `--tier auto` behaviour of the CLI driver.
+
+#include "te/kernels/dispatch.hpp"
+
+namespace te::kernels {
+
+/// Result of a tuning run: the chosen tier and the per-call microtimings
+/// that justified it (microseconds per combined ttsv0 + ttsv1 call; -1 for
+/// tiers unavailable at this shape).
+struct AutotuneReport {
+  Tier best = Tier::kGeneral;
+  double general_us = -1;
+  double precomputed_us = -1;
+  double cse_us = -1;
+  double blocked_us = -1;
+  double unrolled_us = -1;
+
+  [[nodiscard]] double best_us() const;
+};
+
+/// Measure every available tier at shape (order, dim) and pick the
+/// fastest. `min_reps` controls measurement cost (each tier runs at least
+/// this many ttsv0+ttsv1 pairs).
+[[nodiscard]] AutotuneReport autotune_tier(int order, int dim,
+                                           int min_reps = 2000);
+
+}  // namespace te::kernels

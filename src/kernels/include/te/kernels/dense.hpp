@@ -1,0 +1,148 @@
+#pragma once
+// Dense (nonsymmetric) baselines for the symmetric kernels.
+//
+// Two variants exist:
+//   * naive entrywise summation -- the literal Definition 2, used as the
+//     correctness oracle in the tests;
+//   * matricized contraction -- the method the paper's Table II prices for
+//     general tensors: A x^{m-p} as a chain of matrix-vector products, the
+//     first of which has shape n^{m-1} x n, for ~2 n^m flops total.
+
+#include <span>
+#include <vector>
+
+#include "te/tensor/dense_tensor.hpp"
+#include "te/util/linalg.hpp"
+#include "te/util/op_counter.hpp"
+
+namespace te::kernels {
+
+/// Naive A x^m: sum over all n^m entries (oracle; ~(m+1) n^m flops).
+template <Real T>
+[[nodiscard]] T ttsv0_dense_naive(const DenseTensor<T>& a,
+                                  std::span<const T> x) {
+  TE_REQUIRE(static_cast<int>(x.size()) == a.dim(), "vector length mismatch");
+  double y = 0;
+  a.for_each_index([&](std::span<const index_t> idx, std::size_t off) {
+    T p = a.data()[off];
+    for (index_t i : idx) p *= x[static_cast<std::size_t>(i)];
+    y += static_cast<double>(p);
+  });
+  return static_cast<T>(y);
+}
+
+/// Naive y = A x^{m-1}: the j-th output sums entries whose *first* index is
+/// j (Eq. 5; any mode works by symmetry, but this matches the paper's
+/// convention and is also correct for nonsymmetric tensors under the
+/// mode-1 definition).
+template <Real T>
+void ttsv1_dense_naive(const DenseTensor<T>& a, std::span<const T> x,
+                       std::span<T> y) {
+  TE_REQUIRE(static_cast<int>(x.size()) == a.dim() &&
+                 static_cast<int>(y.size()) == a.dim(),
+             "vector length mismatch");
+  std::vector<double> acc(static_cast<std::size_t>(a.dim()), 0.0);
+  a.for_each_index([&](std::span<const index_t> idx, std::size_t off) {
+    T p = a.data()[off];
+    for (std::size_t t = 1; t < idx.size(); ++t) {
+      p *= x[static_cast<std::size_t>(idx[t])];
+    }
+    acc[static_cast<std::size_t>(idx[0])] += static_cast<double>(p);
+  });
+  for (int i = 0; i < a.dim(); ++i) {
+    y[static_cast<std::size_t>(i)] =
+        static_cast<T>(acc[static_cast<std::size_t>(i)]);
+  }
+}
+
+/// Naive B = A x^{m-2} (first two modes free), oracle for ttsv2.
+template <Real T>
+[[nodiscard]] Matrix<T> ttsv2_dense_naive(const DenseTensor<T>& a,
+                                          std::span<const T> x) {
+  TE_REQUIRE(a.order() >= 2, "ttsv2 needs order >= 2");
+  TE_REQUIRE(static_cast<int>(x.size()) == a.dim(), "vector length mismatch");
+  const int n = a.dim();
+  Matrix<double> acc(n, n);
+  a.for_each_index([&](std::span<const index_t> idx, std::size_t off) {
+    T p = a.data()[off];
+    for (std::size_t t = 2; t < idx.size(); ++t) {
+      p *= x[static_cast<std::size_t>(idx[t])];
+    }
+    acc(idx[0], idx[1]) += static_cast<double>(p);
+  });
+  Matrix<T> out(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) out(i, j) = static_cast<T>(acc(i, j));
+  return out;
+}
+
+/// One contraction step: given dense B of order q, produce B x (order q-1)
+/// by contracting the last mode: a matrix-vector product with the
+/// (n^{q-1} x n) matricization. Exactly 2 n^q flops.
+template <Real T>
+[[nodiscard]] DenseTensor<T> contract_last_mode(const DenseTensor<T>& b,
+                                                std::span<const T> x,
+                                                OpCounts* ops = nullptr) {
+  TE_REQUIRE(b.order() >= 1, "nothing to contract");
+  TE_REQUIRE(static_cast<int>(x.size()) == b.dim(), "vector length mismatch");
+  const int n = b.dim();
+  DenseTensor<T> out(b.order() - 1 > 0 ? b.order() - 1 : 1, n);
+  // Order-1 result of contracting an order-1 tensor is a scalar; we keep it
+  // in a length-n tensor's first slot for uniformity only when order_ == 1.
+  if (b.order() == 1) {
+    T s = T(0);
+    for (int i = 0; i < n; ++i) {
+      s += b.data()[static_cast<std::size_t>(i)] *
+           x[static_cast<std::size_t>(i)];
+    }
+    out.data()[0] = s;
+    if (ops) {
+      ops->fmul += n;
+      ops->fadd += n;
+    }
+    return out;
+  }
+  const std::size_t rows = b.size() / static_cast<std::size_t>(n);
+  for (std::size_t r = 0; r < rows; ++r) {
+    T s = T(0);
+    for (int j = 0; j < n; ++j) {
+      s += b.data()[r * static_cast<std::size_t>(n) +
+                    static_cast<std::size_t>(j)] *
+           x[static_cast<std::size_t>(j)];
+    }
+    out.data()[r] = s;
+  }
+  if (ops) {
+    ops->fmul += static_cast<std::int64_t>(b.size());
+    ops->fadd += static_cast<std::int64_t>(b.size());
+  }
+  return out;
+}
+
+/// Matricized A x^m: m successive last-mode contractions (Table II's
+/// "general" method, 2 n^m + O(n^{m-1}) flops).
+template <Real T>
+[[nodiscard]] T ttsv0_dense_contract(const DenseTensor<T>& a,
+                                     std::span<const T> x,
+                                     OpCounts* ops = nullptr) {
+  DenseTensor<T> cur = contract_last_mode(a, x, ops);
+  if (a.order() == 1) return cur.data()[0];  // was already the final dot
+  while (cur.order() > 1) cur = contract_last_mode(cur, x, ops);
+  cur = contract_last_mode(cur, x, ops);  // final dot of the order-1 result
+  return cur.data()[0];
+}
+
+/// Matricized y = A x^{m-1}: m - 1 successive contractions.
+template <Real T>
+void ttsv1_dense_contract(const DenseTensor<T>& a, std::span<const T> x,
+                          std::span<T> y, OpCounts* ops = nullptr) {
+  TE_REQUIRE(static_cast<int>(y.size()) == a.dim(), "vector length mismatch");
+  TE_REQUIRE(a.order() >= 2, "need order >= 2 for a vector result");
+  DenseTensor<T> cur = contract_last_mode(a, x, ops);
+  while (cur.order() > 1) cur = contract_last_mode(cur, x, ops);
+  for (int i = 0; i < a.dim(); ++i) {
+    y[static_cast<std::size_t>(i)] = cur.data()[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace te::kernels

@@ -1,0 +1,50 @@
+#pragma once
+// Analytic storage and operation-count model (paper Table II plus the exact
+// per-iteration counts the benchmark harness converts into GFLOPS).
+//
+// The "flops" reported by every bench in this repository use the *symmetric
+// unrolled* operation count as the work measure -- the same convention as
+// the paper, which credits each implementation with the useful arithmetic of
+// the symmetry-exploiting algorithm (coefficient scalings included, index
+// arithmetic excluded).
+
+#include <cstdint>
+
+#include "te/util/op_counter.hpp"
+
+namespace te::kernels {
+
+/// Dense storage: n^m scalars.
+[[nodiscard]] std::int64_t storage_dense(int order, int dim);
+
+/// Packed symmetric storage: C(m + n - 1, m) scalars (Property 1).
+[[nodiscard]] std::int64_t storage_symmetric(int order, int dim);
+
+/// Flops of dense matricized A x^m: sum_{q=1..m} 2 n^q.
+[[nodiscard]] std::int64_t flops_dense_ttsv0(int order, int dim);
+
+/// Flops of dense matricized A x^{m-1}: sum_{q=2..m} 2 n^q.
+[[nodiscard]] std::int64_t flops_dense_ttsv1(int order, int dim);
+
+/// Floating-op count of one symmetric A x^m evaluation (any tier: the
+/// general/precomputed/unrolled tiers perform identical floating-point work
+/// and differ only in integer/memory overhead). Counts (m - 1) products, a
+/// coefficient scaling when the multinomial coefficient is not 1, the value
+/// multiply and the accumulate, per index class.
+[[nodiscard]] OpCounts flops_symmetric_ttsv0(int order, int dim);
+
+/// Floating-op count of one symmetric A x^{m-1} evaluation (per Eq. 6
+/// contribution: m - 1 products, optional sigma scaling, value multiply,
+/// accumulate).
+[[nodiscard]] OpCounts flops_symmetric_ttsv1(int order, int dim);
+
+/// Floating-op count of one SS-HOPM iteration for one (tensor, start):
+/// ttsv1 + shift axpy (2n) + normalization (2n + rsqrt + n) + ttsv0
+/// (Fig. 1 lines 3, 7, 8).
+[[nodiscard]] OpCounts flops_sshopm_iteration(int order, int dim);
+
+/// Number of Eq. 6 contribution pairs (distinct indices summed over all
+/// classes); the inner-loop trip count of Fig. 3.
+[[nodiscard]] std::int64_t num_contributions(int order, int dim);
+
+}  // namespace te::kernels

@@ -1,0 +1,88 @@
+#pragma once
+// General symmetric tensor-times-same-vector: A x^{m-p} for any
+// 0 <= p <= m (paper Definition 2 in full generality -- the paper's
+// kernels implement the p = 0 and p = 1 instances; ttsv2 covers p = 2;
+// this is the closed form for every p, returning a symmetric order-p
+// tensor).
+//
+// Derivation (the same counting as Eqs. 4 and 6): output entry
+// (j_1, ..., j_p) sums, over each input index class I whose monomial k
+// dominates the output multiset j (k >= j componentwise), the value
+//     C(m - p; k - j) * a_I * x^(k - j),
+// because C(m - p; k - j) tensor indices of class I start with the fixed
+// prefix (j_1, ..., j_p). Specializations recover the shipped kernels:
+// p = 0 gives Eq. 4's C(m; k); p = 1 gives Eq. 6's sigma(j).
+//
+// Complexity O(U_p * U_m * n) -- fine for the small tensors this library
+// targets; the hot paths (p = 0, 1) keep their dedicated kernels.
+
+#include <span>
+
+#include "te/comb/index_class.hpp"
+#include "te/comb/multinomial.hpp"
+#include "te/tensor/symmetric_tensor.hpp"
+#include "te/util/op_counter.hpp"
+
+namespace te::kernels {
+
+/// A x^{m-p} as a symmetric order-p tensor (p >= 1). For p == 0 use
+/// ttsv0_general (scalar result); this overload requires 1 <= p <= m.
+template <Real T>
+[[nodiscard]] SymmetricTensor<T> ttsv(const SymmetricTensor<T>& a,
+                                      std::span<const T> x, int p,
+                                      OpCounts* ops = nullptr) {
+  const int m = a.order();
+  const int n = a.dim();
+  TE_REQUIRE(p >= 1 && p <= m, "p must be in [1, m]");
+  TE_REQUIRE(static_cast<int>(x.size()) == n, "vector length mismatch");
+
+  SymmetricTensor<T> out(p, n);
+  std::vector<double> acc(static_cast<std::size_t>(out.num_unique()), 0.0);
+
+  // Monomials of all output classes, precomputed once.
+  std::vector<std::vector<index_t>> out_monos;
+  out_monos.reserve(static_cast<std::size_t>(out.num_unique()));
+  for (comb::IndexClassIterator jt(p, n); !jt.done(); jt.next()) {
+    out_monos.push_back(comb::index_to_monomial(jt.index(), n));
+  }
+
+  std::vector<index_t> diff(static_cast<std::size_t>(n));
+  for (comb::IndexClassIterator it(m, n); !it.done(); it.next()) {
+    const auto k = comb::index_to_monomial(it.index(), n);
+    const double av = static_cast<double>(a.value(it.rank()));
+    for (offset_t r = 0; r < out.num_unique(); ++r) {
+      const auto& j = out_monos[static_cast<std::size_t>(r)];
+      bool feasible = true;
+      for (int q = 0; q < n; ++q) {
+        diff[static_cast<std::size_t>(q)] =
+            k[static_cast<std::size_t>(q)] - j[static_cast<std::size_t>(q)];
+        if (diff[static_cast<std::size_t>(q)] < 0) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      const auto coeff =
+          comb::multinomial_from_monomial({diff.data(), diff.size()});
+      double xpow = 1.0;
+      for (int q = 0; q < n; ++q) {
+        for (index_t e = 0; e < diff[static_cast<std::size_t>(q)]; ++e) {
+          xpow *= static_cast<double>(x[static_cast<std::size_t>(q)]);
+        }
+      }
+      acc[static_cast<std::size_t>(r)] +=
+          static_cast<double>(coeff) * av * xpow;
+      if (ops) {
+        ops->fmul += (m - p) + 2;
+        ops->fadd += 1;
+        ops->iop += 2 * n;
+      }
+    }
+  }
+  for (offset_t r = 0; r < out.num_unique(); ++r) {
+    out.value(r) = static_cast<T>(acc[static_cast<std::size_t>(r)]);
+  }
+  return out;
+}
+
+}  // namespace te::kernels

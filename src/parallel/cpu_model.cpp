@@ -1,0 +1,26 @@
+#include "te/parallel/cpu_model.hpp"
+
+#include "te/util/assert.hpp"
+
+namespace te::parallel {
+
+double modeled_speedup(const CpuSpec& spec, const CpuModelParams& params,
+                       kernels::Tier tier, int threads) {
+  TE_REQUIRE(threads >= 1 && threads <= spec.total_cores(),
+             "thread count outside the modeled machine");
+  if (threads == 1) return 1.0;  // the measured reference point
+  const int c = spec.cores_per_socket;
+  const double eta = tier == kernels::Tier::kUnrolled
+                         ? params.eta_cross_unrolled
+                         : params.eta_cross_general;
+  if (threads <= c) return params.e_omp * threads;
+  return params.e_omp * (c + eta * (threads - c));
+}
+
+double modeled_time(const CpuSpec& spec, const CpuModelParams& params,
+                    kernels::Tier tier, int threads,
+                    double seconds_one_core) {
+  return seconds_one_core / modeled_speedup(spec, params, tier, threads);
+}
+
+}  // namespace te::parallel

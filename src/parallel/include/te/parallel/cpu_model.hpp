@@ -1,0 +1,61 @@
+#pragma once
+// Analytic multicore CPU timing model.
+//
+// The paper's CPU rows of Table III were measured on a dual-socket
+// quad-core Nehalem. This container exposes a single hardware thread, so
+// the 4- and 8-core rows cannot be *measured* here; they are *modeled* from
+// the measured single-core time. The model and its provenance:
+//
+//   speedup(p) = e_omp * p                                   for p <= c
+//   speedup(p) = e_omp * (c + eta_cross * (p - c))           for p  > c
+//
+// where c is cores per socket, e_omp absorbs OpenMP fork/join and load
+// imbalance on an embarrassingly parallel tensor loop (the paper measured
+// 3.45-3.55x on 4 cores => e_omp ~ 0.87), and eta_cross is the efficiency
+// of the second socket. The paper observed that the *general* tier keeps
+// scaling across sockets (7.14x on 8 cores => eta_cross ~ 1) while the
+// *unrolled* tier does not (4.72x => eta_cross ~ 0.36), attributing the gap
+// to the memory hierarchy: the unrolled tier retires an order of magnitude
+// more flops per byte of code+data touched, so it is the tier that exposes
+// the cross-socket write-allocate and snoop costs. eta_cross is therefore a
+// per-tier parameter; the defaults encode the paper's observation and are
+// clearly reported as modeled (not measured) by every bench that uses them.
+//
+// Every row a bench prints from this model is labeled "modeled".
+
+#include "te/kernels/dispatch.hpp"
+
+namespace te::parallel {
+
+/// Physical description of the modeled host (defaults: the paper's
+/// dual-socket quad-core Nehalem, 22.4 SP GFLOPS peak per core).
+struct CpuSpec {
+  int sockets = 2;
+  int cores_per_socket = 4;
+  double peak_sp_gflops_per_core = 22.4;
+
+  [[nodiscard]] int total_cores() const { return sockets * cores_per_socket; }
+  [[nodiscard]] double peak_sp_gflops(int cores) const {
+    return peak_sp_gflops_per_core * cores;
+  }
+};
+
+/// Scaling-model parameters (see file header for provenance).
+struct CpuModelParams {
+  double e_omp = 0.87;            ///< in-socket parallel efficiency
+  double eta_cross_general = 1.0; ///< second-socket efficiency, general tier
+  double eta_cross_unrolled = 0.36;  ///< ... unrolled tier (memory-bound)
+};
+
+/// Modeled speedup of `threads` cores over one core for a given tier.
+[[nodiscard]] double modeled_speedup(const CpuSpec& spec,
+                                     const CpuModelParams& params,
+                                     kernels::Tier tier, int threads);
+
+/// Modeled run time (seconds) given the measured single-core time.
+[[nodiscard]] double modeled_time(const CpuSpec& spec,
+                                  const CpuModelParams& params,
+                                  kernels::Tier tier, int threads,
+                                  double seconds_one_core);
+
+}  // namespace te::parallel

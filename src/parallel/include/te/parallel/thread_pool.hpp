@@ -1,0 +1,67 @@
+#pragma once
+// A small fixed-size thread pool with a blocking parallel_for.
+//
+// The CPU batch backend parallelizes over independent tensors exactly as the
+// paper does with `omp parallel for` (Section V-E): the iteration space is
+// divided into contiguous chunks, one per worker, because every tensor costs
+// roughly the same and contiguous chunks preserve memory locality. Work
+// stealing would be over-engineering here.
+//
+// The pool is also usable with more workers than hardware threads -- the
+// functional results are identical, which is what the tests rely on when
+// checking that the parallel backend is bit-compatible with the sequential
+// one regardless of the host's core count.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "te/util/assert.hpp"
+
+namespace te {
+
+/// Fixed pool of worker threads executing submitted jobs.
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers; outstanding jobs complete first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int num_threads() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Run f(i) for i in [0, count), distributed over the pool in contiguous
+  /// chunks; blocks until every iteration has finished. Exceptions thrown by
+  /// f propagate to the caller (first one wins).
+  void parallel_for(std::int64_t count,
+                    const std::function<void(std::int64_t)>& f);
+
+  /// Run f(chunk_begin, chunk_end, worker_index) once per chunk; blocks.
+  void parallel_chunks(
+      std::int64_t count,
+      const std::function<void(std::int64_t, std::int64_t, int)>& f);
+
+ private:
+  void worker_loop();
+  void submit(std::function<void()> job);
+  void wait_idle();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_done_;
+  std::vector<std::function<void()>> queue_;
+  int active_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace te

@@ -1,0 +1,89 @@
+#include "te/parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace te {
+
+ThreadPool::ThreadPool(int num_threads) {
+  TE_REQUIRE(num_threads >= 1, "pool needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_job_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      job = std::move(queue_.back());
+      queue_.pop_back();
+      ++active_;
+    }
+    try {
+      job();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_job_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    auto e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::parallel_chunks(
+    std::int64_t count,
+    const std::function<void(std::int64_t, std::int64_t, int)>& f) {
+  if (count <= 0) return;
+  const int p = num_threads();
+  const std::int64_t chunk = (count + p - 1) / p;
+  int launched = 0;
+  for (std::int64_t begin = 0; begin < count; begin += chunk) {
+    const std::int64_t end = std::min(begin + chunk, count);
+    const int worker = launched++;
+    submit([&f, begin, end, worker] { f(begin, end, worker); });
+  }
+  wait_idle();
+}
+
+void ThreadPool::parallel_for(std::int64_t count,
+                              const std::function<void(std::int64_t)>& f) {
+  parallel_chunks(count, [&f](std::int64_t begin, std::int64_t end, int) {
+    for (std::int64_t i = begin; i < end; ++i) f(i);
+  });
+}
+
+}  // namespace te

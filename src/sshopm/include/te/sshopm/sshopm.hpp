@@ -1,0 +1,122 @@
+#pragma once
+// Shifted Symmetric Higher-Order Power Method (paper Fig. 1; Kolda & Mayo).
+//
+// Given a symmetric A in R^[m,n], a shift alpha and a unit start x_0,
+// iterate
+//     xhat <- +-(A x_k^{m-1} + alpha x_k)     (sign of alpha picks +-)
+//     x_{k+1} <- xhat / ||xhat||
+//     lambda_{k+1} <- A x_{k+1}^m
+// until lambda converges. alpha >= 0 forces convexity of the underlying
+// function and convergence to (constrained) local *maxima* of f(x) = A x^m;
+// alpha < 0 forces concavity and local minima. The fixed points satisfy
+// A x^{m-1} = lambda x, i.e. they are Z-eigenpairs (Definition 3).
+//
+// The solver is tier-agnostic: it calls through a BoundKernels facade, so
+// the same iteration drives the general, precomputed and unrolled kernels
+// (and, re-implemented per-thread, the GPU simulator kernels).
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "te/kernels/dispatch.hpp"
+#include "te/util/linalg.hpp"
+#include "te/util/op_counter.hpp"
+
+namespace te::sshopm {
+
+/// Iteration controls. Defaults follow the paper's experiment: lambda-based
+/// convergence, tolerance loose enough for single precision.
+struct Options {
+  double alpha = 0.0;      ///< shift (paper uses 0 for the DW-MRI set)
+  int max_iterations = 200;
+  double tolerance = 1e-7;  ///< |lambda_{k+1} - lambda_k| convergence bound
+  bool record_trace = false;  ///< keep the per-iteration lambda sequence
+};
+
+/// Outcome of one SS-HOPM run.
+template <Real T>
+struct Result {
+  T lambda = T(0);          ///< final Rayleigh quotient A x^m
+  std::vector<T> x;         ///< final unit iterate
+  int iterations = 0;       ///< iterations actually performed
+  bool converged = false;   ///< lambda change fell below tolerance
+  /// lambda_0, lambda_1, ... (only when Options::record_trace). Kolda &
+  /// Mayo prove this sequence is monotone when |alpha| dominates the
+  /// curvature bound -- a property the tests check directly.
+  std::vector<T> lambda_trace;
+};
+
+/// Residual ||A x^{m-1} - lambda x||_2 of a claimed eigenpair: the
+/// self-validating acceptance check used throughout the tests.
+template <Real T>
+[[nodiscard]] T eigen_residual(const kernels::BoundKernels<T>& k,
+                               T lambda, std::span<const T> x) {
+  std::vector<T> y(x.size());
+  k.ttsv1(x, std::span<T>(y.data(), y.size()));
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] -= lambda * x[i];
+  return nrm2(std::span<const T>(y.data(), y.size()));
+}
+
+/// One SS-HOPM run from a single start (paper Fig. 1).
+///
+/// `x0` need not be normalized. Optional OpCounts tallies the floating-point
+/// work actually performed (used for measured-GFLOPS reports).
+template <Real T>
+[[nodiscard]] Result<T> solve(const kernels::BoundKernels<T>& k,
+                              std::span<const T> x0, const Options& opt,
+                              OpCounts* ops = nullptr) {
+  const int n = k.tensor().dim();
+  TE_REQUIRE(static_cast<int>(x0.size()) == n, "start vector length mismatch");
+  TE_REQUIRE(opt.max_iterations >= 1, "max_iterations must be positive");
+
+  Result<T> r;
+  r.x.assign(x0.begin(), x0.end());
+  std::span<T> x(r.x.data(), r.x.size());
+  normalize(x);
+
+  const T alpha = static_cast<T>(opt.alpha);
+  const T sign = opt.alpha >= 0 ? T(1) : T(-1);
+  T lambda = k.ttsv0(std::span<const T>(x.data(), x.size()), ops);
+  if (opt.record_trace) r.lambda_trace.push_back(lambda);
+
+  std::vector<T> y(static_cast<std::size_t>(n));
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    // xhat = +-(A x^{m-1} + alpha x), then normalize.
+    k.ttsv1(std::span<const T>(x.data(), x.size()),
+            std::span<T>(y.data(), y.size()), ops);
+    for (int i = 0; i < n; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      x[ui] = sign * (y[ui] + alpha * x[ui]);
+    }
+    normalize(x);
+    const T next = k.ttsv0(std::span<const T>(x.data(), x.size()), ops);
+    if (opt.record_trace) r.lambda_trace.push_back(next);
+    if (ops) {
+      ops->fmul += 3 * n;  // shift fma + norm dot + scaling
+      ops->fadd += 2 * n;
+      ops->sfu += 1;
+    }
+    r.iterations = it + 1;
+    if (std::abs(static_cast<double>(next - lambda)) <= opt.tolerance) {
+      lambda = next;
+      r.converged = true;
+      break;
+    }
+    lambda = next;
+  }
+  r.lambda = lambda;
+  return r;
+}
+
+/// A convexity-forcing shift in the style of Kolda & Mayo's beta(A) bound:
+/// alpha = (m - 1) * ||A||_F. Since |A x^{m-2}|_2 <= ||A||_F on the unit
+/// sphere, this dominates the curvature of f(x) = A x^m there, making the
+/// shifted map monotone; it also dominates every Z-eigenvalue
+/// (|lambda| = |A x^m| = |<A, x^(x m)>| <= ||A||_F).
+template <Real T>
+[[nodiscard]] double suggest_shift(const SymmetricTensor<T>& a) {
+  return (a.order() - 1) * static_cast<double>(a.frobenius_norm());
+}
+
+}  // namespace te::sshopm

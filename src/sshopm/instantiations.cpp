@@ -1,0 +1,30 @@
+// Explicit instantiations for the SS-HOPM templates (float and double),
+// keeping template errors local and giving the library object code.
+
+#include "te/sshopm/spectrum.hpp"
+#include "te/sshopm/sshopm.hpp"
+
+namespace te::sshopm {
+
+template Result<float> solve(const kernels::BoundKernels<float>&,
+                             std::span<const float>, const Options&,
+                             OpCounts*);
+template Result<double> solve(const kernels::BoundKernels<double>&,
+                              std::span<const double>, const Options&,
+                              OpCounts*);
+
+template std::vector<Eigenpair<float>> find_eigenpairs(
+    const SymmetricTensor<float>&, kernels::Tier,
+    std::span<const std::vector<float>>, const MultiStartOptions&,
+    const kernels::KernelTables<float>*, OpCounts*);
+template std::vector<Eigenpair<double>> find_eigenpairs(
+    const SymmetricTensor<double>&, kernels::Tier,
+    std::span<const std::vector<double>>, const MultiStartOptions&,
+    const kernels::KernelTables<double>*, OpCounts*);
+
+template SpectralType classify(const SymmetricTensor<float>&, float,
+                               std::span<const float>, double);
+template SpectralType classify(const SymmetricTensor<double>&, double,
+                               std::span<const double>, double);
+
+}  // namespace te::sshopm

@@ -1,0 +1,116 @@
+#pragma once
+// Dense tensor algebra in the Kolda-Bader notation the paper builds on:
+// mode-k matricization (unfolding), mode-k tensor-times-vector and
+// tensor-times-matrix, inner products, and orthogonal change of basis for
+// symmetric tensors.
+//
+// These are baseline/verification operations: the symmetric kernels are the
+// fast path, and the tests use these to check basis-independence properties
+// (Z-eigenvalues are invariant under orthogonal rotation) and
+// mode-symmetry (contracting a symmetric tensor along any mode gives the
+// same result).
+
+#include <span>
+
+#include "te/tensor/dense_tensor.hpp"
+#include "te/util/linalg.hpp"
+
+namespace te {
+
+/// Mode-k unfolding A_(k): rows indexed by mode k, columns by the other
+/// modes in row-major order of the remaining indices. Shape: dim x dim^{m-1}.
+template <Real T>
+[[nodiscard]] Matrix<T> matricize(const DenseTensor<T>& a, int mode) {
+  TE_REQUIRE(mode >= 0 && mode < a.order(), "mode out of range");
+  const int n = a.dim();
+  const auto cols = static_cast<int>(a.size() / static_cast<std::size_t>(n));
+  Matrix<T> out(n, cols);
+  std::vector<int> col_of_mode(static_cast<std::size_t>(a.order()));
+  a.for_each_index([&](std::span<const index_t> idx, std::size_t off) {
+    // Column index: row-major over all modes except `mode`.
+    std::size_t col = 0;
+    for (int t = 0; t < a.order(); ++t) {
+      if (t == mode) continue;
+      col = col * static_cast<std::size_t>(n) +
+            static_cast<std::size_t>(idx[static_cast<std::size_t>(t)]);
+    }
+    out(idx[static_cast<std::size_t>(mode)], static_cast<int>(col)) =
+        a.data()[off];
+  });
+  return out;
+}
+
+/// Mode-k tensor-times-vector: contract mode k with x; order drops by one.
+template <Real T>
+[[nodiscard]] DenseTensor<T> ttv_mode(const DenseTensor<T>& a,
+                                      std::span<const T> x, int mode) {
+  TE_REQUIRE(mode >= 0 && mode < a.order(), "mode out of range");
+  TE_REQUIRE(static_cast<int>(x.size()) == a.dim(), "vector length mismatch");
+  TE_REQUIRE(a.order() >= 2, "need order >= 2 for a tensor result");
+  DenseTensor<T> out(a.order() - 1, a.dim());
+  std::vector<index_t> oidx(static_cast<std::size_t>(a.order() - 1));
+  a.for_each_index([&](std::span<const index_t> idx, std::size_t off) {
+    int t2 = 0;
+    for (int t = 0; t < a.order(); ++t) {
+      if (t == mode) continue;
+      oidx[static_cast<std::size_t>(t2++)] = idx[static_cast<std::size_t>(t)];
+    }
+    out({oidx.data(), oidx.size()}) +=
+        a.data()[off] *
+        x[static_cast<std::size_t>(idx[static_cast<std::size_t>(mode)])];
+  });
+  return out;
+}
+
+/// Mode-k tensor-times-matrix with a square matrix U (dim x dim):
+/// result(..., i_k, ...) = sum_j U(i_k, j) A(..., j, ...).
+template <Real T>
+[[nodiscard]] DenseTensor<T> ttm_mode(const DenseTensor<T>& a,
+                                      const Matrix<T>& u, int mode) {
+  TE_REQUIRE(mode >= 0 && mode < a.order(), "mode out of range");
+  TE_REQUIRE(u.rows() == a.dim() && u.cols() == a.dim(),
+             "ttm_mode supports square matrices of the tensor dimension");
+  DenseTensor<T> out(a.order(), a.dim());
+  std::vector<index_t> idx2;
+  a.for_each_index([&](std::span<const index_t> idx, std::size_t off) {
+    idx2.assign(idx.begin(), idx.end());
+    const index_t j = idx[static_cast<std::size_t>(mode)];
+    for (int i = 0; i < a.dim(); ++i) {
+      idx2[static_cast<std::size_t>(mode)] = static_cast<index_t>(i);
+      out({idx2.data(), idx2.size()}) += u(i, j) * a.data()[off];
+    }
+  });
+  return out;
+}
+
+/// Frobenius inner product <A, B>.
+template <Real T>
+[[nodiscard]] T inner(const DenseTensor<T>& a, const DenseTensor<T>& b) {
+  TE_REQUIRE(a.order() == b.order() && a.dim() == b.dim(),
+             "shape mismatch in inner");
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += static_cast<double>(a.data()[i]) * static_cast<double>(b.data()[i]);
+  }
+  return static_cast<T>(s);
+}
+
+/// Orthogonal change of basis of a symmetric tensor:
+/// A' = A x_1 Q x_2 Q ... x_m Q (every mode multiplied by the same Q).
+/// Symmetry is preserved exactly; Z-eigenpairs transform as
+/// (lambda, Q x) -- the invariance the property tests check.
+template <Real T>
+[[nodiscard]] SymmetricTensor<T> rotate(const SymmetricTensor<T>& a,
+                                        const Matrix<T>& q) {
+  TE_REQUIRE(q.rows() == a.dim() && q.cols() == a.dim(),
+             "rotation matrix shape mismatch");
+  DenseTensor<T> d = to_dense(a);
+  for (int mode = 0; mode < a.order(); ++mode) {
+    d = ttm_mode(d, q, mode);
+  }
+  // Multiplying every mode by the same matrix preserves symmetry up to
+  // rounding; symmetrize to return packed storage.
+  return symmetrize(d);
+}
+
+}  // namespace te

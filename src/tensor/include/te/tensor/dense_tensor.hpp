@@ -1,0 +1,164 @@
+#pragma once
+// Uncompressed (dense) tensor storage -- the baseline the paper's Table II
+// compares against: n^m values, no symmetry exploited.
+//
+// Dense tensors exist in this library for two purposes:
+//   1. the "general tensor" cost baseline of Table II (storage and the
+//      2 n^m flop kernels), and
+//   2. brute-force oracles in the test suite (symmetric kernels are checked
+//      entry-for-entry against dense ones).
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "te/tensor/symmetric_tensor.hpp"
+#include "te/util/assert.hpp"
+#include "te/util/types.hpp"
+
+namespace te {
+
+/// Dense order-m, dimension-n tensor, row-major (last index fastest).
+template <Real T>
+class DenseTensor {
+ public:
+  DenseTensor(int order, int dim)
+      : order_(order), dim_(dim), data_(dense_size(order, dim), T(0)) {
+    TE_REQUIRE(order >= 1 && dim >= 1, "order and dim must be positive");
+  }
+
+  [[nodiscard]] static std::size_t dense_size(int order, int dim) {
+    std::size_t s = 1;
+    for (int i = 0; i < order; ++i) {
+      TE_REQUIRE(s <= (std::size_t(1) << 40) / static_cast<std::size_t>(dim),
+                 "dense tensor too large");
+      s *= static_cast<std::size_t>(dim);
+    }
+    return s;
+  }
+
+  [[nodiscard]] int order() const { return order_; }
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] std::span<const T> data() const { return data_; }
+  [[nodiscard]] std::span<T> data() { return data_; }
+
+  /// Row-major linear offset of a tensor index.
+  [[nodiscard]] std::size_t offset_of(std::span<const index_t> idx) const {
+    TE_REQUIRE(static_cast<int>(idx.size()) == order_, "index arity mismatch");
+    std::size_t off = 0;
+    for (index_t i : idx) {
+      TE_ASSERT(i >= 0 && i < dim_);
+      off = off * static_cast<std::size_t>(dim_) + static_cast<std::size_t>(i);
+    }
+    return off;
+  }
+
+  [[nodiscard]] T operator()(std::span<const index_t> idx) const {
+    return data_[offset_of(idx)];
+  }
+  T& operator()(std::span<const index_t> idx) { return data_[offset_of(idx)]; }
+
+  [[nodiscard]] T operator()(std::initializer_list<index_t> idx) const {
+    std::vector<index_t> v(idx);
+    return (*this)(std::span<const index_t>(v.data(), v.size()));
+  }
+  T& operator()(std::initializer_list<index_t> idx) {
+    std::vector<index_t> v(idx);
+    return (*this)(std::span<const index_t>(v.data(), v.size()));
+  }
+
+  /// Visit every tensor index in row-major order:
+  /// f(std::span<const index_t> idx, std::size_t linear_offset).
+  template <typename F>
+  void for_each_index(F&& f) const {
+    std::vector<index_t> idx(static_cast<std::size_t>(order_), 0);
+    for (std::size_t off = 0; off < data_.size(); ++off) {
+      f(std::span<const index_t>(idx.data(), idx.size()), off);
+      // Odometer increment, last index fastest.
+      for (int j = order_ - 1; j >= 0; --j) {
+        if (++idx[static_cast<std::size_t>(j)] < dim_) break;
+        idx[static_cast<std::size_t>(j)] = 0;
+      }
+    }
+  }
+
+  /// True iff the tensor is symmetric to within `tol` (max abs difference
+  /// between an entry and its class representative).
+  [[nodiscard]] bool is_symmetric(T tol = T(0)) const;
+
+  friend bool operator==(const DenseTensor&, const DenseTensor&) = default;
+
+ private:
+  int order_;
+  int dim_;
+  std::vector<T> data_;
+};
+
+/// Expand packed symmetric storage into a dense tensor (each entry receives
+/// its index class's unique value).
+template <Real T>
+[[nodiscard]] DenseTensor<T> to_dense(const SymmetricTensor<T>& s) {
+  DenseTensor<T> d(s.order(), s.dim());
+  std::vector<index_t> sorted;
+  d.for_each_index([&](std::span<const index_t> idx, std::size_t off) {
+    sorted.assign(idx.begin(), idx.end());
+    std::sort(sorted.begin(), sorted.end());
+    d.data()[off] = s.value(
+        comb::index_class_rank({sorted.data(), sorted.size()}, s.dim()));
+  });
+  return d;
+}
+
+/// Compress a dense tensor that is already symmetric into packed storage.
+/// TE_REQUIREs symmetry to within `tol`.
+template <Real T>
+[[nodiscard]] SymmetricTensor<T> from_dense(const DenseTensor<T>& d,
+                                            T tol = T(1e-5)) {
+  TE_REQUIRE(d.is_symmetric(tol), "tensor is not symmetric; use symmetrize()");
+  SymmetricTensor<T> s(d.order(), d.dim());
+  for (comb::IndexClassIterator it(d.order(), d.dim()); !it.done(); it.next()) {
+    s.value(it.rank()) = d(it.index());
+  }
+  return s;
+}
+
+/// Symmetrize a dense tensor: each packed value becomes the mean over the
+/// corresponding index class. Projects onto the subspace of symmetric
+/// tensors.
+template <Real T>
+[[nodiscard]] SymmetricTensor<T> symmetrize(const DenseTensor<T>& d) {
+  SymmetricTensor<T> s(d.order(), d.dim());
+  std::vector<double> sums(static_cast<std::size_t>(s.num_unique()), 0.0);
+  std::vector<index_t> sorted;
+  d.for_each_index([&](std::span<const index_t> idx, std::size_t off) {
+    sorted.assign(idx.begin(), idx.end());
+    std::sort(sorted.begin(), sorted.end());
+    const offset_t r =
+        comb::index_class_rank({sorted.data(), sorted.size()}, d.dim());
+    sums[static_cast<std::size_t>(r)] += static_cast<double>(d.data()[off]);
+  });
+  for (comb::IndexClassIterator it(d.order(), d.dim()); !it.done(); it.next()) {
+    const auto cls = comb::multinomial_from_index(it.index());
+    s.value(it.rank()) = static_cast<T>(
+        sums[static_cast<std::size_t>(it.rank())] / static_cast<double>(cls));
+  }
+  return s;
+}
+
+template <Real T>
+bool DenseTensor<T>::is_symmetric(T tol) const {
+  std::vector<index_t> sorted;
+  bool ok = true;
+  for_each_index([&](std::span<const index_t> idx, std::size_t off) {
+    if (!ok) return;
+    sorted.assign(idx.begin(), idx.end());
+    std::sort(sorted.begin(), sorted.end());
+    const T rep = (*this)(std::span<const index_t>(sorted.data(), sorted.size()));
+    if (std::abs(data_[off] - rep) > tol) ok = false;
+  });
+  return ok;
+}
+
+}  // namespace te

@@ -1,0 +1,62 @@
+#pragma once
+// Plain-text serialization of symmetric tensors.
+//
+// Format (whitespace separated):
+//   symtensor <order> <dim>
+//   v_0 v_1 ... v_{U-1}        # packed unique values, lexicographic order
+//
+// Batch files simply concatenate tensors. The format is meant for small
+// test fixtures and for exporting benchmark inputs, not for bulk data.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "te/tensor/symmetric_tensor.hpp"
+
+namespace te {
+
+template <Real T>
+void write_tensor(std::ostream& os, const SymmetricTensor<T>& a) {
+  os << "symtensor " << a.order() << ' ' << a.dim() << '\n';
+  const auto v = a.values();
+  os.precision(17);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    os << v[i] << (i + 1 == v.size() ? '\n' : ' ');
+  }
+}
+
+template <Real T>
+[[nodiscard]] SymmetricTensor<T> read_tensor(std::istream& is) {
+  std::string tag;
+  int order = 0, dim = 0;
+  TE_REQUIRE(static_cast<bool>(is >> tag >> order >> dim) && tag == "symtensor",
+             "malformed tensor header");
+  SymmetricTensor<T> a(order, dim);
+  for (auto& v : a.values()) {
+    TE_REQUIRE(static_cast<bool>(is >> v), "truncated tensor values");
+  }
+  return a;
+}
+
+template <Real T>
+void write_tensor_batch(std::ostream& os,
+                        std::span<const SymmetricTensor<T>> batch) {
+  os << "symtensor_batch " << batch.size() << '\n';
+  for (const auto& a : batch) write_tensor(os, a);
+}
+
+template <Real T>
+[[nodiscard]] std::vector<SymmetricTensor<T>> read_tensor_batch(
+    std::istream& is) {
+  std::string tag;
+  std::size_t count = 0;
+  TE_REQUIRE(static_cast<bool>(is >> tag >> count) && tag == "symtensor_batch",
+             "malformed batch header");
+  std::vector<SymmetricTensor<T>> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(read_tensor<T>(is));
+  return out;
+}
+
+}  // namespace te

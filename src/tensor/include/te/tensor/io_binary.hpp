@@ -1,0 +1,93 @@
+#pragma once
+// Binary serialization for symmetric tensor batches.
+//
+// The text format (io.hpp) is for small fixtures; realistic DW-MRI volumes
+// run to millions of voxels, where parsing dominates. The binary format is
+// a fixed little-endian layout:
+//
+//   offset  size  field
+//   0       8     magic "TESYMB01"
+//   8       4     scalar code: 4 = float32, 8 = float64
+//   12      4     order (int32)
+//   16      4     dim (int32)
+//   20      4     count (int32, number of tensors)
+//   24      ...   count * num_unique(order, dim) scalars, packed values in
+//                 lexicographic class order, tensor-major
+//
+// Only same-shape batches are supported (the batched solver's contract).
+// Readers validate the header and sizes; a scalar-code mismatch against the
+// requested T is an error rather than a silent conversion.
+
+#include <cstring>
+#include <iostream>
+
+#include "te/tensor/symmetric_tensor.hpp"
+
+namespace te {
+
+namespace detail {
+inline constexpr char kSymBatchMagic[8] = {'T', 'E', 'S', 'Y',
+                                           'M', 'B', '0', '1'};
+}
+
+/// Write a same-shape batch in the binary format.
+template <Real T>
+void write_tensor_batch_binary(std::ostream& os,
+                               std::span<const SymmetricTensor<T>> batch) {
+  TE_REQUIRE(!batch.empty(), "cannot write an empty batch");
+  const int order = batch.front().order();
+  const int dim = batch.front().dim();
+  for (const auto& a : batch) {
+    TE_REQUIRE(a.order() == order && a.dim() == dim,
+               "binary batches must be same-shape");
+  }
+  os.write(detail::kSymBatchMagic, sizeof(detail::kSymBatchMagic));
+  const std::int32_t scalar = sizeof(T);
+  const std::int32_t order32 = order;
+  const std::int32_t dim32 = dim;
+  const std::int32_t count = static_cast<std::int32_t>(batch.size());
+  os.write(reinterpret_cast<const char*>(&scalar), 4);
+  os.write(reinterpret_cast<const char*>(&order32), 4);
+  os.write(reinterpret_cast<const char*>(&dim32), 4);
+  os.write(reinterpret_cast<const char*>(&count), 4);
+  for (const auto& a : batch) {
+    const auto v = a.values();
+    os.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+  TE_REQUIRE(os.good(), "write failed");
+}
+
+/// Read a binary batch written by write_tensor_batch_binary.
+template <Real T>
+[[nodiscard]] std::vector<SymmetricTensor<T>> read_tensor_batch_binary(
+    std::istream& is) {
+  char magic[8];
+  is.read(magic, 8);
+  TE_REQUIRE(is.good() && std::memcmp(magic, detail::kSymBatchMagic, 8) == 0,
+             "bad magic: not a TESYMB01 file");
+  std::int32_t scalar = 0, order = 0, dim = 0, count = 0;
+  is.read(reinterpret_cast<char*>(&scalar), 4);
+  is.read(reinterpret_cast<char*>(&order), 4);
+  is.read(reinterpret_cast<char*>(&dim), 4);
+  is.read(reinterpret_cast<char*>(&count), 4);
+  TE_REQUIRE(is.good(), "truncated header");
+  TE_REQUIRE(scalar == static_cast<std::int32_t>(sizeof(T)),
+             "scalar width mismatch: file has " << scalar * 8
+                                                << "-bit values");
+  TE_REQUIRE(order >= 1 && dim >= 1 && count >= 0, "corrupt header");
+
+  const auto u = comb::num_unique_entries(order, dim);
+  std::vector<SymmetricTensor<T>> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::int32_t i = 0; i < count; ++i) {
+    SymmetricTensor<T> a(order, dim);
+    is.read(reinterpret_cast<char*>(a.values().data()),
+            static_cast<std::streamsize>(u * sizeof(T)));
+    TE_REQUIRE(is.good(), "truncated values at tensor " << i);
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace te

@@ -1,0 +1,93 @@
+#pragma once
+// Streamline tractography over tensor-eigenvector fields.
+//
+// The downstream consumer of the paper's computation: given per-voxel
+// principal directions (the local maxima of A g^4, i.e. the tensor
+// eigenvectors the batched solver produces), reconstruct fiber bundles by
+// integrating streamlines through the direction field:
+//
+//   1. PeakField runs the batched eigensolver over a Volume and stores up
+//      to a few unit peak directions per voxel;
+//   2. trace() advances a point in fixed steps, at each step following the
+//      voxel peak best aligned with the current heading (directions are
+//      axial: +-d are the same fiber), stopping at the volume boundary, at
+//      a turn sharper than the angle threshold, in a voxel with no peaks,
+//      or at the length cap;
+//   3. seed_and_trace() launches streamlines from a seed lattice in both
+//      directions and concatenates the halves.
+//
+// Phantoms with known geometry (volume.hpp) make the whole pipeline
+// checkable: straight bundles must produce straight streamlines, arcs must
+// reproduce their curvature radius, and crossings must be traversed
+// straight through rather than turning onto the crossing bundle.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "te/sshopm/spectrum.hpp"
+#include "te/tract/volume.hpp"
+
+namespace te::tract {
+
+/// Controls for peak extraction and streamline integration.
+struct TractOptions {
+  // Peak extraction.
+  int num_starts = 64;          ///< SS-HOPM starts per voxel
+  int max_peaks = 3;            ///< keep at most this many per voxel
+  std::uint64_t seed = 9;       ///< starting-vector seed
+  // Integration.
+  double step = 0.25;           ///< step length in voxel units
+  double max_angle_deg = 45.0;  ///< stop when the fiber turns sharper
+  double max_length = 1000.0;   ///< streamline length cap
+};
+
+/// Per-voxel principal directions extracted with the batched eigensolver.
+template <Real T>
+class PeakField {
+ public:
+  PeakField(const Volume<T>& volume, const TractOptions& opt);
+
+  /// Peaks of the voxel containing physical point p (empty span outside
+  /// the volume or in peak-free voxels).
+  [[nodiscard]] std::span<const std::array<double, 3>> peaks_at(
+      std::span<const double> p) const;
+
+  [[nodiscard]] const Volume<T>& volume() const { return *volume_; }
+
+  /// Total number of stored peaks (diagnostics).
+  [[nodiscard]] std::size_t total_peaks() const;
+
+ private:
+  const Volume<T>* volume_;
+  std::vector<std::vector<std::array<double, 3>>> peaks_;  // per voxel
+};
+
+/// One traced streamline.
+struct Streamline {
+  std::vector<std::array<double, 3>> points;
+  double length = 0;
+  std::string stop_reason;  ///< "boundary" | "angle" | "no-peaks" | "length"
+
+  [[nodiscard]] const std::array<double, 3>& start() const {
+    return points.front();
+  }
+  [[nodiscard]] const std::array<double, 3>& end() const {
+    return points.back();
+  }
+};
+
+/// Trace one streamline from `seed` with initial heading `dir`.
+template <Real T>
+[[nodiscard]] Streamline trace(const PeakField<T>& field,
+                               std::span<const double> seed,
+                               std::span<const double> dir,
+                               const TractOptions& opt);
+
+/// Seed a lattice of `spacing`-separated points (voxel centres) and trace
+/// in both directions from each, joining the halves.
+template <Real T>
+[[nodiscard]] std::vector<Streamline> seed_and_trace(
+    const PeakField<T>& field, int spacing, const TractOptions& opt);
+
+}  // namespace te::tract

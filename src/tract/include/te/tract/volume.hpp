@@ -1,0 +1,94 @@
+#pragma once
+// Voxel volumes and synthetic phantoms for tractography.
+//
+// The paper's application stops at per-voxel fiber directions; the consumer
+// of those directions is tractography -- integrating streamlines through
+// the direction field to reconstruct fiber bundles. This module provides
+// the 3D voxel container and synthetic *phantoms* (volumes with known
+// bundle geometry: straight bundles, arcs, crossings) so streamline
+// reconstruction can be scored against ground truth, voxel for voxel.
+//
+// Each voxel holds the fiber mixture (ground truth) and its order-4
+// tensor, exactly as in the 2D dataset generator, but indexed on a 3D
+// grid with physical coordinates: voxel (i, j, k) spans the unit cube at
+// offset (i, j, k) (the paper's cubic-millimetre voxels).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "te/dwmri/dataset.hpp"
+#include "te/dwmri/fiber_model.hpp"
+
+namespace te::tract {
+
+/// 3D grid of voxels with fiber ground truth and fitted tensors.
+template <Real T>
+class Volume {
+ public:
+  Volume(int nx, int ny, int nz)
+      : nx_(nx), ny_(ny), nz_(nz),
+        voxels_(static_cast<std::size_t>(nx) * ny * nz) {
+    TE_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1, "volume must be nonempty");
+  }
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+  [[nodiscard]] std::size_t num_voxels() const { return voxels_.size(); }
+
+  [[nodiscard]] dwmri::Voxel<T>& at(int i, int j, int k) {
+    return voxels_[index(i, j, k)];
+  }
+  [[nodiscard]] const dwmri::Voxel<T>& at(int i, int j, int k) const {
+    return voxels_[index(i, j, k)];
+  }
+
+  /// Voxel containing the physical point p, or nullptr outside the volume.
+  [[nodiscard]] const dwmri::Voxel<T>* voxel_at(
+      std::span<const double> p) const {
+    const int i = static_cast<int>(std::floor(p[0]));
+    const int j = static_cast<int>(std::floor(p[1]));
+    const int k = static_cast<int>(std::floor(p[2]));
+    if (i < 0 || i >= nx_ || j < 0 || j >= ny_ || k < 0 || k >= nz_) {
+      return nullptr;
+    }
+    return &voxels_[index(i, j, k)];
+  }
+
+  [[nodiscard]] std::span<const dwmri::Voxel<T>> voxels() const {
+    return voxels_;
+  }
+  [[nodiscard]] std::span<dwmri::Voxel<T>> voxels() { return voxels_; }
+
+ private:
+  [[nodiscard]] std::size_t index(int i, int j, int k) const {
+    TE_ASSERT(i >= 0 && i < nx_ && j >= 0 && j < ny_ && k >= 0 && k < nz_);
+    return (static_cast<std::size_t>(k) * ny_ + j) * nx_ + i;
+  }
+
+  int nx_, ny_, nz_;
+  std::vector<dwmri::Voxel<T>> voxels_;
+};
+
+/// Phantom geometry controls.
+struct PhantomOptions {
+  int nx = 16, ny = 16, nz = 4;
+  dwmri::DiffusionParams diffusion;
+};
+
+/// Straight bundle along +x filling the whole volume.
+template <Real T>
+[[nodiscard]] Volume<T> make_straight_phantom(const PhantomOptions& opt);
+
+/// Two straight bundles: one along +x everywhere, one along +y inside the
+/// central band x in [nx/3, 2nx/3) -- a crossing region with known truth.
+template <Real T>
+[[nodiscard]] Volume<T> make_crossing_phantom(const PhantomOptions& opt);
+
+/// Quarter-circle arc bundle in the xy plane: at (x, y) the fiber is
+/// tangent to the circle centred at the origin through that point.
+template <Real T>
+[[nodiscard]] Volume<T> make_arc_phantom(const PhantomOptions& opt);
+
+}  // namespace te::tract

@@ -1,0 +1,172 @@
+#include "te/tract/streamline.hpp"
+
+#include <cmath>
+
+#include "te/batch/batch.hpp"
+
+namespace te::tract {
+
+namespace {
+
+double dot3(std::span<const double> a, const std::array<double, 3>& b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+
+}  // namespace
+
+template <Real T>
+PeakField<T>::PeakField(const Volume<T>& volume, const TractOptions& opt)
+    : volume_(&volume), peaks_(volume.num_voxels()) {
+  // One batched solve over the whole volume (the paper's computation),
+  // then per-voxel clustering into peaks.
+  batch::BatchProblem<T> p;
+  p.order = 4;
+  p.dim = 3;
+  p.tensors.reserve(volume.num_voxels());
+  for (const auto& v : volume.voxels()) p.tensors.push_back(v.tensor);
+  CounterRng rng(opt.seed);
+  p.starts = random_sphere_batch<T>(rng, 0, opt.num_starts, 3);
+  p.options.alpha = 0.0;
+  p.options.tolerance = 1e-6;
+  p.options.max_iterations = 200;
+
+  const auto solved = batch::solve_cpu_sequential(p, kernels::Tier::kUnrolled);
+  sshopm::MultiStartOptions mopt;
+  mopt.inner = p.options;
+  const auto lists = batch::extract_eigenpairs(p, solved, mopt);
+
+  for (std::size_t v = 0; v < lists.size(); ++v) {
+    int kept = 0;
+    for (const auto& pair : lists[v]) {
+      if (pair.type != sshopm::SpectralType::kLocalMax) continue;
+      if (kept++ >= opt.max_peaks) break;
+      peaks_[v].push_back({static_cast<double>(pair.x[0]),
+                           static_cast<double>(pair.x[1]),
+                           static_cast<double>(pair.x[2])});
+    }
+  }
+}
+
+template <Real T>
+std::span<const std::array<double, 3>> PeakField<T>::peaks_at(
+    std::span<const double> p) const {
+  const auto* voxel = volume_->voxel_at(p);
+  if (voxel == nullptr) return {};
+  const auto offset = static_cast<std::size_t>(voxel - volume_->voxels().data());
+  return peaks_[offset];
+}
+
+template <Real T>
+std::size_t PeakField<T>::total_peaks() const {
+  std::size_t n = 0;
+  for (const auto& v : peaks_) n += v.size();
+  return n;
+}
+
+template <Real T>
+Streamline trace(const PeakField<T>& field, std::span<const double> seed,
+                 std::span<const double> dir, const TractOptions& opt) {
+  TE_REQUIRE(seed.size() == 3 && dir.size() == 3, "need 3D seed/direction");
+  Streamline line;
+  std::array<double, 3> pos = {seed[0], seed[1], seed[2]};
+  std::array<double, 3> heading = {dir[0], dir[1], dir[2]};
+  {
+    const double n = std::sqrt(heading[0] * heading[0] +
+                               heading[1] * heading[1] +
+                               heading[2] * heading[2]);
+    TE_REQUIRE(n > 0, "initial direction must be nonzero");
+    for (auto& c : heading) c /= n;
+  }
+  line.points.push_back(pos);
+
+  const double cos_limit =
+      std::cos(opt.max_angle_deg * 3.14159265358979 / 180.0);
+
+  for (;;) {
+    const auto peaks = field.peaks_at(
+        std::span<const double>(pos.data(), 3));
+    if (peaks.empty()) {
+      line.stop_reason =
+          field.volume().voxel_at(std::span<const double>(pos.data(), 3)) ==
+                  nullptr
+              ? "boundary"
+              : "no-peaks";
+      break;
+    }
+    // Pick the peak best aligned with the heading (axial: use |dot|).
+    double best = -1;
+    std::array<double, 3> step_dir{};
+    for (const auto& pk : peaks) {
+      const double d = dot3(std::span<const double>(heading.data(), 3), pk);
+      if (std::abs(d) > best) {
+        best = std::abs(d);
+        step_dir = pk;
+        if (d < 0) {
+          for (auto& c : step_dir) c = -c;  // orient along the heading
+        }
+      }
+    }
+    if (best < cos_limit) {
+      line.stop_reason = "angle";
+      break;
+    }
+    for (int c = 0; c < 3; ++c) {
+      pos[static_cast<std::size_t>(c)] +=
+          opt.step * step_dir[static_cast<std::size_t>(c)];
+    }
+    heading = step_dir;
+    line.points.push_back(pos);
+    line.length += opt.step;
+    if (line.length >= opt.max_length) {
+      line.stop_reason = "length";
+      break;
+    }
+  }
+  return line;
+}
+
+template <Real T>
+std::vector<Streamline> seed_and_trace(const PeakField<T>& field, int spacing,
+                                       const TractOptions& opt) {
+  TE_REQUIRE(spacing >= 1, "spacing must be positive");
+  const auto& vol = field.volume();
+  std::vector<Streamline> lines;
+  for (int k = 0; k < vol.nz(); k += spacing) {
+    for (int j = 0; j < vol.ny(); j += spacing) {
+      for (int i = 0; i < vol.nx(); i += spacing) {
+        const std::array<double, 3> seed = {i + 0.5, j + 0.5, k + 0.5};
+        const auto peaks =
+            field.peaks_at(std::span<const double>(seed.data(), 3));
+        if (peaks.empty()) continue;
+        const auto& d = peaks.front();
+        // Trace both directions and join (dropping the duplicate seed).
+        auto fwd = trace(field, std::span<const double>(seed.data(), 3),
+                         std::span<const double>(d.data(), 3), opt);
+        const std::array<double, 3> neg = {-d[0], -d[1], -d[2]};
+        auto bwd = trace(field, std::span<const double>(seed.data(), 3),
+                         std::span<const double>(neg.data(), 3), opt);
+        Streamline joined;
+        joined.points.assign(bwd.points.rbegin(), bwd.points.rend());
+        joined.points.insert(joined.points.end(), fwd.points.begin() + 1,
+                             fwd.points.end());
+        joined.length = fwd.length + bwd.length;
+        joined.stop_reason = fwd.stop_reason + "/" + bwd.stop_reason;
+        lines.push_back(std::move(joined));
+      }
+    }
+  }
+  return lines;
+}
+
+template class PeakField<float>;
+template class PeakField<double>;
+template Streamline trace(const PeakField<float>&, std::span<const double>,
+                          std::span<const double>, const TractOptions&);
+template Streamline trace(const PeakField<double>&, std::span<const double>,
+                          std::span<const double>, const TractOptions&);
+template std::vector<Streamline> seed_and_trace(const PeakField<float>&, int,
+                                                const TractOptions&);
+template std::vector<Streamline> seed_and_trace(const PeakField<double>&,
+                                                int, const TractOptions&);
+
+}  // namespace te::tract

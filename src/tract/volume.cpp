@@ -1,0 +1,84 @@
+#include "te/tract/volume.hpp"
+
+#include <cmath>
+
+namespace te::tract {
+
+namespace {
+
+template <Real T>
+void fill_voxel(dwmri::Voxel<T>& voxel, std::vector<dwmri::Fiber> fibers,
+                const dwmri::DiffusionParams& params) {
+  voxel.fibers = std::move(fibers);
+  voxel.tensor = dwmri::make_voxel_tensor<T>(voxel.fibers, params);
+}
+
+}  // namespace
+
+template <Real T>
+Volume<T> make_straight_phantom(const PhantomOptions& opt) {
+  Volume<T> vol(opt.nx, opt.ny, opt.nz);
+  dwmri::Fiber f;
+  f.direction = {1, 0, 0};
+  for (int k = 0; k < opt.nz; ++k) {
+    for (int j = 0; j < opt.ny; ++j) {
+      for (int i = 0; i < opt.nx; ++i) {
+        fill_voxel(vol.at(i, j, k), {f}, opt.diffusion);
+      }
+    }
+  }
+  return vol;
+}
+
+template <Real T>
+Volume<T> make_crossing_phantom(const PhantomOptions& opt) {
+  Volume<T> vol(opt.nx, opt.ny, opt.nz);
+  dwmri::Fiber fx, fy;
+  fx.direction = {1, 0, 0};
+  fy.direction = {0, 1, 0};
+  const int lo = opt.nx / 3;
+  const int hi = 2 * opt.nx / 3;
+  for (int k = 0; k < opt.nz; ++k) {
+    for (int j = 0; j < opt.ny; ++j) {
+      for (int i = 0; i < opt.nx; ++i) {
+        if (i >= lo && i < hi) {
+          dwmri::Fiber a = fx, b = fy;
+          a.weight = 0.5;
+          b.weight = 0.5;
+          fill_voxel(vol.at(i, j, k), {a, b}, opt.diffusion);
+        } else {
+          fill_voxel(vol.at(i, j, k), {fx}, opt.diffusion);
+        }
+      }
+    }
+  }
+  return vol;
+}
+
+template <Real T>
+Volume<T> make_arc_phantom(const PhantomOptions& opt) {
+  Volume<T> vol(opt.nx, opt.ny, opt.nz);
+  for (int k = 0; k < opt.nz; ++k) {
+    for (int j = 0; j < opt.ny; ++j) {
+      for (int i = 0; i < opt.nx; ++i) {
+        // Tangent of the circle through the voxel centre.
+        const double cx = i + 0.5;
+        const double cy = j + 0.5;
+        const double r = std::sqrt(cx * cx + cy * cy);
+        dwmri::Fiber f;
+        f.direction = {-cy / r, cx / r, 0.0};
+        fill_voxel(vol.at(i, j, k), {f}, opt.diffusion);
+      }
+    }
+  }
+  return vol;
+}
+
+template Volume<float> make_straight_phantom(const PhantomOptions&);
+template Volume<double> make_straight_phantom(const PhantomOptions&);
+template Volume<float> make_crossing_phantom(const PhantomOptions&);
+template Volume<double> make_crossing_phantom(const PhantomOptions&);
+template Volume<float> make_arc_phantom(const PhantomOptions&);
+template Volume<double> make_arc_phantom(const PhantomOptions&);
+
+}  // namespace te::tract

@@ -1,0 +1,13 @@
+#include "te/util/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace te::detail {
+
+void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "TE_ASSERT failed: (%s) at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace te::detail

@@ -1,0 +1,54 @@
+#include "te/util/cli.hpp"
+
+#include <cstdlib>
+
+namespace te {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      std::string body = arg.substr(2);
+      const auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        options_.emplace_back(body.substr(0, eq), body.substr(eq + 1));
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        options_.emplace_back(body, argv[i + 1]);
+        ++i;
+      } else {
+        options_.emplace_back(body, "");
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  for (const auto& [k, v] : options_) {
+    if (k == name) return v;
+  }
+  return std::nullopt;
+}
+
+std::string CliArgs::get_or(const std::string& name,
+                            const std::string& def) const {
+  auto v = get(name);
+  return v ? *v : def;
+}
+
+long CliArgs::get_or(const std::string& name, long def) const {
+  auto v = get(name);
+  return v && !v->empty() ? std::strtol(v->c_str(), nullptr, 10) : def;
+}
+
+double CliArgs::get_or(const std::string& name, double def) const {
+  auto v = get(name);
+  return v && !v->empty() ? std::strtod(v->c_str(), nullptr) : def;
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return get(name).has_value();
+}
+
+}  // namespace te

@@ -1,0 +1,54 @@
+#pragma once
+// Error-handling primitives used throughout the library.
+//
+// Two tiers, following the convention that hot loops must stay exception-free:
+//   TE_REQUIRE(cond, msg)  -- precondition check at API boundaries; throws
+//                             te::InvalidArgument. Always on.
+//   TE_ASSERT(cond)        -- internal invariant check; active only in debug
+//                             builds (compiled out under NDEBUG).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace te {
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_invalid_argument(const char* expr,
+                                                const char* file, int line,
+                                                const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw InvalidArgument(os.str());
+}
+
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+
+}  // namespace detail
+}  // namespace te
+
+#define TE_REQUIRE(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::te::detail::throw_invalid_argument(#cond, __FILE__, __LINE__,      \
+                                           (std::ostringstream{} << msg)   \
+                                               .str());                    \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define TE_ASSERT(cond) ((void)0)
+#else
+#define TE_ASSERT(cond)                                            \
+  do {                                                             \
+    if (!(cond)) ::te::detail::assert_fail(#cond, __FILE__, __LINE__); \
+  } while (0)
+#endif

@@ -1,0 +1,41 @@
+#pragma once
+// Minimal command-line option parsing for examples and bench drivers.
+//
+// Supports "--name value" and "--name=value" forms plus boolean flags.
+// Unrecognized arguments are left for the caller (google-benchmark also
+// consumes argv, so we must coexist).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace te {
+
+/// Parsed command line: flag lookup by name with typed accessors.
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  /// Value of --name, if present (either "--name v" or "--name=v").
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+
+  /// Typed accessors with defaults.
+  [[nodiscard]] std::string get_or(const std::string& name,
+                                   const std::string& def) const;
+  [[nodiscard]] long get_or(const std::string& name, long def) const;
+  [[nodiscard]] double get_or(const std::string& name, double def) const;
+
+  /// True when --name appears (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Positional (non --option) arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace te

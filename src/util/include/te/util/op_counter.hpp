@@ -1,0 +1,88 @@
+#pragma once
+// Operation-mix accounting.
+//
+// The GPU timing model (src/gpusim) and the flop-rate reports of the
+// benchmark harness both rest on counting the *kinds* of operations a kernel
+// performs, not just its floating-point total:
+//
+//   fma   -- fused multiply-add (2 flops, 1 issue slot on Fermi-class cores)
+//   fmul  -- floating multiply (1 flop)
+//   fadd  -- floating add/sub (1 flop)
+//   fdiv  -- floating divide (expensive; several issue slots)
+//   sfu   -- special-function op (rsqrt, sqrt, ...) executed on SFUs
+//   iop   -- integer/logic op (index updates, multinomial accumulation, loop
+//            bookkeeping). Dominant in the *general* kernel tier, which is
+//            exactly why the paper's unrolled tier is ~19x faster on the GPU.
+//   shmem -- shared-memory accesses (simulated GPU only)
+//   lmem  -- local-memory accesses: runtime-indexed per-thread arrays that
+//            cannot live in registers. L1-resident on Fermi-class parts, so
+//            they cost issue/latency but no DRAM bandwidth (simulated GPU)
+//   gmem  -- true global-memory accesses in scalar words; charged against
+//            DRAM bandwidth as well as issue (simulated GPU only)
+//
+// Counters are plain value types; kernels that support instrumentation take
+// an optional OpCounts* and skip all accounting when it is null, so the
+// uninstrumented fast path pays nothing.
+
+#include <cstdint>
+
+namespace te {
+
+/// Tally of executed operations, by category.
+struct OpCounts {
+  std::int64_t fma = 0;
+  std::int64_t fmul = 0;
+  std::int64_t fadd = 0;
+  std::int64_t fdiv = 0;
+  std::int64_t sfu = 0;
+  std::int64_t iop = 0;
+  std::int64_t shmem = 0;
+  std::int64_t lmem = 0;
+  std::int64_t gmem = 0;
+
+  /// Total floating-point operations (an FMA counts as two, matching how
+  /// vendor peak numbers are quoted).
+  [[nodiscard]] std::int64_t flops() const {
+    return 2 * fma + fmul + fadd + fdiv + sfu;
+  }
+
+  /// Total issue slots consumed, ignoring memory (used by the CPU-side
+  /// instruction-mix reports; the GPU model applies its own issue rules).
+  [[nodiscard]] std::int64_t issue_ops() const {
+    return fma + fmul + fadd + 4 * fdiv + sfu + iop;
+  }
+
+  OpCounts& operator+=(const OpCounts& o) {
+    fma += o.fma;
+    fmul += o.fmul;
+    fadd += o.fadd;
+    fdiv += o.fdiv;
+    sfu += o.sfu;
+    iop += o.iop;
+    shmem += o.shmem;
+    lmem += o.lmem;
+    gmem += o.gmem;
+    return *this;
+  }
+
+  friend OpCounts operator+(OpCounts a, const OpCounts& b) { return a += b; }
+
+  friend bool operator==(const OpCounts&, const OpCounts&) = default;
+};
+
+/// Scale every category by a replication factor (e.g. per-iteration counts
+/// multiplied by the number of iterations).
+inline OpCounts operator*(OpCounts c, std::int64_t k) {
+  c.fma *= k;
+  c.fmul *= k;
+  c.fadd *= k;
+  c.fdiv *= k;
+  c.sfu *= k;
+  c.iop *= k;
+  c.shmem *= k;
+  c.lmem *= k;
+  c.gmem *= k;
+  return c;
+}
+
+}  // namespace te

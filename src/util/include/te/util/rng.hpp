@@ -1,0 +1,101 @@
+#pragma once
+// Deterministic random-number generation.
+//
+// All stochastic pieces of the library (starting vectors, synthetic tensors,
+// DW-MRI noise) draw from these generators so that every test, example and
+// benchmark is reproducible from a single seed, independent of thread count
+// or execution order. Two generators are provided:
+//
+//   SplitMix64  -- tiny stateful generator, used for seeding.
+//   CounterRng  -- counter-based (Philox-style mixing): stream i, counter j
+//                  always yields the same value regardless of call order,
+//                  which is what parallel backends need to agree bit-for-bit
+//                  with the sequential backend.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "te/util/types.hpp"
+
+namespace te {
+
+/// SplitMix64 (Steele et al.): fast, passes BigCrush, ideal for seeding.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_in(double lo, double hi) {
+    return lo + (hi - lo) * next_unit();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Counter-based generator: a pure function of (seed, stream, counter).
+///
+/// `stream` typically identifies an independent object (a tensor, a starting
+/// vector) and `counter` indexes draws within the stream. Any thread can
+/// generate any draw without shared state.
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t seed) : seed_(seed) {}
+
+  /// The `counter`-th 64-bit draw of stream `stream`.
+  [[nodiscard]] std::uint64_t at(std::uint64_t stream,
+                                 std::uint64_t counter) const {
+    // Mix the triple through two rounds of SplitMix64's finalizer with
+    // distinct odd constants; this is the same construction as
+    // hash-combining, and is more than enough for simulation inputs.
+    std::uint64_t z = seed_ ^ (stream * 0x9e3779b97f4a7c15ULL) ^
+                      (counter * 0xc2b2ae3d27d4eb4fULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdULL;
+    z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53ULL;
+    return z ^ (z >> 33);
+  }
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double unit(std::uint64_t stream,
+                            std::uint64_t counter) const {
+    return static_cast<double>(at(stream, counter) >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double in(std::uint64_t stream, std::uint64_t counter,
+                          double lo, double hi) const {
+    return lo + (hi - lo) * unit(stream, counter);
+  }
+
+  /// Standard normal via Box-Muller (uses counters 2k and 2k+1).
+  [[nodiscard]] double normal(std::uint64_t stream,
+                              std::uint64_t counter) const {
+    const double u1 = unit(stream, 2 * counter) + 1e-300;  // avoid log(0)
+    const double u2 = unit(stream, 2 * counter + 1);
+    constexpr double two_pi = 6.283185307179586476925286766559;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+  }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace te

@@ -1,0 +1,99 @@
+#pragma once
+// Sampling directions on the unit sphere S^{n-1}.
+//
+// SS-HOPM needs many starting vectors per tensor to cover the basins of the
+// tensor's eigenpairs (paper Sec. V: 128 random starts per tensor). Two
+// schemes are provided, matching the two options the paper mentions:
+//
+//   random_sphere_vector  -- each component uniform in [-1, 1], then
+//                            normalized (exactly the paper's recipe; note
+//                            this is *not* the uniform distribution on the
+//                            sphere, but covers it adequately),
+//   fibonacci_sphere      -- deterministic, near-evenly spaced points on S^2
+//                            ("pick starting vectors evenly spaced about the
+//                            sphere").
+//
+// DW-MRI gradient schemes also come from here.
+
+#include <cmath>
+#include <vector>
+
+#include "te/util/assert.hpp"
+#include "te/util/linalg.hpp"
+#include "te/util/rng.hpp"
+
+namespace te {
+
+/// One starting vector by the paper's recipe: components uniform in [-1, 1],
+/// rejected if degenerate, then normalized. Deterministic in
+/// (rng.seed, stream): suitable for order-independent parallel generation.
+template <Real T>
+std::vector<T> random_sphere_vector(const CounterRng& rng,
+                                    std::uint64_t stream, int n) {
+  TE_REQUIRE(n >= 1, "dimension must be positive");
+  std::vector<T> x(static_cast<std::size_t>(n));
+  std::uint64_t counter = 0;
+  for (;;) {
+    for (int i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] =
+          static_cast<T>(rng.in(stream, counter++, -1.0, 1.0));
+    }
+    const T norm = nrm2(std::span<const T>(x.data(), x.size()));
+    if (norm > T(1e-3)) {  // reject near-zero draws (probability ~0)
+      scal(T(1) / norm, std::span<T>(x.data(), x.size()));
+      return x;
+    }
+  }
+}
+
+/// A full batch of `count` starting vectors (streams base..base+count-1).
+template <Real T>
+std::vector<std::vector<T>> random_sphere_batch(const CounterRng& rng,
+                                                std::uint64_t base_stream,
+                                                int count, int n) {
+  std::vector<std::vector<T>> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int v = 0; v < count; ++v) {
+    out.push_back(random_sphere_vector<T>(rng, base_stream + v, n));
+  }
+  return out;
+}
+
+/// `count` near-evenly distributed unit vectors on S^2 (n = 3) using the
+/// Fibonacci lattice. Deterministic.
+template <Real T>
+std::vector<std::vector<T>> fibonacci_sphere(int count) {
+  TE_REQUIRE(count >= 1, "count must be positive");
+  const double golden = (1.0 + std::sqrt(5.0)) / 2.0;
+  std::vector<std::vector<T>> pts;
+  pts.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double z = 1.0 - 2.0 * (i + 0.5) / count;
+    const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+    const double phi = 2.0 * 3.14159265358979323846 * (i / golden -
+                                                       std::floor(i / golden));
+    pts.push_back({static_cast<T>(r * std::cos(phi)),
+                   static_cast<T>(r * std::sin(phi)), static_cast<T>(z)});
+  }
+  return pts;
+}
+
+/// Hemisphere variant of the Fibonacci lattice (z >= 0), used as a DW-MRI
+/// gradient scheme: measurements at g and -g are redundant because the ADC
+/// form has even order.
+template <Real T>
+std::vector<std::vector<T>> fibonacci_hemisphere(int count) {
+  auto pts = fibonacci_sphere<T>(2 * count);
+  std::vector<std::vector<T>> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (auto& p : pts) {
+    if (p[2] >= T(0)) out.push_back(std::move(p));
+    if (static_cast<int>(out.size()) == count) break;
+  }
+  // The lattice alternates hemispheres nearly perfectly, but guard anyway.
+  TE_REQUIRE(static_cast<int>(out.size()) == count,
+             "hemisphere sampling shortfall");
+  return out;
+}
+
+}  // namespace te

@@ -1,0 +1,43 @@
+#pragma once
+// Console table and CSV emission for the benchmark harness.
+//
+// Every bench binary prints (1) a human-readable aligned table mirroring the
+// paper's table/figure, and (2) an optional CSV for downstream plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace te {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  /// Set the header row; defines the column count.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row. Must match the header width (if one is set).
+  void add_row(std::vector<std::string> row);
+
+  /// Render with aligned columns. First column left-aligned, the rest
+  /// right-aligned (numeric convention).
+  void print(std::ostream& os) const;
+
+  /// Render as CSV.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `prec` significant decimal places (fixed notation).
+std::string fmt_fixed(double v, int prec);
+
+/// Format a double in engineering style: chooses fixed or scientific based
+/// on magnitude; compact output for tables.
+std::string fmt_auto(double v);
+
+}  // namespace te

@@ -1,0 +1,88 @@
+#include "te/util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "te/util/assert.hpp"
+
+namespace te {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  TE_REQUIRE(header_.empty() || row.size() == header_.size(),
+             "row width " << row.size() << " != header width "
+                          << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  // Column widths.
+  std::vector<std::size_t> w(header_.size(), 0);
+  auto grow = [&](const std::vector<std::string>& row) {
+    if (w.size() < row.size()) w.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      w[i] = std::max(w[i], row[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << "  ";
+      if (i == 0) {
+        os << row[i] << std::string(w[i] - row[i].size(), ' ');
+      } else {
+        os << std::string(w[i] - row[i].size(), ' ') << row[i];
+      }
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < w.size(); ++i) total += w[i] + (i ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string fmt_fixed(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmt_auto(double v) {
+  const double a = std::abs(v);
+  char buf[64];
+  if (v == 0.0) {
+    return "0";
+  } else if (a >= 1e6 || a < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3e", v);
+  } else if (a >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace te

@@ -1,0 +1,188 @@
+// Decomposition tests: best rank-1 approximation optimality properties,
+// odeco exact recovery, greedy residual monotonicity, and binary batch I/O
+// (used to persist decomposition inputs).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "te/decomp/greedy_cp.hpp"
+#include "te/decomp/rank_one.hpp"
+#include "te/tensor/generators.hpp"
+#include "te/tensor/io_binary.hpp"
+#include "te/util/rng.hpp"
+
+namespace te::decomp {
+namespace {
+
+TEST(BestRankOne, RecoversExactRankOneTensor) {
+  std::vector<double> x = {0.6, 0.0, 0.8};
+  for (int m : {3, 4}) {
+    const auto a = rank_one_tensor<double>(2.5, {x.data(), x.size()}, m);
+    const auto t = best_rank_one(a);
+    EXPECT_NEAR(t.weight, 2.5, 1e-6) << "m=" << m;
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_NEAR(std::abs(t.x[static_cast<std::size_t>(i)]),
+                  std::abs(x[static_cast<std::size_t>(i)]), 1e-5);
+    }
+    // Residual identity: ||A - w x^(xm)||^2 = ||A||^2 - w^2 ~ 0 here.
+    const auto r = deflate(a, t);
+    EXPECT_LT(r.frobenius_norm(), 1e-4);
+  }
+}
+
+TEST(BestRankOne, PicksLargestMagnitudeEvenIfNegative) {
+  // Even order: a dominant *negative* weight must win over a smaller
+  // positive one; that requires the negative-shift search direction.
+  std::vector<std::vector<double>> dirs = {{1, 0, 0}, {0, 1, 0}};
+  std::vector<double> w = {-5.0, 2.0};
+  const auto a =
+      rank_r_tensor<double>({w.data(), w.size()}, {dirs.data(), dirs.size()},
+                            4);
+  const auto t = best_rank_one(a);
+  EXPECT_NEAR(t.weight, -5.0, 1e-5);
+  EXPECT_NEAR(std::abs(t.x[0]), 1.0, 1e-5);
+}
+
+TEST(BestRankOne, ResidualNormIdentity) {
+  CounterRng rng(4);
+  const auto a = random_symmetric_tensor<double>(rng, 0, 4, 3);
+  const auto t = best_rank_one(a);
+  const auto r = deflate(a, t);
+  const double na2 = std::pow(static_cast<double>(a.frobenius_norm()), 2);
+  const double nr2 = std::pow(static_cast<double>(r.frobenius_norm()), 2);
+  EXPECT_NEAR(nr2, na2 - static_cast<double>(t.weight) * t.weight, 1e-6);
+}
+
+TEST(GreedyCp, ExactRecoveryOnOdeco) {
+  // Orthogonal directions: greedy deflation recovers weights in magnitude
+  // order, exactly.
+  std::vector<std::vector<double>> dirs = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  std::vector<double> w = {4.0, -2.5, 1.0};
+  for (int m : {4, 6}) {
+    const auto a = rank_r_tensor<double>({w.data(), w.size()},
+                                         {dirs.data(), dirs.size()}, m);
+    CpOptions opt;
+    opt.max_rank = 3;
+    const auto cp = greedy_symmetric_cp(a, opt);
+    ASSERT_EQ(cp.rank(), 3) << "m=" << m;
+    EXPECT_NEAR(cp.terms[0].weight, 4.0, 1e-5);
+    EXPECT_NEAR(cp.terms[1].weight, -2.5, 1e-5);
+    EXPECT_NEAR(cp.terms[2].weight, 1.0, 1e-5);
+    EXPECT_LT(cp.relative_error(), 1e-4);
+    // Directions match the axes (up to sign).
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_NEAR(std::abs(cp.terms[static_cast<std::size_t>(r)]
+                               .x[static_cast<std::size_t>(r)]),
+                  1.0, 1e-4);
+    }
+  }
+}
+
+TEST(GreedyCp, ResidualDecreasesMonotonically) {
+  CounterRng rng(5);
+  const auto a = random_symmetric_tensor<double>(rng, 1, 4, 3);
+  CpOptions opt;
+  opt.max_rank = 5;
+  const auto cp = greedy_symmetric_cp(a, opt);
+  ASSERT_GE(cp.rank(), 1);
+  for (std::size_t r = 1; r < cp.residual_history.size(); ++r) {
+    EXPECT_LT(cp.residual_history[r], cp.residual_history[r - 1])
+        << "step " << r;
+  }
+}
+
+TEST(GreedyCp, ReconstructMatchesWithinResidual) {
+  CounterRng rng(6);
+  const auto a = random_symmetric_tensor<double>(rng, 2, 3, 3);
+  CpOptions opt;
+  opt.max_rank = 4;
+  const auto cp = greedy_symmetric_cp(a, opt);
+  auto diff = a;
+  diff.add_scaled(cp.reconstruct(), -1.0);
+  EXPECT_NEAR(static_cast<double>(diff.frobenius_norm()) /
+                  static_cast<double>(a.frobenius_norm()),
+              cp.relative_error(), 1e-8);
+}
+
+TEST(GreedyCp, StopsAtTargetError) {
+  std::vector<std::vector<double>> dirs = {{1, 0, 0}, {0, 1, 0}};
+  std::vector<double> w = {3.0, 1.0};
+  const auto a = rank_r_tensor<double>({w.data(), w.size()},
+                                       {dirs.data(), dirs.size()}, 4);
+  CpOptions opt;
+  opt.max_rank = 10;
+  opt.target_relative_error = 0.4;  // reached after the first term
+  const auto cp = greedy_symmetric_cp(a, opt);
+  EXPECT_EQ(cp.rank(), 1);
+}
+
+TEST(GreedyCp, ZeroTensorYieldsEmptyDecomposition) {
+  SymmetricTensor<double> a(3, 3);
+  const auto cp = greedy_symmetric_cp(a);
+  EXPECT_EQ(cp.rank(), 0);
+  EXPECT_DOUBLE_EQ(cp.relative_error(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Binary I/O (persisting inputs for decomposition / benches).
+// ---------------------------------------------------------------------------
+
+TEST(BinaryIo, RoundTripsBatch) {
+  CounterRng rng(7);
+  std::vector<SymmetricTensor<float>> batch;
+  for (int i = 0; i < 6; ++i) {
+    batch.push_back(random_symmetric_tensor<float>(
+        rng, static_cast<std::uint64_t>(i), 4, 3));
+  }
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_tensor_batch_binary(ss, std::span<const SymmetricTensor<float>>(
+                                    batch.data(), batch.size()));
+  const auto back = read_tensor_batch_binary<float>(ss);
+  ASSERT_EQ(back.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i], back[i]) << "tensor " << i;
+  }
+}
+
+TEST(BinaryIo, RejectsScalarMismatch) {
+  CounterRng rng(8);
+  std::vector<SymmetricTensor<float>> batch = {
+      random_symmetric_tensor<float>(rng, 0, 3, 3)};
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_tensor_batch_binary(ss, std::span<const SymmetricTensor<float>>(
+                                    batch.data(), batch.size()));
+  EXPECT_THROW((void)read_tensor_batch_binary<double>(ss), InvalidArgument);
+}
+
+TEST(BinaryIo, RejectsBadMagicAndTruncation) {
+  std::stringstream bad(std::ios::in | std::ios::out | std::ios::binary);
+  bad << "NOTMAGIC garbage";
+  EXPECT_THROW((void)read_tensor_batch_binary<float>(bad), InvalidArgument);
+
+  CounterRng rng(9);
+  std::vector<SymmetricTensor<float>> batch = {
+      random_symmetric_tensor<float>(rng, 0, 3, 3)};
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_tensor_batch_binary(ss, std::span<const SymmetricTensor<float>>(
+                                    batch.data(), batch.size()));
+  const std::string full = ss.str();
+  std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
+  cut << full.substr(0, full.size() - 8);
+  EXPECT_THROW((void)read_tensor_batch_binary<float>(cut), InvalidArgument);
+}
+
+TEST(BinaryIo, RejectsMixedShapes) {
+  CounterRng rng(10);
+  std::vector<SymmetricTensor<float>> batch = {
+      random_symmetric_tensor<float>(rng, 0, 3, 3),
+      random_symmetric_tensor<float>(rng, 1, 4, 3)};
+  std::stringstream ss;
+  EXPECT_THROW(
+      write_tensor_batch_binary(ss, std::span<const SymmetricTensor<float>>(
+                                        batch.data(), batch.size())),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace te::decomp

@@ -1,0 +1,438 @@
+// GPU-simulator tests: occupancy arithmetic, coroutine execution semantics
+// (grids, barriers, shared memory), divergence accounting, and the shape of
+// the timing model (saturation, latency hiding, memory bound).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "te/gpusim/device_spec.hpp"
+#include "te/gpusim/exec.hpp"
+#include "te/gpusim/memory.hpp"
+#include "te/gpusim/occupancy.hpp"
+#include "te/gpusim/sshopm_kernels.hpp"
+
+namespace te::gpusim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Device spec & occupancy.
+// ---------------------------------------------------------------------------
+
+TEST(DeviceSpec, C2050PeakMatchesPaper) {
+  const auto dev = DeviceSpec::tesla_c2050();
+  EXPECT_NEAR(dev.peak_sp_gflops(), 1030.0, 1.0);  // paper: 1030 GFLOPS
+  EXPECT_EQ(dev.num_sms * dev.cores_per_sm, 448);
+}
+
+TEST(Occupancy, ApplicationKernelConfig) {
+  // 128 threads/block, ~20 regs/thread, 60 B shared: the block limit (8)
+  // binds; 32 warps resident out of 48.
+  const auto dev = DeviceSpec::tesla_c2050();
+  KernelResources res;
+  res.threads_per_block = 128;
+  res.registers_per_thread = 20;
+  res.shared_bytes_per_block = 60;
+  const auto occ = compute_occupancy(dev, res);
+  EXPECT_EQ(occ.blocks_per_sm, 8);
+  EXPECT_EQ(occ.warps_per_sm, 32);
+  EXPECT_EQ(occ.limiter, "blocks");
+  EXPECT_NEAR(occ.fraction, 32.0 / 48.0, 1e-12);
+}
+
+TEST(Occupancy, RegisterPressureLowersResidency) {
+  const auto dev = DeviceSpec::tesla_c2050();
+  KernelResources res;
+  res.threads_per_block = 128;
+  res.shared_bytes_per_block = 60;
+  res.registers_per_thread = 20;
+  const int base = compute_occupancy(dev, res).blocks_per_sm;
+  res.registers_per_thread = 60;  // 60*128 = 7680 regs/block -> 4 blocks
+  const auto occ = compute_occupancy(dev, res);
+  EXPECT_LT(occ.blocks_per_sm, base);
+  EXPECT_EQ(occ.limiter, "registers");
+}
+
+TEST(Occupancy, SharedMemoryCanExcludeLaunch) {
+  const auto dev = DeviceSpec::tesla_c2050();
+  KernelResources res;
+  res.threads_per_block = 128;
+  res.registers_per_thread = 20;
+  res.shared_bytes_per_block = dev.shared_bytes_per_sm + 1;
+  const auto occ = compute_occupancy(dev, res);
+  EXPECT_EQ(occ.blocks_per_sm, 0);
+  EXPECT_EQ(occ.limiter, "shared-memory");
+}
+
+TEST(Occupancy, OversizedBlockCannotLaunch) {
+  const auto dev = DeviceSpec::tesla_c2050();
+  KernelResources res;
+  res.threads_per_block = 2048;
+  const auto occ = compute_occupancy(dev, res);
+  EXPECT_EQ(occ.blocks_per_sm, 0);
+}
+
+TEST(Occupancy, RegisterEstimateGrowsWithDim) {
+  EXPECT_LT(estimate_registers(4, 3, true), estimate_registers(4, 8, true));
+  // General tier spills vectors, so its register count is dim-insensitive.
+  EXPECT_EQ(estimate_registers(4, 3, false), estimate_registers(4, 8, false));
+}
+
+// ---------------------------------------------------------------------------
+// Execution semantics.
+// ---------------------------------------------------------------------------
+
+namespace {
+ThreadTask write_ids_kernel(ThreadCtx& ctx, std::vector<int>* out) {
+  (*out)[static_cast<std::size_t>(ctx.block_idx() * ctx.block_dim() +
+                                  ctx.thread_idx())] =
+      ctx.block_idx() * 1000 + ctx.thread_idx();
+  co_return;
+}
+
+ThreadTask barrier_sum_kernel(ThreadCtx& ctx, std::vector<int>* out) {
+  // Each thread deposits its id into shared memory; after the barrier,
+  // thread 0 sums and writes the result for the block.
+  int* sh = ctx.shared_as<int>();
+  sh[ctx.thread_idx()] = ctx.thread_idx() + 1;
+  co_await ctx.sync();
+  if (ctx.thread_idx() == 0) {
+    int total = 0;
+    for (int t = 0; t < ctx.block_dim(); ++t) total += sh[t];
+    (*out)[static_cast<std::size_t>(ctx.block_idx())] = total;
+  }
+  co_return;
+}
+
+ThreadTask multi_barrier_kernel(ThreadCtx& ctx, std::vector<int>* out) {
+  // Ping-pong through shared memory across two barriers.
+  int* sh = ctx.shared_as<int>();
+  sh[ctx.thread_idx()] = 1;
+  co_await ctx.sync();
+  int v = 0;
+  for (int t = 0; t < ctx.block_dim(); ++t) v += sh[t];
+  co_await ctx.sync();
+  sh[ctx.thread_idx()] = v;
+  co_await ctx.sync();
+  if (ctx.thread_idx() == 0) {
+    (*out)[static_cast<std::size_t>(ctx.block_idx())] = sh[ctx.block_dim() - 1];
+  }
+  co_return;
+}
+
+ThreadTask divergence_kernel(ThreadCtx& ctx) {
+  // Lane i tallies i+1 multiplies: warp cost must equal the max lane.
+  OpCounts c;
+  c.fmul = ctx.thread_idx() + 1;
+  ctx.tally(c);
+  co_return;
+}
+}  // namespace
+
+TEST(Exec, GridRunsEveryThreadOnce) {
+  const auto dev = DeviceSpec::tesla_c2050();
+  LaunchConfig cfg;
+  cfg.grid_dim = 5;
+  cfg.block_dim = 32;
+  std::vector<int> out(static_cast<std::size_t>(5 * 32), -1);
+  const auto r =
+      launch(dev, cfg, [&](ThreadCtx& ctx) { return write_ids_kernel(ctx, &out); });
+  EXPECT_TRUE(r.launchable);
+  for (int b = 0; b < 5; ++b) {
+    for (int t = 0; t < 32; ++t) {
+      EXPECT_EQ(out[static_cast<std::size_t>(b * 32 + t)], b * 1000 + t);
+    }
+  }
+}
+
+TEST(Exec, BarrierMakesWritesVisible) {
+  const auto dev = DeviceSpec::tesla_c2050();
+  LaunchConfig cfg;
+  cfg.grid_dim = 3;
+  cfg.block_dim = 64;
+  cfg.shared_bytes_per_block = 64 * static_cast<std::int32_t>(sizeof(int));
+  std::vector<int> out(3, 0);
+  const auto r = launch(
+      dev, cfg, [&](ThreadCtx& ctx) { return barrier_sum_kernel(ctx, &out); });
+  EXPECT_TRUE(r.launchable);
+  for (int b = 0; b < 3; ++b) EXPECT_EQ(out[static_cast<std::size_t>(b)], 64 * 65 / 2);
+}
+
+TEST(Exec, MultipleBarriersSequence) {
+  const auto dev = DeviceSpec::tesla_c2050();
+  LaunchConfig cfg;
+  cfg.grid_dim = 2;
+  cfg.block_dim = 16;
+  cfg.shared_bytes_per_block = 16 * static_cast<std::int32_t>(sizeof(int));
+  std::vector<int> out(2, 0);
+  (void)launch(dev, cfg,
+               [&](ThreadCtx& ctx) { return multi_barrier_kernel(ctx, &out); });
+  EXPECT_EQ(out[0], 16);
+  EXPECT_EQ(out[1], 16);
+}
+
+TEST(Exec, SharedMemoryZeroedBetweenBlocks) {
+  const auto dev = DeviceSpec::tesla_c2050();
+  LaunchConfig cfg;
+  cfg.grid_dim = 4;
+  cfg.block_dim = 1;
+  cfg.shared_bytes_per_block = static_cast<std::int32_t>(sizeof(int));
+  std::vector<int> seen(4, -1);
+  (void)launch(dev, cfg, [&](ThreadCtx& ctx) -> ThreadTask {
+    int* sh = ctx.shared_as<int>();
+    seen[static_cast<std::size_t>(ctx.block_idx())] = *sh;  // must be 0
+    *sh = 77;  // pollute; next block must still read 0
+    co_return;
+  });
+  for (int b = 0; b < 4; ++b) EXPECT_EQ(seen[static_cast<std::size_t>(b)], 0);
+}
+
+TEST(Exec, WarpCostIsMaxLane) {
+  const auto dev = DeviceSpec::tesla_c2050();
+  LaunchConfig cfg;
+  cfg.grid_dim = 1;
+  cfg.block_dim = 32;  // one warp; lanes tally 1..32 muls
+  const auto r = launch(dev, cfg,
+                        [&](ThreadCtx& ctx) { return divergence_kernel(ctx); });
+  EXPECT_EQ(r.warp_issue_slots, 32);  // max lane, not the sum (528)
+  EXPECT_EQ(r.total_ops.fmul, 32 * 33 / 2);  // but totals count every lane
+  // Divergence ratio = max-lane / mean-lane = 32 / 16.5.
+  EXPECT_NEAR(r.divergence_ratio, 32.0 / 16.5, 1e-9);
+}
+
+TEST(Exec, UniformLanesHaveNoDivergence) {
+  const auto dev = DeviceSpec::tesla_c2050();
+  LaunchConfig cfg;
+  cfg.grid_dim = 4;
+  cfg.block_dim = 64;
+  const auto r = launch(dev, cfg, [&](ThreadCtx& ctx) -> ThreadTask {
+    OpCounts c;
+    c.fmul = 100;
+    ctx.tally(c);
+    co_return;
+  });
+  EXPECT_NEAR(r.divergence_ratio, 1.0, 1e-12);
+}
+
+TEST(Exec, UnlaunchableConfigReported) {
+  const auto dev = DeviceSpec::tesla_c2050();
+  LaunchConfig cfg;
+  cfg.grid_dim = 1;
+  cfg.block_dim = 32;
+  cfg.shared_bytes_per_block = dev.shared_bytes_per_sm + 1;
+  bool ran = false;
+  const auto r = launch(dev, cfg, [&](ThreadCtx& ctx) -> ThreadTask {
+    ran = true;
+    (void)ctx;
+    co_return;
+  });
+  EXPECT_FALSE(r.launchable);
+  EXPECT_FALSE(ran);
+}
+
+// ---------------------------------------------------------------------------
+// Device memory API.
+// ---------------------------------------------------------------------------
+
+TEST(Memory, RoundTripsAndTallies) {
+  TransferLedger ledger;
+  DeviceBuffer<float> buf(ledger, 100);
+  std::vector<float> host(100);
+  for (int i = 0; i < 100; ++i) host[static_cast<std::size_t>(i)] = i * 0.5f;
+  buf.h2d(host);
+  EXPECT_EQ(ledger.h2d_bytes(), 400u);
+
+  std::vector<float> back(100, -1.0f);
+  buf.d2h(back);
+  EXPECT_EQ(ledger.d2h_bytes(), 400u);
+  EXPECT_EQ(back, host);
+  EXPECT_EQ(ledger.total_bytes(), 800u);
+}
+
+TEST(Memory, SizeMismatchRejected) {
+  TransferLedger ledger;
+  DeviceBuffer<double> buf(ledger, 10);
+  std::vector<double> wrong(9);
+  EXPECT_THROW(buf.h2d(wrong), InvalidArgument);
+  EXPECT_THROW(buf.d2h(std::span<double>(wrong.data(), wrong.size())),
+               InvalidArgument);
+}
+
+TEST(Memory, ModeledSecondsUsePcieRate) {
+  TransferLedger ledger;
+  DeviceBuffer<float> buf(ledger, 1 << 20);
+  std::vector<float> host(1 << 20, 1.0f);
+  buf.h2d(host);
+  const auto dev = DeviceSpec::tesla_c2050();
+  EXPECT_NEAR(ledger.modeled_seconds(dev),
+              static_cast<double>(1 << 22) / (dev.pcie_gbps * 1e9), 1e-15);
+  ledger.reset();
+  EXPECT_EQ(ledger.total_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Timing model shape.
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Launch `blocks` copies of a fixed-cost kernel and return modeled time.
+double modeled_time_for_blocks(int blocks, std::int64_t fmuls_per_thread) {
+  const auto dev = DeviceSpec::tesla_c2050();
+  LaunchConfig cfg;
+  cfg.grid_dim = blocks;
+  cfg.block_dim = 128;
+  cfg.registers_per_thread = 20;
+  const auto r = launch(dev, cfg, [&](ThreadCtx& ctx) -> ThreadTask {
+    OpCounts c;
+    c.fmul = fmuls_per_thread;
+    ctx.tally(c);
+    co_return;
+  });
+  return r.modeled_seconds;
+}
+}  // namespace
+
+TEST(Timing, FlatUntilSmsFilledThenLinear) {
+  // Figure 5's mechanism: with fewer blocks than SMs the device is
+  // underutilized and time is constant; far beyond, time grows linearly.
+  const double t1 = modeled_time_for_blocks(1, 10000);
+  const double t14 = modeled_time_for_blocks(14, 10000);
+  EXPECT_NEAR(t14, t1, 1e-12);  // one block per SM, same critical path
+  const double t280 = modeled_time_for_blocks(280, 10000);
+  const double t560 = modeled_time_for_blocks(560, 10000);
+  EXPECT_NEAR(t560 / t280, 2.0, 0.15);  // linear regime
+}
+
+TEST(Timing, LowOccupancyInflatesTime) {
+  // Same total work in one block vs spread over 8 blocks on one SM: the
+  // single resident block (4 warps < 12 needed) cannot hide latency.
+  const auto dev = DeviceSpec::tesla_c2050();
+  auto run = [&](int blocks, std::int64_t work) {
+    LaunchConfig cfg;
+    cfg.grid_dim = blocks;
+    cfg.block_dim = 128;
+    const auto r = launch(dev, cfg, [&](ThreadCtx& ctx) -> ThreadTask {
+      OpCounts c;
+      c.fmul = work;
+      ctx.tally(c);
+      co_return;
+    });
+    return r.modeled_seconds;
+  };
+  // 1 block with 8W work vs 8 blocks with W work each: same total issue
+  // slots on the same SM... but wait, 8 blocks land on 8 *different* SMs.
+  // Instead compare efficiency directly: 1 underoccupied block should run
+  // slower than 1/8 of the time of a fully resident workload of 8x size
+  // scheduled on one SM would suggest. Use the per-SM efficiency factor:
+  const double t_low = run(1, 8000);   // 4 warps resident: eff = 4/12
+  const double t_high = run(1, 8000);  // same; compare against raw cycles
+  EXPECT_DOUBLE_EQ(t_low, t_high);
+  // Raw: warp slots = 4 warps * 8000; at eff = 32/ (12*32)... validate the
+  // number against the documented formula instead of another run.
+  const double warps = 4, eff = warps / dev.latency_hiding_warps;
+  const double expect =
+      (4.0 * 8000 / eff) / (dev.clock_ghz * 1e9) + dev.launch_overhead_s;
+  EXPECT_NEAR(t_low, expect, expect * 1e-9);
+}
+
+TEST(Timing, MemoryBoundKernelUsesBandwidth) {
+  const auto dev = DeviceSpec::tesla_c2050();
+  LaunchConfig cfg;
+  cfg.grid_dim = 14 * 8;
+  cfg.block_dim = 128;
+  const std::int64_t words = 100000;
+  const auto r = launch(dev, cfg, [&](ThreadCtx& ctx) -> ThreadTask {
+    OpCounts c;
+    c.gmem = words;
+    ctx.tally(c);
+    co_return;
+  });
+  const double bytes = static_cast<double>(words) * 4 * 14 * 8 * 128;
+  EXPECT_NEAR(r.memory_seconds, bytes / (dev.global_bw_gbps * 1e9), 1e-9);
+  EXPECT_GE(r.modeled_seconds, r.memory_seconds);
+}
+
+TEST(Timing, GflopsAgainstUsefulWork) {
+  LaunchResult r;
+  r.modeled_seconds = 2e-3;
+  EXPECT_NEAR(r.achieved_gflops(6e8), 300.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Iteration-cost builders.
+// ---------------------------------------------------------------------------
+
+TEST(IterationCost, GeneralCostsMoreThanUnrolled) {
+  const auto dev = DeviceSpec::tesla_c2050();
+  const auto u = unrolled_iteration_cost(4, 3);
+  const auto g = general_iteration_cost(4, 3);
+  // Identical useful flops...
+  EXPECT_EQ(u.per_iteration.flops(), g.per_iteration.flops());
+  // ...but far more issue slots (index arithmetic + local memory).
+  const double cu = lane_issue_cost(dev, u.per_iteration);
+  const double cg = lane_issue_cost(dev, g.per_iteration);
+  EXPECT_GT(cg / cu, 4.0);
+  EXPECT_GT(g.per_iteration.iop, 0);
+  EXPECT_GT(g.per_iteration.lmem, 0);  // spilled x/y/index arrays
+  EXPECT_EQ(g.per_iteration.gmem, 0);  // ...but no extra DRAM traffic
+  EXPECT_EQ(u.per_iteration.lmem, 0);  // registers only
+  EXPECT_EQ(u.per_iteration.gmem, 0);
+}
+
+TEST(IterationCost, ScalesWithShape) {
+  const auto dev = DeviceSpec::tesla_c2050();
+  const auto small = unrolled_iteration_cost(4, 3);
+  const auto large = unrolled_iteration_cost(4, 5);
+  EXPECT_GT(lane_issue_cost(dev, large.per_iteration),
+            lane_issue_cost(dev, small.per_iteration));
+}
+
+TEST(Timing, IcacheOverflowDeratesStraightLineKernels) {
+  const auto dev = DeviceSpec::tesla_c2050();
+  auto run = [&](int static_instr) {
+    LaunchConfig cfg;
+    cfg.grid_dim = 14 * 8;
+    cfg.block_dim = 128;
+    cfg.static_instructions = static_instr;
+    const auto r = launch(dev, cfg, [&](ThreadCtx& ctx) -> ThreadTask {
+      OpCounts c;
+      c.fmul = 1000;
+      ctx.tally(c);
+      co_return;
+    });
+    return r.compute_seconds;  // exclude launch overhead from the ratio
+  };
+  const double fits = run(dev.icache_instructions / 2);
+  const double same = run(dev.icache_instructions);  // exactly fits: no cost
+  const double spills = run(dev.icache_instructions * 3);
+  EXPECT_DOUBLE_EQ(fits, same);
+  EXPECT_NEAR(spills / fits, 3.0, 0.05);
+}
+
+TEST(Occupancy, UnrolledRegisterDemandTracksUniqueEntries) {
+  // Register demand grows with the unrolled body size and saturates at the
+  // Fermi per-thread cap of 63.
+  EXPECT_LT(estimate_registers(4, 3, true), estimate_registers(4, 5, true));
+  EXPECT_LT(estimate_registers(4, 5, true), estimate_registers(4, 6, true));
+  EXPECT_EQ(estimate_registers(4, 10, true), 63);
+}
+
+TEST(LaunchConfigBuilder, GeneralTierHasNoStaticFootprint) {
+  const auto cfg = sshopm_launch_config(4, 3, 64, 128,
+                                        kernels::Tier::kGeneral);
+  EXPECT_EQ(cfg.static_instructions, 0);
+  const auto cfgu = sshopm_launch_config(4, 6, 64, 128,
+                                         kernels::Tier::kUnrolled);
+  EXPECT_GT(cfgu.static_instructions, 1024);  // overflows the I-cache
+}
+
+TEST(LaunchConfigBuilder, MatchesPaperGeometry) {
+  const auto cfg = sshopm_launch_config(4, 3, 1024, 128,
+                                        kernels::Tier::kUnrolled);
+  EXPECT_EQ(cfg.grid_dim, 1024);   // one block per tensor
+  EXPECT_EQ(cfg.block_dim, 128);   // one thread per start
+  EXPECT_EQ(cfg.shared_bytes_per_block, 15 * 4);  // U floats
+}
+
+}  // namespace
+}  // namespace te::gpusim

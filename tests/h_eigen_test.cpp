@@ -1,0 +1,130 @@
+// H-eigenpair (NQZ) tests: known spectra of diagonal and rank-1 nonnegative
+// tensors, certified-bound semantics, residual validation, and the
+// matrix specialization (H- and Z-eigenpairs coincide for m = 2 up to
+// normalization of the eigenvector).
+
+#include <gtest/gtest.h>
+
+#include "te/sshopm/h_eigen.hpp"
+#include "te/tensor/generators.hpp"
+#include "te/util/rng.hpp"
+
+namespace te::sshopm {
+namespace {
+
+/// Diagonal symmetric tensor: a_{ii...i} = d_i, zero elsewhere.
+template <typename T>
+SymmetricTensor<T> diagonal_tensor(int order, std::span<const T> d) {
+  SymmetricTensor<T> a(order, static_cast<int>(d.size()));
+  for (int i = 0; i < static_cast<int>(d.size()); ++i) {
+    std::vector<index_t> idx(static_cast<std::size_t>(order),
+                             static_cast<index_t>(i));
+    a({idx.data(), idx.size()}) = d[static_cast<std::size_t>(i)];
+  }
+  return a;
+}
+
+TEST(HEigen, DiagonalDominantValueBounded) {
+  // For a diagonal nonnegative tensor, every H-eigenvalue is one of the
+  // diagonal entries; the NQZ bounds must enclose the largest.
+  std::vector<double> d = {2.0, 5.0, 1.0};
+  const auto a = diagonal_tensor<double>(4, {d.data(), d.size()});
+  HEigenOptions opt;
+  opt.max_iterations = 20000;
+  const auto r = dominant_h_eigenpair(a, opt);
+  // Diagonal tensors are reducible: the iteration may not certify, but its
+  // upper bound can never exceed the true maximum by Perron theory...
+  EXPECT_LE(r.lower, 5.0 + 1e-9);
+  EXPECT_GE(r.upper, 5.0 - 1e-6);
+}
+
+TEST(HEigen, RankOnePositiveTensor) {
+  // A = w v^(x m) with v > 0: the positive H-eigenpair satisfies
+  // A x^{m-1} = lambda x^[m-1]; NQZ must converge with tight bounds and
+  // a small residual.
+  std::vector<double> v = {0.2, 0.5, 0.3};  // 1-norm 1, positive
+  const auto a = rank_one_tensor<double>(3.0, {v.data(), v.size()}, 3);
+  const auto r = dominant_h_eigenpair(a);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(r.upper - r.lower, 1e-8 * r.upper);
+  kernels::BoundKernels<double> k(a, kernels::Tier::kGeneral);
+  EXPECT_LT(h_eigen_residual(k, r.lambda, {r.x.data(), r.x.size()}), 1e-8);
+  // Eigenvector is positive and 1-normalized.
+  double norm1 = 0;
+  for (double xi : r.x) {
+    EXPECT_GT(xi, 0.0);
+    norm1 += xi;
+  }
+  EXPECT_NEAR(norm1, 1.0, 1e-12);
+}
+
+TEST(HEigen, AllOnesTensorHasKnownSpectrum) {
+  // The all-ones tensor of order m, dim n: A x^{m-1} = (sum x_i)^{m-1} * 1.
+  // With x = (1/n, ..., 1/n): A x^{m-1} = 1 and x^[m-1] = n^{-(m-1)}, so
+  // lambda_max = n^{m-1}.
+  const int m = 3, n = 4;
+  SymmetricTensor<double> a(m, n);
+  for (offset_t r = 0; r < a.num_unique(); ++r) a.value(r) = 1.0;
+  const auto r = dominant_h_eigenpair(a);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.lambda, std::pow(n, m - 1), 1e-6);
+  for (double xi : r.x) EXPECT_NEAR(xi, 1.0 / n, 1e-8);
+}
+
+TEST(HEigen, MatrixCaseMatchesPerronValue) {
+  // m = 2: H-eigenpairs are ordinary matrix eigenpairs; for a positive
+  // matrix NQZ finds the Perron root.
+  Matrix<double> msym(3, 3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) msym(i, j) = 1.0 + 0.1 * (i + j);
+  }
+  const auto a = from_matrix(msym);
+  const auto r = dominant_h_eigenpair(a);
+  ASSERT_TRUE(r.converged);
+  const auto eig = jacobi_eigen(msym);
+  EXPECT_NEAR(r.lambda, eig.values.back(), 1e-7);
+}
+
+TEST(HEigen, BoundsTightenMonotonically) {
+  CounterRng rng(3);
+  auto a = random_symmetric_tensor<double>(rng, 0, 3, 4, 0.1, 1.0);  // > 0
+  HEigenOptions opt;
+  opt.tolerance = 0;  // run to max_iterations, watch the bounds
+  opt.max_iterations = 30;
+  double prev_gap = std::numeric_limits<double>::infinity();
+  for (int iters = 5; iters <= 30; iters += 5) {
+    HEigenOptions o2 = opt;
+    o2.max_iterations = iters;
+    const auto r = dominant_h_eigenpair(a, o2);
+    const double gap = static_cast<double>(r.upper - r.lower);
+    // Monotone up to floating-point noise once the gap hits epsilon scale.
+    EXPECT_LE(gap, prev_gap * (1 + 1e-9) + 1e-12) << "iters=" << iters;
+    prev_gap = gap;
+  }
+}
+
+TEST(HEigen, RandomPositiveTensorsResidualSmall) {
+  CounterRng rng(4);
+  for (const auto& [m, n] : {std::pair{3, 3}, {4, 3}, {4, 5}}) {
+    auto a = random_symmetric_tensor<double>(
+        rng, static_cast<std::uint64_t>(m * 10 + n), m, n, 0.05, 1.0);
+    const auto r = dominant_h_eigenpair(a);
+    ASSERT_TRUE(r.converged) << "m=" << m << " n=" << n;
+    kernels::BoundKernels<double> k(a, kernels::Tier::kGeneral);
+    EXPECT_LT(h_eigen_residual(k, r.lambda, {r.x.data(), r.x.size()}),
+              1e-7)
+        << "m=" << m << " n=" << n;
+    // The certified interval contains the reported lambda.
+    EXPECT_GE(r.lambda, r.lower - 1e-12);
+    EXPECT_LE(r.lambda, r.upper + 1e-12);
+  }
+}
+
+TEST(HEigen, RejectsNegativeEntries) {
+  SymmetricTensor<double> a(3, 3);
+  a({0, 1, 2}) = -0.5;
+  EXPECT_THROW((void)dominant_h_eigenpair(a), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace te::sshopm

@@ -1,0 +1,259 @@
+// Property-based tests: randomized sweeps over seeds and shapes checking
+// the algebraic identities the library's correctness rests on --
+// Definition 2 in full generality (ttsv for every p), contraction-chain
+// identities, homogeneity/multilinearity, Kolda & Mayo's monotone
+// convergence under a dominating shift, and float/double consistency.
+
+#include <gtest/gtest.h>
+
+#include "te/kernels/dense.hpp"
+#include "te/kernels/general.hpp"
+#include "te/kernels/ttsv.hpp"
+#include "te/sshopm/sshopm.hpp"
+#include "te/tensor/generators.hpp"
+#include "te/util/rng.hpp"
+#include "te/util/sphere.hpp"
+
+namespace te {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, TtsvGeneralPMatchesSpecializedKernels) {
+  // ttsv(A, x, p) must reproduce ttsv1 (p = 1) and ttsv2 (p = 2), and its
+  // order-m case must return A itself when contracted zero times (p = m).
+  CounterRng rng(GetParam());
+  const int m = 4, n = 3;
+  const auto a = random_symmetric_tensor<double>(rng, 0, m, n);
+  const auto x = random_sphere_vector<double>(rng, 1, n);
+
+  const auto t1 = kernels::ttsv(a, {x.data(), x.size()}, 1);
+  std::vector<double> y(static_cast<std::size_t>(n));
+  kernels::ttsv1_general(a, {x.data(), x.size()}, {y.data(), y.size()});
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(t1.value(i), y[static_cast<std::size_t>(i)], 1e-10);
+  }
+
+  const auto t2 = kernels::ttsv(a, {x.data(), x.size()}, 2);
+  const auto b2 = kernels::ttsv2_general(a, {x.data(), x.size()});
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      EXPECT_NEAR(t2({static_cast<index_t>(i), static_cast<index_t>(j)}),
+                  b2(i, j), 1e-10);
+    }
+  }
+
+  const auto tm = kernels::ttsv(a, {x.data(), x.size()}, m);
+  EXPECT_EQ(tm.num_unique(), a.num_unique());
+  for (offset_t r = 0; r < a.num_unique(); ++r) {
+    EXPECT_NEAR(tm.value(r), a.value(r), 1e-12);
+  }
+}
+
+TEST_P(SeedSweep, TtsvContractionChainCommutes) {
+  // Contracting p modes at once equals contracting them one at a time:
+  // ttsv(ttsv(A, x, p), x, p - 1) == ttsv(A, x, p - 1).
+  CounterRng rng(GetParam() + 100);
+  const int m = 5, n = 3;
+  const auto a = random_symmetric_tensor<double>(rng, 0, m, n);
+  const auto x = random_sphere_vector<double>(rng, 1, n);
+  for (int p = 2; p < m; ++p) {
+    const auto ap = kernels::ttsv(a, {x.data(), x.size()}, p);
+    const auto chained = kernels::ttsv(ap, {x.data(), x.size()}, p - 1);
+    const auto direct = kernels::ttsv(a, {x.data(), x.size()}, p - 1);
+    ASSERT_EQ(chained.num_unique(), direct.num_unique()) << "p=" << p;
+    for (offset_t r = 0; r < direct.num_unique(); ++r) {
+      EXPECT_NEAR(chained.value(r), direct.value(r), 1e-9)
+          << "p=" << p << " r=" << r;
+    }
+  }
+}
+
+TEST_P(SeedSweep, TtsvMatchesDenseModeContraction) {
+  // Against the dense oracle: contract the last (m - p) modes of the dense
+  // expansion and compare entrywise.
+  CounterRng rng(GetParam() + 200);
+  const int m = 4, n = 3;
+  const auto a = random_symmetric_tensor<double>(rng, 0, m, n);
+  const auto x = random_sphere_vector<double>(rng, 1, n);
+  auto dense = to_dense(a);
+  for (int p = m - 1; p >= 2; --p) {
+    dense = kernels::contract_last_mode(
+        dense, std::span<const double>(x.data(), x.size()));
+    const auto sym = kernels::ttsv(a, {x.data(), x.size()}, p);
+    const auto sym_dense = to_dense(sym);
+    ASSERT_EQ(sym_dense.size(), dense.size()) << "p=" << p;
+    for (std::size_t off = 0; off < dense.size(); ++off) {
+      EXPECT_NEAR(sym_dense.data()[off], dense.data()[off], 1e-9)
+          << "p=" << p << " off=" << off;
+    }
+  }
+}
+
+TEST_P(SeedSweep, KernelsAreHomogeneous) {
+  // f(c x) = c^m f(x) and Axy-linearity in A: the defining algebraic
+  // properties of the homogeneous form.
+  CounterRng rng(GetParam() + 300);
+  const int m = 4, n = 4;
+  const auto a = random_symmetric_tensor<double>(rng, 0, m, n);
+  const auto b = random_symmetric_tensor<double>(rng, 1, m, n);
+  const auto x = random_sphere_vector<double>(rng, 2, n);
+
+  const double c = 1.37;
+  std::vector<double> cx(x);
+  for (auto& v : cx) v *= c;
+  EXPECT_NEAR(kernels::ttsv0_general(a, {cx.data(), cx.size()}),
+              std::pow(c, m) * kernels::ttsv0_general(a, {x.data(), x.size()}),
+              1e-9);
+
+  auto apb = a;
+  apb.add_scaled(b, 2.0);
+  EXPECT_NEAR(kernels::ttsv0_general(apb, {x.data(), x.size()}),
+              kernels::ttsv0_general(a, {x.data(), x.size()}) +
+                  2.0 * kernels::ttsv0_general(b, {x.data(), x.size()}),
+              1e-9);
+}
+
+TEST_P(SeedSweep, ShiftedIterationIsMonotone) {
+  // Kolda & Mayo: with alpha >= the curvature bound, lambda_k is monotone
+  // nondecreasing (alpha > 0) resp. nonincreasing (alpha < 0).
+  CounterRng rng(GetParam() + 400);
+  const int m = 4, n = 3;
+  const auto a = random_symmetric_tensor<double>(rng, 7, m, n);
+  const auto x0 = random_sphere_vector<double>(rng, 8, n);
+  kernels::BoundKernels<double> k(a, kernels::Tier::kGeneral);
+
+  sshopm::Options opt;
+  opt.alpha = sshopm::suggest_shift(a);
+  opt.tolerance = 1e-12;
+  opt.max_iterations = 50000;
+  opt.record_trace = true;
+  const auto r = sshopm::solve(k, {x0.data(), x0.size()}, opt);
+  ASSERT_TRUE(r.converged);
+  ASSERT_GE(r.lambda_trace.size(), 2u);
+  for (std::size_t i = 1; i < r.lambda_trace.size(); ++i) {
+    EXPECT_GE(r.lambda_trace[i], r.lambda_trace[i - 1] - 1e-12)
+        << "iteration " << i;
+  }
+
+  opt.alpha = -opt.alpha;
+  const auto rneg = sshopm::solve(k, {x0.data(), x0.size()}, opt);
+  ASSERT_TRUE(rneg.converged);
+  for (std::size_t i = 1; i < rneg.lambda_trace.size(); ++i) {
+    EXPECT_LE(rneg.lambda_trace[i], rneg.lambda_trace[i - 1] + 1e-12)
+        << "iteration " << i;
+  }
+}
+
+TEST_P(SeedSweep, FloatAgreesWithDoubleToSinglePrecision) {
+  CounterRng rng(GetParam() + 500);
+  const int m = 4, n = 3;
+  const auto ad = random_symmetric_tensor<double>(rng, 3, m, n);
+  SymmetricTensor<float> af(m, n);
+  for (offset_t r = 0; r < ad.num_unique(); ++r) {
+    af.value(r) = static_cast<float>(ad.value(r));
+  }
+  const auto xd = random_sphere_vector<double>(rng, 4, n);
+  std::vector<float> xf(xd.begin(), xd.end());
+
+  EXPECT_NEAR(static_cast<double>(
+                  kernels::ttsv0_general(af, {xf.data(), xf.size()})),
+              kernels::ttsv0_general(ad, {xd.data(), xd.size()}), 2e-5);
+}
+
+TEST_P(SeedSweep, EigenpairsSatisfyDefinitionAcrossShapes) {
+  // Definition 3 checked on whatever SS-HOPM finds, for several shapes.
+  CounterRng rng(GetParam() + 600);
+  for (const auto& [m, n] : {std::pair{3, 4}, {4, 4}, {5, 3}}) {
+    const auto a = random_symmetric_tensor<double>(
+        rng, static_cast<std::uint64_t>(m * 8 + n), m, n);
+    const auto x0 = random_sphere_vector<double>(rng, 9, n);
+    kernels::BoundKernels<double> k(a, kernels::Tier::kGeneral);
+    sshopm::Options opt;
+    opt.alpha = sshopm::suggest_shift(a);
+    opt.tolerance = 1e-12;
+    opt.max_iterations = 100000;
+    const auto r = sshopm::solve(k, {x0.data(), x0.size()}, opt);
+    ASSERT_TRUE(r.converged) << "m=" << m << " n=" << n;
+    // ||x|| = 1 and A x^{m-1} = lambda x.
+    EXPECT_NEAR(nrm2(std::span<const double>(r.x.data(), r.x.size())), 1.0,
+                1e-12);
+    EXPECT_LT(sshopm::eigen_residual(k, r.lambda, {r.x.data(), r.x.size()}),
+              1e-5)
+        << "m=" << m << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
+                                           13ull, 21ull, 34ull, 55ull,
+                                           89ull, 144ull, 233ull),
+                         [](const auto& pi) {
+                           return "seed" + std::to_string(pi.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Degenerate-shape edge cases (not seed-dependent).
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCases, DimensionOneTensor) {
+  // n = 1: a single value; the only unit vectors are +-1.
+  SymmetricTensor<double> a(4, 1);
+  a.value(0) = 3.5;
+  std::vector<double> x = {1.0};
+  EXPECT_DOUBLE_EQ(kernels::ttsv0_general(a, {x.data(), 1}), 3.5);
+  std::vector<double> y(1);
+  kernels::ttsv1_general(a, {x.data(), 1}, {y.data(), 1});
+  EXPECT_DOUBLE_EQ(y[0], 3.5);
+  kernels::BoundKernels<double> k(a, kernels::Tier::kGeneral);
+  sshopm::Options opt;
+  const auto r = sshopm::solve(k, {x.data(), 1}, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.lambda, 3.5);
+}
+
+TEST(EdgeCases, OrderTwoIsMatrixTimesVector) {
+  CounterRng rng(9);
+  const int n = 4;
+  const auto a = random_symmetric_tensor<double>(rng, 0, 2, n);
+  const auto x = random_sphere_vector<double>(rng, 1, n);
+  // ttsv1 on an order-2 tensor is the matrix-vector product.
+  std::vector<double> y(static_cast<std::size_t>(n));
+  kernels::ttsv1_general(a, {x.data(), x.size()}, {y.data(), y.size()});
+  for (int i = 0; i < n; ++i) {
+    double s = 0;
+    for (int j = 0; j < n; ++j) {
+      s += a({static_cast<index_t>(i), static_cast<index_t>(j)}) *
+           x[static_cast<std::size_t>(j)];
+    }
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], s, 1e-12);
+  }
+}
+
+TEST(EdgeCases, TtsvRejectsBadP) {
+  SymmetricTensor<double> a(3, 3);
+  std::vector<double> x = {1, 0, 0};
+  EXPECT_THROW((void)kernels::ttsv(a, {x.data(), 3}, 0), InvalidArgument);
+  EXPECT_THROW((void)kernels::ttsv(a, {x.data(), 3}, 4), InvalidArgument);
+}
+
+TEST(EdgeCases, ZeroTensorEverywhere) {
+  SymmetricTensor<double> a(4, 3);
+  std::vector<double> x = {0.6, 0.0, 0.8};
+  EXPECT_DOUBLE_EQ(kernels::ttsv0_general(a, {x.data(), 3}), 0.0);
+  kernels::BoundKernels<double> k(a, kernels::Tier::kGeneral);
+  // The zero tensor maps everything to zero: with alpha = 0 the iterate
+  // becomes the zero vector and normalization must fail loudly rather than
+  // silently produce NaNs.
+  sshopm::Options opt;
+  EXPECT_THROW((void)sshopm::solve(k, {x.data(), 3}, opt), InvalidArgument);
+  // With a positive shift the update is xhat = alpha x: well-defined, and
+  // every unit vector is a fixed point with lambda = 0.
+  opt.alpha = 1.0;
+  const auto r = sshopm::solve(k, {x.data(), 3}, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.lambda, 0.0);
+}
+
+}  // namespace
+}  // namespace te

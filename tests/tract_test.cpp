@@ -1,0 +1,201 @@
+// Tractography tests: phantom geometry, peak-field construction over a
+// volume via the batched eigensolver, and streamline integration scored
+// against known bundle geometry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "te/tract/streamline.hpp"
+#include "te/tract/volume.hpp"
+
+namespace te::tract {
+namespace {
+
+TEST(Volume, IndexingAndBounds) {
+  Volume<float> vol(4, 3, 2);
+  EXPECT_EQ(vol.num_voxels(), 24u);
+  vol.at(3, 2, 1).fibers.push_back({});
+  EXPECT_EQ(vol.at(3, 2, 1).fibers.size(), 1u);
+
+  std::array<double, 3> inside = {3.5, 2.5, 1.5};
+  EXPECT_EQ(vol.voxel_at({inside.data(), 3}), &vol.at(3, 2, 1));
+  std::array<double, 3> outside = {-0.1, 0.5, 0.5};
+  EXPECT_EQ(vol.voxel_at({outside.data(), 3}), nullptr);
+  std::array<double, 3> beyond = {4.0, 0.5, 0.5};
+  EXPECT_EQ(vol.voxel_at({beyond.data(), 3}), nullptr);
+}
+
+TEST(Volume, RejectsEmpty) {
+  EXPECT_THROW((Volume<float>(0, 3, 3)), InvalidArgument);
+}
+
+TEST(Phantoms, StraightHasUniformXFibers) {
+  PhantomOptions opt;
+  opt.nx = 4;
+  opt.ny = 3;
+  opt.nz = 2;
+  const auto vol = make_straight_phantom<double>(opt);
+  for (const auto& v : vol.voxels()) {
+    ASSERT_EQ(v.fibers.size(), 1u);
+    EXPECT_DOUBLE_EQ(v.fibers[0].direction[0], 1.0);
+    // Tensor peak agrees with the fiber (quartic model: exact).
+    std::array<double, 3> x = {1, 0, 0};
+    EXPECT_NEAR(dwmri::adc_quartic(v.tensor, {x.data(), 3}),
+                opt.diffusion.lambda_par, 1e-9);
+  }
+}
+
+TEST(Phantoms, CrossingBandHasTwoFibers) {
+  PhantomOptions opt;
+  opt.nx = 9;
+  opt.ny = 3;
+  opt.nz = 1;
+  const auto vol = make_crossing_phantom<double>(opt);
+  EXPECT_EQ(vol.at(0, 0, 0).fibers.size(), 1u);
+  EXPECT_EQ(vol.at(4, 0, 0).fibers.size(), 2u);  // inside [3, 6)
+  EXPECT_EQ(vol.at(8, 0, 0).fibers.size(), 1u);
+}
+
+TEST(Phantoms, ArcFibersAreTangent) {
+  PhantomOptions opt;
+  opt.nx = 8;
+  opt.ny = 8;
+  opt.nz = 1;
+  const auto vol = make_arc_phantom<double>(opt);
+  // Tangent is perpendicular to the radius at every voxel centre.
+  for (int j = 0; j < 8; ++j) {
+    for (int i = 0; i < 8; ++i) {
+      const auto& f = vol.at(i, j, 0).fibers[0];
+      const double rx = i + 0.5, ry = j + 0.5;
+      EXPECT_NEAR(f.direction[0] * rx + f.direction[1] * ry, 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(PeakField, RecoversPhantomDirections) {
+  PhantomOptions opt;
+  opt.nx = 6;
+  opt.ny = 2;
+  opt.nz = 1;
+  const auto vol = make_straight_phantom<float>(opt);
+  TractOptions topt;
+  topt.num_starts = 32;
+  const PeakField<float> field(vol, topt);
+  EXPECT_GE(field.total_peaks(), vol.num_voxels());
+  std::array<double, 3> p = {2.5, 0.5, 0.5};
+  const auto peaks = field.peaks_at({p.data(), 3});
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_NEAR(std::abs(peaks[0][0]), 1.0, 1e-3);
+}
+
+TEST(Trace, StraightPhantomGivesStraightLines) {
+  PhantomOptions opt;
+  opt.nx = 12;
+  opt.ny = 3;
+  opt.nz = 1;
+  const auto vol = make_straight_phantom<float>(opt);
+  TractOptions topt;
+  topt.num_starts = 32;
+  const PeakField<float> field(vol, topt);
+
+  std::array<double, 3> seed = {0.5, 1.5, 0.5};
+  std::array<double, 3> dir = {1, 0, 0};
+  const auto line = trace(field, {seed.data(), 3}, {dir.data(), 3}, topt);
+  EXPECT_EQ(line.stop_reason, "boundary");
+  EXPECT_GT(line.length, 10.0);  // traversed the volume
+  // Never leaves the starting row.
+  for (const auto& pt : line.points) {
+    EXPECT_NEAR(pt[1], 1.5, 1e-3);
+    EXPECT_NEAR(pt[2], 0.5, 1e-3);
+  }
+}
+
+TEST(Trace, CrossingTraversedStraight) {
+  PhantomOptions opt;
+  opt.nx = 12;
+  opt.ny = 6;
+  opt.nz = 1;
+  const auto vol = make_crossing_phantom<float>(opt);
+  TractOptions topt;
+  topt.num_starts = 64;
+  const PeakField<float> field(vol, topt);
+
+  // Enter along +x: must pick the x-aligned peak inside the crossing band
+  // and exit the far side, not turn onto the y bundle.
+  std::array<double, 3> seed = {0.5, 2.5, 0.5};
+  std::array<double, 3> dir = {1, 0, 0};
+  const auto line = trace(field, {seed.data(), 3}, {dir.data(), 3}, topt);
+  EXPECT_GT(line.end()[0], 11.0) << "stopped: " << line.stop_reason;
+  EXPECT_NEAR(line.end()[1], 2.5, 0.6);
+}
+
+TEST(Trace, ArcPhantomReproducesCurvature) {
+  PhantomOptions opt;
+  opt.nx = 12;
+  opt.ny = 12;
+  opt.nz = 1;
+  const auto vol = make_arc_phantom<float>(opt);
+  TractOptions topt;
+  topt.num_starts = 32;
+  topt.step = 0.2;
+  topt.max_angle_deg = 60;
+  const PeakField<float> field(vol, topt);
+
+  // Start on the circle of radius ~8 heading tangentially; every traced
+  // point should stay near that radius.
+  std::array<double, 3> seed = {8.5, 0.5, 0.5};
+  const double r0 = std::sqrt(8.5 * 8.5 + 0.5 * 0.5);
+  std::array<double, 3> dir = {-0.5 / r0, 8.5 / r0, 0};
+  const auto line = trace(field, {seed.data(), 3}, {dir.data(), 3}, topt);
+  EXPECT_GT(line.points.size(), 10u);
+  for (const auto& pt : line.points) {
+    const double r = std::sqrt(pt[0] * pt[0] + pt[1] * pt[1]);
+    EXPECT_NEAR(r, r0, 1.0) << "at (" << pt[0] << ", " << pt[1] << ")";
+  }
+}
+
+TEST(Trace, AngleThresholdStopsSharpTurns) {
+  // A two-voxel volume whose fibers are orthogonal: the streamline must
+  // stop at the interface rather than turn 90 degrees.
+  PhantomOptions opt;
+  opt.nx = 2;
+  opt.ny = 1;
+  opt.nz = 1;
+  auto vol = make_straight_phantom<float>(opt);
+  dwmri::Fiber fy;
+  fy.direction = {0, 1, 0};
+  vol.at(1, 0, 0).fibers = {fy};
+  vol.at(1, 0, 0).tensor =
+      dwmri::make_voxel_tensor<float>({fy}, opt.diffusion);
+
+  TractOptions topt;
+  topt.num_starts = 32;
+  topt.max_angle_deg = 45;
+  const PeakField<float> field(vol, topt);
+  std::array<double, 3> seed = {0.25, 0.5, 0.5};
+  std::array<double, 3> dir = {1, 0, 0};
+  const auto line = trace(field, {seed.data(), 3}, {dir.data(), 3}, topt);
+  EXPECT_EQ(line.stop_reason, "angle");
+  EXPECT_LT(line.end()[0], 2.0);
+}
+
+TEST(SeedAndTrace, CoversStraightPhantom) {
+  PhantomOptions opt;
+  opt.nx = 8;
+  opt.ny = 4;
+  opt.nz = 1;
+  const auto vol = make_straight_phantom<float>(opt);
+  TractOptions topt;
+  topt.num_starts = 32;
+  const PeakField<float> field(vol, topt);
+  const auto lines = seed_and_trace(field, 2, topt);
+  EXPECT_GE(lines.size(), 8u);  // 4 x 2 seed lattice
+  for (const auto& line : lines) {
+    // Both halves run to the boundary: full-width streamlines.
+    EXPECT_NEAR(line.length, 8.0, 1.5);
+  }
+}
+
+}  // namespace
+}  // namespace te::tract

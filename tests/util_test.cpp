@@ -1,0 +1,340 @@
+// Utility-layer tests: deterministic RNG, sphere sampling, small linear
+// algebra (Jacobi, Cholesky, least squares), table formatting and CLI
+// parsing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "te/util/cli.hpp"
+#include "te/util/linalg.hpp"
+#include "te/util/op_counter.hpp"
+#include "te/util/rng.hpp"
+#include "te/util/sphere.hpp"
+#include "te/util/table.hpp"
+
+namespace te {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RNG.
+// ---------------------------------------------------------------------------
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, CounterRngIsOrderIndependent) {
+  CounterRng rng(7);
+  // Draw (stream, counter) pairs in two different orders: same values.
+  const auto v1 = rng.at(3, 10);
+  const auto v2 = rng.at(5, 2);
+  CounterRng rng2(7);
+  EXPECT_EQ(rng2.at(5, 2), v2);
+  EXPECT_EQ(rng2.at(3, 10), v1);
+}
+
+TEST(Rng, CounterRngSeparatesStreams) {
+  CounterRng rng(7);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 100; ++s) seen.insert(rng.at(s, 0));
+  EXPECT_EQ(seen.size(), 100u);  // no collisions across streams
+}
+
+TEST(Rng, UnitIsInRange) {
+  CounterRng rng(99);
+  double mean = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.unit(0, static_cast<std::uint64_t>(i));
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mean += u;
+  }
+  mean /= 10000;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(Rng, NormalHasUnitVariance) {
+  CounterRng rng(123);
+  double mean = 0, var = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal(1, static_cast<std::uint64_t>(i));
+    mean += z;
+    var += z * z;
+  }
+  mean /= n;
+  var = var / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Sphere sampling.
+// ---------------------------------------------------------------------------
+
+TEST(Sphere, RandomVectorsAreUnit) {
+  CounterRng rng(5);
+  for (int s = 0; s < 50; ++s) {
+    for (int n : {2, 3, 7}) {
+      auto x = random_sphere_vector<double>(rng, static_cast<std::uint64_t>(s),
+                                            n);
+      EXPECT_NEAR(nrm2(std::span<const double>(x.data(), x.size())), 1.0,
+                  1e-12);
+    }
+  }
+}
+
+TEST(Sphere, BatchIsDeterministic) {
+  CounterRng rng(5);
+  auto a = random_sphere_batch<float>(rng, 0, 8, 3);
+  auto b = random_sphere_batch<float>(rng, 0, 8, 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Sphere, FibonacciCoversBothHemispheres) {
+  auto pts = fibonacci_sphere<double>(200);
+  ASSERT_EQ(pts.size(), 200u);
+  int north = 0;
+  for (const auto& p : pts) {
+    EXPECT_NEAR(nrm2(std::span<const double>(p.data(), p.size())), 1.0, 1e-12);
+    if (p[2] > 0) ++north;
+  }
+  EXPECT_NEAR(north, 100, 2);
+}
+
+TEST(Sphere, FibonacciMinimumSeparation) {
+  // Near-even spacing: the closest pair among N=64 points should not be
+  // drastically closer than the ideal ~ sqrt(4 pi / N).
+  auto pts = fibonacci_sphere<double>(64);
+  double min_d = 10;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      min_d = std::min(min_d,
+                       distance(std::span<const double>(pts[i].data(), 3),
+                                std::span<const double>(pts[j].data(), 3)));
+    }
+  }
+  EXPECT_GT(min_d, 0.5 * std::sqrt(4 * 3.14159 / 64));
+}
+
+TEST(Sphere, HemisphereKeepsUpperHalf) {
+  auto pts = fibonacci_hemisphere<double>(30);
+  ASSERT_EQ(pts.size(), 30u);
+  for (const auto& p : pts) EXPECT_GE(p[2], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Linear algebra.
+// ---------------------------------------------------------------------------
+
+TEST(Linalg, VectorKernels) {
+  std::vector<double> x = {3, 4}, y = {1, 2};
+  EXPECT_DOUBLE_EQ(dot<double>({x.data(), 2}, {y.data(), 2}), 11);
+  EXPECT_DOUBLE_EQ(nrm2<double>({x.data(), 2}), 5);
+  axpy(2.0, std::span<const double>(x.data(), 2), std::span<double>(y.data(), 2));
+  EXPECT_DOUBLE_EQ(y[0], 7);
+  EXPECT_DOUBLE_EQ(y[1], 10);
+  const double n = normalize(std::span<double>(x.data(), 2));
+  EXPECT_DOUBLE_EQ(n, 5);
+  EXPECT_DOUBLE_EQ(x[0], 0.6);
+}
+
+TEST(Linalg, NormalizeRejectsZero) {
+  std::vector<double> z = {0, 0, 0};
+  EXPECT_THROW((void)normalize(std::span<double>(z.data(), 3)),
+               InvalidArgument);
+}
+
+TEST(Linalg, AngleBetween) {
+  std::vector<double> e1 = {1, 0}, e2 = {0, 2};
+  EXPECT_NEAR(angle_between<double>({e1.data(), 2}, {e2.data(), 2}),
+              3.14159265358979 / 2, 1e-12);
+}
+
+TEST(Linalg, JacobiDiagonalizesKnownMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 1, 3 with vectors (1,-1)/sqrt2, (1,1)/sqrt2.
+  Matrix<double> a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  const auto e = jacobi_eigen(a);
+  ASSERT_EQ(e.values.size(), 2u);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-12);
+  EXPECT_NEAR(std::abs(e.vectors(0, 1)), std::sqrt(0.5), 1e-10);
+}
+
+TEST(Linalg, JacobiReconstructsRandomSymmetric) {
+  CounterRng rng(17);
+  const int n = 6;
+  Matrix<double> a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      a(i, j) = rng.in(0, static_cast<std::uint64_t>(i * n + j), -1, 1);
+      a(j, i) = a(i, j);
+    }
+  }
+  const auto e = jacobi_eigen(a);
+  // Check A v_j = w_j v_j for every eigenpair.
+  for (int j = 0; j < n; ++j) {
+    std::vector<double> v(static_cast<std::size_t>(n)),
+        av(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = e.vectors(i, j);
+    a.multiply({v.data(), v.size()}, {av.data(), av.size()});
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(av[static_cast<std::size_t>(i)],
+                  e.values[static_cast<std::size_t>(j)] *
+                      v[static_cast<std::size_t>(i)],
+                  1e-9);
+    }
+  }
+  // Eigenvalues ascending.
+  for (int j = 1; j < n; ++j) EXPECT_LE(e.values[j - 1], e.values[j]);
+}
+
+TEST(Linalg, CholeskySolvesSpdSystem) {
+  Matrix<double> a(3, 3);
+  // SPD matrix: A = L0 L0^T for L0 = [[2,0,0],[1,3,0],[0,1,1]].
+  const double l0[3][3] = {{2, 0, 0}, {1, 3, 0}, {0, 1, 1}};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double s = 0;
+      for (int k = 0; k < 3; ++k) s += l0[i][k] * l0[j][k];
+      a(i, j) = s;
+    }
+  }
+  std::vector<double> x_true = {1, -2, 3};
+  std::vector<double> b(3);
+  a.multiply({x_true.data(), 3}, {b.data(), 3});
+  ASSERT_TRUE(cholesky(a));
+  cholesky_solve(a, std::span<double>(b.data(), 3));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(b[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 1e-10);
+  }
+}
+
+TEST(Linalg, CholeskyDetectsNonSpd) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky(a));
+}
+
+TEST(Linalg, LeastSquaresRecoversExactSolution) {
+  // Overdetermined consistent system.
+  Matrix<double> a(5, 2);
+  std::vector<double> b(5);
+  for (int i = 0; i < 5; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = i;
+    b[static_cast<std::size_t>(i)] = 3.0 + 2.0 * i;  // y = 3 + 2 t
+  }
+  const auto x = least_squares(a, std::span<const double>(b.data(), 5));
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 3.0, 1e-10);
+  EXPECT_NEAR(x[1], 2.0, 1e-10);
+}
+
+TEST(Linalg, MatrixGram) {
+  Matrix<double> a(3, 2);
+  a(0, 0) = 1;
+  a(1, 1) = 2;
+  a(2, 0) = 3;
+  const auto g = a.gram();
+  EXPECT_DOUBLE_EQ(g(0, 0), 10);
+  EXPECT_DOUBLE_EQ(g(1, 1), 4);
+  EXPECT_DOUBLE_EQ(g(0, 1), 0);
+}
+
+// ---------------------------------------------------------------------------
+// OpCounts.
+// ---------------------------------------------------------------------------
+
+TEST(OpCounts, FlopConvention) {
+  OpCounts c;
+  c.fma = 3;
+  c.fmul = 2;
+  c.fadd = 1;
+  c.sfu = 1;
+  EXPECT_EQ(c.flops(), 2 * 3 + 2 + 1 + 1);
+}
+
+TEST(OpCounts, ArithmeticComposes) {
+  OpCounts a;
+  a.fmul = 2;
+  a.iop = 5;
+  OpCounts b;
+  b.fmul = 1;
+  b.gmem = 7;
+  const auto s = a + b;
+  EXPECT_EQ(s.fmul, 3);
+  EXPECT_EQ(s.iop, 5);
+  EXPECT_EQ(s.gmem, 7);
+  const auto t = a * 3;
+  EXPECT_EQ(t.fmul, 6);
+  EXPECT_EQ(t.iop, 15);
+}
+
+// ---------------------------------------------------------------------------
+// Tables and CLI.
+// ---------------------------------------------------------------------------
+
+TEST(Table, AlignsAndSeparates) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsRaggedRows) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Cli, ParsesBothForms) {
+  // Note: a bare token directly after a flag is consumed as that flag's
+  // value, so positionals come first (or use --flag=value).
+  const char* argv[] = {"prog", "positional", "--tensors", "64",
+                        "--alpha=1.5", "--verbose"};
+  CliArgs args(6, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_or("tensors", 0L), 64);
+  EXPECT_DOUBLE_EQ(args.get_or("alpha", 0.0), 1.5);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get_or("missing", std::string("dflt")), "dflt");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(Formatting, FixedAndAuto) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_auto(0.0), "0");
+  EXPECT_NE(fmt_auto(1e9).find("e"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace te
