@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dwmri.dir/bench_dwmri.cpp.o"
+  "CMakeFiles/bench_dwmri.dir/bench_dwmri.cpp.o.d"
+  "bench_dwmri"
+  "bench_dwmri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dwmri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_extensions.cpp" "bench/CMakeFiles/bench_extensions.dir/bench_extensions.cpp.o" "gcc" "bench/CMakeFiles/bench_extensions.dir/bench_extensions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tract/CMakeFiles/te_tract.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/te_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/batch/CMakeFiles/te_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dwmri/CMakeFiles/te_dwmri.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/te_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/te_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sshopm/CMakeFiles/te_sshopm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/te_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/te_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/combinatorics/CMakeFiles/te_comb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/te_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batched_gpu.dir/batched_gpu.cpp.o"
+  "CMakeFiles/batched_gpu.dir/batched_gpu.cpp.o.d"
+  "batched_gpu"
+  "batched_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batched_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompose.dir/decompose.cpp.o"
+  "CMakeFiles/decompose.dir/decompose.cpp.o.d"
+  "decompose"
+  "decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiber_detection.dir/fiber_detection.cpp.o"
+  "CMakeFiles/fiber_detection.dir/fiber_detection.cpp.o.d"
+  "fiber_detection"
+  "fiber_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiber_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

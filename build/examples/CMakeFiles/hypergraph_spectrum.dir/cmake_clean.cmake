@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypergraph_spectrum.dir/hypergraph_spectrum.cpp.o"
+  "CMakeFiles/hypergraph_spectrum.dir/hypergraph_spectrum.cpp.o.d"
+  "hypergraph_spectrum"
+  "hypergraph_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypergraph_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensoreig_cli.dir/tensoreig_cli.cpp.o"
+  "CMakeFiles/tensoreig_cli.dir/tensoreig_cli.cpp.o.d"
+  "tensoreig_cli"
+  "tensoreig_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensoreig_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

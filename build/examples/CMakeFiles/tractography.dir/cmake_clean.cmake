@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tractography.dir/tractography.cpp.o"
+  "CMakeFiles/tractography.dir/tractography.cpp.o.d"
+  "tractography"
+  "tractography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tractography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tractography.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--starts" "8")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fiber_detection "/root/repo/build/examples/fiber_detection" "--voxels" "8" "--starts" "32")
+set_tests_properties(example_fiber_detection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_batched_gpu "/root/repo/build/examples/batched_gpu" "--tensors" "16" "--starts" "32")
+set_tests_properties(example_batched_gpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_eigenspectrum "/root/repo/build/examples/eigenspectrum" "--seed" "3")
+set_tests_properties(example_eigenspectrum PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_decompose "/root/repo/build/examples/decompose" "--rank" "2")
+set_tests_properties(example_decompose PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tractography "/root/repo/build/examples/tractography" "--nx" "6" "--ny" "4" "--nz" "1" "--starts" "16")
+set_tests_properties(example_tractography PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hypergraph "/root/repo/build/examples/hypergraph_spectrum" "--vertices" "5")
+set_tests_properties(example_hypergraph PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dataset_roundtrip "/root/repo/build/examples/make_dataset" "--voxels" "8" "--out" "smoke.tesymb")
+set_tests_properties(example_dataset_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli "/root/repo/build/examples/tensoreig_cli" "--input" "smoke.tesymb" "--starts" "16" "--tier" "auto" "--backend" "gpu" "--output" "smoke_pairs.txt")
+set_tests_properties(example_cli PROPERTIES  DEPENDS "example_dataset_roundtrip" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")

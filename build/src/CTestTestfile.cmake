@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("combinatorics")
+subdirs("tensor")
+subdirs("kernels")
+subdirs("sshopm")
+subdirs("parallel")
+subdirs("gpusim")
+subdirs("batch")
+subdirs("dwmri")
+subdirs("decomp")
+subdirs("tract")

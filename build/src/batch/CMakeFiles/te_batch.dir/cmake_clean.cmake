@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_batch.dir/instantiations.cpp.o"
+  "CMakeFiles/te_batch.dir/instantiations.cpp.o.d"
+  "libte_batch.a"
+  "libte_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/combinatorics/index_class.cpp" "src/combinatorics/CMakeFiles/te_comb.dir/index_class.cpp.o" "gcc" "src/combinatorics/CMakeFiles/te_comb.dir/index_class.cpp.o.d"
+  "/root/repo/src/combinatorics/multinomial.cpp" "src/combinatorics/CMakeFiles/te_comb.dir/multinomial.cpp.o" "gcc" "src/combinatorics/CMakeFiles/te_comb.dir/multinomial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/te_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

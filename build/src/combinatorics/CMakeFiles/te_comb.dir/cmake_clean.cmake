@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_comb.dir/index_class.cpp.o"
+  "CMakeFiles/te_comb.dir/index_class.cpp.o.d"
+  "CMakeFiles/te_comb.dir/multinomial.cpp.o"
+  "CMakeFiles/te_comb.dir/multinomial.cpp.o.d"
+  "libte_comb.a"
+  "libte_comb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_comb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

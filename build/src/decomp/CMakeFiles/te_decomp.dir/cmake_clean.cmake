@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_decomp.dir/instantiations.cpp.o"
+  "CMakeFiles/te_decomp.dir/instantiations.cpp.o.d"
+  "libte_decomp.a"
+  "libte_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

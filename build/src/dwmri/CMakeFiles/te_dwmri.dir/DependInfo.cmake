@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dwmri/dataset.cpp" "src/dwmri/CMakeFiles/te_dwmri.dir/dataset.cpp.o" "gcc" "src/dwmri/CMakeFiles/te_dwmri.dir/dataset.cpp.o.d"
+  "/root/repo/src/dwmri/fiber_model.cpp" "src/dwmri/CMakeFiles/te_dwmri.dir/fiber_model.cpp.o" "gcc" "src/dwmri/CMakeFiles/te_dwmri.dir/fiber_model.cpp.o.d"
+  "/root/repo/src/dwmri/fit.cpp" "src/dwmri/CMakeFiles/te_dwmri.dir/fit.cpp.o" "gcc" "src/dwmri/CMakeFiles/te_dwmri.dir/fit.cpp.o.d"
+  "/root/repo/src/dwmri/grid_search.cpp" "src/dwmri/CMakeFiles/te_dwmri.dir/grid_search.cpp.o" "gcc" "src/dwmri/CMakeFiles/te_dwmri.dir/grid_search.cpp.o.d"
+  "/root/repo/src/dwmri/spherical_harmonics.cpp" "src/dwmri/CMakeFiles/te_dwmri.dir/spherical_harmonics.cpp.o" "gcc" "src/dwmri/CMakeFiles/te_dwmri.dir/spherical_harmonics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/te_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/te_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/combinatorics/CMakeFiles/te_comb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/te_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_dwmri.dir/dataset.cpp.o"
+  "CMakeFiles/te_dwmri.dir/dataset.cpp.o.d"
+  "CMakeFiles/te_dwmri.dir/fiber_model.cpp.o"
+  "CMakeFiles/te_dwmri.dir/fiber_model.cpp.o.d"
+  "CMakeFiles/te_dwmri.dir/fit.cpp.o"
+  "CMakeFiles/te_dwmri.dir/fit.cpp.o.d"
+  "CMakeFiles/te_dwmri.dir/grid_search.cpp.o"
+  "CMakeFiles/te_dwmri.dir/grid_search.cpp.o.d"
+  "CMakeFiles/te_dwmri.dir/spherical_harmonics.cpp.o"
+  "CMakeFiles/te_dwmri.dir/spherical_harmonics.cpp.o.d"
+  "libte_dwmri.a"
+  "libte_dwmri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_dwmri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

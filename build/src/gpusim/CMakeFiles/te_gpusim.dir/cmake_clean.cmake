@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_gpusim.dir/exec.cpp.o"
+  "CMakeFiles/te_gpusim.dir/exec.cpp.o.d"
+  "CMakeFiles/te_gpusim.dir/occupancy.cpp.o"
+  "CMakeFiles/te_gpusim.dir/occupancy.cpp.o.d"
+  "CMakeFiles/te_gpusim.dir/sshopm_kernels.cpp.o"
+  "CMakeFiles/te_gpusim.dir/sshopm_kernels.cpp.o.d"
+  "libte_gpusim.a"
+  "libte_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_kernels.dir/autotune.cpp.o"
+  "CMakeFiles/te_kernels.dir/autotune.cpp.o.d"
+  "CMakeFiles/te_kernels.dir/dispatch.cpp.o"
+  "CMakeFiles/te_kernels.dir/dispatch.cpp.o.d"
+  "CMakeFiles/te_kernels.dir/flop_model.cpp.o"
+  "CMakeFiles/te_kernels.dir/flop_model.cpp.o.d"
+  "libte_kernels.a"
+  "libte_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

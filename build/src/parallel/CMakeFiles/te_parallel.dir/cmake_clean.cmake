@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_parallel.dir/cpu_model.cpp.o"
+  "CMakeFiles/te_parallel.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/te_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/te_parallel.dir/thread_pool.cpp.o.d"
+  "libte_parallel.a"
+  "libte_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_sshopm.dir/instantiations.cpp.o"
+  "CMakeFiles/te_sshopm.dir/instantiations.cpp.o.d"
+  "libte_sshopm.a"
+  "libte_sshopm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_sshopm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_tensor.dir/instantiations.cpp.o"
+  "CMakeFiles/te_tensor.dir/instantiations.cpp.o.d"
+  "libte_tensor.a"
+  "libte_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

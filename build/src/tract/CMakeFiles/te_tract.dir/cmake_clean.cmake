@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_tract.dir/streamline.cpp.o"
+  "CMakeFiles/te_tract.dir/streamline.cpp.o.d"
+  "CMakeFiles/te_tract.dir/volume.cpp.o"
+  "CMakeFiles/te_tract.dir/volume.cpp.o.d"
+  "libte_tract.a"
+  "libte_tract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_tract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

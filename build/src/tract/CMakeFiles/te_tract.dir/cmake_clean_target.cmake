@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libte_tract.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_util.dir/assert.cpp.o"
+  "CMakeFiles/te_util.dir/assert.cpp.o.d"
+  "CMakeFiles/te_util.dir/cli.cpp.o"
+  "CMakeFiles/te_util.dir/cli.cpp.o.d"
+  "CMakeFiles/te_util.dir/table.cpp.o"
+  "CMakeFiles/te_util.dir/table.cpp.o.d"
+  "libte_util.a"
+  "libte_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

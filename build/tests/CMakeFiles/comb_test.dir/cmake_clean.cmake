@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comb_test.dir/comb_test.cpp.o"
+  "CMakeFiles/comb_test.dir/comb_test.cpp.o.d"
+  "comb_test"
+  "comb_test.pdb"
+  "comb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwmri_test.dir/dwmri_test.cpp.o"
+  "CMakeFiles/dwmri_test.dir/dwmri_test.cpp.o.d"
+  "dwmri_test"
+  "dwmri_test.pdb"
+  "dwmri_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwmri_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

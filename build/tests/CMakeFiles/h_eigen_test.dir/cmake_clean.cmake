@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h_eigen_test.dir/h_eigen_test.cpp.o"
+  "CMakeFiles/h_eigen_test.dir/h_eigen_test.cpp.o.d"
+  "h_eigen_test"
+  "h_eigen_test.pdb"
+  "h_eigen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h_eigen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sshopm_test.dir/sshopm_test.cpp.o"
+  "CMakeFiles/sshopm_test.dir/sshopm_test.cpp.o.d"
+  "sshopm_test"
+  "sshopm_test.pdb"
+  "sshopm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sshopm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

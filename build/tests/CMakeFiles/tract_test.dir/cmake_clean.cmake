@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tract_test.dir/tract_test.cpp.o"
+  "CMakeFiles/tract_test.dir/tract_test.cpp.o.d"
+  "tract_test"
+  "tract_test.pdb"
+  "tract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
