@@ -64,7 +64,9 @@ int main(int argc, char** argv) {
 
       t.add_row({std::to_string(m) + "," + std::to_string(n),
                  std::to_string(dense_vals), std::to_string(packed_vals),
-                 fmt_fixed(static_cast<double>(dense_vals) / packed_vals, 1),
+                 fmt_fixed(static_cast<double>(dense_vals) /
+                               static_cast<double>(packed_vals),
+                           1),
                  std::to_string(comb::factorial(m)),
                  std::to_string(kernels::flops_dense_ttsv0(m, n)),
                  std::to_string(kernels::flops_symmetric_ttsv0(m, n).flops()),

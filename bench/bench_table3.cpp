@@ -165,11 +165,11 @@ int main(int argc, char** argv) {
     pd.order = p.order;
     pd.dim = p.dim;
     for (const auto& t : p.tensors) {
-      SymmetricTensor<double> td(t.order(), t.dim());
+      SymmetricTensor<double> dtens(t.order(), t.dim());
       for (offset_t r2 = 0; r2 < t.num_unique(); ++r2) {
-        td.value(r2) = static_cast<double>(t.value(r2));
+        dtens.value(r2) = static_cast<double>(t.value(r2));
       }
-      pd.tensors.push_back(std::move(td));
+      pd.tensors.push_back(std::move(dtens));
     }
     for (const auto& s : p.starts) {
       pd.starts.emplace_back(s.begin(), s.end());

@@ -1,0 +1,45 @@
+# Host-sanitizer toolchain wiring.
+#
+# TE_SANITIZE is a comma-separated subset of {address, undefined, thread,
+# leak}; the selected -fsanitize instrumentation is applied to every target
+# through the te_options interface library (compile and link). This is the
+# *host* analog of the simulator's own MemSanitizer: the ctest suite -- which
+# executes every simulated kernel natively -- runs under ASan/UBSan/TSan, so
+# host-level memory bugs in the simulator or the kernels are caught by the
+# same CI pass that runs the simulated-GPU sanitizer tests.
+#
+#   cmake -B build-asan -S . -DTE_SANITIZE=address,undefined
+#   cmake -B build-tsan -S . -DTE_SANITIZE=thread
+#
+# (or use the asan-ubsan / tsan presets in CMakePresets.json).
+
+set(TE_SANITIZE "" CACHE STRING
+    "Comma-separated host sanitizers: address, undefined, thread, leak")
+
+if(TE_SANITIZE)
+  string(REPLACE "," ";" _te_san_list "${TE_SANITIZE}")
+  set(_te_san_flags "")
+  foreach(_san IN LISTS _te_san_list)
+    string(STRIP "${_san}" _san)
+    if(_san STREQUAL "address" OR _san STREQUAL "undefined" OR
+       _san STREQUAL "thread" OR _san STREQUAL "leak")
+      list(APPEND _te_san_flags "-fsanitize=${_san}")
+    else()
+      message(FATAL_ERROR "TE_SANITIZE: unknown sanitizer '${_san}' "
+                          "(expected address, undefined, thread, leak)")
+    endif()
+  endforeach()
+
+  if("-fsanitize=thread" IN_LIST _te_san_flags AND
+     ("-fsanitize=address" IN_LIST _te_san_flags OR
+      "-fsanitize=leak" IN_LIST _te_san_flags))
+    message(FATAL_ERROR "TE_SANITIZE: thread cannot combine with "
+                        "address/leak")
+  endif()
+
+  # Keep frames walkable so sanitizer reports carry useful stacks.
+  list(APPEND _te_san_flags -fno-omit-frame-pointer)
+  target_compile_options(te_options INTERFACE ${_te_san_flags})
+  target_link_options(te_options INTERFACE ${_te_san_flags})
+  message(STATUS "Host sanitizers enabled: ${TE_SANITIZE}")
+endif()

@@ -83,7 +83,9 @@ int main(int argc, char** argv) {
                       std::to_string(score.recovered_peaks),
                       std::to_string(score.matched),
                       fmt_fixed(score.mean_error_deg, 2),
-                      fmt_fixed(pairs.empty() ? 0.0 : pairs.front().lambda,
+                      fmt_fixed(pairs.empty()
+                                    ? 0.0
+                                    : static_cast<double>(pairs.front().lambda),
                                 4)});
     }
   }

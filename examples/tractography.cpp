@@ -64,7 +64,10 @@ int main(int argc, char** argv) {
   t.set_header({"stat", "value"});
   t.add_row({"streamlines", std::to_string(lines.size())});
   t.add_row({"mean length (voxels)",
-             fmt_fixed(lines.empty() ? 0 : total_len / lines.size(), 2)});
+             fmt_fixed(lines.empty()
+                           ? 0
+                           : total_len / static_cast<double>(lines.size()),
+                       2)});
   t.add_row({"max length", fmt_fixed(max_len, 2)});
   t.print(std::cout);
   std::cout << "\ntermination (fwd/bwd):\n";

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build + ctest twice -- once plain (the seed configuration)
+# and once with the whole suite instrumented under ASan+UBSan
+# (-DTE_SANITIZE=address,undefined). The second pass executes every
+# simulated GPU kernel natively under host sanitizers *and* runs the
+# simulator's own MemSanitizer tests, so both layers of the correctness
+# tooling gate every change.
+#
+# Usage: scripts/ci.sh [extra cmake args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_pass() {
+  local dir="$1"
+  shift
+  echo "=== ${dir}: configure ==="
+  cmake -B "${dir}" -S . "$@"
+  echo "=== ${dir}: build ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== ${dir}: ctest ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+# Pass 1: plain tier-1 configuration.
+run_pass build -DCMAKE_BUILD_TYPE=Release "$@"
+
+# Pass 2: host-sanitized. RelWithDebInfo keeps stacks symbolized; native
+# arch off so the instrumented binaries stay portable across CI hosts.
+run_pass build-asan \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTE_SANITIZE=address,undefined \
+  -DTE_NATIVE_ARCH=OFF \
+  "$@"
+
+echo "CI: both passes green."

@@ -180,13 +180,23 @@ template <Real T>
   return out;
 }
 
+/// Instrumentation knobs for the simulated-GPU backends.
+struct GpuSolveOptions {
+  /// Run the launch under the shared-memory sanitizer; the report lands in
+  /// BatchResult::gpu.sanitizer. Costs host time only.
+  bool sanitize = false;
+  /// With `sanitize`: throw te::SanitizerViolation at the first finding.
+  bool sanitizer_fail_fast = false;
+};
+
 /// Simulated-GPU backend (paper Sections V-B..V-D). `tier` must be
 /// kGeneral or kUnrolled. Functional results come from executing the
 /// kernel; `modeled_seconds` comes from the device timing model.
 template <Real T>
 [[nodiscard]] BatchResult<T> solve_gpusim(
     const BatchProblem<T>& p, kernels::Tier tier,
-    const gpusim::DeviceSpec& dev = gpusim::DeviceSpec::tesla_c2050()) {
+    const gpusim::DeviceSpec& dev = gpusim::DeviceSpec::tesla_c2050(),
+    const GpuSolveOptions& gpu_opt = {}) {
   TE_REQUIRE(p.num_tensors() > 0 && p.num_starts() > 0, "empty batch");
   TE_REQUIRE(p.dim <= gpusim::kMaxDim, "dimension exceeds device kernel cap");
 
@@ -252,6 +262,8 @@ template <Real T>
       gpusim::sshopm_launch_config(p.order, n, nt, nv, tier);
   cfg.shared_bytes_per_block = gpusim::sshopm_shared_bytes(
       p.order, n, tier, static_cast<int>(sizeof(T)));
+  cfg.sanitize = gpu_opt.sanitize;
+  cfg.sanitizer_fail_fast = gpu_opt.sanitizer_fail_fast;
 
   WallTimer timer;
   auto launch_result = gpusim::launch(
@@ -326,7 +338,8 @@ extract_eigenpairs(const BatchProblem<T>& p, const BatchResult<T>& r,
 template <Real T>
 [[nodiscard]] BatchResult<T> solve_gpusim_multi(
     const BatchProblem<T>& p, kernels::Tier tier, int num_devices,
-    const gpusim::DeviceSpec& dev = gpusim::DeviceSpec::tesla_c2050()) {
+    const gpusim::DeviceSpec& dev = gpusim::DeviceSpec::tesla_c2050(),
+    const GpuSolveOptions& gpu_opt = {}) {
   TE_REQUIRE(num_devices >= 1, "need at least one device");
   TE_REQUIRE(p.num_tensors() > 0 && p.num_starts() > 0, "empty batch");
 
@@ -351,12 +364,22 @@ template <Real T>
     part.starts = p.starts;  // shared scheme, replicated per device
     part.options = p.options;
 
-    auto r = solve_gpusim(part, tier, dev);
+    auto r = solve_gpusim(part, tier, dev, gpu_opt);
     slowest = std::max(slowest, r.modeled_seconds);
     out.useful_flops += r.useful_flops;
     out.gpu.total_ops += r.gpu.total_ops;
     out.gpu.warp_issue_slots += r.gpu.warp_issue_slots;
     if (d == 0) out.gpu.occupancy = r.gpu.occupancy;
+    // Merge sanitizer findings across devices into one report.
+    out.gpu.sanitizer.enabled |= r.gpu.sanitizer.enabled;
+    if (out.gpu.sanitizer.kernel.empty()) {
+      out.gpu.sanitizer.kernel = r.gpu.sanitizer.kernel;
+    }
+    out.gpu.sanitizer.accesses += r.gpu.sanitizer.accesses;
+    out.gpu.sanitizer.suppressed += r.gpu.sanitizer.suppressed;
+    out.gpu.sanitizer.findings.insert(out.gpu.sanitizer.findings.end(),
+                                      r.gpu.sanitizer.findings.begin(),
+                                      r.gpu.sanitizer.findings.end());
     out.results.insert(out.results.end(),
                        std::make_move_iterator(r.results.begin()),
                        std::make_move_iterator(r.results.end()));

@@ -17,9 +17,11 @@ template BatchResult<double> solve_cpu_parallel(const BatchProblem<double>&,
                                                 kernels::Tier, ThreadPool&);
 template BatchResult<float> solve_gpusim(const BatchProblem<float>&,
                                          kernels::Tier,
-                                         const gpusim::DeviceSpec&);
+                                         const gpusim::DeviceSpec&,
+                                         const GpuSolveOptions&);
 template BatchResult<double> solve_gpusim(const BatchProblem<double>&,
                                           kernels::Tier,
-                                          const gpusim::DeviceSpec&);
+                                          const gpusim::DeviceSpec&,
+                                          const GpuSolveOptions&);
 
 }  // namespace te::batch

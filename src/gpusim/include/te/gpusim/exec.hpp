@@ -24,9 +24,12 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "te/gpusim/device_spec.hpp"
+#include "te/gpusim/mem_sanitizer.hpp"
 #include "te/gpusim/occupancy.hpp"
 #include "te/gpusim/task.hpp"
 #include "te/util/assert.hpp"
@@ -39,13 +42,15 @@ namespace te::gpusim {
 class ThreadCtx {
  public:
   ThreadCtx(int thread_idx, int block_idx, int block_dim, int grid_dim,
-            std::byte* shared, std::size_t shared_bytes)
+            std::byte* shared, std::size_t shared_bytes,
+            MemSanitizer* sanitizer = nullptr)
       : thread_idx_(thread_idx),
         block_idx_(block_idx),
         block_dim_(block_dim),
         grid_dim_(grid_dim),
         shared_(shared),
-        shared_bytes_(shared_bytes) {}
+        shared_bytes_(shared_bytes),
+        sanitizer_(sanitizer) {}
 
   [[nodiscard]] int thread_idx() const { return thread_idx_; }
   [[nodiscard]] int block_idx() const { return block_idx_; }
@@ -57,13 +62,37 @@ class ThreadCtx {
   [[nodiscard]] std::size_t shared_bytes() const { return shared_bytes_; }
 
   /// View (part of) shared memory as an array of U. `byte_offset` must be
-  /// U-aligned.
+  /// U-aligned. Unchecked legacy accessor: sanitized launches cannot see
+  /// accesses through the raw pointer -- kernel code should use
+  /// shared_array() instead.
   template <typename U>
   [[nodiscard]] U* shared_as(std::size_t byte_offset = 0) const {
     TE_ASSERT(byte_offset % alignof(U) == 0);
     TE_ASSERT(byte_offset <= shared_bytes_);
     return reinterpret_cast<U*>(shared_ + byte_offset);
   }
+
+  /// Checked view of `count` elements of U starting at `byte_offset`. Under
+  /// a sanitized launch every access through the view is recorded (and
+  /// bounds/alignment violations become SanitizerReport findings instead of
+  /// UB); otherwise the view degrades to raw pointer arithmetic.
+  template <typename U>
+  [[nodiscard]] SharedArray<U> shared_array(std::size_t byte_offset,
+                                            std::size_t count) const {
+    if (sanitizer_ != nullptr) {
+      const CheckedExtent e = sanitizer_->check_view(
+          thread_idx_, byte_offset, count, sizeof(U), alignof(U));
+      return SharedArray<U>(reinterpret_cast<U*>(shared_ + e.byte_offset),
+                            e.count, e.byte_offset, sanitizer_, thread_idx_);
+    }
+    TE_ASSERT(byte_offset % alignof(U) == 0);
+    TE_ASSERT(byte_offset + count * sizeof(U) <= shared_bytes_);
+    return SharedArray<U>(reinterpret_cast<U*>(shared_ + byte_offset), count,
+                          byte_offset, nullptr, thread_idx_);
+  }
+
+  /// The attached sanitizer, or nullptr on unsanitized launches.
+  [[nodiscard]] MemSanitizer* sanitizer() const { return sanitizer_; }
 
   /// Block-wide barrier: co_await ctx.sync().
   [[nodiscard]] Barrier sync() const { return {}; }
@@ -80,6 +109,7 @@ class ThreadCtx {
   int grid_dim_;
   std::byte* shared_;
   std::size_t shared_bytes_;
+  MemSanitizer* sanitizer_;
   OpCounts ops_;
 };
 
@@ -93,6 +123,14 @@ struct LaunchConfig {
   /// When it exceeds the device's instruction cache, issue throughput is
   /// derated by the overflow ratio (fetch-bound straight-line code).
   int static_instructions = 0;
+  /// Instrument shared-memory accesses (see mem_sanitizer.hpp). Costs host
+  /// time, never modeled time; off by default so benches pay nothing.
+  bool sanitize = false;
+  /// With `sanitize`: throw te::SanitizerViolation at the first finding
+  /// instead of collecting a report (stops CI at the offending access).
+  bool sanitizer_fail_fast = false;
+  /// Name used in sanitizer diagnostics.
+  std::string kernel_name;
 };
 
 /// Everything launch() reports back.
@@ -110,6 +148,8 @@ struct LaunchResult {
   double memory_seconds = 0;
   double modeled_seconds = 0;      ///< max(compute, memory) + launch overhead
   double sim_wall_seconds = 0;     ///< host time spent simulating
+  /// Shared-memory sanitizer findings (empty unless LaunchConfig::sanitize).
+  SanitizerReport sanitizer;
 
   /// GFLOPS against a caller-supplied useful-flop count (the benches use
   /// the symmetric-kernel flop model, matching the paper's convention).
@@ -160,15 +200,23 @@ LaunchResult launch(const DeviceSpec& dev, const LaunchConfig& cfg,
   std::vector<std::byte> shared(
       static_cast<std::size_t>(std::max<std::int32_t>(
           cfg.shared_bytes_per_block, 1)));
+  std::optional<MemSanitizer> sanitizer;
+  if (cfg.sanitize) {
+    sanitizer.emplace(cfg.kernel_name,
+                      static_cast<std::size_t>(
+                          std::max<std::int32_t>(cfg.shared_bytes_per_block, 0)),
+                      cfg.sanitizer_fail_fast);
+  }
   for (int b = 0; b < cfg.grid_dim; ++b) {
     // Fresh shared memory per block.
     std::fill(shared.begin(), shared.end(), std::byte{0});
+    if (sanitizer) sanitizer->begin_block(b);
 
     std::vector<ThreadCtx> ctxs;
     ctxs.reserve(static_cast<std::size_t>(cfg.block_dim));
     for (int t = 0; t < cfg.block_dim; ++t) {
       ctxs.emplace_back(t, b, cfg.block_dim, cfg.grid_dim, shared.data(),
-                        shared.size());
+                        shared.size(), sanitizer ? &*sanitizer : nullptr);
     }
     std::vector<ThreadTask> tasks;
     tasks.reserve(static_cast<std::size_t>(cfg.block_dim));
@@ -176,13 +224,16 @@ LaunchResult launch(const DeviceSpec& dev, const LaunchConfig& cfg,
       tasks.push_back(make_thread(ctxs[static_cast<std::size_t>(t)]));
     }
 
-    // Epoch loop: resume every live thread once per barrier epoch.
+    // Epoch loop: resume every live thread once per barrier epoch. The
+    // sanitizer's race rule keys on this epoch counter: accesses in the
+    // same epoch are unordered by any barrier.
     bool alive = true;
     while (alive) {
       alive = false;
       for (auto& task : tasks) {
         if (task.step()) alive = true;
       }
+      if (sanitizer) sanitizer->advance_epoch();
     }
 
     // Warp cost = max lane cost within the warp (lockstep execution).
@@ -214,6 +265,7 @@ LaunchResult launch(const DeviceSpec& dev, const LaunchConfig& cfg,
     out.divergence_ratio =
         warp_slot_total / (per_block_mean * cfg.grid_dim);
   }
+  if (sanitizer) out.sanitizer = sanitizer->take_report();
   out.sim_wall_seconds = timer.seconds();
   return out;
 }

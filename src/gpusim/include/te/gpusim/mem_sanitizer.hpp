@@ -1,0 +1,255 @@
+#pragma once
+// Shared-memory sanitizer for the simulated GPU -- the compute-sanitizer
+// (memcheck/racecheck) analog for kernels executed by exec.hpp.
+//
+// When a launch runs with LaunchConfig::sanitize set, every shared-memory
+// access performed through a SharedArray<T> view is recorded as a shadow
+// entry (thread, byte range, access kind, barrier epoch). The sanitizer
+// reports:
+//
+//   * data races -- two lanes touching overlapping bytes within the same
+//     barrier epoch with at least one write. The scheduler in exec.hpp
+//     resumes threads at barrier granularity, so "same epoch" is exactly
+//     "not ordered by a __syncthreads()" -- the CUDA race rule for
+//     block-shared memory (the simulator's deterministic interleaving would
+//     otherwise hide these bugs);
+//   * out-of-bounds views and indexes -- a view past the block's declared
+//     shared arena, or an element access past a view's extent;
+//   * misaligned views -- a byte offset not aligned for the element type.
+//
+// Shadow state is one record per shared byte holding the epoch's writer and
+// up to two distinct readers; that is sufficient to detect every
+// write/write and read/write conflict pair (two reader slots always retain
+// a reader distinct from any given writer when one exists). Findings are
+// coalesced over contiguous bytes and deduplicated per (kind, lane pair,
+// byte range), with a cap so a racy vector loop cannot flood the report.
+//
+// The uninstrumented path stays free: SharedArray skips all recording when
+// no sanitizer is attached, and launches without `sanitize` never construct
+// one.
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "te/util/assert.hpp"
+
+namespace te::gpusim {
+
+/// Direction of one recorded shared-memory access.
+enum class AccessKind : std::uint8_t { kRead, kWrite };
+
+/// One sanitizer diagnostic.
+struct SanitizerFinding {
+  enum class Kind : std::uint8_t {
+    kRace,         ///< same-epoch overlapping accesses, at least one write
+    kOutOfBounds,  ///< view or index past the arena / view extent
+    kMisaligned,   ///< view offset not aligned for its element type
+  };
+  Kind kind = Kind::kRace;
+  int block = 0;
+  int thread = 0;        ///< lane performing the flagged access
+  int other_thread = -1; ///< conflicting lane (races only)
+  std::size_t byte_begin = 0;  ///< offsets into the block's shared arena
+  std::size_t byte_end = 0;
+  int epoch = 0;               ///< barrier epoch of the flagged access
+  AccessKind access = AccessKind::kWrite;        ///< the flagged access
+  AccessKind other_access = AccessKind::kWrite;  ///< prior conflicting access
+
+  /// Human-readable diagnostic ("race: ... in kernel 'x'").
+  [[nodiscard]] std::string to_string(const std::string& kernel) const;
+};
+
+/// Everything a sanitized launch reports back; rides on LaunchResult.
+struct SanitizerReport {
+  std::string kernel;                      ///< LaunchConfig::kernel_name
+  std::vector<SanitizerFinding> findings;
+  std::int64_t suppressed = 0;   ///< findings dropped past the cap
+  std::int64_t accesses = 0;     ///< instrumented access records
+  bool enabled = false;          ///< false when the launch was unsanitized
+
+  [[nodiscard]] bool clean() const {
+    return findings.empty() && suppressed == 0;
+  }
+  [[nodiscard]] std::size_t count(SanitizerFinding::Kind k) const;
+  /// All findings, one diagnostic per line (empty string when clean).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Offset/extent of a checked view after clamping (sanitized launches never
+/// dereference outside the arena, even for buggy kernels -- the bug becomes
+/// a finding instead of host UB).
+struct CheckedExtent {
+  std::size_t byte_offset = 0;
+  std::size_t count = 0;
+};
+
+/// Shadow-memory engine for one launch. exec.hpp owns one per sanitized
+/// launch, re-arms it per block (begin_block) and per barrier
+/// (advance_epoch); SharedArray views feed it accesses.
+class MemSanitizer {
+ public:
+  /// `fail_fast` escalates the first finding to a thrown
+  /// te::SanitizerViolation (aborting the launch) instead of collecting.
+  MemSanitizer(std::string kernel_name, std::size_t shared_bytes,
+               bool fail_fast = false);
+
+  /// Reset shadow state for a fresh block (findings accumulate).
+  void begin_block(int block);
+  /// Called by the scheduler after every barrier epoch.
+  void advance_epoch() { ++epoch_; }
+  [[nodiscard]] int epoch() const { return epoch_; }
+
+  /// Record one access to arena bytes [byte_begin, byte_begin + nbytes).
+  void record_access(int thread, std::size_t byte_begin, std::size_t nbytes,
+                     AccessKind kind);
+
+  /// Validate a typed view over the arena; records misalignment /
+  /// out-of-bounds findings and returns a clamped in-bounds extent.
+  [[nodiscard]] CheckedExtent check_view(int thread, std::size_t byte_offset,
+                                         std::size_t count,
+                                         std::size_t elem_size,
+                                         std::size_t alignment);
+
+  /// Validate an element index against a view's extent; records an
+  /// out-of-bounds finding and returns a safe index to use instead.
+  [[nodiscard]] std::size_t check_index(int thread, std::size_t index,
+                                        std::size_t count,
+                                        std::size_t view_byte_offset,
+                                        std::size_t elem_size);
+
+  [[nodiscard]] const SanitizerReport& report() const { return report_; }
+  [[nodiscard]] SanitizerReport take_report() { return std::move(report_); }
+
+ private:
+  struct Shadow {
+    std::int32_t epoch = -1;      ///< epoch these records belong to
+    std::int32_t writer = -1;     ///< last writing lane this epoch
+    std::int32_t reader0 = -1;    ///< first reading lane this epoch
+    std::int32_t reader1 = -1;    ///< second *distinct* reading lane
+  };
+
+  /// Dedup + cap + fail-fast in one place.
+  void add_finding(SanitizerFinding f);
+  /// Conflicting lane for an access by `t`, or -1 if none.
+  [[nodiscard]] std::int32_t conflicting_lane(const Shadow& s, int t,
+                                              AccessKind kind) const;
+
+  std::string kernel_;
+  std::size_t shared_bytes_;
+  bool fail_fast_;
+  std::vector<Shadow> shadow_;  ///< one record per shared byte
+  std::set<std::tuple<int, int, int, std::size_t, std::size_t>> seen_;
+  SanitizerReport report_;
+  int block_ = 0;
+  int epoch_ = 0;
+};
+
+/// Bounds- and race-checked view of (part of) a block's shared arena;
+/// replaces raw pointers from ThreadCtx::shared_as. Each thread builds its
+/// own view so accesses are attributed to the right lane. When no sanitizer
+/// is attached (unsanitized launch) every operation degrades to the raw
+/// pointer arithmetic it replaced.
+template <typename U>
+class SharedArray {
+ public:
+  SharedArray() = default;
+  SharedArray(U* data, std::size_t count, std::size_t byte_offset,
+              MemSanitizer* san, int thread)
+      : data_(data),
+        count_(count),
+        byte_offset_(byte_offset),
+        san_(san),
+        thread_(thread) {}
+
+  /// Read/write proxy: loads record a read, stores record a write.
+  class Ref {
+   public:
+    Ref(const SharedArray* a, std::size_t i) : a_(a), i_(i) {}
+    operator U() const {  // NOLINT(google-explicit-constructor)
+      a_->note(i_, AccessKind::kRead);
+      return a_->slot(i_);
+    }
+    U operator=(U v) const {
+      a_->note(i_, AccessKind::kWrite);
+      a_->slot(i_) = v;
+      return v;
+    }
+    U operator=(const Ref& o) const { return *this = static_cast<U>(o); }
+    U operator+=(U v) const {
+      a_->note(i_, AccessKind::kRead);
+      const U next = a_->slot(i_) + v;
+      a_->note(i_, AccessKind::kWrite);
+      a_->slot(i_) = next;
+      return next;
+    }
+
+   private:
+    const SharedArray* a_;
+    std::size_t i_;
+  };
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  [[nodiscard]] Ref operator[](std::size_t i) { return Ref(this, check(i)); }
+  [[nodiscard]] U operator[](std::size_t i) const {
+    i = check(i);
+    note(i, AccessKind::kRead);
+    return slot(i);
+  }
+
+  /// Whole-extent read, for handing the view to library kernels that take
+  /// `const U*`: records one read of every byte in the view (the callee is
+  /// assumed to read it all -- the granularity compute-sanitizer loses
+  /// inside library calls too).
+  [[nodiscard]] const U* read_all() const {
+    if (san_ != nullptr && count_ > 0) {
+      san_->record_access(thread_, byte_offset_, count_ * sizeof(U),
+                          AccessKind::kRead);
+    }
+    return data_;
+  }
+
+ private:
+  friend class Ref;
+
+  /// Bounds-check an index; sanitized launches turn violations into
+  /// findings and a safe substitute index, unsanitized ones assert.
+  [[nodiscard]] std::size_t check(std::size_t i) const {
+    if (i >= count_) {
+      if (san_ != nullptr) {
+        return san_->check_index(thread_, i, count_, byte_offset_, sizeof(U));
+      }
+      TE_ASSERT(i < count_);
+      return count_ == 0 ? 0 : count_ - 1;
+    }
+    return i;
+  }
+
+  /// Element storage for a checked index: empty views redirect to a dummy
+  /// slot so even a fully out-of-bounds view never touches the arena.
+  [[nodiscard]] U& slot(std::size_t i) const {
+    if (count_ == 0) {
+      static thread_local U dummy{};
+      return dummy;
+    }
+    return data_[i];
+  }
+
+  void note(std::size_t i, AccessKind k) const {
+    if (san_ != nullptr && count_ > 0) {
+      san_->record_access(thread_, byte_offset_ + i * sizeof(U), sizeof(U), k);
+    }
+  }
+
+  U* data_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t byte_offset_ = 0;
+  MemSanitizer* san_ = nullptr;
+  int thread_ = 0;
+};
+
+}  // namespace te::gpusim

@@ -97,13 +97,16 @@ ThreadTask sshopm_device_thread(ThreadCtx& ctx, DeviceBatchView<T> view,
   const offset_t u = view.num_unique;
 
   // --- Cooperative load of this block's tensor into shared memory. ---
-  T* sa = ctx.shared_as<T>();
+  // Checked view: under a sanitized launch every element access below is
+  // recorded against the barrier-epoch race rule (see mem_sanitizer.hpp).
+  SharedArray<T> sa = ctx.shared_array<T>(0, static_cast<std::size_t>(u));
   {
     OpCounts load;
     for (offset_t i = v; i < u; i += ctx.block_dim()) {
-      sa[i] = view.tensors[static_cast<std::size_t>(b) *
-                               static_cast<std::size_t>(u) +
-                           static_cast<std::size_t>(i)];
+      sa[static_cast<std::size_t>(i)] =
+          view.tensors[static_cast<std::size_t>(b) *
+                           static_cast<std::size_t>(u) +
+                       static_cast<std::size_t>(i)];
       load.gmem += 1;
       load.shmem += 1;
       load.iop += 1;
@@ -137,24 +140,29 @@ ThreadTask sshopm_device_thread(ThreadCtx& ctx, DeviceBatchView<T> view,
   // so the kernel is self-contained (cost is in per_setup).
   normalize(std::span<T>(x, static_cast<std::size_t>(n)));
 
+  // The library ttsv kernels take `const T*`; read_all() records one
+  // whole-extent read per call, the same granularity compute-sanitizer has
+  // at opaque call boundaries.
   const auto eval0 = [&]() -> T {
-    if (unrolled) return unrolled->ttsv0(sa, x);
+    const T* sv = sa.read_all();
+    if (unrolled) return unrolled->ttsv0(sv, x);
     if (tables) {
       return kernels::ttsv0_blocked_raw(
-          sa, *tables, std::span<const T>(x, static_cast<std::size_t>(n)));
+          sv, *tables, std::span<const T>(x, static_cast<std::size_t>(n)));
     }
-    return kernels::ttsv0_general_raw(view.order, n, sa,
+    return kernels::ttsv0_general_raw(view.order, n, sv,
                                       std::span<const T>(x, static_cast<std::size_t>(n)));
   };
   const auto eval1 = [&]() {
+    const T* sv = sa.read_all();
     if (unrolled) {
-      unrolled->ttsv1(sa, x, y);
+      unrolled->ttsv1(sv, x, y);
     } else if (tables) {
       kernels::ttsv1_blocked_raw(
-          sa, *tables, std::span<const T>(x, static_cast<std::size_t>(n)),
+          sv, *tables, std::span<const T>(x, static_cast<std::size_t>(n)),
           std::span<T>(y, static_cast<std::size_t>(n)));
     } else {
-      kernels::ttsv1_general_raw(view.order, n, sa,
+      kernels::ttsv1_general_raw(view.order, n, sv,
                                  std::span<const T>(x, static_cast<std::size_t>(n)),
                                  std::span<T>(y, static_cast<std::size_t>(n)));
     }

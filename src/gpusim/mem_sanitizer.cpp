@@ -1,0 +1,220 @@
+#include "te/gpusim/mem_sanitizer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace te::gpusim {
+
+namespace {
+
+/// Hard cap on retained findings; everything past it only bumps
+/// `suppressed` (a racy loop would otherwise allocate one finding per
+/// conflicting byte range per iteration).
+constexpr std::size_t kMaxFindings = 128;
+
+const char* kind_name(SanitizerFinding::Kind k) {
+  switch (k) {
+    case SanitizerFinding::Kind::kRace: return "race";
+    case SanitizerFinding::Kind::kOutOfBounds: return "out-of-bounds";
+    case SanitizerFinding::Kind::kMisaligned: return "misaligned";
+  }
+  return "?";
+}
+
+const char* access_name(AccessKind k) {
+  return k == AccessKind::kWrite ? "write" : "read";
+}
+
+}  // namespace
+
+std::string SanitizerFinding::to_string(const std::string& kernel) const {
+  std::ostringstream os;
+  os << kind_name(kind) << ": ";
+  if (kind == Kind::kRace) {
+    os << access_name(access) << " by thread " << thread << " conflicts with "
+       << access_name(other_access) << " by thread " << other_thread;
+  } else {
+    os << access_name(access) << " by thread " << thread;
+  }
+  os << " at shared bytes [" << byte_begin << ", " << byte_end << ") of block "
+     << block << ", barrier epoch " << epoch;
+  if (!kernel.empty()) os << ", kernel '" << kernel << "'";
+  return os.str();
+}
+
+std::size_t SanitizerReport::count(SanitizerFinding::Kind k) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [k](const SanitizerFinding& f) { return f.kind == k; }));
+}
+
+std::string SanitizerReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& f : findings) os << f.to_string(kernel) << '\n';
+  if (suppressed > 0) {
+    os << "(" << suppressed << " further findings suppressed)\n";
+  }
+  return os.str();
+}
+
+MemSanitizer::MemSanitizer(std::string kernel_name, std::size_t shared_bytes,
+                           bool fail_fast)
+    : kernel_(std::move(kernel_name)),
+      shared_bytes_(shared_bytes),
+      fail_fast_(fail_fast),
+      shadow_(shared_bytes) {
+  report_.kernel = kernel_;
+  report_.enabled = true;
+}
+
+void MemSanitizer::begin_block(int block) {
+  block_ = block;
+  epoch_ = 0;
+  std::fill(shadow_.begin(), shadow_.end(), Shadow{});
+}
+
+void MemSanitizer::add_finding(SanitizerFinding f) {
+  // One report per (kind, ordered lane pair, byte range); a second
+  // conflicting access to the same range -- e.g. the next loop iteration --
+  // is the same bug.
+  const int lo = std::min(f.thread, f.other_thread);
+  const int hi = std::max(f.thread, f.other_thread);
+  if (!seen_
+           .emplace(static_cast<int>(f.kind), lo, hi, f.byte_begin, f.byte_end)
+           .second) {
+    return;
+  }
+  if (report_.findings.size() >= kMaxFindings) {
+    ++report_.suppressed;
+    return;
+  }
+  report_.findings.push_back(f);
+  if (fail_fast_) {
+    throw SanitizerViolation(f.to_string(kernel_));
+  }
+}
+
+std::int32_t MemSanitizer::conflicting_lane(const Shadow& s, int t,
+                                            AccessKind kind) const {
+  if (s.epoch != epoch_) return -1;
+  // A write by the epoch's writer-or-readers set conflicts with any other
+  // lane; a read conflicts only with a foreign writer.
+  if (s.writer != -1 && s.writer != t) return s.writer;
+  if (kind == AccessKind::kWrite) {
+    if (s.reader0 != -1 && s.reader0 != t) return s.reader0;
+    if (s.reader1 != -1 && s.reader1 != t) return s.reader1;
+  }
+  return -1;
+}
+
+void MemSanitizer::record_access(int thread, std::size_t byte_begin,
+                                 std::size_t nbytes, AccessKind kind) {
+  ++report_.accesses;
+  const std::size_t end = std::min(byte_begin + nbytes, shared_bytes_);
+
+  // Walk the range, updating shadow state and coalescing contiguous bytes
+  // that conflict with the same lane into one finding.
+  std::size_t run_begin = 0;
+  std::int32_t run_other = -1;
+  AccessKind run_other_access = AccessKind::kWrite;
+  const auto flush = [&](std::size_t run_end) {
+    if (run_other == -1) return;
+    SanitizerFinding f;
+    f.kind = SanitizerFinding::Kind::kRace;
+    f.block = block_;
+    f.thread = thread;
+    f.other_thread = run_other;
+    f.byte_begin = run_begin;
+    f.byte_end = run_end;
+    f.epoch = epoch_;
+    f.access = kind;
+    f.other_access = run_other_access;
+    run_other = -1;
+    add_finding(f);
+  };
+
+  for (std::size_t b = byte_begin; b < end; ++b) {
+    Shadow& s = shadow_[b];
+    if (s.epoch != epoch_) {
+      s = Shadow{};
+      s.epoch = epoch_;
+    }
+    const std::int32_t other = conflicting_lane(s, thread, kind);
+    const AccessKind other_access =
+        other == s.writer ? AccessKind::kWrite : AccessKind::kRead;
+    if (other != run_other ||
+        (other != -1 && other_access != run_other_access)) {
+      flush(b);
+      run_begin = b;
+      run_other = other;
+      run_other_access = other_access;
+    }
+    if (kind == AccessKind::kWrite) {
+      s.writer = thread;
+    } else if (s.reader0 == -1 || s.reader0 == thread) {
+      s.reader0 = thread;
+    } else if (s.reader1 == -1 || s.reader1 == thread) {
+      s.reader1 = thread;
+    }
+  }
+  flush(end);
+}
+
+CheckedExtent MemSanitizer::check_view(int thread, std::size_t byte_offset,
+                                       std::size_t count,
+                                       std::size_t elem_size,
+                                       std::size_t alignment) {
+  CheckedExtent out;
+  out.byte_offset = byte_offset;
+  out.count = count;
+
+  if (byte_offset % alignment != 0) {
+    SanitizerFinding f;
+    f.kind = SanitizerFinding::Kind::kMisaligned;
+    f.block = block_;
+    f.thread = thread;
+    f.other_thread = -1;
+    f.byte_begin = byte_offset;
+    f.byte_end = byte_offset + count * elem_size;
+    f.epoch = epoch_;
+    f.access = AccessKind::kRead;
+    add_finding(f);
+    out.byte_offset = byte_offset - byte_offset % alignment;  // realign down
+  }
+
+  if (out.byte_offset > shared_bytes_ ||
+      count > (shared_bytes_ - out.byte_offset) / elem_size) {
+    SanitizerFinding f;
+    f.kind = SanitizerFinding::Kind::kOutOfBounds;
+    f.block = block_;
+    f.thread = thread;
+    f.other_thread = -1;
+    f.byte_begin = out.byte_offset;
+    f.byte_end = out.byte_offset + count * elem_size;
+    f.epoch = epoch_;
+    f.access = AccessKind::kRead;
+    add_finding(f);
+    if (out.byte_offset > shared_bytes_) out.byte_offset = 0;
+    out.count = (shared_bytes_ - out.byte_offset) / elem_size;
+  }
+  return out;
+}
+
+std::size_t MemSanitizer::check_index(int thread, std::size_t index,
+                                      std::size_t count,
+                                      std::size_t view_byte_offset,
+                                      std::size_t elem_size) {
+  SanitizerFinding f;
+  f.kind = SanitizerFinding::Kind::kOutOfBounds;
+  f.block = block_;
+  f.thread = thread;
+  f.other_thread = -1;
+  f.byte_begin = view_byte_offset + index * elem_size;
+  f.byte_end = view_byte_offset + (index + 1) * elem_size;
+  f.epoch = epoch_;
+  f.access = AccessKind::kRead;
+  add_finding(f);
+  return count == 0 ? 0 : count - 1;
+}
+
+}  // namespace te::gpusim

@@ -1,5 +1,7 @@
 #include "te/gpusim/sshopm_kernels.hpp"
 
+#include <string>
+
 #include "te/comb/index_class.hpp"
 #include "te/comb/multinomial.hpp"
 
@@ -171,6 +173,8 @@ LaunchConfig sshopm_launch_config(int order, int dim, int num_tensors,
   LaunchConfig cfg;
   cfg.grid_dim = num_tensors;
   cfg.block_dim = num_starts;
+  cfg.kernel_name =
+      "sshopm-batched/" + std::string(kernels::tier_name(tier));
   cfg.shared_bytes_per_block =
       sshopm_shared_bytes(order, dim, tier, sizeof(float));
   if (tier == kernels::Tier::kBlocked) {

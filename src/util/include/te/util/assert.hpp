@@ -19,6 +19,15 @@ class InvalidArgument : public std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+/// Thrown by instrumentation layers (the GPU-simulator memory sanitizer)
+/// when running in fail-fast mode and a violation is detected. Carries the
+/// fully formatted diagnostic (kind, lanes, byte range, kernel) so a CI
+/// failure is actionable without re-running under a debugger.
+class SanitizerViolation : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_invalid_argument(const char* expr,

@@ -194,6 +194,43 @@ TEST(BatchPostprocess, RejectsMismatchedResult) {
   EXPECT_THROW((void)extract_eigenpairs(q, r, mopt), InvalidArgument);
 }
 
+TEST(BatchGpu, AllTiersSanitizeClean) {
+  // Correctness floor for the simulated kernels: every shipped tier must
+  // run race- and OOB-free under the shared-memory sanitizer, and the
+  // instrumented run must not perturb the functional results.
+  auto p = BatchProblem<float>::random(21, 8, 32, 4, 3);
+  GpuSolveOptions san;
+  san.sanitize = true;
+  for (const Tier tier : {Tier::kGeneral, Tier::kBlocked, Tier::kUnrolled}) {
+    const auto plain = solve_gpusim(p, tier);
+    const auto checked =
+        solve_gpusim(p, tier, gpusim::DeviceSpec::tesla_c2050(), san);
+    EXPECT_TRUE(checked.gpu.sanitizer.clean())
+        << kernels::tier_name(tier) << ":\n"
+        << checked.gpu.sanitizer.to_string();
+    EXPECT_TRUE(checked.gpu.sanitizer.enabled);
+    EXPECT_GT(checked.gpu.sanitizer.accesses, 0);
+    // The report names the kernel that was launched.
+    EXPECT_NE(checked.gpu.sanitizer.kernel.find("sshopm-batched"),
+              std::string::npos);
+    for (std::size_t i = 0; i < plain.results.size(); ++i) {
+      EXPECT_EQ(plain.results[i].lambda, checked.results[i].lambda);
+      EXPECT_EQ(plain.results[i].iterations, checked.results[i].iterations);
+    }
+  }
+}
+
+TEST(BatchGpu, MultiDevicePropagatesSanitizerReport) {
+  auto p = BatchProblem<float>::random(22, 12, 16, 3, 3);
+  GpuSolveOptions san;
+  san.sanitize = true;
+  const auto r = solve_gpusim_multi(p, Tier::kGeneral, 3,
+                                    gpusim::DeviceSpec::tesla_c2050(), san);
+  EXPECT_TRUE(r.gpu.sanitizer.enabled);
+  EXPECT_TRUE(r.gpu.sanitizer.clean()) << r.gpu.sanitizer.to_string();
+  EXPECT_GT(r.gpu.sanitizer.accesses, 0);
+}
+
 TEST(BatchGpu, SecondDeviceGivesSimilarRelativeSpeedup) {
   // The paper reports similar relative performance on two other NVIDIA
   // GPUs; check the general/unrolled ratio is stable across device specs.

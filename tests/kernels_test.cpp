@@ -245,7 +245,8 @@ TEST(FlopModel, SymmetricBeatsDenseByNearlyFactorial) {
   for (const auto& [m, n] : {std::pair{3, 10}, {4, 8}}) {
     const double dense = static_cast<double>(flops_dense_ttsv0(m, n));
     const double sym = static_cast<double>(flops_symmetric_ttsv0(m, n).flops());
-    EXPECT_GT(dense / sym, comb::factorial(m) / (2.0 * m))
+    EXPECT_GT(dense / sym,
+              static_cast<double>(comb::factorial(m)) / (2.0 * m))
         << "m=" << m << " n=" << n;
   }
 }
