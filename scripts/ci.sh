@@ -1,10 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: build + ctest twice -- once plain (the seed configuration)
-# and once with the whole suite instrumented under ASan+UBSan
-# (-DTE_SANITIZE=address,undefined). The second pass executes every
-# simulated GPU kernel natively under host sanitizers *and* runs the
-# simulator's own MemSanitizer tests, so both layers of the correctness
-# tooling gate every change.
+# CI gate, three passes:
+#
+#   1. plain Release (the seed tier-1 configuration): build + full ctest,
+#      then the labeled subsets explicitly so the label wiring itself is
+#      gated (tier1 = fast correctness, slow = randomized property sweeps,
+#      stress = concurrency stress).
+#   2. ASan+UBSan over the whole suite (-DTE_SANITIZE=address,undefined):
+#      every simulated GPU kernel runs natively under host sanitizers and
+#      the simulator's own MemSanitizer tests run instrumented.
+#   3. TSan (-DTE_SANITIZE=thread) over the concurrency surface only --
+#      the thread pool, the batch backends, the streaming scheduler (shared
+#      table cache + lent pools) and the stress suite. Only those test
+#      binaries are built; `ctest -L` skips the label-less NOT_BUILT
+#      placeholders of the rest.
 #
 # Usage: scripts/ci.sh [extra cmake args...]
 set -euo pipefail
@@ -26,6 +34,12 @@ run_pass() {
 # Pass 1: plain tier-1 configuration.
 run_pass build -DCMAKE_BUILD_TYPE=Release "$@"
 
+# Labeled subsets (same build tree; cheap, and verifies the label wiring).
+for label in tier1 slow stress; do
+  echo "=== build: ctest -L ${label} ==="
+  ctest --test-dir build -L "${label}" --output-on-failure -j "${JOBS}"
+done
+
 # Pass 2: host-sanitized. RelWithDebInfo keeps stacks symbolized; native
 # arch off so the instrumented binaries stay portable across CI hosts.
 run_pass build-asan \
@@ -34,4 +48,19 @@ run_pass build-asan \
   -DTE_NATIVE_ARCH=OFF \
   "$@"
 
-echo "CI: both passes green."
+# Pass 3: TSan over the concurrency surface (thread pool, batch backends,
+# streaming scheduler, stress suite). Building only these binaries keeps
+# the pass affordable.
+TSAN_TARGETS=(parallel_test batch_test scheduler_test stress_test)
+echo "=== build-tsan: configure ==="
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTE_SANITIZE=thread \
+  -DTE_NATIVE_ARCH=OFF \
+  "$@"
+echo "=== build-tsan: build ${TSAN_TARGETS[*]} ==="
+cmake --build build-tsan -j "${JOBS}" --target "${TSAN_TARGETS[@]}"
+echo "=== build-tsan: ctest (tier1 + stress labels) ==="
+ctest --test-dir build-tsan -L 'tier1|stress' --output-on-failure -j "${JOBS}"
+
+echo "CI: all passes green."

@@ -22,6 +22,7 @@
 
 #include "te/gpusim/memory.hpp"
 #include "te/gpusim/sshopm_kernels.hpp"
+#include "te/gpusim/stream.hpp"
 #include "te/kernels/dispatch.hpp"
 #include "te/kernels/flop_model.hpp"
 #include "te/parallel/thread_pool.hpp"
@@ -56,6 +57,10 @@ struct BatchProblem {
   [[nodiscard]] static BatchProblem random(std::uint64_t seed,
                                            int num_tensors, int num_starts,
                                            int order, int dim) {
+    TE_REQUIRE(num_tensors >= 1 && num_starts >= 1,
+               "batch needs at least one tensor and one start");
+    TE_REQUIRE(order >= 3, "SS-HOPM batches need tensor order >= 3");
+    TE_REQUIRE(dim >= 2, "batch tensors need dimension >= 2");
     CounterRng rng(seed);
     BatchProblem p;
     p.order = order;
@@ -89,6 +94,12 @@ struct BatchResult {
   gpusim::LaunchResult gpu;    ///< populated by the GPU backend
 
   [[nodiscard]] const sshopm::Result<T>& at(int tensor, int start) const {
+    TE_REQUIRE(tensor >= 0 && tensor < num_tensors,
+               "tensor index " << tensor << " out of range [0, " << num_tensors
+                               << ")");
+    TE_REQUIRE(start >= 0 && start < num_starts,
+               "start index " << start << " out of range [0, " << num_starts
+                              << ")");
     return results[static_cast<std::size_t>(tensor) * num_starts + start];
   }
   [[nodiscard]] double gflops_measured() const {
@@ -189,51 +200,80 @@ struct GpuSolveOptions {
   bool sanitizer_fail_fast = false;
 };
 
-/// Simulated-GPU backend (paper Sections V-B..V-D). `tier` must be
-/// kGeneral or kUnrolled. Functional results come from executing the
-/// kernel; `modeled_seconds` comes from the device timing model.
+/// Lower-level simulated-GPU solve over a contiguous span of same-shape
+/// tensors: one launch, results written tensor-major into `out` (size
+/// tensors.size() * starts.size()). This is the single code path behind
+/// both the one-shot solve_gpusim and the scheduler's pipelined chunks, so
+/// chunked execution is bitwise-identical to the monolithic call by
+/// construction (every block's arithmetic is independent of the grid size).
+///
+/// `tables` must match (order, dim) for kBlocked -- the scheduler shares
+/// one table set across chunks and jobs -- and is ignored by other tiers;
+/// pass nullptr to have kBlocked build its own. `timing`, when given,
+/// receives the modeled per-phase costs (H2D, kernel, D2H) that feed the
+/// copy/compute overlap model in te/gpusim/stream.hpp.
 template <Real T>
-[[nodiscard]] BatchResult<T> solve_gpusim(
-    const BatchProblem<T>& p, kernels::Tier tier,
-    const gpusim::DeviceSpec& dev = gpusim::DeviceSpec::tesla_c2050(),
-    const GpuSolveOptions& gpu_opt = {}) {
-  TE_REQUIRE(p.num_tensors() > 0 && p.num_starts() > 0, "empty batch");
-  TE_REQUIRE(p.dim <= gpusim::kMaxDim, "dimension exceeds device kernel cap");
+[[nodiscard]] gpusim::LaunchResult solve_gpusim_span(
+    int order, int dim, std::span<const SymmetricTensor<T>> tensors,
+    std::span<const std::vector<T>> starts, const sshopm::Options& options,
+    kernels::Tier tier, const gpusim::DeviceSpec& dev,
+    const GpuSolveOptions& gpu_opt, const kernels::KernelTables<T>* tables,
+    std::span<sshopm::Result<T>> out, gpusim::ChunkCost* timing = nullptr) {
+  TE_REQUIRE(!tensors.empty() && !starts.empty(), "empty chunk");
+  TE_REQUIRE(dim <= gpusim::kMaxDim, "dimension exceeds device kernel cap");
+  TE_REQUIRE(tier == kernels::Tier::kGeneral ||
+                 tier == kernels::Tier::kBlocked ||
+                 tier == kernels::Tier::kUnrolled,
+             "GPU backend implements the general, blocked and unrolled "
+             "tiers");
+  const int nt = static_cast<int>(tensors.size());
+  const int nv = static_cast<int>(starts.size());
+  const int n = dim;
+  const offset_t u = tensors.front().num_unique();
+  TE_REQUIRE(out.size() == static_cast<std::size_t>(nt) * nv,
+             "result span size mismatch");
 
-  const int nt = p.num_tensors();
-  const int nv = p.num_starts();
-  const int n = p.dim;
-  const offset_t u = p.tensors.front().num_unique();
+  std::optional<kernels::KernelTables<T>> own_tables;
+  if (tier == kernels::Tier::kBlocked && tables == nullptr) {
+    own_tables.emplace(order, n);
+    tables = &*own_tables;
+  }
+  if (tier == kernels::Tier::kBlocked) {
+    TE_REQUIRE(tables->order() == order && tables->dim() == n,
+               "blocked tier needs matching KernelTables");
+  }
 
   // Stage the inputs on the host, then copy to "device memory" through the
   // explicit transfer API (the cudaMemcpy analog; the ledger prices PCIe).
-  std::vector<T> tensors(static_cast<std::size_t>(nt) * u);
+  std::vector<T> staged(static_cast<std::size_t>(nt) * u);
   for (int t = 0; t < nt; ++t) {
-    const auto vals = p.tensors[static_cast<std::size_t>(t)].values();
+    const auto vals = tensors[static_cast<std::size_t>(t)].values();
     std::copy(vals.begin(), vals.end(),
-              tensors.begin() + static_cast<std::size_t>(t) * u);
+              staged.begin() + static_cast<std::size_t>(t) * u);
   }
-  std::vector<T> starts(static_cast<std::size_t>(nv) * n);
+  std::vector<T> staged_starts(static_cast<std::size_t>(nv) * n);
   for (int v = 0; v < nv; ++v) {
-    const auto& s = p.starts[static_cast<std::size_t>(v)];
+    const auto& s = starts[static_cast<std::size_t>(v)];
     std::copy(s.begin(), s.end(),
-              starts.begin() + static_cast<std::size_t>(v) * n);
+              staged_starts.begin() + static_cast<std::size_t>(v) * n);
   }
 
   gpusim::TransferLedger ledger;
-  gpusim::DeviceBuffer<T> d_tensors(ledger, tensors.size());
-  gpusim::DeviceBuffer<T> d_starts(ledger, starts.size());
+  gpusim::DeviceBuffer<T> d_tensors(ledger, staged.size());
+  gpusim::DeviceBuffer<T> d_starts(ledger, staged_starts.size());
   gpusim::DeviceBuffer<T> d_out_vectors(
       ledger, static_cast<std::size_t>(nt) * nv * n);
   gpusim::DeviceBuffer<T> d_out_values(ledger,
                                        static_cast<std::size_t>(nt) * nv);
   gpusim::DeviceBuffer<std::int32_t> d_out_iters(
       ledger, static_cast<std::size_t>(nt) * nv);
-  d_tensors.h2d(tensors);
-  d_starts.h2d(starts);
+  d_tensors.h2d(staged);
+  d_starts.h2d(staged_starts);
+  const double h2d_seconds =
+      static_cast<double>(ledger.h2d_bytes()) / (dev.pcie_gbps * 1e9);
 
   gpusim::DeviceBatchView<T> view;
-  view.order = p.order;
+  view.order = order;
   view.dim = n;
   view.num_unique = u;
   view.num_tensors = nt;
@@ -244,37 +284,26 @@ template <Real T>
   view.out_values = d_out_values.device_ptr();
   view.out_iters = d_out_iters.device_ptr();
 
-  TE_REQUIRE(tier == kernels::Tier::kGeneral ||
-                 tier == kernels::Tier::kBlocked ||
-                 tier == kernels::Tier::kUnrolled,
-             "GPU backend implements the general, blocked and unrolled "
-             "tiers");
-  std::optional<kernels::KernelTables<T>> tables;
-  if (tier == kernels::Tier::kBlocked) tables.emplace(p.order, n);
-
   const gpusim::GpuIterationCost cost =
       tier == kernels::Tier::kUnrolled
-          ? gpusim::unrolled_iteration_cost(p.order, n)
+          ? gpusim::unrolled_iteration_cost(order, n)
           : (tier == kernels::Tier::kBlocked
-                 ? gpusim::blocked_iteration_cost(p.order, n)
-                 : gpusim::general_iteration_cost(p.order, n));
+                 ? gpusim::blocked_iteration_cost(order, n)
+                 : gpusim::general_iteration_cost(order, n));
   gpusim::LaunchConfig cfg =
-      gpusim::sshopm_launch_config(p.order, n, nt, nv, tier);
+      gpusim::sshopm_launch_config(order, n, nt, nv, tier);
   cfg.shared_bytes_per_block = gpusim::sshopm_shared_bytes(
-      p.order, n, tier, static_cast<int>(sizeof(T)));
+      order, n, tier, static_cast<int>(sizeof(T)));
   cfg.sanitize = gpu_opt.sanitize;
   cfg.sanitizer_fail_fast = gpu_opt.sanitizer_fail_fast;
 
-  WallTimer timer;
   auto launch_result = gpusim::launch(
       dev, cfg, [&](gpusim::ThreadCtx& ctx) {
         return gpusim::sshopm_device_thread<T>(
-            ctx, view, tier, p.options, cost,
-            tables ? &*tables : nullptr);
+            ctx, view, tier, options, cost,
+            tier == kernels::Tier::kBlocked ? tables : nullptr);
       });
-  TE_REQUIRE(launch_result.launchable,
-             "kernel does not fit on the device (occupancy limiter: "
-                 << launch_result.occupancy.limiter << ")");
+  if (!launch_result.launchable) return launch_result;
 
   // Copy the results back (cudaMemcpyDeviceToHost analog).
   std::vector<T> out_vectors(d_out_vectors.size());
@@ -284,23 +313,55 @@ template <Real T>
   d_out_values.d2h(out_values);
   d_out_iters.d2h(std::span<std::int32_t>(out_iters.data(), out_iters.size()));
 
-  BatchResult<T> out;
-  out.num_tensors = nt;
-  out.num_starts = nv;
-  out.results.resize(static_cast<std::size_t>(nt) * nv);
-  for (std::size_t slot = 0; slot < out.results.size(); ++slot) {
-    auto& r = out.results[slot];
+  for (std::size_t slot = 0; slot < out.size(); ++slot) {
+    auto& r = out[slot];
     r.lambda = out_values[slot];
     r.x.assign(out_vectors.begin() + static_cast<std::ptrdiff_t>(slot * n),
                out_vectors.begin() + static_cast<std::ptrdiff_t>((slot + 1) * n));
     r.converged = out_iters[slot] >= 0;
     r.iterations = std::abs(out_iters[slot]);
   }
+  if (timing) {
+    timing->h2d_seconds = h2d_seconds;
+    timing->compute_seconds = launch_result.modeled_seconds;
+    timing->d2h_seconds =
+        static_cast<double>(ledger.d2h_bytes()) / (dev.pcie_gbps * 1e9);
+  }
+  return launch_result;
+}
+
+/// Simulated-GPU backend (paper Sections V-B..V-D). `tier` must be
+/// kGeneral, kBlocked or kUnrolled. Functional results come from executing
+/// the kernel; `modeled_seconds` comes from the device timing model.
+template <Real T>
+[[nodiscard]] BatchResult<T> solve_gpusim(
+    const BatchProblem<T>& p, kernels::Tier tier,
+    const gpusim::DeviceSpec& dev = gpusim::DeviceSpec::tesla_c2050(),
+    const GpuSolveOptions& gpu_opt = {}) {
+  TE_REQUIRE(p.num_tensors() > 0 && p.num_starts() > 0, "empty batch");
+
+  BatchResult<T> out;
+  out.num_tensors = p.num_tensors();
+  out.num_starts = p.num_starts();
+  out.results.resize(static_cast<std::size_t>(p.num_tensors()) *
+                     p.num_starts());
+
+  WallTimer timer;
+  gpusim::ChunkCost timing;
+  out.gpu = solve_gpusim_span<T>(
+      p.order, p.dim,
+      std::span<const SymmetricTensor<T>>(p.tensors.data(), p.tensors.size()),
+      std::span<const std::vector<T>>(p.starts.data(), p.starts.size()),
+      p.options, tier, dev, gpu_opt, nullptr,
+      std::span<sshopm::Result<T>>(out.results.data(), out.results.size()),
+      &timing);
+  TE_REQUIRE(out.gpu.launchable,
+             "kernel does not fit on the device (occupancy limiter: "
+                 << out.gpu.occupancy.limiter << ")");
   out.wall_seconds = timer.seconds();
-  out.gpu = launch_result;
-  out.modeled_seconds = launch_result.modeled_seconds;
+  out.modeled_seconds = out.gpu.modeled_seconds;
   out.useful_flops = count_useful_flops(out.results, p.order, p.dim);
-  out.transfer_seconds = ledger.modeled_seconds(dev);
+  out.transfer_seconds = timing.h2d_seconds + timing.d2h_seconds;
   return out;
 }
 

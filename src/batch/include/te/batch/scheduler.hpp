@@ -1,0 +1,371 @@
+#pragma once
+// Streaming batch scheduler (ROADMAP "sharding, batching, async, caching").
+//
+// The one-shot entry points in batch.hpp solve one problem per call: they
+// rebuild KernelTables every time, transfer the whole problem across PCIe
+// before any compute starts, and spin up per-call thread pools. A service
+// that streams many batched eigenproblems -- the paper's Section V workload
+// at fleet scale -- wants the opposite: jobs of heterogeneous shapes
+// chunked into bounded sub-batches, shape-keyed precompute shared across
+// jobs, transfers overlapped with compute, and one thread pool reused for
+// everything. te::batch::Scheduler is that subsystem:
+//
+//   * submit() accepts jobs of any (order, dim) mix; each job is split into
+//     contiguous sub-batches of at most `chunk_tensors` tensors (tensors
+//     are the natural chunk axis -- every (tensor, start) pair is
+//     independent, so any chunking reproduces the one-shot results
+//     bitwise);
+//   * KernelTables are fetched from a thread-safe (order, dim, tier)-keyed
+//     LRU TableCache shared by all chunks of all jobs (hit/miss/eviction
+//     counters exposed);
+//   * the simulated-GPU backend runs chunks through solve_gpusim_span and
+//     feeds their per-phase costs into a double-buffered StreamPipeline, so
+//     modeled host<->device transfer overlaps modeled compute -- both the
+//     serialized and the overlapped time are reported;
+//   * the CPU-parallel backend drains the same chunk queue over a single
+//     ThreadPool owned by (or lent to) the scheduler.
+//
+// Invariant the test suite enforces: for every tier and backend, the
+// scheduler's results are bitwise-identical to the corresponding one-shot
+// solve_* call, for every chunk size.
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "te/batch/batch.hpp"
+#include "te/batch/table_cache.hpp"
+#include "te/gpusim/stream.hpp"
+
+namespace te::batch {
+
+/// Which execution engine drains the chunk queue.
+enum class Backend {
+  kCpuSequential,
+  kCpuParallel,
+  kGpuSim,
+};
+
+[[nodiscard]] constexpr std::string_view backend_name(Backend b) {
+  switch (b) {
+    case Backend::kCpuSequential:
+      return "cpu-sequential";
+    case Backend::kCpuParallel:
+      return "cpu-parallel";
+    case Backend::kGpuSim:
+      return "gpusim";
+  }
+  return "?";
+}
+
+/// Scheduler construction knobs.
+struct SchedulerOptions {
+  /// Upper bound on tensors per sub-batch. Small chunks pipeline better
+  /// (more transfer/compute overlap) but pay more kernel-launch overhead.
+  int chunk_tensors = 32;
+  /// Capacity of the shared (order, dim, tier) precompute cache.
+  std::size_t cache_capacity = 8;
+  /// Worker count for the kCpuParallel backend's owned pool (ignored when
+  /// an external pool is lent).
+  int cpu_threads = 4;
+  /// Staging-buffer depth of the modeled GPU copy/compute pipeline
+  /// (2 = classic double buffering).
+  int pipeline_buffers = 2;
+  /// Device model for the kGpuSim backend.
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::tesla_c2050();
+  /// Sanitizer knobs forwarded to every GPU chunk launch.
+  GpuSolveOptions gpu;
+};
+
+/// Handle to a submitted job.
+using JobId = int;
+
+/// Modeled pipeline timing of one job (GPU backend; zeros on CPU backends).
+struct PipelineReport {
+  int chunks = 0;
+  double serialized_seconds = 0;  ///< sum of per-chunk h2d + kernel + d2h
+  double overlapped_seconds = 0;  ///< double-buffered makespan (<= serialized)
+  double transfer_seconds = 0;    ///< PCIe busy time (both directions)
+  double compute_seconds = 0;     ///< kernel busy time
+  [[nodiscard]] double hidden_seconds() const {
+    return serialized_seconds - overlapped_seconds;
+  }
+};
+
+/// Streaming batch-execution engine. Not thread-safe per instance (submit
+/// and run from one thread); distinct instances may run concurrently and
+/// may share a ThreadPool and, via shared_ptr semantics, table lifetimes.
+template <Real T>
+class Scheduler {
+ public:
+  /// `external_pool`, when given, is used (not owned) by the kCpuParallel
+  /// backend, letting several schedulers share one set of workers instead
+  /// of oversubscribing the host; it must outlive the scheduler.
+  explicit Scheduler(Backend backend, SchedulerOptions opt = {},
+                     ThreadPool* external_pool = nullptr)
+      : backend_(backend),
+        opt_(opt),
+        cache_(opt.cache_capacity),
+        external_pool_(external_pool),
+        pipeline_(opt.pipeline_buffers) {
+    TE_REQUIRE(opt_.chunk_tensors >= 1, "chunk size must be positive");
+    TE_REQUIRE(opt_.pipeline_buffers >= 1,
+               "pipeline needs at least one buffer");
+    TE_REQUIRE(opt_.cpu_threads >= 1, "cpu_threads must be positive");
+  }
+
+  [[nodiscard]] Backend backend() const { return backend_; }
+  [[nodiscard]] const SchedulerOptions& options() const { return opt_; }
+
+  /// Enqueue a job: validated, chunked, not yet executed. The problem is
+  /// moved into the scheduler and owned until the scheduler is destroyed.
+  JobId submit(BatchProblem<T> problem, kernels::Tier tier) {
+    validate(problem, tier);
+    const JobId id = static_cast<JobId>(jobs_.size());
+    jobs_.emplace_back();
+    Job& job = jobs_.back();
+    job.problem = std::move(problem);
+    job.tier = tier;
+    job.pipeline = gpusim::StreamPipeline(opt_.pipeline_buffers);
+    job.result.num_tensors = job.problem.num_tensors();
+    job.result.num_starts = job.problem.num_starts();
+    job.result.results.resize(
+        static_cast<std::size_t>(job.problem.num_tensors()) *
+        job.problem.num_starts());
+    for (int begin = 0; begin < job.problem.num_tensors();
+         begin += opt_.chunk_tensors) {
+      const int end =
+          std::min(begin + opt_.chunk_tensors, job.problem.num_tensors());
+      queue_.push_back(Chunk{id, begin, end});
+    }
+    return id;
+  }
+
+  /// Drain every pending chunk (FIFO across jobs), then finalize the
+  /// touched jobs' results. Returns the number of chunks executed.
+  int run() {
+    int executed = 0;
+    for (const Chunk& c : queue_) {
+      execute(c);
+      ++executed;
+    }
+    queue_.clear();
+    for (auto& job : jobs_) {
+      if (!job.done) finalize(job);
+    }
+    return executed;
+  }
+
+  /// Number of chunks waiting for the next run().
+  [[nodiscard]] int pending_chunks() const {
+    return static_cast<int>(queue_.size());
+  }
+
+  /// Result of a finished job (run() must have drained its chunks).
+  [[nodiscard]] const BatchResult<T>& result(JobId id) const {
+    const Job& job = at(id);
+    TE_REQUIRE(job.done, "job " << id << " has pending chunks; call run()");
+    return job.result;
+  }
+
+  /// Pipeline timing of a finished job (all-zero on CPU backends).
+  [[nodiscard]] PipelineReport job_pipeline(JobId id) const {
+    const Job& job = at(id);
+    TE_REQUIRE(job.done, "job " << id << " has pending chunks; call run()");
+    return report(job.pipeline);
+  }
+
+  /// Aggregate pipeline timing across every executed chunk of every job.
+  [[nodiscard]] PipelineReport pipeline() const { return report(pipeline_); }
+
+  /// Counters of the shared precompute cache.
+  [[nodiscard]] TableCacheStats cache_stats() const { return cache_.stats(); }
+
+  /// The pool driving kCpuParallel chunks (created lazily; the external
+  /// pool when one was lent).
+  [[nodiscard]] ThreadPool& pool() {
+    if (external_pool_ != nullptr) return *external_pool_;
+    if (!owned_pool_) owned_pool_.emplace(opt_.cpu_threads);
+    return *owned_pool_;
+  }
+
+ private:
+  struct Job {
+    BatchProblem<T> problem;
+    kernels::Tier tier = kernels::Tier::kGeneral;
+    BatchResult<T> result;
+    gpusim::StreamPipeline pipeline{2};
+    double wall_seconds = 0;
+    int chunks_done = 0;
+    bool done = false;
+  };
+
+  struct Chunk {
+    JobId job;
+    int begin;  ///< first tensor index (inclusive)
+    int end;    ///< last tensor index (exclusive)
+  };
+
+  void validate(const BatchProblem<T>& p, kernels::Tier tier) const {
+    TE_REQUIRE(p.num_tensors() > 0 && p.num_starts() > 0, "empty job");
+    for (const auto& a : p.tensors) {
+      TE_REQUIRE(a.order() == p.order && a.dim() == p.dim,
+                 "tensor shape (" << a.order() << ", " << a.dim()
+                                  << ") does not match job shape ("
+                                  << p.order << ", " << p.dim << ")");
+    }
+    for (const auto& s : p.starts) {
+      TE_REQUIRE(static_cast<int>(s.size()) == p.dim,
+                 "start vector length " << s.size() << " != dim " << p.dim);
+    }
+    if (backend_ == Backend::kGpuSim) {
+      TE_REQUIRE(tier == kernels::Tier::kGeneral ||
+                     tier == kernels::Tier::kBlocked ||
+                     tier == kernels::Tier::kUnrolled,
+                 "GPU backend implements the general, blocked and unrolled "
+                 "tiers");
+      TE_REQUIRE(p.dim <= gpusim::kMaxDim,
+                 "dimension exceeds device kernel cap");
+    }
+    if (tier == kernels::Tier::kUnrolled) {
+      TE_REQUIRE(kernels::find_unrolled<T>(p.order, p.dim) != nullptr,
+                 "no unrolled instantiation for order " << p.order << ", dim "
+                                                        << p.dim);
+    }
+  }
+
+  [[nodiscard]] const Job& at(JobId id) const {
+    TE_REQUIRE(id >= 0 && id < static_cast<JobId>(jobs_.size()),
+               "unknown job id " << id);
+    return jobs_[static_cast<std::size_t>(id)];
+  }
+
+  [[nodiscard]] static PipelineReport report(
+      const gpusim::StreamPipeline& p) {
+    PipelineReport r;
+    r.chunks = p.chunks();
+    r.serialized_seconds = p.serialized_seconds();
+    r.overlapped_seconds = p.overlapped_seconds();
+    r.transfer_seconds = p.transfer_seconds();
+    r.compute_seconds = p.compute_busy_seconds();
+    return r;
+  }
+
+  void execute(const Chunk& c) {
+    Job& job = jobs_[static_cast<std::size_t>(c.job)];
+    const BatchProblem<T>& p = job.problem;
+    const int nv = p.num_starts();
+    const auto tables = cache_.get(p.order, p.dim, job.tier);
+    sshopm::Result<T>* out_base =
+        job.result.results.data() +
+        static_cast<std::size_t>(c.begin) * nv;
+
+    WallTimer timer;
+    switch (backend_) {
+      case Backend::kCpuSequential: {
+        for (int t = c.begin; t < c.end; ++t) {
+          solve_one_tensor(job, t, tables.get());
+        }
+        break;
+      }
+      case Backend::kCpuParallel: {
+        pool().parallel_for(c.end - c.begin, [&](std::int64_t i) {
+          solve_one_tensor(job, c.begin + static_cast<int>(i), tables.get());
+        });
+        break;
+      }
+      case Backend::kGpuSim: {
+        gpusim::ChunkCost cost;
+        const auto launch = solve_gpusim_span<T>(
+            p.order, p.dim,
+            std::span<const SymmetricTensor<T>>(
+                p.tensors.data() + c.begin,
+                static_cast<std::size_t>(c.end - c.begin)),
+            std::span<const std::vector<T>>(p.starts.data(),
+                                            p.starts.size()),
+            p.options, job.tier, opt_.device, opt_.gpu, tables.get(),
+            std::span<sshopm::Result<T>>(
+                out_base, static_cast<std::size_t>(c.end - c.begin) * nv),
+            &cost);
+        TE_REQUIRE(launch.launchable,
+                   "chunk does not fit on the device (occupancy limiter: "
+                       << launch.occupancy.limiter << ")");
+        merge_gpu(job.result.gpu, launch, job.chunks_done == 0);
+        job.pipeline.record(cost);
+        pipeline_.record(cost);
+        break;
+      }
+    }
+    job.wall_seconds += timer.seconds();
+    ++job.chunks_done;
+    job.done = false;  // finalized (again) at the end of run()
+  }
+
+  /// One tensor, all starts -- the identical arithmetic (BoundKernels +
+  /// sshopm::solve) of the one-shot CPU backends, writing into this job's
+  /// result slots. Table sharing cannot perturb results: table contents are
+  /// a pure function of (order, dim).
+  void solve_one_tensor(Job& job, int t,
+                        const kernels::KernelTables<T>* tables) {
+    const BatchProblem<T>& p = job.problem;
+    kernels::BoundKernels<T> k(p.tensors[static_cast<std::size_t>(t)],
+                               job.tier, tables);
+    for (int v = 0; v < p.num_starts(); ++v) {
+      const auto& x0 = p.starts[static_cast<std::size_t>(v)];
+      job.result.results[static_cast<std::size_t>(t) * p.num_starts() + v] =
+          sshopm::solve(k, std::span<const T>(x0.data(), x0.size()),
+                        p.options);
+    }
+  }
+
+  static void merge_gpu(gpusim::LaunchResult& into,
+                        const gpusim::LaunchResult& chunk, bool first) {
+    if (first) into.occupancy = chunk.occupancy;
+    into.launchable = true;
+    into.total_ops += chunk.total_ops;
+    into.warp_issue_slots += chunk.warp_issue_slots;
+    into.modeled_seconds += chunk.modeled_seconds;
+    into.compute_seconds += chunk.compute_seconds;
+    into.memory_seconds += chunk.memory_seconds;
+    into.sim_wall_seconds += chunk.sim_wall_seconds;
+    into.sanitizer.enabled |= chunk.sanitizer.enabled;
+    if (into.sanitizer.kernel.empty()) {
+      into.sanitizer.kernel = chunk.sanitizer.kernel;
+    }
+    into.sanitizer.accesses += chunk.sanitizer.accesses;
+    into.sanitizer.suppressed += chunk.sanitizer.suppressed;
+    into.sanitizer.findings.insert(into.sanitizer.findings.end(),
+                                   chunk.sanitizer.findings.begin(),
+                                   chunk.sanitizer.findings.end());
+  }
+
+  void finalize(Job& job) {
+    job.result.wall_seconds = job.wall_seconds;
+    job.result.useful_flops = count_useful_flops(
+        job.result.results, job.problem.order, job.problem.dim);
+    if (backend_ == Backend::kGpuSim) {
+      // Modeled time of a pipelined job is the overlapped makespan of its
+      // chunks (transfer hidden behind compute); the serialized PCIe total
+      // keeps the one-shot transfer_seconds semantics for comparison.
+      job.result.modeled_seconds = job.pipeline.overlapped_seconds();
+      job.result.transfer_seconds = job.pipeline.transfer_seconds();
+    } else {
+      job.result.modeled_seconds = job.result.wall_seconds;
+    }
+    job.done = true;
+  }
+
+  Backend backend_;
+  SchedulerOptions opt_;
+  TableCache<T> cache_;
+  ThreadPool* external_pool_;
+  std::optional<ThreadPool> owned_pool_;
+  std::deque<Job> jobs_;
+  std::vector<Chunk> queue_;
+  gpusim::StreamPipeline pipeline_{2};
+};
+
+}  // namespace te::batch

@@ -1,0 +1,109 @@
+#pragma once
+// Shared precompute cache for the batch scheduler.
+//
+// KernelTables (the Section III-B.5 index/coefficient tables) depend only
+// on the tensor *shape*, yet the one-shot batch backends rebuild them on
+// every call. A streaming scheduler sees many jobs -- often of the same few
+// shapes -- so the tables belong in a cache keyed by (order, dim, tier) and
+// shared by every chunk of every job. Entries are handed out as
+// shared_ptr<const ...> so an evicted entry stays alive for any chunk still
+// computing with it, and the cache itself is mutex-guarded so concurrent
+// schedulers (or a future multi-threaded dispatcher) can share one
+// instance. Hit/miss/eviction counters make the amortization measurable
+// (bench_scheduler prints them; the tests assert hits on multi-job runs).
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+
+#include "te/kernels/dispatch.hpp"
+#include "te/kernels/precomputed.hpp"
+
+namespace te::batch {
+
+/// Monotone counters describing cache effectiveness.
+struct TableCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// Thread-safe LRU cache of KernelTables keyed by (order, dim, tier).
+template <Real T>
+class TableCache {
+ public:
+  /// Keep at most `capacity` table sets; least-recently-used is evicted.
+  explicit TableCache(std::size_t capacity = 8) : capacity_(capacity) {
+    TE_REQUIRE(capacity >= 1, "cache needs capacity >= 1");
+  }
+
+  /// Tables for one shape/tier. Tiers that never read tables (general, cse,
+  /// unrolled) return nullptr without touching the cache or its counters.
+  /// The returned pointer remains valid after eviction (shared ownership).
+  [[nodiscard]] std::shared_ptr<const kernels::KernelTables<T>> get(
+      int order, int dim, kernels::Tier tier) {
+    if (tier != kernels::Tier::kPrecomputed &&
+        tier != kernels::Tier::kBlocked) {
+      return nullptr;
+    }
+    std::lock_guard lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->order == order && it->dim == dim && it->tier == tier) {
+        ++stats_.hits;
+        entries_.splice(entries_.begin(), entries_, it);  // mark recent
+        return entries_.front().tables;
+      }
+    }
+    ++stats_.misses;
+    // Building under the lock serializes concurrent misses on the same key
+    // into one build + (n - 1) hits; table construction is cheap relative
+    // to the solves it amortizes.
+    entries_.push_front(
+        {order, dim, tier,
+         std::make_shared<const kernels::KernelTables<T>>(order, dim)});
+    if (entries_.size() > capacity_) {
+      entries_.pop_back();
+      ++stats_.evictions;
+    }
+    return entries_.front().tables;
+  }
+
+  [[nodiscard]] TableCacheStats stats() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return entries_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void clear() {
+    std::lock_guard lock(mutex_);
+    entries_.clear();
+  }
+
+ private:
+  struct Entry {
+    int order;
+    int dim;
+    kernels::Tier tier;
+    std::shared_ptr<const kernels::KernelTables<T>> tables;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> entries_;  ///< front = most recently used
+  TableCacheStats stats_;
+};
+
+}  // namespace te::batch

@@ -1,6 +1,8 @@
 // Explicit instantiations of the batch backends for float and double.
 
 #include "te/batch/batch.hpp"
+#include "te/batch/scheduler.hpp"
+#include "te/batch/table_cache.hpp"
 
 namespace te::batch {
 
@@ -23,5 +25,10 @@ template BatchResult<double> solve_gpusim(const BatchProblem<double>&,
                                           kernels::Tier,
                                           const gpusim::DeviceSpec&,
                                           const GpuSolveOptions&);
+
+template class TableCache<float>;
+template class TableCache<double>;
+template class Scheduler<float>;
+template class Scheduler<double>;
 
 }  // namespace te::batch

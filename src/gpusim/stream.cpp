@@ -1,0 +1,55 @@
+#include "te/gpusim/stream.hpp"
+
+#include <algorithm>
+
+namespace te::gpusim {
+
+StreamPipeline::StreamPipeline(int buffers) : buffers_(buffers) {
+  TE_REQUIRE(buffers >= 1, "pipeline needs at least one staging buffer");
+}
+
+void StreamPipeline::record(const ChunkCost& c) {
+  TE_REQUIRE(c.h2d_seconds >= 0 && c.compute_seconds >= 0 &&
+                 c.d2h_seconds >= 0,
+             "chunk costs must be nonnegative");
+
+  // The H2D of this chunk needs a free staging buffer: wait for the compute
+  // of chunk (i - buffers) to release one.
+  double buffer_free = 0;
+  if (static_cast<int>(compute_done_.size()) >= buffers_) {
+    buffer_free = compute_done_[compute_done_.size() -
+                                static_cast<std::size_t>(buffers_)];
+  }
+
+  // Upload DMA engine: H2D in issue order, gated by buffer availability.
+  const double h2d_start = std::max(h2d_ready_, buffer_free);
+  const double h2d_end = h2d_start + c.h2d_seconds;
+  h2d_ready_ = h2d_end;
+
+  // Compute engine: after the input landed and the previous kernel retired.
+  const double compute_start = std::max(h2d_end, compute_ready_);
+  const double compute_end = compute_start + c.compute_seconds;
+  compute_ready_ = compute_end;
+  compute_done_.push_back(compute_end);
+
+  // Download DMA engine: D2H after the kernel produced the output. Runs
+  // concurrently with the next chunks' uploads (second copy engine).
+  const double d2h_start = std::max(compute_end, d2h_ready_);
+  const double d2h_end = d2h_start + c.d2h_seconds;
+  d2h_ready_ = d2h_end;
+
+  ++chunks_;
+  makespan_ = std::max({makespan_, compute_end, d2h_end});
+  serialized_ += c.h2d_seconds + c.compute_seconds + c.d2h_seconds;
+  transfer_ += c.h2d_seconds + c.d2h_seconds;
+  compute_busy_ += c.compute_seconds;
+}
+
+void StreamPipeline::reset() {
+  chunks_ = 0;
+  h2d_ready_ = d2h_ready_ = compute_ready_ = 0;
+  makespan_ = serialized_ = transfer_ = compute_busy_ = 0;
+  compute_done_.clear();
+}
+
+}  // namespace te::gpusim

@@ -1,0 +1,64 @@
+#pragma once
+// Golden eigenpair fixtures: known Z-eigenpairs of reference tensors,
+// committed so every backend and kernel tier can be regression-checked
+// against the same numbers.
+//
+// Sources:
+//   * kofidis_regalia_example() -- the order-3, dim-3 tensor from Kolda &
+//     Mayo's SS-HOPM paper (Kofidis-Regalia example). Its two local-max
+//     Z-eigenpairs below were computed with this implementation at double
+//     precision and cross-validated by the residual ||A x^2 - lambda x||
+//     and the dense-oracle kernels; they match the literature values to
+//     the digits printed there. Odd order pairs them with (-lambda, -x).
+//   * rank-one tensors lambda * x^(tensor m) -- (lambda, x) is an eigenpair
+//     *exactly*, by construction, so the expected values are analytic, not
+//     measured.
+
+#include <array>
+#include <vector>
+
+#include "te/tensor/generators.hpp"
+
+namespace te::golden {
+
+/// One expected Z-eigenpair of a dim-3 fixture tensor (double precision;
+/// float backends are checked to a looser tolerance).
+struct GoldenPair {
+  double lambda;
+  std::array<double, 3> x;  ///< unit eigenvector (sign convention: as found
+                            ///< by SS-HOPM with positive shift)
+};
+
+/// Local maxima of the Kofidis-Regalia example tensor (order 3, dim 3).
+inline constexpr std::array<GoldenPair, 2> kKofidisRegaliaMaxima = {{
+    {2.3489523078, {0.4727169127, 0.5358446519, 0.6995778938}},
+    {0.7859925447, {0.5367068521, -0.8062601281, 0.2487777336}},
+}};
+
+/// Residual bound the fixture pairs satisfy at double precision.
+inline constexpr double kGoldenResidual = 1e-8;
+
+/// The analytic rank-one fixtures: unit direction and eigenvalue per order.
+struct RankOneFixture {
+  int order;
+  double lambda;
+  std::array<double, 3> x;
+};
+
+inline constexpr std::array<RankOneFixture, 3> kRankOneFixtures = {{
+    {3, 2.5, {1.0 / 3.0, 2.0 / 3.0, 2.0 / 3.0}},
+    {4, 1.75, {0.6, 0.0, 0.8}},
+    {6, 3.0, {0.0, 0.8, -0.6}},
+}};
+
+/// Materialize a rank-one fixture tensor.
+template <te::Real T>
+[[nodiscard]] te::SymmetricTensor<T> make_rank_one(const RankOneFixture& f) {
+  const std::array<T, 3> x = {static_cast<T>(f.x[0]), static_cast<T>(f.x[1]),
+                              static_cast<T>(f.x[2])};
+  return te::rank_one_tensor<T>(static_cast<T>(f.lambda),
+                                std::span<const T>(x.data(), x.size()),
+                                f.order);
+}
+
+}  // namespace te::golden

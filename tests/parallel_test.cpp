@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "te/parallel/cpu_model.hpp"
@@ -90,6 +91,27 @@ TEST(ThreadPool, ResultsIndependentOfThreadCount) {
 
 TEST(ThreadPool, RejectsNonPositiveWidth) {
   EXPECT_THROW(ThreadPool(0), InvalidArgument);
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallsAllComplete) {
+  // Two host threads drive one pool at the same time (the scheduler's
+  // shared-pool mode); each call's iteration space runs exactly once.
+  // Heavier variants live in stress_test.cpp (ctest label: stress).
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> a(50), b(50);
+  std::thread other([&] {
+    pool.parallel_for(50, [&](std::int64_t i) {
+      b[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+  });
+  pool.parallel_for(50, [&](std::int64_t i) {
+    a[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  other.join();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a[static_cast<std::size_t>(i)].load(), 1) << i;
+    EXPECT_EQ(b[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
 }
 
 // ---------------------------------------------------------------------------

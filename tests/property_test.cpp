@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "te/batch/scheduler.hpp"
 #include "te/kernels/dense.hpp"
 #include "te/kernels/general.hpp"
 #include "te/kernels/ttsv.hpp"
@@ -182,6 +183,64 @@ TEST_P(SeedSweep, EigenpairsSatisfyDefinitionAcrossShapes) {
               1e-5)
         << "m=" << m << " n=" << n;
   }
+}
+
+TEST_P(SeedSweep, SchedulerIsBitwiseEqualToOneShotBackends) {
+  // Differential property: over randomized (order, dim, num_tensors,
+  // num_starts, chunk_size), the streaming scheduler reproduces its
+  // backend's one-shot entry point bit-for-bit -- chunking, table sharing
+  // and pipelining must never perturb a single result.
+  const std::uint64_t seed = GetParam();
+  CounterRng rng(seed + 700);
+  const int order = 3 + static_cast<int>(rng.at(0, 0) % 2);     // 3..4
+  const int dim = 2 + static_cast<int>(rng.at(0, 1) % 4);       // 2..5
+  const int num_tensors = 1 + static_cast<int>(rng.at(0, 2) % 7);
+  const int num_starts = 1 + static_cast<int>(rng.at(0, 3) % 5);
+  const int chunk = 1 + static_cast<int>(rng.at(0, 4) % (num_tensors + 2));
+
+  auto p = batch::BatchProblem<double>::random(seed + 701, num_tensors,
+                                               num_starts, order, dim);
+  p.options.alpha = 1.0;
+
+  batch::SchedulerOptions opt;
+  opt.chunk_tensors = chunk;
+  const auto tier = kernels::Tier::kBlocked;  // tables on every path
+
+  // CPU backends against the sequential one-shot reference.
+  const auto cpu_ref = batch::solve_cpu_sequential(p, tier);
+  for (const auto backend :
+       {batch::Backend::kCpuSequential, batch::Backend::kCpuParallel}) {
+    batch::Scheduler<double> sched(backend, opt);
+    const auto id = sched.submit(p, tier);
+    sched.run();
+    const auto& got = sched.result(id).results;
+    ASSERT_EQ(cpu_ref.results.size(), got.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(cpu_ref.results[i].lambda, got[i].lambda)
+          << "backend " << batch::backend_name(backend) << " slot " << i
+          << " shape (" << order << "," << dim << ") chunk " << chunk;
+      EXPECT_EQ(cpu_ref.results[i].x, got[i].x);
+      EXPECT_EQ(cpu_ref.results[i].iterations, got[i].iterations);
+    }
+  }
+
+  // GPU-sim backend against its own one-shot launch.
+  const auto gpu_ref = batch::solve_gpusim(p, tier);
+  batch::Scheduler<double> sched(batch::Backend::kGpuSim, opt);
+  const auto id = sched.submit(p, tier);
+  sched.run();
+  const auto& got = sched.result(id).results;
+  ASSERT_EQ(gpu_ref.results.size(), got.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(gpu_ref.results[i].lambda, got[i].lambda)
+        << "gpusim slot " << i << " shape (" << order << "," << dim
+        << ") chunk " << chunk;
+    EXPECT_EQ(gpu_ref.results[i].x, got[i].x);
+    EXPECT_EQ(gpu_ref.results[i].iterations, got[i].iterations);
+  }
+  // Pipelining hides transfer; it can never add time.
+  EXPECT_LE(sched.job_pipeline(id).overlapped_seconds,
+            sched.job_pipeline(id).serialized_seconds + 1e-15);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
