@@ -10,9 +10,12 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "te/batch/batch.hpp"
 #include "te/dwmri/dataset.hpp"
+#include "te/obs/export.hpp"
+#include "te/obs/obs.hpp"
 #include "te/parallel/cpu_model.hpp"
 #include "te/util/cli.hpp"
 #include "te/util/sphere.hpp"
@@ -53,6 +56,44 @@ inline void banner(const std::string& artifact, const std::string& what) {
             << "Reproduces: " << artifact << "\n"
             << what << "\n"
             << "==========================================================\n";
+}
+
+/// Dump the global te::obs registry as a te-obs-v1 JSON document when the
+/// bench was invoked with --metrics-json PATH (and, with --metrics-csv
+/// PATH, as CSV too). `extra` lands in the document's meta block after the
+/// standard keys. Works identically under TE_OBS=OFF -- the snapshot is
+/// just empty -- so CI command lines never depend on the build flavor.
+/// Returns false on I/O failure (benches exit nonzero on it).
+inline bool maybe_write_metrics(const CliArgs& args, const std::string& bench,
+                                obs::ExportMeta extra = {}) {
+  const auto json_path = args.get("metrics-json");
+  const auto csv_path = args.get("metrics-csv");
+  if (!json_path && !csv_path) return true;
+
+  obs::ExportMeta meta;
+  meta.emplace_back("bench", bench);
+  meta.emplace_back("obs_enabled", TE_OBS_ENABLED ? "1" : "0");
+  for (auto& kv : extra) meta.push_back(std::move(kv));
+  const obs::Snapshot snap = obs::global().snapshot();
+
+  bool ok = true;
+  if (json_path) {
+    if (obs::write_file(*json_path, obs::to_json(snap, meta))) {
+      std::cout << "[metrics] wrote " << *json_path << "\n";
+    } else {
+      std::cerr << "[metrics] FAILED to write " << *json_path << "\n";
+      ok = false;
+    }
+  }
+  if (csv_path) {
+    if (obs::write_file(*csv_path, obs::to_csv(snap, meta))) {
+      std::cout << "[metrics] wrote " << *csv_path << "\n";
+    } else {
+      std::cerr << "[metrics] FAILED to write " << *csv_path << "\n";
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 /// Emit a table, optionally as CSV too.

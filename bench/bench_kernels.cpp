@@ -3,12 +3,21 @@
 // baseline, over a sweep of shapes. These are the per-call numbers behind
 // Table III's tier gaps: the unrolled tier should beat the general tier by
 // roughly the paper's ~8.5x on one core at (m=4, n=3).
+//
+// Extra flags (parsed before google-benchmark sees argv):
+//   --metrics-json PATH   dump the te::obs registry as te-obs-v1 JSON
+//   --metrics-csv PATH    ... and/or as CSV
 
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "te/kernels/dense.hpp"
 #include "te/kernels/dispatch.hpp"
 #include "te/kernels/precomputed.hpp"
+#include "te/sshopm/sshopm.hpp"
 #include "te/tensor/generators.hpp"
 #include "te/util/rng.hpp"
 
@@ -130,6 +139,44 @@ void BM_Ttsv0_DenseContract(benchmark::State& state) {
 }
 BENCHMARK(BM_Ttsv0_DenseContract)->Apply(args_shapes);
 
+void BM_Ttsv0_Dispatch(benchmark::State& state) {
+  // Through the runtime-tier facade (what SS-HOPM actually calls): measures
+  // dispatch overhead over the direct calls above, and populates the
+  // kernels.ttsv0.calls.* observability counters the --metrics-json dump
+  // reports.
+  Fixture f(static_cast<int>(state.range(0)),
+            static_cast<int>(state.range(1)));
+  const auto tier = static_cast<kernels::Tier>(state.range(2));
+  state.SetLabel(std::string(kernels::tier_name(tier)));
+  kernels::BoundKernels<float> k(f.a, tier, &f.tables);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.ttsv0({f.x.data(), f.x.size()}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ttsv0_Dispatch)
+    ->Args({4, 3, static_cast<long>(kernels::Tier::kGeneral)})
+    ->Args({4, 3, static_cast<long>(kernels::Tier::kPrecomputed)})
+    ->Args({4, 3, static_cast<long>(kernels::Tier::kCse)})
+    ->Args({4, 3, static_cast<long>(kernels::Tier::kBlocked)})
+    ->Args({4, 3, static_cast<long>(kernels::Tier::kUnrolled)});
+
+void BM_SshopmSolve_Unrolled43(benchmark::State& state) {
+  // A full solve at the application shape: feeds the sshopm.solve.* metrics
+  // (runs, iteration distribution, failure counters) end to end.
+  Fixture f(4, 3);
+  kernels::BoundKernels<float> k(f.a, kernels::Tier::kUnrolled);
+  const float x0[3] = {0.26f, 0.74f, 0.62f};
+  te::sshopm::Options opt;
+  opt.alpha = 1.0;
+  opt.tolerance = 1e-6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(te::sshopm::solve(k, {x0, 3}, opt));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SshopmSolve_Unrolled43);
+
 void BM_SshopmIteration_Unrolled43(benchmark::State& state) {
   // One full SS-HOPM iteration at the application shape: the unit of work
   // behind every Table III number.
@@ -154,4 +201,28 @@ BENCHMARK(BM_SshopmIteration_Unrolled43);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  te::CliArgs cli(argc, argv);
+  // Strip the metrics flags before google-benchmark validates argv.
+  std::vector<char*> filtered;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view a(argv[i]);
+    if (a.rfind("--metrics-json", 0) == 0 ||
+        a.rfind("--metrics-csv", 0) == 0) {
+      if (a.find('=') == std::string_view::npos && i + 1 < argc) ++i;
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  int fargc = static_cast<int>(filtered.size());
+  ::benchmark::Initialize(&fargc, filtered.data());
+  if (::benchmark::ReportUnrecognizedArguments(fargc, filtered.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return te::bench::maybe_write_metrics(cli, "bench_kernels",
+                                        {{"workload", "ttsv microbench"}})
+             ? 0
+             : 1;
+}

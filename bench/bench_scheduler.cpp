@@ -5,7 +5,8 @@
 // the serialized vs overlapped makespans -- plus the table-cache counters
 // across a heterogeneous job mix. A second table drives the same chunk
 // queue through the CPU backends with one shared ThreadPool.
-// Flags: --tensors N --starts V --jobs J --threads P --csv.
+// Flags: --tensors N --starts V --jobs J --threads P --csv
+//        --metrics-json PATH --metrics-csv PATH (te::obs registry dump).
 
 #include "bench_common.hpp"
 #include "te/batch/scheduler.hpp"
@@ -120,5 +121,11 @@ int main(int argc, char** argv) {
 
   std::cout << "Note: overlap and transfer times are modeled (C2050 PCIe at "
                "6 GB/s); CPU rows are measured wall time on this host.\n";
-  return 0;
+  return bench::maybe_write_metrics(
+             args, "bench_scheduler",
+             {{"jobs", std::to_string(jobs)},
+              {"tensors", std::to_string(nt)},
+              {"starts", std::to_string(nv)}})
+             ? 0
+             : 1;
 }

@@ -1,0 +1,108 @@
+// SS-HOPM solver study with full observability: the paper's Section V-A
+// workload (synthetic DW-MRI voxels, shared random starts, alpha = 0 plus
+// a shifted variant) run through the CPU backends per tier and the
+// simulated C2050, reporting convergence outcomes next to throughput.
+//
+// This is the bench behind CI's BENCH_sshopm.json artifact: after the
+// tables, --metrics-json dumps the whole te::obs registry -- solver outcome
+// counters, iteration distributions, per-tier ttsv call counts, gpusim
+// launch timings -- as a te-obs-v1 document that tools/obs_json_check
+// schema-validates.
+//
+// Flags: --tensors N --starts V --alpha A --csv
+//        --metrics-json PATH --metrics-csv PATH.
+
+#include <array>
+#include <cinttypes>
+
+#include "bench_common.hpp"
+#include "te/batch/scheduler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace te;
+  using kernels::Tier;
+
+  CliArgs args(argc, argv);
+  const bool csv = args.has("csv");
+  const int nt = static_cast<int>(args.get_or("tensors", 256L));
+  const int nv = static_cast<int>(args.get_or("starts", 32L));
+  const double alpha = args.get_or("alpha", 0.0);
+
+  bench::banner("Paper Section V (solver view)",
+                "SS-HOPM over " + std::to_string(nt) + " voxels x " +
+                    std::to_string(nv) + " starts, alpha = " +
+                    std::to_string(alpha) +
+                    "; outcome accounting via te::obs");
+
+  bench::PaperWorkload w;
+  w.num_tensors = nt;
+  w.num_starts = nv;
+  w.alpha = alpha;
+  const auto p = bench::make_paper_problem(w);
+
+  TextTable t;
+  t.set_header({"backend", "tier", "wall ms", "modeled ms", "GFLOPS",
+                "conv%", "maxiter", "degen", "nonfin"});
+  const auto add_row = [&](std::string backend, Tier tier,
+                           const batch::BatchResult<float>& r) {
+    std::int64_t conv = 0, maxit = 0, degen = 0, nonfin = 0;
+    for (const auto& res : r.results) {
+      switch (res.failure) {
+        case sshopm::FailureReason::kNone:
+          ++conv;
+          break;
+        case sshopm::FailureReason::kMaxIterations:
+          ++maxit;
+          break;
+        case sshopm::FailureReason::kDegenerateIterate:
+          ++degen;
+          break;
+        case sshopm::FailureReason::kNonFiniteLambda:
+          ++nonfin;
+          break;
+      }
+    }
+    const auto total = static_cast<double>(r.results.size());
+    char wall[32], modeled[32], gf[32], cv[32];
+    std::snprintf(wall, sizeof wall, "%.2f", r.wall_seconds * 1e3);
+    std::snprintf(modeled, sizeof modeled, "%.2f", r.modeled_seconds * 1e3);
+    std::snprintf(gf, sizeof gf, "%.2f", r.gflops_modeled());
+    std::snprintf(cv, sizeof cv, "%.1f",
+                  100.0 * static_cast<double>(conv) / total);
+    t.add_row({std::move(backend), std::string(kernels::tier_name(tier)),
+               wall, modeled, gf, cv, std::to_string(maxit),
+               std::to_string(degen), std::to_string(nonfin)});
+  };
+
+  for (const Tier tier : {Tier::kGeneral, Tier::kPrecomputed, Tier::kCse,
+                          Tier::kBlocked, Tier::kUnrolled}) {
+    add_row("cpu-sequential", tier, batch::solve_cpu_sequential(p, tier));
+  }
+  for (const Tier tier : {Tier::kGeneral, Tier::kUnrolled}) {
+    add_row("gpusim", tier, batch::solve_gpusim(p, tier));
+  }
+  bench::emit(t, csv);
+
+  // A scheduler pass over the same problem so the batch.scheduler.* and
+  // batch.pipeline.* metrics appear in the dump alongside the solver's.
+  {
+    batch::SchedulerOptions opt;
+    opt.chunk_tensors = 32;
+    batch::Scheduler<float> sched(batch::Backend::kGpuSim, opt);
+    const auto id = sched.submit(p, Tier::kUnrolled);
+    sched.run();
+    const auto rep = sched.job_pipeline(id);
+    std::printf(
+        "scheduler (gpusim, chunk 32): %d chunks, serialized %.3f ms, "
+        "overlapped %.3f ms, hidden %.3f ms\n",
+        rep.chunks, rep.serialized_seconds * 1e3,
+        rep.overlapped_seconds * 1e3, rep.hidden_seconds() * 1e3);
+  }
+
+  return bench::maybe_write_metrics(args, "bench_sshopm",
+                                    {{"tensors", std::to_string(nt)},
+                                     {"starts", std::to_string(nv)},
+                                     {"alpha", std::to_string(alpha)}})
+             ? 0
+             : 1;
+}

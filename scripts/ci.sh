@@ -13,6 +13,10 @@
 #      table cache + lent pools) and the stress suite. Only those test
 #      binaries are built; `ctest -L` skips the label-less NOT_BUILT
 #      placeholders of the rest.
+#   4. observability gate: a bench_sshopm smoke run must emit a
+#      BENCH_sshopm.json that passes the te-obs-v1 schema validator, and a
+#      -DTE_OBS=OFF build must stay green (tier1) with bench_obs_overhead
+#      proving the disabled registry records nothing.
 #
 # Usage: scripts/ci.sh [extra cmake args...]
 set -euo pipefail
@@ -40,6 +44,15 @@ for label in tier1 slow stress; do
   ctest --test-dir build -L "${label}" --output-on-failure -j "${JOBS}"
 done
 
+# Bench smoke: the metrics pipeline end to end. A small bench_sshopm run
+# must produce a schema-valid te-obs-v1 artifact (this is what perf-tracking
+# jobs archive), checked by the bundled validator.
+echo "=== build: bench smoke (BENCH_sshopm.json) ==="
+cmake --build build -j "${JOBS}" --target bench_sshopm obs_json_check
+./build/bench/bench_sshopm --tensors 16 --starts 4 \
+  --metrics-json build/BENCH_sshopm.json
+./build/tools/obs_json_check build/BENCH_sshopm.json
+
 # Pass 2: host-sanitized. RelWithDebInfo keeps stacks symbolized; native
 # arch off so the instrumented binaries stay portable across CI hosts.
 run_pass build-asan \
@@ -62,5 +75,20 @@ echo "=== build-tsan: build ${TSAN_TARGETS[*]} ==="
 cmake --build build-tsan -j "${JOBS}" --target "${TSAN_TARGETS[@]}"
 echo "=== build-tsan: ctest (tier1 + stress labels) ==="
 ctest --test-dir build-tsan -L 'tier1|stress' --output-on-failure -j "${JOBS}"
+
+# Pass 4: TE_OBS=OFF. The disabled mode must build, pass tier1, and the
+# overhead bench's built-in assertion must see an empty registry (it exits
+# non-zero otherwise). A short run is enough -- the assertion is what gates.
+echo "=== build-noobs: configure ==="
+cmake -B build-noobs -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DTE_OBS=OFF \
+  "$@"
+echo "=== build-noobs: build ==="
+cmake --build build-noobs -j "${JOBS}"
+echo "=== build-noobs: ctest -L tier1 ==="
+ctest --test-dir build-noobs -L tier1 --output-on-failure -j "${JOBS}"
+echo "=== build-noobs: bench_obs_overhead (zero-overhead assertion) ==="
+./build-noobs/bench/bench_obs_overhead --solves 2000 --repeats 1
 
 echo "CI: all passes green."

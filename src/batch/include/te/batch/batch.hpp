@@ -267,6 +267,8 @@ template <Real T>
                                        static_cast<std::size_t>(nt) * nv);
   gpusim::DeviceBuffer<std::int32_t> d_out_iters(
       ledger, static_cast<std::size_t>(nt) * nv);
+  gpusim::DeviceBuffer<std::int32_t> d_out_status(
+      ledger, static_cast<std::size_t>(nt) * nv);
   d_tensors.h2d(staged);
   d_starts.h2d(staged_starts);
   const double h2d_seconds =
@@ -283,6 +285,7 @@ template <Real T>
   view.out_vectors = d_out_vectors.device_ptr();
   view.out_values = d_out_values.device_ptr();
   view.out_iters = d_out_iters.device_ptr();
+  view.out_status = d_out_status.device_ptr();
 
   const gpusim::GpuIterationCost cost =
       tier == kernels::Tier::kUnrolled
@@ -309,17 +312,22 @@ template <Real T>
   std::vector<T> out_vectors(d_out_vectors.size());
   std::vector<T> out_values(d_out_values.size());
   std::vector<std::int32_t> out_iters(d_out_iters.size());
+  std::vector<std::int32_t> out_status(d_out_status.size());
   d_out_vectors.d2h(out_vectors);
   d_out_values.d2h(out_values);
   d_out_iters.d2h(std::span<std::int32_t>(out_iters.data(), out_iters.size()));
+  d_out_status.d2h(
+      std::span<std::int32_t>(out_status.data(), out_status.size()));
 
   for (std::size_t slot = 0; slot < out.size(); ++slot) {
     auto& r = out[slot];
     r.lambda = out_values[slot];
     r.x.assign(out_vectors.begin() + static_cast<std::ptrdiff_t>(slot * n),
                out_vectors.begin() + static_cast<std::ptrdiff_t>((slot + 1) * n));
-    r.converged = out_iters[slot] >= 0;
+    r.converged = out_status[slot] ==
+                  static_cast<std::int32_t>(sshopm::FailureReason::kNone);
     r.iterations = std::abs(out_iters[slot]);
+    r.failure = static_cast<sshopm::FailureReason>(out_status[slot]);
   }
   if (timing) {
     timing->h2d_seconds = h2d_seconds;

@@ -39,6 +39,8 @@
 #include "te/batch/batch.hpp"
 #include "te/batch/table_cache.hpp"
 #include "te/gpusim/stream.hpp"
+#include "te/obs/obs.hpp"
+#include "te/obs/span.hpp"
 
 namespace te::batch {
 
@@ -82,6 +84,44 @@ struct SchedulerOptions {
 
 /// Handle to a submitted job.
 using JobId = int;
+
+#if TE_OBS_ENABLED
+namespace detail {
+/// Scheduler-layer metric handles, name-resolved once. Counters accumulate
+/// across scheduler instances (they describe the process); gauges reflect
+/// the most recent observation.
+struct SchedulerMetrics {
+  obs::Counter& jobs_submitted;
+  obs::Counter& chunks_executed;
+  obs::Gauge& queue_depth;
+  obs::Histogram& chunk_seconds;   ///< wall time per executed chunk
+  obs::Gauge& cache_hits;
+  obs::Gauge& cache_misses;
+  obs::Gauge& cache_evictions;
+  obs::Gauge& cache_size;
+  obs::Gauge& pipe_serialized;
+  obs::Gauge& pipe_overlapped;
+  obs::Gauge& pipe_hidden;
+
+  static SchedulerMetrics& get() {
+    static SchedulerMetrics m{
+        obs::global().counter("batch.scheduler.jobs_submitted"),
+        obs::global().counter("batch.scheduler.chunks_executed"),
+        obs::global().gauge("batch.scheduler.queue_depth"),
+        obs::global().histogram("batch.scheduler.chunk.seconds"),
+        obs::global().gauge("batch.table_cache.hits"),
+        obs::global().gauge("batch.table_cache.misses"),
+        obs::global().gauge("batch.table_cache.evictions"),
+        obs::global().gauge("batch.table_cache.size"),
+        obs::global().gauge("batch.pipeline.serialized_seconds"),
+        obs::global().gauge("batch.pipeline.overlapped_seconds"),
+        obs::global().gauge("batch.pipeline.hidden_seconds"),
+    };
+    return m;
+  }
+};
+}  // namespace detail
+#endif  // TE_OBS_ENABLED
 
 /// Modeled pipeline timing of one job (GPU backend; zeros on CPU backends).
 struct PipelineReport {
@@ -141,21 +181,42 @@ class Scheduler {
           std::min(begin + opt_.chunk_tensors, job.problem.num_tensors());
       queue_.push_back(Chunk{id, begin, end});
     }
+    TE_OBS_ONLY({
+      auto& m = detail::SchedulerMetrics::get();
+      m.jobs_submitted.inc();
+      m.queue_depth.set(static_cast<double>(queue_.size()));
+    });
     return id;
   }
 
   /// Drain every pending chunk (FIFO across jobs), then finalize the
   /// touched jobs' results. Returns the number of chunks executed.
   int run() {
+    TE_OBS_SPAN("batch.run");
     int executed = 0;
     for (const Chunk& c : queue_) {
       execute(c);
       ++executed;
+      TE_OBS_ONLY(detail::SchedulerMetrics::get().queue_depth.set(
+          static_cast<double>(queue_.size() - static_cast<std::size_t>(
+                                                  executed))));
     }
     queue_.clear();
     for (auto& job : jobs_) {
       if (!job.done) finalize(job);
     }
+    TE_OBS_ONLY({
+      auto& m = detail::SchedulerMetrics::get();
+      const TableCacheStats cs = cache_.stats();
+      m.cache_hits.set(static_cast<double>(cs.hits));
+      m.cache_misses.set(static_cast<double>(cs.misses));
+      m.cache_evictions.set(static_cast<double>(cs.evictions));
+      m.cache_size.set(static_cast<double>(cache_.size()));
+      const PipelineReport pr = report(pipeline_);
+      m.pipe_serialized.set(pr.serialized_seconds);
+      m.pipe_overlapped.set(pr.overlapped_seconds);
+      m.pipe_hidden.set(pr.hidden_seconds());
+    });
     return executed;
   }
 
@@ -255,6 +316,7 @@ class Scheduler {
   }
 
   void execute(const Chunk& c) {
+    TE_OBS_SPAN("chunk");
     Job& job = jobs_[static_cast<std::size_t>(c.job)];
     const BatchProblem<T>& p = job.problem;
     const int nv = p.num_starts();
@@ -299,9 +361,15 @@ class Scheduler {
         break;
       }
     }
-    job.wall_seconds += timer.seconds();
+    const double chunk_seconds = timer.seconds();
+    job.wall_seconds += chunk_seconds;
     ++job.chunks_done;
     job.done = false;  // finalized (again) at the end of run()
+    TE_OBS_ONLY({
+      auto& m = detail::SchedulerMetrics::get();
+      m.chunks_executed.inc();
+      m.chunk_seconds.record(chunk_seconds);
+    });
   }
 
   /// One tensor, all starts -- the identical arithmetic (BoundKernels +

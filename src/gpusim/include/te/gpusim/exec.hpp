@@ -32,11 +32,38 @@
 #include "te/gpusim/mem_sanitizer.hpp"
 #include "te/gpusim/occupancy.hpp"
 #include "te/gpusim/task.hpp"
+#include "te/obs/obs.hpp"
 #include "te/util/assert.hpp"
 #include "te/util/op_counter.hpp"
 #include "te/util/timer.hpp"
 
 namespace te::gpusim {
+
+#if TE_OBS_ENABLED
+namespace detail {
+/// Launch-layer metric handles, name-resolved once per process.
+struct LaunchMetrics {
+  obs::Counter& launches;
+  obs::Counter& unlaunchable;
+  obs::Histogram& modeled_seconds;
+  obs::Histogram& sim_wall_seconds;
+  obs::Gauge& occupancy_fraction;
+  obs::Gauge& divergence_ratio;
+};
+
+inline LaunchMetrics& launch_metrics() {
+  static LaunchMetrics m{
+      obs::global().counter("gpusim.launches"),
+      obs::global().counter("gpusim.launches.unlaunchable"),
+      obs::global().histogram("gpusim.launch.modeled_seconds"),
+      obs::global().histogram("gpusim.launch.sim_wall_seconds"),
+      obs::global().gauge("gpusim.occupancy.fraction"),
+      obs::global().gauge("gpusim.divergence_ratio"),
+  };
+  return m;
+}
+}  // namespace detail
+#endif  // TE_OBS_ENABLED
 
 /// Per-thread context handed to a simulated kernel.
 class ThreadCtx {
@@ -190,6 +217,7 @@ LaunchResult launch(const DeviceSpec& dev, const LaunchConfig& cfg,
   out.occupancy = occ;
   if (occ.blocks_per_sm == 0) {
     out.launchable = false;
+    TE_OBS_ONLY(detail::launch_metrics().unlaunchable.inc());
     return out;
   }
 
@@ -267,6 +295,14 @@ LaunchResult launch(const DeviceSpec& dev, const LaunchConfig& cfg,
   }
   if (sanitizer) out.sanitizer = sanitizer->take_report();
   out.sim_wall_seconds = timer.seconds();
+  TE_OBS_ONLY({
+    auto& m = detail::launch_metrics();
+    m.launches.inc();
+    m.modeled_seconds.record(out.modeled_seconds);
+    m.sim_wall_seconds.record(out.sim_wall_seconds);
+    m.occupancy_fraction.set(occ.fraction);
+    m.divergence_ratio.set(out.divergence_ratio);
+  });
   return out;
 }
 

@@ -50,6 +50,9 @@ struct DeviceBatchView {
   T* out_vectors = nullptr;     ///< [num_tensors x num_starts x dim]
   T* out_values = nullptr;      ///< [num_tensors x num_starts]
   std::int32_t* out_iters = nullptr;  ///< [num_tensors x num_starts]
+  /// Per-run outcome as a sshopm::FailureReason integer (0 = converged);
+  /// optional so older callers keep working. [num_tensors x num_starts]
+  std::int32_t* out_status = nullptr;
 };
 
 /// Per-iteration operation tallies for the two tiers (FMA-aware, unlike the
@@ -136,9 +139,54 @@ ThreadTask sshopm_device_thread(ThreadCtx& ctx, DeviceBatchView<T> view,
   for (int i = 0; i < n; ++i) {
     x[i] = view.starts[static_cast<std::size_t>(v) * n + i];
   }
+
+  // Device-side failure reporting: a degenerate start in one lane must not
+  // unwind the whole launch (it would take every other lane's results with
+  // it), so outcomes travel through out_status as FailureReason integers.
+  int it = 0;
+  bool converged = false;
+  std::int32_t status =
+      static_cast<std::int32_t>(sshopm::FailureReason::kMaxIterations);
+  const auto write_results = [&](T lam) {
+    OpCounts store;
+    const std::size_t slot = static_cast<std::size_t>(b) * view.num_starts + v;
+    for (int i = 0; i < n; ++i) {
+      view.out_vectors[slot * n + i] = x[i];
+    }
+    view.out_values[slot] = lam;
+    store.gmem += n + 1;
+    if (view.out_iters) {
+      view.out_iters[slot] = converged ? it : -it;
+      store.gmem += 1;
+    }
+    if (view.out_status) {
+      view.out_status[slot] =
+          converged
+              ? static_cast<std::int32_t>(sshopm::FailureReason::kNone)
+              : status;
+      store.gmem += 1;
+    }
+    ctx.tally(store);
+  };
+
   // Starting vectors are pre-normalized by the host API; normalize anyway
-  // so the kernel is self-contained (cost is in per_setup).
-  normalize(std::span<T>(x, static_cast<std::size_t>(n)));
+  // so the kernel is self-contained (cost is in per_setup). The arithmetic
+  // mirrors te::try_normalize exactly, keeping device lanes bitwise equal
+  // to the CPU backends -- including which runs count as degenerate.
+  {
+    T norm2 = T(0);
+    for (int i = 0; i < n; ++i) norm2 += x[i] * x[i];
+    const T nrm = std::sqrt(norm2);
+    if (!(nrm > T(0)) || !std::isfinite(static_cast<double>(nrm))) {
+      status = static_cast<std::int32_t>(
+          sshopm::FailureReason::kDegenerateIterate);
+      write_results(T(0));
+      ctx.tally(cost.per_setup);
+      co_return;
+    }
+    const T inv = T(1) / nrm;
+    for (int i = 0; i < n; ++i) x[i] *= inv;
+  }
 
   // The library ttsv kernels take `const T*`; read_all() records one
   // whole-extent read per call, the same granularity compute-sanitizer has
@@ -172,18 +220,39 @@ ThreadTask sshopm_device_thread(ThreadCtx& ctx, DeviceBatchView<T> view,
   const T sign = opt.alpha >= 0 ? T(1) : T(-1);
   T lambda = eval0();
   ctx.tally(cost.per_setup);
+  if (!std::isfinite(static_cast<double>(lambda))) {
+    // Poisoned tensor data: the convergence test below is always false for
+    // NaN, so without this the lane would burn the full iteration budget.
+    status =
+        static_cast<std::int32_t>(sshopm::FailureReason::kNonFiniteLambda);
+    write_results(lambda);
+    co_return;
+  }
 
-  int it = 0;
-  bool converged = false;
   for (; it < opt.max_iterations; ++it) {
     eval1();
     for (int i = 0; i < n; ++i) x[i] = sign * (y[i] + alpha * x[i]);
     T norm2 = T(0);
     for (int i = 0; i < n; ++i) norm2 += x[i] * x[i];
-    const T inv = T(1) / std::sqrt(norm2);
+    const T nrm = std::sqrt(norm2);
+    if (!(nrm > T(0)) || !std::isfinite(static_cast<double>(nrm))) {
+      status = static_cast<std::int32_t>(
+          sshopm::FailureReason::kDegenerateIterate);
+      ctx.tally(cost.per_iteration);
+      ++it;
+      break;
+    }
+    const T inv = T(1) / nrm;
     for (int i = 0; i < n; ++i) x[i] *= inv;
     const T next = eval0();
     ctx.tally(cost.per_iteration);
+    if (!std::isfinite(static_cast<double>(next))) {
+      lambda = next;
+      status = static_cast<std::int32_t>(
+          sshopm::FailureReason::kNonFiniteLambda);
+      ++it;
+      break;
+    }
     if (std::abs(static_cast<double>(next - lambda)) <= opt.tolerance) {
       lambda = next;
       converged = true;
@@ -194,19 +263,7 @@ ThreadTask sshopm_device_thread(ThreadCtx& ctx, DeviceBatchView<T> view,
   }
 
   // --- Write results to global memory. ---
-  {
-    OpCounts store;
-    const std::size_t slot = static_cast<std::size_t>(b) * view.num_starts + v;
-    for (int i = 0; i < n; ++i) {
-      view.out_vectors[slot * n + i] = x[i];
-    }
-    view.out_values[slot] = lambda;
-    if (view.out_iters) {
-      view.out_iters[slot] = converged ? it : -it;
-    }
-    store.gmem += n + 2;
-    ctx.tally(store);
-  }
+  write_results(lambda);
   co_return;
 }
 

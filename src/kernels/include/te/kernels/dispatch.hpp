@@ -8,12 +8,14 @@
 // themselves stay fully typed.
 
 #include <span>
+#include <string>
 #include <string_view>
 
 #include "te/kernels/blocked.hpp"
 #include "te/kernels/cse.hpp"
 #include "te/kernels/general.hpp"
 #include "te/kernels/precomputed.hpp"
+#include "te/obs/obs.hpp"
 #include "te/tensor/symmetric_tensor.hpp"
 #include "te/util/op_counter.hpp"
 
@@ -45,6 +47,35 @@ enum class Tier {
   }
   return "?";
 }
+
+#if TE_OBS_ENABLED
+namespace detail {
+/// Per-tier dispatch counters, name-resolved once: the per-call cost in the
+/// iteration hot loop is one relaxed atomic increment.
+struct DispatchMetrics {
+  obs::Counter* ttsv0_calls[5];
+  obs::Counter* ttsv1_calls[5];
+
+  static DispatchMetrics& get() {
+    static DispatchMetrics m = [] {
+      DispatchMetrics d;
+      constexpr Tier kTiers[5] = {Tier::kGeneral, Tier::kPrecomputed,
+                                  Tier::kCse, Tier::kBlocked,
+                                  Tier::kUnrolled};
+      for (int i = 0; i < 5; ++i) {
+        const std::string base(tier_name(kTiers[i]));
+        d.ttsv0_calls[i] =
+            &obs::global().counter("kernels.ttsv0.calls." + base);
+        d.ttsv1_calls[i] =
+            &obs::global().counter("kernels.ttsv1.calls." + base);
+      }
+      return d;
+    }();
+    return m;
+  }
+};
+}  // namespace detail
+#endif  // TE_OBS_ENABLED
 
 /// Function-pointer record for one prebuilt unrolled shape.
 template <Real T>
@@ -94,6 +125,10 @@ class BoundKernels {
   [[nodiscard]] Tier tier() const { return tier_; }
 
   [[nodiscard]] T ttsv0(std::span<const T> x, OpCounts* ops = nullptr) const {
+    TE_OBS_ONLY(
+        detail::DispatchMetrics::get()
+            .ttsv0_calls[static_cast<int>(tier_)]
+            ->inc());
     switch (tier_) {
       case Tier::kGeneral:
         return ttsv0_general(*a_, x, ops);
@@ -114,6 +149,10 @@ class BoundKernels {
 
   void ttsv1(std::span<const T> x, std::span<T> y,
              OpCounts* ops = nullptr) const {
+    TE_OBS_ONLY(
+        detail::DispatchMetrics::get()
+            .ttsv1_calls[static_cast<int>(tier_)]
+            ->inc());
     switch (tier_) {
       case Tier::kGeneral:
         ttsv1_general(*a_, x, y, ops);

@@ -1,0 +1,59 @@
+#pragma once
+// Exporters for te::obs snapshots, plus a schema validator.
+//
+// Two formats:
+//
+//   * JSON ("te-obs-v1"): one self-describing document -- schema tag, a
+//     caller-supplied meta block (bench name, workload, host), then
+//     counters/gauges/histograms keyed by metric name and the span trace.
+//     This is what the benches write as BENCH_<name>.json so the perf
+//     trajectory is machine-diffable across commits.
+//   * CSV: one row per metric (kind,name,count,value,min,max,mean), for
+//     spreadsheet-grade consumers; spans are exported as kind=span rows
+//     with the duration in the value column.
+//
+// validate_export_json() re-parses a document with the bundled minimal
+// JSON reader and checks it against the te-obs-v1 shape; tools/
+// obs_json_check wraps it as the CI gate, and the unit tests close the
+// loop (export -> validate) in both TE_OBS modes. The exporters work in
+// disabled builds too -- they just see an empty snapshot -- so bench
+// command lines do not change between configurations.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "te/obs/obs.hpp"
+
+namespace te::obs {
+
+/// Caller-supplied context written into the JSON "meta" object and the CSV
+/// preamble (pairs are emitted in order; keys should be unique).
+using ExportMeta = std::vector<std::pair<std::string, std::string>>;
+
+/// Serialize a snapshot as a te-obs-v1 JSON document (UTF-8, newline
+/// terminated, stable key order -- diffs stay readable).
+[[nodiscard]] std::string to_json(const Snapshot& snap,
+                                  const ExportMeta& meta = {});
+
+/// Serialize a snapshot as CSV (header row + one row per metric/span).
+[[nodiscard]] std::string to_csv(const Snapshot& snap,
+                                 const ExportMeta& meta = {});
+
+/// Write `content` to `path` (truncating). Returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+/// Outcome of a schema validation.
+struct ValidationResult {
+  bool ok = false;
+  std::string error;  ///< empty when ok; else a human-readable reason
+};
+
+/// Check that `json` parses and matches the te-obs-v1 schema: the schema
+/// tag, meta as a string->string object, counters as integer-valued and
+/// gauges as number-valued objects, histograms carrying count/total/min/
+/// max/mean plus a kHistogramBuckets-long bucket array, spans as an array
+/// of {path, depth, start_seconds, duration_seconds}.
+[[nodiscard]] ValidationResult validate_export_json(const std::string& json);
+
+}  // namespace te::obs

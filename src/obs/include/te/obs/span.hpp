@@ -1,0 +1,129 @@
+#pragma once
+// RAII trace spans with parent/child nesting.
+//
+// A Span marks one timed region; spans opened while another span of the
+// same thread is alive become its children, and the span's *path* is the
+// dotted chain of names from the root ("batch.run.chunk"). On destruction
+// a span:
+//
+//   * records its duration into the registry timer "span.<path>" (so span
+//     statistics aggregate like any other histogram), and
+//   * appends a SpanSample to the registry's bounded span ring (so the
+//     exporters can emit an actual trace).
+//
+// Nesting state is a thread_local stack: spans are cheap (no allocation
+// beyond the path string), need no registration, and never synchronize
+// with spans on other threads. With TE_OBS=OFF the class is an empty shell
+// and TE_OBS_SPAN(...) expands to nothing.
+
+#include <string>
+#include <string_view>
+
+#include "te/obs/obs.hpp"
+
+namespace te::obs {
+
+#if TE_OBS_ENABLED
+
+class Span {
+ public:
+  /// Open a span named `name` under `reg` (defaults to the global
+  /// registry). Names should be short dotted-lowercase segments without
+  /// embedded dots; the path handles the joining.
+  explicit Span(std::string_view name, Registry& reg = global())
+      : reg_(&reg), start_(reg.now_seconds()) {
+    Span* parent = stack();
+    depth_ = parent != nullptr ? parent->depth_ + 1 : 0;
+    if (parent != nullptr) {
+      path_.reserve(parent->path_.size() + 1 + name.size());
+      path_ = parent->path_;
+      path_ += '.';
+      path_ += name;
+    } else {
+      path_ = std::string(name);
+    }
+    parent_ = parent;
+    stack() = this;
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    const double dur = reg_->now_seconds() - start_;
+    reg_->timer("span." + path_).record(dur);
+    reg_->record_span(path_, depth_, start_, dur);
+    stack() = parent_;
+  }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] int depth() const { return depth_; }
+
+  /// Innermost live span of the calling thread (nullptr outside any span).
+  [[nodiscard]] static const Span* current() { return stack(); }
+
+ private:
+  static Span*& stack() {
+    thread_local Span* top = nullptr;
+    return top;
+  }
+
+  Registry* reg_;
+  Span* parent_ = nullptr;
+  std::string path_;
+  int depth_ = 0;
+  double start_ = 0;
+};
+
+/// Scope-timed histogram sample: records seconds-in-scope into `timer` on
+/// destruction. Lighter than a Span (no path, no trace entry) for hot
+/// loops that only want the latency distribution.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& t, Registry& reg = global())
+      : t_(&t), reg_(&reg), start_(reg.now_seconds()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { t_->record(reg_->now_seconds() - start_); }
+
+ private:
+  Timer* t_;
+  Registry* reg_;
+  double start_;
+};
+
+#else  // !TE_OBS_ENABLED
+
+class Span {
+ public:
+  explicit Span(std::string_view, Registry& = global()) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  [[nodiscard]] const std::string& path() const {
+    static const std::string empty;
+    return empty;
+  }
+  [[nodiscard]] int depth() const { return 0; }
+  [[nodiscard]] static const Span* current() { return nullptr; }
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer&, Registry& = global()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+#endif  // TE_OBS_ENABLED
+
+}  // namespace te::obs
+
+/// Convenience: open a span for the rest of the enclosing scope.
+#if TE_OBS_ENABLED
+#define TE_OBS_CONCAT_INNER(a, b) a##b
+#define TE_OBS_CONCAT(a, b) TE_OBS_CONCAT_INNER(a, b)
+#define TE_OBS_SPAN(name) \
+  ::te::obs::Span TE_OBS_CONCAT(te_obs_span_, __LINE__)(name)
+#else
+#define TE_OBS_SPAN(name) ((void)0)
+#endif

@@ -40,6 +40,9 @@ struct AdaptiveResult {
   std::vector<T> x;
   int iterations = 0;
   bool converged = false;
+  /// kNone iff converged; degenerate inputs are reported, not thrown
+  /// (same contract as the fixed-shift solve()).
+  FailureReason failure = FailureReason::kNone;
   double final_alpha = 0;  ///< shift used on the last iteration
   double max_alpha = 0;    ///< largest shift used anywhere
 };
@@ -62,9 +65,17 @@ template <Real T>
   AdaptiveResult<T> r;
   r.x.assign(x0.begin(), x0.end());
   std::span<T> x(r.x.data(), r.x.size());
-  normalize(x);
+  if (try_normalize(x) == T(0)) {
+    r.failure = FailureReason::kDegenerateIterate;
+    return r;
+  }
 
   T lambda = k.ttsv0(std::span<const T>(x.data(), x.size()), ops);
+  if (!std::isfinite(static_cast<double>(lambda))) {
+    r.lambda = lambda;
+    r.failure = FailureReason::kNonFiniteLambda;
+    return r;
+  }
   std::vector<T> y(static_cast<std::size_t>(n));
 
   for (int it = 0; it < opt.max_iterations; ++it) {
@@ -92,9 +103,17 @@ template <Real T>
       const auto ui = static_cast<std::size_t>(i);
       x[ui] = sign * (y[ui] + static_cast<T>(alpha) * x[ui]);
     }
-    normalize(x);
-    const T next = k.ttsv0(std::span<const T>(x.data(), x.size()), ops);
     r.iterations = it + 1;
+    if (try_normalize(x) == T(0)) {
+      r.failure = FailureReason::kDegenerateIterate;
+      break;
+    }
+    const T next = k.ttsv0(std::span<const T>(x.data(), x.size()), ops);
+    if (!std::isfinite(static_cast<double>(next))) {
+      lambda = next;
+      r.failure = FailureReason::kNonFiniteLambda;
+      break;
+    }
     if (std::abs(static_cast<double>(next - lambda)) <= opt.tolerance) {
       lambda = next;
       r.converged = true;
@@ -103,6 +122,9 @@ template <Real T>
     lambda = next;
   }
   r.lambda = lambda;
+  if (!r.converged && r.failure == FailureReason::kNone) {
+    r.failure = FailureReason::kMaxIterations;
+  }
   return r;
 }
 

@@ -145,6 +145,13 @@ template <Real T>
 
   std::vector<Eigenpair<T>> pairs;
   for (const auto& r : runs) {
+    // Poisoned runs (degenerate iterate, NaN/Inf lambda) carry no usable
+    // eigenpair even under keep_unconverged: their x may be zero or
+    // non-finite, which would NaN every residual and cluster distance.
+    if (r.failure == FailureReason::kDegenerateIterate ||
+        r.failure == FailureReason::kNonFiniteLambda) {
+      continue;
+    }
     if (!r.converged && !opt.keep_unconverged) continue;
     const T res = eigen_residual(k, r.lambda,
                                  std::span<const T>(r.x.data(), r.x.size()));

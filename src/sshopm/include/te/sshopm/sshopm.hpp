@@ -17,9 +17,11 @@
 
 #include <cmath>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "te/kernels/dispatch.hpp"
+#include "te/obs/obs.hpp"
 #include "te/util/linalg.hpp"
 #include "te/util/op_counter.hpp"
 
@@ -34,13 +36,42 @@ struct Options {
   bool record_trace = false;  ///< keep the per-iteration lambda sequence
 };
 
+/// Why a run stopped without converging. Degenerate inputs (zero starts,
+/// NaN/Inf tensor entries, alpha cancellation producing a zero iterate)
+/// are *reported*, never thrown: solve() runs inside scheduler worker
+/// threads where an escaping exception is fatal.
+enum class FailureReason {
+  kNone,               ///< run converged
+  kMaxIterations,      ///< budget exhausted before |dlambda| <= tol
+  kDegenerateIterate,  ///< iterate norm zero or non-finite; cannot normalize
+  kNonFiniteLambda,    ///< Rayleigh quotient went NaN/Inf (poisoned data)
+};
+
+[[nodiscard]] constexpr std::string_view failure_reason_name(
+    FailureReason f) {
+  switch (f) {
+    case FailureReason::kNone:
+      return "none";
+    case FailureReason::kMaxIterations:
+      return "max-iterations";
+    case FailureReason::kDegenerateIterate:
+      return "degenerate-iterate";
+    case FailureReason::kNonFiniteLambda:
+      return "non-finite-lambda";
+  }
+  return "?";
+}
+
 /// Outcome of one SS-HOPM run.
 template <Real T>
 struct Result {
   T lambda = T(0);          ///< final Rayleigh quotient A x^m
-  std::vector<T> x;         ///< final unit iterate
+  std::vector<T> x;         ///< final unit iterate (on kDegenerateIterate:
+                            ///< the last pre-normalization iterate)
   int iterations = 0;       ///< iterations actually performed
   bool converged = false;   ///< lambda change fell below tolerance
+  /// kNone iff converged; otherwise why the run stopped.
+  FailureReason failure = FailureReason::kNone;
   /// lambda_0, lambda_1, ... (only when Options::record_trace). Kolda &
   /// Mayo prove this sequence is monotone when |alpha| dominates the
   /// curvature bound -- a property the tests check directly.
@@ -58,10 +89,84 @@ template <Real T>
   return nrm2(std::span<const T>(y.data(), y.size()));
 }
 
+#if TE_OBS_ENABLED
+namespace detail {
+/// Name-resolved-once handles into the global registry: the per-run cost
+/// of instrumentation is a handful of relaxed atomic ops, never a string
+/// or a map lookup.
+struct SolveMetrics {
+  obs::Counter& runs;
+  obs::Counter& converged;
+  obs::Counter& fail_max_iterations;
+  obs::Counter& fail_degenerate;
+  obs::Counter& fail_non_finite;
+  obs::Counter& trace_non_monotone;
+  obs::Histogram& iterations;    ///< unit: iterations, not seconds
+  obs::Histogram& lambda_final;  ///< final Rayleigh quotient (finite runs)
+
+  static SolveMetrics& get() {
+    static SolveMetrics m{
+        obs::global().counter("sshopm.solve.runs"),
+        obs::global().counter("sshopm.solve.converged"),
+        obs::global().counter("sshopm.solve.failures.max_iterations"),
+        obs::global().counter("sshopm.solve.failures.degenerate_iterate"),
+        obs::global().counter("sshopm.solve.failures.non_finite_lambda"),
+        obs::global().counter("sshopm.solve.trace.non_monotone_steps"),
+        obs::global().histogram("sshopm.solve.iterations"),
+        obs::global().histogram("sshopm.solve.lambda_final"),
+    };
+    return m;
+  }
+};
+
+/// One post-run accounting pass: outcome counters, the iteration and
+/// final-lambda distributions, and (when a trace was kept) the monotonicity
+/// summary Kolda & Mayo's convergence theory predicts.
+template <Real T>
+inline void record_solve(const Result<T>& r, const Options& opt) {
+  SolveMetrics& m = SolveMetrics::get();
+  m.runs.inc();
+  switch (r.failure) {
+    case FailureReason::kNone:
+      m.converged.inc();
+      break;
+    case FailureReason::kMaxIterations:
+      m.fail_max_iterations.inc();
+      break;
+    case FailureReason::kDegenerateIterate:
+      m.fail_degenerate.inc();
+      break;
+    case FailureReason::kNonFiniteLambda:
+      m.fail_non_finite.inc();
+      break;
+  }
+  m.iterations.record(static_cast<double>(r.iterations));
+  if (std::isfinite(static_cast<double>(r.lambda))) {
+    m.lambda_final.record(static_cast<double>(r.lambda));
+  }
+  if (opt.record_trace && r.lambda_trace.size() >= 2) {
+    std::int64_t bad = 0;
+    for (std::size_t i = 1; i < r.lambda_trace.size(); ++i) {
+      const double step = static_cast<double>(r.lambda_trace[i]) -
+                          static_cast<double>(r.lambda_trace[i - 1]);
+      // alpha >= 0 drives lambda up (maxima), alpha < 0 down (minima).
+      if (opt.alpha >= 0 ? step < 0 : step > 0) ++bad;
+    }
+    if (bad > 0) m.trace_non_monotone.add(bad);
+  }
+}
+}  // namespace detail
+#endif  // TE_OBS_ENABLED
+
 /// One SS-HOPM run from a single start (paper Fig. 1).
 ///
 /// `x0` need not be normalized. Optional OpCounts tallies the floating-point
 /// work actually performed (used for measured-GFLOPS reports).
+///
+/// Never throws on degenerate *values* (zero/NaN/Inf starts or tensor
+/// entries): such runs come back with converged == false and
+/// Result::failure saying why. TE_REQUIRE still rejects structural misuse
+/// (wrong start length, non-positive iteration budget).
 template <Real T>
 [[nodiscard]] Result<T> solve(const kernels::BoundKernels<T>& k,
                               std::span<const T> x0, const Options& opt,
@@ -73,12 +178,22 @@ template <Real T>
   Result<T> r;
   r.x.assign(x0.begin(), x0.end());
   std::span<T> x(r.x.data(), r.x.size());
-  normalize(x);
+  if (try_normalize(x) == T(0)) {
+    r.failure = FailureReason::kDegenerateIterate;
+    TE_OBS_ONLY(detail::record_solve(r, opt));
+    return r;
+  }
 
   const T alpha = static_cast<T>(opt.alpha);
   const T sign = opt.alpha >= 0 ? T(1) : T(-1);
   T lambda = k.ttsv0(std::span<const T>(x.data(), x.size()), ops);
   if (opt.record_trace) r.lambda_trace.push_back(lambda);
+  if (!std::isfinite(static_cast<double>(lambda))) {
+    r.lambda = lambda;
+    r.failure = FailureReason::kNonFiniteLambda;
+    TE_OBS_ONLY(detail::record_solve(r, opt));
+    return r;
+  }
 
   std::vector<T> y(static_cast<std::size_t>(n));
   for (int it = 0; it < opt.max_iterations; ++it) {
@@ -89,7 +204,13 @@ template <Real T>
       const auto ui = static_cast<std::size_t>(i);
       x[ui] = sign * (y[ui] + alpha * x[ui]);
     }
-    normalize(x);
+    r.iterations = it + 1;
+    if (try_normalize(x) == T(0)) {
+      // xhat vanished (e.g. A x^{m-1} = -alpha x exactly, or the tensor
+      // zeroed the iterate) or overflowed: report, don't throw.
+      r.failure = FailureReason::kDegenerateIterate;
+      break;
+    }
     const T next = k.ttsv0(std::span<const T>(x.data(), x.size()), ops);
     if (opt.record_trace) r.lambda_trace.push_back(next);
     if (ops) {
@@ -97,7 +218,13 @@ template <Real T>
       ops->fadd += 2 * n;
       ops->sfu += 1;
     }
-    r.iterations = it + 1;
+    if (!std::isfinite(static_cast<double>(next))) {
+      // |next - lambda| <= tol is always false for NaN; without this check
+      // a poisoned run would silently burn the whole iteration budget.
+      lambda = next;
+      r.failure = FailureReason::kNonFiniteLambda;
+      break;
+    }
     if (std::abs(static_cast<double>(next - lambda)) <= opt.tolerance) {
       lambda = next;
       r.converged = true;
@@ -106,6 +233,10 @@ template <Real T>
     lambda = next;
   }
   r.lambda = lambda;
+  if (!r.converged && r.failure == FailureReason::kNone) {
+    r.failure = FailureReason::kMaxIterations;
+  }
+  TE_OBS_ONLY(detail::record_solve(r, opt));
   return r;
 }
 

@@ -51,13 +51,26 @@ void scal(T a, std::span<T> x) {
   for (auto& v : x) v *= a;
 }
 
+/// Normalize x to unit Euclidean norm unless that is impossible: returns
+/// the original norm, or T(0) when ||x|| is zero or non-finite (zero
+/// vector, NaN/Inf entries, overflow), leaving x untouched in that case.
+/// The non-throwing primitive behind iterative solvers that must report
+/// degenerate iterates as a failed Result instead of unwinding out of a
+/// worker thread.
+template <Real T>
+[[nodiscard]] T try_normalize(std::span<T> x) {
+  const T n = nrm2(std::span<const T>(x.data(), x.size()));
+  if (!(n > T(0)) || !std::isfinite(static_cast<double>(n))) return T(0);
+  scal(T(1) / n, x);
+  return n;
+}
+
 /// Normalize x to unit Euclidean norm; returns the original norm.
 /// Precondition: ||x|| > 0.
 template <Real T>
 T normalize(std::span<T> x) {
-  const T n = nrm2(std::span<const T>(x.data(), x.size()));
+  const T n = try_normalize(x);
   TE_REQUIRE(n > T(0), "cannot normalize the zero vector");
-  scal(T(1) / n, x);
   return n;
 }
 

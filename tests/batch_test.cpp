@@ -152,9 +152,10 @@ TEST(BatchValidation, RejectsEmptyProblem) {
 TEST(BatchGpu, ReportsTransferTime) {
   auto p = BatchProblem<float>::random(20, 64, 32, 4, 3);
   const auto r = solve_gpusim(p, Tier::kUnrolled);
-  // 64*15 + 32*3 floats in; 64*32*(3+1) floats + 64*32 ints out.
+  // 64*15 + 32*3 floats in; 64*32*(3+1) floats + 64*32 iteration ints +
+  // 64*32 status ints out.
   const double bytes = (64 * 15 + 32 * 3) * 4.0 + 64 * 32 * 4 * 4.0 +
-                       64 * 32 * 4.0;
+                       2 * 64 * 32 * 4.0;
   EXPECT_NEAR(r.transfer_seconds, bytes / 6e9, 1e-12);
 }
 

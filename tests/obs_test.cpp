@@ -1,0 +1,267 @@
+// te::obs unit tests: metric semantics, span nesting, exporter round-trips,
+// and the disabled-mode contract. The file compiles in both TE_OBS modes;
+// mode-specific expectations are gated on TE_OBS_ENABLED so the TE_OBS=OFF
+// CI leg runs the same binary and checks the stubs stay silent.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "te/kernels/dispatch.hpp"
+#include "te/obs/export.hpp"
+#include "te/obs/obs.hpp"
+#include "te/obs/span.hpp"
+#include "te/sshopm/sshopm.hpp"
+#include "te/tensor/generators.hpp"
+#include "te/util/rng.hpp"
+
+namespace te {
+namespace {
+
+#if TE_OBS_ENABLED
+
+TEST(ObsCounter, IncAddAndStableReference) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("a.count");
+  c.inc();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5);
+  // Same name -> same counter; new names do not invalidate old references.
+  for (int i = 0; i < 100; ++i) {
+    (void)reg.counter("filler." + std::to_string(i));
+  }
+  EXPECT_EQ(&reg.counter("a.count"), &c);
+  c.inc();
+  EXPECT_EQ(reg.counter("a.count").value(), 6);
+}
+
+TEST(ObsGauge, KeepsLastValue) {
+  obs::Registry reg;
+  obs::Gauge& g = reg.gauge("depth");
+  g.set(3.5);
+  g.set(1.25);
+  EXPECT_DOUBLE_EQ(g.value(), 1.25);
+}
+
+TEST(ObsHistogram, StatsAndBuckets) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("lat");
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);  // empty histogram reports zeros
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  h.record(2e-6);
+  h.record(8e-6);
+  h.record(32e-6);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.min(), 2e-6);
+  EXPECT_DOUBLE_EQ(h.max(), 32e-6);
+  EXPECT_NEAR(h.mean(), 14e-6, 1e-12);
+  std::int64_t bucketed = 0;
+  for (const auto b : h.buckets()) bucketed += b;
+  EXPECT_EQ(bucketed, 3);
+}
+
+TEST(ObsHistogram, BucketIndexIsMonotoneAndClamped) {
+  EXPECT_EQ(obs::Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_index(1e-9), 0);  // below 1 us underflows
+  int prev = 0;
+  for (double v = 1e-6; v < 1e3; v *= 2) {
+    const int b = obs::Histogram::bucket_index(v);
+    EXPECT_GE(b, prev);
+    EXPECT_LT(b, obs::kHistogramBuckets);
+    prev = b;
+  }
+  EXPECT_EQ(obs::Histogram::bucket_index(1e300),
+            obs::kHistogramBuckets - 1);
+}
+
+TEST(ObsRegistry, SnapshotIsNameOrdered) {
+  obs::Registry reg;
+  reg.counter("zulu").inc();
+  reg.counter("alpha").inc();
+  reg.gauge("mike").set(1);
+  const obs::Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].name, "alpha");
+  EXPECT_EQ(s.counters[1].name, "zulu");
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_EQ(s.gauges[0].name, "mike");
+}
+
+TEST(ObsRegistry, ResetDropsEverything) {
+  obs::Registry reg;
+  reg.counter("c").inc();
+  reg.record_span("s", 0, 0.0, 1.0);
+  EXPECT_FALSE(reg.snapshot().empty());
+  reg.reset();
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(ObsRegistry, ThreadedCountersDontLoseIncrements) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("shared");
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 20000;
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIncs; ++i) c.inc();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kIncs);
+}
+
+TEST(ObsSpan, NestingBuildsDottedPathsAndDepths) {
+  obs::Registry reg;
+  {
+    obs::Span outer("outer", reg);
+    EXPECT_EQ(outer.path(), "outer");
+    EXPECT_EQ(outer.depth(), 0);
+    {
+      obs::Span inner("inner", reg);
+      EXPECT_EQ(inner.path(), "outer.inner");
+      EXPECT_EQ(inner.depth(), 1);
+      EXPECT_EQ(obs::Span::current(), &inner);
+    }
+    EXPECT_EQ(obs::Span::current(), &outer);
+  }
+  EXPECT_EQ(obs::Span::current(), nullptr);
+
+  const obs::Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.spans.size(), 2u);  // finish order: inner first
+  EXPECT_EQ(s.spans[0].path, "outer.inner");
+  EXPECT_EQ(s.spans[0].depth, 1);
+  EXPECT_EQ(s.spans[1].path, "outer");
+  EXPECT_EQ(s.spans[1].depth, 0);
+  EXPECT_GE(s.spans[1].duration_seconds, s.spans[0].duration_seconds);
+  // Every span also feeds a "span.<path>" timer histogram.
+  EXPECT_EQ(reg.timer("span.outer.inner").count(), 1);
+  EXPECT_EQ(reg.timer("span.outer").count(), 1);
+}
+
+TEST(ObsSpan, RingIsBoundedAndKeepsNewest) {
+  obs::Registry reg(/*span_capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    reg.record_span("s" + std::to_string(i), 0, static_cast<double>(i), 0.5);
+  }
+  const obs::Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.spans.size(), 4u);
+  EXPECT_EQ(s.spans.front().path, "s6");  // oldest surviving
+  EXPECT_EQ(s.spans.back().path, "s9");
+}
+
+TEST(ObsInstrumentation, SolveFeedsGlobalRegistry) {
+  auto& reg = obs::global();
+  const std::int64_t runs0 = reg.counter("sshopm.solve.runs").value();
+  const std::int64_t conv0 = reg.counter("sshopm.solve.converged").value();
+  const std::int64_t t0 =
+      reg.counter("kernels.ttsv0.calls.general").value();
+
+  const auto a = random_symmetric_tensor<double>(CounterRng(3), 17, 4, 3);
+  kernels::BoundKernels<double> k(a, kernels::Tier::kGeneral);
+  const std::vector<double> x0 = {0.6, 0.0, 0.8};
+  sshopm::Options opt;
+  opt.alpha = 2.0;
+  const auto r = sshopm::solve(k, {x0.data(), x0.size()}, opt);
+  ASSERT_TRUE(r.converged);
+
+  EXPECT_EQ(reg.counter("sshopm.solve.runs").value(), runs0 + 1);
+  EXPECT_EQ(reg.counter("sshopm.solve.converged").value(), conv0 + 1);
+  // One setup ttsv0 plus one per iteration.
+  EXPECT_EQ(reg.counter("kernels.ttsv0.calls.general").value(),
+            t0 + 1 + r.iterations);
+}
+
+#else  // !TE_OBS_ENABLED
+
+TEST(ObsDisabled, StubsRecordNothing) {
+  auto& reg = obs::global();
+  reg.counter("c").inc();
+  reg.counter("c").add(10);
+  reg.gauge("g").set(3.5);
+  reg.histogram("h").record(1.0);
+  reg.record_span("s", 0, 0.0, 1.0);
+  {
+    obs::Span span("root");
+    TE_OBS_SPAN("nested");
+    EXPECT_EQ(obs::Span::current(), nullptr);
+  }
+  EXPECT_EQ(reg.counter("c").value(), 0);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
+  EXPECT_EQ(reg.histogram("h").count(), 0);
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(ObsDisabled, InstrumentedSolveLeavesRegistryEmpty) {
+  const auto a = random_symmetric_tensor<double>(CounterRng(3), 17, 4, 3);
+  kernels::BoundKernels<double> k(a, kernels::Tier::kGeneral);
+  const std::vector<double> x0 = {0.6, 0.0, 0.8};
+  sshopm::Options opt;
+  opt.alpha = 2.0;
+  const auto r = sshopm::solve(k, {x0.data(), x0.size()}, opt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_TRUE(obs::global().snapshot().empty());
+}
+
+#endif  // TE_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Exporters: identical behavior contract in both modes (an OFF build just
+// exports an empty document, which must still validate).
+// ---------------------------------------------------------------------------
+
+TEST(ObsExport, JsonValidatesRoundTrip) {
+  obs::Registry reg;
+  reg.counter("runs").add(7);
+  reg.gauge("occupancy").set(0.66);
+  reg.histogram("seconds").record(0.25);
+  reg.record_span("run.chunk", 1, 0.125, 0.5);
+  const std::string json = obs::to_json(
+      reg.snapshot(), {{"bench", "unit\"test"}, {"host", "ci"}});
+  const auto v = obs::validate_export_json(json);
+  EXPECT_TRUE(v.ok) << v.error;
+#if TE_OBS_ENABLED
+  EXPECT_NE(json.find("\"runs\": 7"), std::string::npos);
+  EXPECT_NE(json.find("run.chunk"), std::string::npos);
+#endif
+  EXPECT_NE(json.find("unit\\\"test"), std::string::npos);  // escaping
+}
+
+TEST(ObsExport, EmptySnapshotValidates) {
+  const std::string json = obs::to_json(obs::Snapshot{}, {});
+  const auto v = obs::validate_export_json(json);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(ObsExport, ValidatorRejectsCorruptDocuments) {
+  EXPECT_FALSE(obs::validate_export_json("").ok);
+  EXPECT_FALSE(obs::validate_export_json("{]").ok);
+  EXPECT_FALSE(obs::validate_export_json("{}").ok);  // missing schema
+  EXPECT_FALSE(
+      obs::validate_export_json(R"({"schema": "other-v9"})").ok);
+  // Counter values must be integers.
+  EXPECT_FALSE(obs::validate_export_json(
+                   R"({"schema": "te-obs-v1", "meta": {},
+                       "counters": {"c": 1.5}, "gauges": {},
+                       "histograms": {}, "spans": []})")
+                   .ok);
+}
+
+TEST(ObsExport, CsvHasHeaderAndRows) {
+  obs::Registry reg;
+  reg.counter("c1").inc();
+  const std::string csv = obs::to_csv(reg.snapshot(), {{"k", "v"}});
+  EXPECT_NE(csv.find("kind,name,count,value,min,max,mean"),
+            std::string::npos);
+#if TE_OBS_ENABLED
+  EXPECT_NE(csv.find("counter,c1,"), std::string::npos);
+#endif
+}
+
+}  // namespace
+}  // namespace te

@@ -302,10 +302,14 @@ TEST(EdgeCases, ZeroTensorEverywhere) {
   EXPECT_DOUBLE_EQ(kernels::ttsv0_general(a, {x.data(), 3}), 0.0);
   kernels::BoundKernels<double> k(a, kernels::Tier::kGeneral);
   // The zero tensor maps everything to zero: with alpha = 0 the iterate
-  // becomes the zero vector and normalization must fail loudly rather than
-  // silently produce NaNs.
+  // becomes the zero vector. The run must report the degenerate iterate
+  // rather than throw (or silently produce NaNs) -- solve() executes on
+  // scheduler worker threads where an escaping exception is fatal.
   sshopm::Options opt;
-  EXPECT_THROW((void)sshopm::solve(k, {x.data(), 3}, opt), InvalidArgument);
+  const auto bad = sshopm::solve(k, {x.data(), 3}, opt);
+  EXPECT_FALSE(bad.converged);
+  EXPECT_EQ(bad.failure, sshopm::FailureReason::kDegenerateIterate);
+  EXPECT_EQ(bad.iterations, 1);  // detected on the first update, not at 200
   // With a positive shift the update is xhat = alpha x: well-defined, and
   // every unit vector is a fixed point with lambda = 0.
   opt.alpha = 1.0;

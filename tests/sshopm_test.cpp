@@ -38,6 +38,7 @@ TEST(Sshopm, RankOneTensorConvergesToItsFactor) {
     opt.tolerance = 1e-12;
     auto r = solve(k, {start.data(), start.size()}, opt);
     ASSERT_TRUE(r.converged) << "m=" << m;
+    EXPECT_EQ(r.failure, FailureReason::kNone) << "m=" << m;
     EXPECT_NEAR(r.lambda, 2.5, 1e-6) << "m=" << m;
     for (int i = 0; i < 3; ++i) {
       EXPECT_NEAR(std::abs(r.x[static_cast<std::size_t>(i)]),
@@ -169,6 +170,8 @@ TEST(Sshopm, HonorsMaxIterations) {
   auto r = solve(k, {x0.data(), x0.size()}, opt);
   EXPECT_FALSE(r.converged);
   EXPECT_EQ(r.iterations, 2);
+  // Budget exhaustion carries its specific reason -- kNone means converged.
+  EXPECT_EQ(r.failure, FailureReason::kMaxIterations);
 }
 
 TEST(Sshopm, TalliesOpsWhenAsked) {

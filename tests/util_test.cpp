@@ -149,6 +149,26 @@ TEST(Linalg, NormalizeRejectsZero) {
                InvalidArgument);
 }
 
+TEST(Linalg, TryNormalizeReportsInsteadOfThrowing) {
+  // Healthy vector: same behavior as normalize.
+  std::vector<double> x = {3, 4};
+  EXPECT_DOUBLE_EQ(try_normalize(std::span<double>(x.data(), 2)), 5.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.6);
+
+  // Zero / NaN / Inf inputs: returns 0 and leaves the vector untouched.
+  std::vector<double> z = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(try_normalize(std::span<double>(z.data(), 3)), 0.0);
+  EXPECT_DOUBLE_EQ(z[1], 0.0);
+
+  std::vector<double> bad = {1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_DOUBLE_EQ(try_normalize(std::span<double>(bad.data(), 2)), 0.0);
+  EXPECT_TRUE(std::isnan(bad[1]));  // untouched, not rescaled
+
+  std::vector<double> inf = {std::numeric_limits<double>::infinity(), 1.0};
+  EXPECT_DOUBLE_EQ(try_normalize(std::span<double>(inf.data(), 2)), 0.0);
+  EXPECT_DOUBLE_EQ(inf[1], 1.0);
+}
+
 TEST(Linalg, AngleBetween) {
   std::vector<double> e1 = {1, 0}, e2 = {0, 2};
   EXPECT_NEAR(angle_between<double>({e1.data(), 2}, {e2.data(), 2}),

@@ -1,0 +1,47 @@
+// Schema gate for te::obs JSON exports (scripts/ci.sh bench smoke pass).
+//
+// Usage: obs_json_check FILE [FILE...]
+//
+// Each FILE must parse as a te-obs-v1 document (schema tag, meta, counters,
+// gauges, histograms with full bucket arrays, spans). Exit status 0 iff all
+// files validate; every failure is reported on stderr with the offending
+// path so CI logs point at the broken artifact directly.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "te/obs/export.hpp"
+
+namespace {
+
+bool check_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "obs_json_check: cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const te::obs::ValidationResult v =
+      te::obs::validate_export_json(buf.str());
+  if (!v.ok) {
+    std::fprintf(stderr, "obs_json_check: %s: %s\n", path, v.error.c_str());
+    return false;
+  }
+  std::printf("obs_json_check: %s: ok\n", path);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: obs_json_check FILE [FILE...]\n");
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) ok = check_file(argv[i]) && ok;
+  return ok ? 0 : 1;
+}
