@@ -7,16 +7,25 @@
 // Extra flags (parsed before google-benchmark sees argv):
 //   --metrics-json PATH   dump the te::obs registry as te-obs-v1 JSON
 //   --metrics-csv PATH    ... and/or as CSV
+//   --tables PATH         warm-start KernelTables from a packed TETC
+//                         container (tetc_pack tables) instead of building
+//   --require-warm-start  fail if any KernelTables were built from scratch
+//                         (asserted via the kernels.tables.built counter;
+//                         the CI persistence leg's disk-warm-start gate)
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "te/io/container.hpp"
 #include "te/kernels/dense.hpp"
 #include "te/kernels/dispatch.hpp"
 #include "te/kernels/precomputed.hpp"
+#include "te/obs/obs.hpp"
 #include "te/sshopm/sshopm.hpp"
 #include "te/tensor/generators.hpp"
 #include "te/util/rng.hpp"
@@ -24,6 +33,19 @@
 namespace {
 
 using namespace te;
+
+// Set once in main() before benchmarks run; when non-empty, fixtures try
+// the packed container first and only fall back to an in-process build.
+std::string g_tables_path;
+
+kernels::KernelTables<float> make_tables(int m, int n) {
+  if (!g_tables_path.empty()) {
+    if (auto t = io::try_load_kernel_tables<float>(g_tables_path, m, n)) {
+      return std::move(*t);
+    }
+  }
+  return kernels::KernelTables<float>(m, n);
+}
 
 struct Fixture {
   SymmetricTensor<float> a;
@@ -35,7 +57,7 @@ struct Fixture {
       : a(random_symmetric_tensor<float>(CounterRng(7),
                                          static_cast<std::uint64_t>(m * 32 + n),
                                          m, n)),
-        tables(m, n),
+        tables(make_tables(m, n)),
         x(static_cast<std::size_t>(n)),
         y(static_cast<std::size_t>(n)) {
     CounterRng rng(9);
@@ -203,12 +225,14 @@ BENCHMARK(BM_SshopmIteration_Unrolled43);
 
 int main(int argc, char** argv) {
   te::CliArgs cli(argc, argv);
-  // Strip the metrics flags before google-benchmark validates argv.
+  g_tables_path = cli.get_or("tables", std::string());
+  // Strip the local flags before google-benchmark validates argv.
   std::vector<char*> filtered;
   for (int i = 0; i < argc; ++i) {
     const std::string_view a(argv[i]);
+    if (a == "--require-warm-start") continue;
     if (a.rfind("--metrics-json", 0) == 0 ||
-        a.rfind("--metrics-csv", 0) == 0) {
+        a.rfind("--metrics-csv", 0) == 0 || a.rfind("--tables", 0) == 0) {
       if (a.find('=') == std::string_view::npos && i + 1 < argc) ++i;
       continue;
     }
@@ -221,8 +245,22 @@ int main(int argc, char** argv) {
   }
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
-  return te::bench::maybe_write_metrics(cli, "bench_kernels",
-                                        {{"workload", "ttsv microbench"}})
-             ? 0
-             : 1;
+  if (!te::bench::maybe_write_metrics(cli, "bench_kernels",
+                                      {{"workload", "ttsv microbench"}})) {
+    return 1;
+  }
+  if (cli.has("require-warm-start")) {
+    const auto built =
+        te::obs::global().counter("kernels.tables.built").value();
+    const auto loaded =
+        te::obs::global().counter("io.tables.loaded").value();
+    std::cerr << "warm-start check: " << loaded << " table sets loaded from "
+              << (g_tables_path.empty() ? "<none>" : g_tables_path) << ", "
+              << built << " built from scratch\n";
+    if (built > 0) {
+      std::cerr << "bench_kernels: --require-warm-start violated\n";
+      return 1;
+    }
+  }
+  return 0;
 }

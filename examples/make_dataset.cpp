@@ -5,16 +5,21 @@
 //   $ ./make_dataset --out voxels.tesymb [--voxels 1024] [--two 0.5]
 //                    [--min-angle 30] [--max-angle 90] [--seed 2011]
 //                    [--refit] [--noise 0.02] [--text]
-//   $ ./make_dataset --inspect voxels.tesymb
+//   $ ./make_dataset --inspect voxels.{tesymb|tetc}
 //
 // The binary file can be fed back into the library via
 // read_tensor_batch_binary (see te/tensor/io_binary.hpp), making benchmark
-// inputs portable across machines.
+// inputs portable across machines. An --out path ending in .tetc writes a
+// checksummed TETC-v1 container instead, with the ground-truth fiber
+// directions embedded alongside the tensors (no .truth sidecar needed);
+// --inspect sniffs the magic and handles either format.
 
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
 #include "te/dwmri/dataset.hpp"
+#include "te/io/container.hpp"
 #include "te/kernels/general.hpp"
 #include "te/tensor/io.hpp"
 #include "te/tensor/io_binary.hpp"
@@ -32,7 +37,23 @@ int main(int argc, char** argv) {
       std::cerr << "cannot open " << *path << "\n";
       return 1;
     }
-    const auto batch = read_tensor_batch_binary<float>(in);
+    std::vector<SymmetricTensor<float>> batch;
+    char magic[8] = {};
+    in.read(magic, 8);
+    if (in.gcount() == 8 &&
+        std::memcmp(magic, io::kFileMagic.data(), 8) == 0) {
+      const auto ds = io::load_dataset<float>(*path);
+      std::size_t crossings = 0;
+      for (const auto& v : ds.voxels) crossings += v.fibers.size() > 1;
+      std::cout << *path << ": TETC dataset, " << ds.voxels.size()
+                << " voxels (" << crossings
+                << " with crossing fibers, ground truth embedded)\n";
+      batch = ds.tensors();
+    } else {
+      in.clear();
+      in.seekg(0);
+      batch = read_tensor_batch_binary<float>(in);
+    }
     std::cout << *path << ": " << batch.size() << " tensors";
     if (!batch.empty()) {
       std::cout << ", order " << batch.front().order() << ", dim "
@@ -77,6 +98,16 @@ int main(int argc, char** argv) {
             << ")...\n";
   const auto ds = dwmri::make_dataset<float>(seed, opt);
   const auto tensors = ds.tensors();
+
+  if (out_path.ends_with(".tetc")) {
+    // Container export: tensors AND ground-truth fibers in one checksummed
+    // file, round-trippable through io::load_dataset.
+    io::save_dataset(out_path, ds);
+    std::cout << "wrote " << out_path << " (TETC container, "
+              << ds.voxels.size()
+              << " voxels with embedded ground-truth fibers)\n";
+    return 0;
+  }
 
   std::ofstream out(out_path, std::ios::binary);
   if (!out) {

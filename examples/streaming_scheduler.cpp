@@ -1,6 +1,8 @@
 // Streaming scheduler walkthrough: many jobs, one engine.
 //
 //   $ ./streaming_scheduler [--tensors 24] [--starts 16] [--chunk 8]
+//                           [--checkpoint run.tetc [--resume]]
+//                           [--kill-after K] [--spill-dir DIR]
 //
 // Submits a heterogeneous stream of batched eigenproblems (different
 // orders/dims, different kernel tiers) to te::batch::Scheduler, which
@@ -10,8 +12,17 @@
 // behind modeled kernel time. Prints per-job results, the pipeline
 // timeline, and the cache counters, then cross-checks the scheduler
 // against the one-shot backends.
+//
+// The persistence flags demonstrate (and let the tests drive) the te::io
+// integration: --checkpoint appends every completed chunk to a write-ahead
+// TETC log, --kill-after K exits abruptly after K chunks (simulating a
+// crash; exit code 3), and a rerun with --resume replays the log, restores
+// the completed chunks bitwise and finishes the rest -- the final
+// cross-check against the one-shot backend proves the resumed results are
+// identical. --spill-dir warm-starts precomputed tables from disk.
 
 #include <cmath>
+#include <filesystem>
 #include <iostream>
 
 #include "te/batch/scheduler.hpp"
@@ -26,6 +37,7 @@ int main(int argc, char** argv) {
   const int nt = static_cast<int>(args.get_or("tensors", 24L));
   const int nv = static_cast<int>(args.get_or("starts", 16L));
   const int chunk = static_cast<int>(args.get_or("chunk", 8L));
+  const int kill_after = static_cast<int>(args.get_or("kill-after", -1L));
 
   std::cout << "Streaming scheduler: jobs of " << nt << " tensors x " << nv
             << " starts, chunks of <= " << chunk << " tensors\n\n";
@@ -46,6 +58,11 @@ int main(int argc, char** argv) {
 
   batch::SchedulerOptions opt;
   opt.chunk_tensors = chunk;
+  opt.table_spill_dir = args.get_or("spill-dir", std::string());
+  if (auto ckpt = args.get("checkpoint")) {
+    opt.checkpoint_path = *ckpt;
+    if (!args.has("resume")) std::filesystem::remove(*ckpt);
+  }
   batch::Scheduler<float> sched(batch::Backend::kGpuSim, opt);
 
   std::vector<batch::BatchProblem<float>> problems;
@@ -59,8 +76,23 @@ int main(int argc, char** argv) {
     ids.push_back(sched.submit(p, s.tier));
     problems.push_back(std::move(p));
   }
+  int restored = 0;
+  for (const auto id : ids) restored += sched.restored_chunks(id);
+  if (restored > 0) {
+    std::cout << "restored " << restored << " chunks from "
+              << opt.checkpoint_path << "\n";
+  }
   std::cout << "queued " << sched.pending_chunks() << " chunks across "
             << std::size(specs) << " jobs\n";
+
+  if (kill_after >= 0) {
+    const int executed = sched.run(kill_after);
+    std::cout << "executed " << executed << " chunks, then dying with "
+              << sched.pending_chunks()
+              << " still queued (simulated crash; checkpoint has the "
+                 "completed ones)\n";
+    return 3;
+  }
   sched.run();
 
   TextTable t;
@@ -87,7 +119,11 @@ int main(int argc, char** argv) {
   const auto stats = sched.cache_stats();
   std::cout << "\ntable cache: " << stats.hits << " hits, " << stats.misses
             << " misses, " << stats.evictions << " evictions (hit rate "
-            << fmt_fixed(100.0 * stats.hit_rate(), 1) << "%)\n";
+            << fmt_fixed(100.0 * stats.hit_rate(), 1) << "%)";
+  if (!opt.table_spill_dir.empty()) {
+    std::cout << ", " << stats.disk_hits << " disk warm-starts";
+  }
+  std::cout << "\n";
   const auto total = sched.pipeline();
   std::cout << "pipeline total: " << fmt_fixed(total.serialized_seconds * 1e3, 3)
             << " ms serialized -> "
@@ -97,7 +133,8 @@ int main(int argc, char** argv) {
             << " ms of transfer hidden behind compute)\n";
 
   // Differential check: the scheduler must match the one-shot backend
-  // bit for bit.
+  // bit for bit -- including after a kill/resume cycle, where restored
+  // chunks came from the checkpoint log instead of execution.
   std::size_t mismatches = 0;
   for (std::size_t j = 0; j < ids.size(); ++j) {
     const auto ref = batch::solve_gpusim(problems[j], specs[j].tier);

@@ -3,18 +3,28 @@
 //   $ ./tensoreig_cli --input voxels.tesymb [--backend gpu|cpu|cpu-parallel]
 //                     [--tier general|precomputed|cse|unrolled]
 //                     [--starts 128] [--alpha 0] [--threads 4]
-//                     [--refine] [--max-peaks 4] [--output pairs.txt]
+//                     [--chunk 32] [--checkpoint run.tetc [--resume]]
+//                     [--spill-dir DIR] [--refine] [--max-peaks 4]
+//                     [--save-results out.tetc] [--output pairs.txt]
 //
-// Reads a binary tensor batch (see make_dataset / io_binary.hpp), solves
-// every tensor with the selected backend and kernel tier, post-processes
-// into distinct eigenpairs per tensor (optionally Newton-refined), and
-// writes a text report: one line per (tensor, eigenpair) with lambda, the
-// eigenvector, spectral type, basin count and residual.
+// Reads a tensor batch -- either the legacy TESYMB01 flat binary or a
+// TETC-v1 container (sniffed by magic) -- and solves every tensor through
+// the streaming batch::Scheduler with the selected backend and kernel tier.
+// With --checkpoint, every completed chunk is appended to a write-ahead
+// TETC log; a killed run restarted with --resume replays the log and
+// recomputes only the missing chunks, with a result stream bitwise equal to
+// an uninterrupted run. Post-processing extracts distinct eigenpairs per
+// tensor (optionally Newton-refined) into a text report: one line per
+// (tensor, eigenpair) with lambda, the eigenvector, spectral type, basin
+// count and residual.
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
-#include "te/batch/batch.hpp"
+#include "te/batch/scheduler.hpp"
+#include "te/io/batch_codec.hpp"
+#include "te/io/container.hpp"
 #include "te/kernels/autotune.hpp"
 #include "te/tensor/io_binary.hpp"
 #include "te/util/cli.hpp"
@@ -33,6 +43,45 @@ te::kernels::Tier parse_tier(const std::string& s) {
   return Tier::kGeneral;
 }
 
+te::batch::Backend parse_backend(const std::string& s) {
+  using te::batch::Backend;
+  if (s == "gpu") return Backend::kGpuSim;
+  if (s == "cpu") return Backend::kCpuSequential;
+  if (s == "cpu-parallel") return Backend::kCpuParallel;
+  TE_REQUIRE(false, "unknown backend '" << s << "'");
+  return Backend::kGpuSim;
+}
+
+/// Load a batch from either format, sniffing the leading magic bytes. A
+/// TETC container may carry the tensors as a plain tensor-batch section or
+/// as a DW-MRI dataset section (make_dataset --out voxels.tetc); either
+/// works here.
+std::vector<te::SymmetricTensor<float>> load_batch(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TE_REQUIRE(in.good(), "cannot open " << path);
+  char magic[8] = {};
+  in.read(magic, 8);
+  TE_REQUIRE(in.gcount() == 8, "file too short to identify: " << path);
+  if (std::memcmp(magic, te::io::kFileMagic.data(), 8) == 0) {
+    te::io::StreamReader reader(path);
+    while (auto s = reader.next()) {
+      const auto type = static_cast<te::io::SectionType>(s->info.type);
+      if (type == te::io::SectionType::kTensorBatch) {
+        return te::io::read_tensor_batch<float>(*s, path);
+      }
+      if (type == te::io::SectionType::kDataset) {
+        return te::io::read_dataset<float>(*s, path).tensors();
+      }
+    }
+    TE_REQUIRE(false,
+               "no tensor-batch or dataset section in " << path);
+    return {};
+  }
+  in.clear();
+  in.seekg(0);
+  return te::read_tensor_batch_binary<float>(in);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -42,26 +91,26 @@ int main(int argc, char** argv) {
   const auto input = args.get("input");
   if (!input) {
     std::cerr
-        << "usage: tensoreig_cli --input batch.tesymb [options]\n"
+        << "usage: tensoreig_cli --input batch.{tesymb|tetc} [options]\n"
            "  --backend gpu|cpu|cpu-parallel   execution backend (gpu)\n"
            "  --tier general|precomputed|cse|unrolled   kernel tier (unrolled)\n"
            "  --starts N     starting vectors per tensor (128)\n"
            "  --alpha A      SS-HOPM shift; 'auto' = (m-1)||A||_F (0)\n"
            "  --threads P    cpu-parallel worker count (4)\n"
+           "  --chunk C      tensors per scheduler chunk (32)\n"
+           "  --checkpoint F append completed chunks to a TETC WAL\n"
+           "  --resume       replay an existing checkpoint (else start fresh)\n"
+           "  --spill-dir D  warm-start precomputed tables from D\n"
            "  --refine       Newton-polish each distinct eigenpair\n"
            "  --max-peaks K  keep at most K pairs per tensor (all)\n"
            "  --seed S       starting-vector seed (1)\n"
+           "  --save-results F  also write the raw results as a TETC container\n"
            "  --output FILE  report path (stdout)\n";
     return 2;
   }
 
-  std::ifstream in(*input, std::ios::binary);
-  if (!in) {
-    std::cerr << "cannot open " << *input << "\n";
-    return 1;
-  }
   batch::BatchProblem<float> p;
-  p.tensors = read_tensor_batch_binary<float>(in);
+  p.tensors = load_batch(*input);
   TE_REQUIRE(!p.tensors.empty(), "empty batch");
   p.order = p.tensors.front().order();
   p.dim = p.tensors.front().dim();
@@ -89,38 +138,60 @@ int main(int argc, char** argv) {
   } else {
     tier = parse_tier(tier_str);
   }
-  const std::string backend = args.get_or("backend", std::string("gpu"));
+  const std::string backend_str = args.get_or("backend", std::string("gpu"));
+  const batch::Backend backend = parse_backend(backend_str);
+
+  batch::SchedulerOptions sopt;
+  sopt.chunk_tensors = static_cast<int>(args.get_or("chunk", 32L));
+  sopt.cpu_threads = static_cast<int>(args.get_or("threads", 4L));
+  sopt.table_spill_dir = args.get_or("spill-dir", std::string());
+  if (auto ckpt = args.get("checkpoint")) {
+    sopt.checkpoint_path = *ckpt;
+    if (!args.has("resume")) {
+      // Fresh run requested: an old log for a different problem would be
+      // rejected by the fingerprint check, so clear it up front.
+      std::filesystem::remove(*ckpt);
+    }
+  } else {
+    TE_REQUIRE(!args.has("resume"), "--resume requires --checkpoint FILE");
+  }
 
   std::cerr << "solving " << p.num_tensors() << " tensors (order " << p.order
             << ", dim " << p.dim << ") x " << nstarts << " starts, tier "
-            << kernels::tier_name(tier) << ", backend " << backend
+            << kernels::tier_name(tier) << ", backend " << backend_str
             << ", alpha " << p.options.alpha << "\n";
 
-  batch::BatchResult<float> result;
-  if (backend == "gpu") {
-    result = batch::solve_gpusim(p, tier);
-    std::cerr << "modeled GPU time " << fmt_fixed(result.modeled_seconds * 1e3, 3)
-              << " ms (+" << fmt_fixed(result.transfer_seconds * 1e3, 3)
-              << " ms PCIe), occupancy "
-              << result.gpu.occupancy.warps_per_sm << " warps/SM\n";
-  } else if (backend == "cpu") {
-    result = batch::solve_cpu_sequential(p, tier);
-    std::cerr << "cpu time " << fmt_fixed(result.wall_seconds * 1e3, 1)
-              << " ms\n";
-  } else if (backend == "cpu-parallel") {
-    ThreadPool pool(static_cast<int>(args.get_or("threads", 4L)));
-    result = batch::solve_cpu_parallel(p, tier, pool);
-    std::cerr << "cpu-parallel time " << fmt_fixed(result.wall_seconds * 1e3, 1)
-              << " ms\n";
+  batch::Scheduler<float> sched(backend, sopt);
+  const batch::JobId job = sched.submit(std::move(p), tier);
+  if (const int restored = sched.restored_chunks(job); restored > 0) {
+    std::cerr << "resumed " << restored << " chunk"
+              << (restored == 1 ? "" : "s") << " from " << sopt.checkpoint_path
+              << "; " << sched.pending_chunks() << " remaining\n";
+  }
+  sched.run();
+  const batch::BatchResult<float>& result = sched.result(job);
+  const batch::BatchProblem<float>& prob = sched.problem(job);
+
+  if (backend == batch::Backend::kGpuSim) {
+    std::cerr << "modeled GPU time "
+              << fmt_fixed(result.modeled_seconds * 1e3, 3) << " ms (+"
+              << fmt_fixed(result.transfer_seconds * 1e3, 3)
+              << " ms PCIe), occupancy " << result.gpu.occupancy.warps_per_sm
+              << " warps/SM\n";
   } else {
-    std::cerr << "unknown backend '" << backend << "'\n";
-    return 2;
+    std::cerr << backend_str << " time "
+              << fmt_fixed(result.wall_seconds * 1e3, 1) << " ms\n";
+  }
+
+  if (auto save = args.get("save-results")) {
+    io::save_batch_result(*save, result);
+    std::cerr << "saved results container to " << *save << "\n";
   }
 
   sshopm::MultiStartOptions mopt;
-  mopt.inner = p.options;
+  mopt.inner = prob.options;
   mopt.refine_newton = args.has("refine");
-  const auto lists = batch::extract_eigenpairs(p, result, mopt);
+  const auto lists = batch::extract_eigenpairs(prob, result, mopt);
 
   const long max_peaks = args.get_or("max-peaks", 1000L);
   std::ofstream file;

@@ -17,6 +17,13 @@
 #      BENCH_sshopm.json that passes the te-obs-v1 schema validator, and a
 #      -DTE_OBS=OFF build must stay green (tier1) with bench_obs_overhead
 #      proving the disabled registry records nothing.
+#   5. persistence gate (te::io): round-trip the legacy fixture format
+#      through a TETC container byte-identically, strict-validate every
+#      produced file with tetc_check, prove the disk warm-start path
+#      (bench_kernels must load every shape's KernelTables from a packed
+#      container -- the te::obs counter assertion in --require-warm-start
+#      fails the run if anything is rebuilt), and exercise the scheduler's
+#      kill/checkpoint/resume cycle end to end with a bitwise cross-check.
 #
 # Usage: scripts/ci.sh [extra cmake args...]
 set -euo pipefail
@@ -90,5 +97,48 @@ echo "=== build-noobs: ctest -L tier1 ==="
 ctest --test-dir build-noobs -L tier1 --output-on-failure -j "${JOBS}"
 echo "=== build-noobs: bench_obs_overhead (zero-overhead assertion) ==="
 ./build-noobs/bench/bench_obs_overhead --solves 2000 --repeats 1
+
+# Pass 5: persistence (te::io). Everything below reuses the plain Release
+# tree from pass 1.
+echo "=== build: persistence leg (TETC pack / check / warm start) ==="
+cmake --build build -j "${JOBS}" \
+  --target make_dataset tetc_pack tetc_check bench_kernels streaming_scheduler
+
+# Legacy fixture -> container -> legacy must be byte-identical, and both the
+# packed batch and a container-native dataset (ground truth embedded) must
+# survive strict validation.
+./build/examples/make_dataset --voxels 32 --seed 7 --out build/ci_voxels.tesymb
+./build/examples/make_dataset --voxels 32 --seed 7 --out build/ci_voxels.tetc
+./build/tools/tetc_pack pack --input build/ci_voxels.tesymb \
+  --output build/ci_batch.tetc
+./build/tools/tetc_pack unpack --input build/ci_batch.tetc \
+  --output build/ci_roundtrip.tesymb
+cmp build/ci_voxels.tesymb build/ci_roundtrip.tesymb
+
+# One container carrying the precomputed KernelTables for every bench shape;
+# bench_kernels must warm-start all of them from disk (the built-in te::obs
+# counter assertion exits nonzero if any table is rebuilt in-process).
+rm -f build/ci_tables.tetc
+for shape in "3 3" "4 3" "4 5" "6 3" "6 4"; do
+  read -r m n <<< "${shape}"
+  ./build/tools/tetc_pack tables --order "${m}" --dim "${n}" \
+    --output build/ci_tables.tetc --append
+done
+./build/tools/tetc_check build/ci_batch.tetc build/ci_voxels.tetc \
+  build/ci_tables.tetc --quiet
+./build/bench/bench_kernels --tables build/ci_tables.tetc \
+  --require-warm-start --benchmark_min_time=0.01
+
+# Kill/checkpoint/resume: run half the chunks, die (exit 3 is the simulated
+# crash), then resume from the write-ahead log; the example cross-checks the
+# stitched results bitwise against a one-shot run and exits nonzero on any
+# mismatch. The torn log of a killed run must pass tetc_check --torn-ok.
+rm -f build/ci_sched.tetc
+./build/examples/streaming_scheduler --tensors 8 --starts 8 --chunk 3 \
+  --checkpoint build/ci_sched.tetc --kill-after 4 && exit 1 || [ "$?" -eq 3 ]
+./build/tools/tetc_check build/ci_sched.tetc --torn-ok --quiet
+./build/examples/streaming_scheduler --tensors 8 --starts 8 --chunk 3 \
+  --checkpoint build/ci_sched.tetc --resume
+./build/tools/tetc_check build/ci_sched.tetc --quiet
 
 echo "CI: all passes green."

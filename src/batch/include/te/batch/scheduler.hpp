@@ -39,6 +39,7 @@
 #include "te/batch/batch.hpp"
 #include "te/batch/table_cache.hpp"
 #include "te/gpusim/stream.hpp"
+#include "te/io/checkpoint.hpp"
 #include "te/obs/obs.hpp"
 #include "te/obs/span.hpp"
 
@@ -80,6 +81,18 @@ struct SchedulerOptions {
   gpusim::DeviceSpec device = gpusim::DeviceSpec::tesla_c2050();
   /// Sanitizer knobs forwarded to every GPU chunk launch.
   GpuSolveOptions gpu;
+  /// When non-empty: TETC checkpoint log. Every completed chunk is appended
+  /// and flushed; on construction an existing log is replayed (torn tail
+  /// tolerated and truncated), and submit() of a job already pinned in the
+  /// log restores its completed chunks instead of re-queueing them. Result
+  /// slots restore bitwise, so a killed-and-resumed run's result stream is
+  /// identical to an uninterrupted one. Timing/platform-model fields
+  /// (wall_seconds, gpu summary, pipeline) describe only work this process
+  /// actually executed.
+  std::string checkpoint_path;
+  /// When non-empty: TableCache spill directory -- precomputed/blocked-tier
+  /// tables are warm-started from disk and written back on cold builds.
+  std::string table_spill_dir;
 };
 
 /// Handle to a submitted job.
@@ -99,9 +112,12 @@ struct SchedulerMetrics {
   obs::Gauge& cache_misses;
   obs::Gauge& cache_evictions;
   obs::Gauge& cache_size;
+  obs::Gauge& cache_disk_hits;
   obs::Gauge& pipe_serialized;
   obs::Gauge& pipe_overlapped;
   obs::Gauge& pipe_hidden;
+  obs::Counter& ckpt_chunks_appended;
+  obs::Counter& ckpt_chunks_restored;
 
   static SchedulerMetrics& get() {
     static SchedulerMetrics m{
@@ -113,9 +129,12 @@ struct SchedulerMetrics {
         obs::global().gauge("batch.table_cache.misses"),
         obs::global().gauge("batch.table_cache.evictions"),
         obs::global().gauge("batch.table_cache.size"),
+        obs::global().gauge("batch.table_cache.disk_hits"),
         obs::global().gauge("batch.pipeline.serialized_seconds"),
         obs::global().gauge("batch.pipeline.overlapped_seconds"),
         obs::global().gauge("batch.pipeline.hidden_seconds"),
+        obs::global().counter("io.checkpoint.chunks_appended"),
+        obs::global().counter("io.checkpoint.chunks_restored"),
     };
     return m;
   }
@@ -155,6 +174,18 @@ class Scheduler {
     TE_REQUIRE(opt_.pipeline_buffers >= 1,
                "pipeline needs at least one buffer");
     TE_REQUIRE(opt_.cpu_threads >= 1, "cpu_threads must be positive");
+    if (!opt_.table_spill_dir.empty()) {
+      cache_.set_spill_dir(opt_.table_spill_dir);
+    }
+    if (!opt_.checkpoint_path.empty()) {
+      // Replay an existing log, drop any torn tail, then reopen for append
+      // so this process's chunks extend the same container.
+      replay_ = io::load_checkpoint<T>(opt_.checkpoint_path);
+      if (replay_.present) {
+        io::truncate_torn_tail(opt_.checkpoint_path, replay_.valid_end);
+      }
+      ckpt_.emplace(opt_.checkpoint_path, io::OpenMode::kAppend);
+    }
   }
 
   [[nodiscard]] Backend backend() const { return backend_; }
@@ -180,7 +211,9 @@ class Scheduler {
       const int end =
           std::min(begin + opt_.chunk_tensors, job.problem.num_tensors());
       queue_.push_back(Chunk{id, begin, end});
+      ++job.chunks_total;
     }
+    if (ckpt_) checkpoint_submit(id, job);
     TE_OBS_ONLY({
       auto& m = detail::SchedulerMetrics::get();
       m.jobs_submitted.inc();
@@ -189,21 +222,25 @@ class Scheduler {
     return id;
   }
 
-  /// Drain every pending chunk (FIFO across jobs), then finalize the
-  /// touched jobs' results. Returns the number of chunks executed.
-  int run() {
+  /// Execute pending chunks (FIFO across jobs), then finalize every job
+  /// whose chunks have all completed -- in this run, a previous run, or a
+  /// replayed checkpoint. `max_chunks` bounds this call (negative = drain
+  /// everything); a bounded run leaves the rest queued, which is how the
+  /// kill/resume tests stop a scheduler mid-job deterministically. Returns
+  /// the number of chunks executed.
+  int run(int max_chunks = -1) {
     TE_OBS_SPAN("batch.run");
     int executed = 0;
-    for (const Chunk& c : queue_) {
+    while (!queue_.empty() && (max_chunks < 0 || executed < max_chunks)) {
+      const Chunk c = queue_.front();
+      queue_.pop_front();
       execute(c);
       ++executed;
       TE_OBS_ONLY(detail::SchedulerMetrics::get().queue_depth.set(
-          static_cast<double>(queue_.size() - static_cast<std::size_t>(
-                                                  executed))));
+          static_cast<double>(queue_.size())));
     }
-    queue_.clear();
     for (auto& job : jobs_) {
-      if (!job.done) finalize(job);
+      if (!job.done && job.chunks_done == job.chunks_total) finalize(job);
     }
     TE_OBS_ONLY({
       auto& m = detail::SchedulerMetrics::get();
@@ -212,6 +249,7 @@ class Scheduler {
       m.cache_misses.set(static_cast<double>(cs.misses));
       m.cache_evictions.set(static_cast<double>(cs.evictions));
       m.cache_size.set(static_cast<double>(cache_.size()));
+      m.cache_disk_hits.set(static_cast<double>(cs.disk_hits));
       const PipelineReport pr = report(pipeline_);
       m.pipe_serialized.set(pr.serialized_seconds);
       m.pipe_overlapped.set(pr.overlapped_seconds);
@@ -245,6 +283,18 @@ class Scheduler {
   /// Counters of the shared precompute cache.
   [[nodiscard]] TableCacheStats cache_stats() const { return cache_.stats(); }
 
+  /// The submitted problem backing a job (eigenpair extraction needs the
+  /// tensors alongside the results).
+  [[nodiscard]] const BatchProblem<T>& problem(JobId id) const {
+    return at(id).problem;
+  }
+
+  /// Chunks of a job already satisfied from the checkpoint log (restored
+  /// bitwise at submit(), never re-executed).
+  [[nodiscard]] int restored_chunks(JobId id) const {
+    return at(id).chunks_restored;
+  }
+
   /// The pool driving kCpuParallel chunks (created lazily; the external
   /// pool when one was lent).
   [[nodiscard]] ThreadPool& pool() {
@@ -260,7 +310,10 @@ class Scheduler {
     BatchResult<T> result;
     gpusim::StreamPipeline pipeline{2};
     double wall_seconds = 0;
-    int chunks_done = 0;
+    int chunks_done = 0;      ///< executed here + restored from checkpoint
+    int chunks_total = 0;     ///< set at submit(); done when equal
+    int chunks_restored = 0;  ///< subset of chunks_done replayed from disk
+    bool gpu_merged = false;  ///< a GPU chunk has seeded result.gpu
     bool done = false;
   };
 
@@ -355,7 +408,8 @@ class Scheduler {
         TE_REQUIRE(launch.launchable,
                    "chunk does not fit on the device (occupancy limiter: "
                        << launch.occupancy.limiter << ")");
-        merge_gpu(job.result.gpu, launch, job.chunks_done == 0);
+        merge_gpu(job.result.gpu, launch, !job.gpu_merged);
+        job.gpu_merged = true;
         job.pipeline.record(cost);
         pipeline_.record(cost);
         break;
@@ -365,11 +419,95 @@ class Scheduler {
     job.wall_seconds += chunk_seconds;
     ++job.chunks_done;
     job.done = false;  // finalized (again) at the end of run()
+    if (ckpt_) checkpoint_chunk(c, job);
     TE_OBS_ONLY({
       auto& m = detail::SchedulerMetrics::get();
       m.chunks_executed.inc();
       m.chunk_seconds.record(chunk_seconds);
     });
+  }
+
+  /// WAL append of one completed chunk: serialize the freshly written
+  /// result slots and flush, making this chunk durable before the next one
+  /// starts. This is the only io on the execute path; its cost is visible
+  /// under the io.checkpoint.append span.
+  void checkpoint_chunk(const Chunk& c, const Job& job) {
+    TE_OBS_SPAN("io.checkpoint.append");
+    const int nv = job.problem.num_starts();
+    io::CheckpointChunk<T> rec;
+    rec.job = static_cast<std::uint32_t>(c.job);
+    rec.begin = c.begin;
+    rec.end = c.end;
+    const auto* base = job.result.results.data() +
+                       static_cast<std::size_t>(c.begin) * nv;
+    rec.results.assign(base,
+                       base + static_cast<std::size_t>(c.end - c.begin) * nv);
+    io::add_checkpoint_chunk_section(*ckpt_, rec);
+    ckpt_->flush();
+    TE_OBS_ONLY(detail::SchedulerMetrics::get().ckpt_chunks_appended.inc());
+  }
+
+  /// Pin a newly submitted job against the checkpoint log: a job already in
+  /// the log must match it bitwise (fingerprint over tensors, starts,
+  /// options, tier) and gets its completed chunks restored; an unknown job
+  /// is appended to the manifest. Called from submit() after chunking.
+  void checkpoint_submit(JobId id, Job& job) {
+    const std::uint32_t fp = io::problem_fingerprint<T>(
+        job.problem.order, job.problem.dim, static_cast<int>(job.tier),
+        job.problem.options,
+        std::span<const SymmetricTensor<T>>(job.problem.tensors),
+        std::span<const std::vector<T>>(job.problem.starts));
+    const auto known =
+        std::find_if(replay_.jobs.begin(), replay_.jobs.end(),
+                     [&](const io::CheckpointJob& j) {
+                       return j.job == static_cast<std::uint32_t>(id);
+                     });
+    if (known == replay_.jobs.end()) {
+      io::CheckpointJob cj;
+      cj.job = static_cast<std::uint32_t>(id);
+      cj.fingerprint = fp;
+      cj.order = job.problem.order;
+      cj.dim = job.problem.dim;
+      cj.num_tensors = job.problem.num_tensors();
+      cj.num_starts = job.problem.num_starts();
+      cj.tier = static_cast<std::int32_t>(job.tier);
+      cj.chunk_tensors = opt_.chunk_tensors;
+      io::add_checkpoint_job_section(*ckpt_, cj);
+      ckpt_->flush();
+      return;
+    }
+    TE_REQUIRE(known->fingerprint == fp &&
+                   known->num_tensors == job.problem.num_tensors() &&
+                   known->num_starts == job.problem.num_starts() &&
+                   known->tier == static_cast<std::int32_t>(job.tier) &&
+                   known->chunk_tensors == opt_.chunk_tensors,
+               "checkpoint '" << opt_.checkpoint_path << "' job " << id
+                              << " does not match the resubmitted problem "
+                                 "(inputs, options, tier and chunk size must "
+                                 "be identical to resume)");
+    const int nv = job.problem.num_starts();
+    for (const auto& rec : replay_.chunks) {
+      if (rec.job != static_cast<std::uint32_t>(id)) continue;
+      const auto match = std::find_if(
+          queue_.begin(), queue_.end(), [&](const Chunk& q) {
+            return q.job == id && q.begin == rec.begin && q.end == rec.end;
+          });
+      if (match == queue_.end()) continue;  // duplicate record: first wins
+      TE_REQUIRE(rec.results.size() ==
+                     static_cast<std::size_t>(rec.end - rec.begin) *
+                         static_cast<std::size_t>(nv),
+                 "checkpoint chunk [" << rec.begin << ", " << rec.end
+                                      << ") of job " << id
+                                      << " has a corrupt slot count");
+      std::copy(rec.results.begin(), rec.results.end(),
+                job.result.results.begin() +
+                    static_cast<std::ptrdiff_t>(rec.begin) * nv);
+      queue_.erase(match);
+      ++job.chunks_done;
+      ++job.chunks_restored;
+      TE_OBS_ONLY(
+          detail::SchedulerMetrics::get().ckpt_chunks_restored.inc());
+    }
   }
 
   /// One tensor, all starts -- the identical arithmetic (BoundKernels +
@@ -432,8 +570,10 @@ class Scheduler {
   ThreadPool* external_pool_;
   std::optional<ThreadPool> owned_pool_;
   std::deque<Job> jobs_;
-  std::vector<Chunk> queue_;
+  std::deque<Chunk> queue_;
   gpusim::StreamPipeline pipeline_{2};
+  io::CheckpointReplay<T> replay_;   ///< log contents found at construction
+  std::optional<io::Writer> ckpt_;  ///< open append handle when enabled
 };
 
 }  // namespace te::batch

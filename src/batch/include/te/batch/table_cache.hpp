@@ -16,7 +16,10 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <sstream>
+#include <string>
 
+#include "te/io/container.hpp"
 #include "te/kernels/dispatch.hpp"
 #include "te/kernels/precomputed.hpp"
 
@@ -27,6 +30,9 @@ struct TableCacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;
   std::int64_t evictions = 0;
+  /// In-memory misses satisfied by rehydrating a spill file instead of a
+  /// combinatorial rebuild (each also counts as a miss).
+  std::int64_t disk_hits = 0;
 
   [[nodiscard]] double hit_rate() const {
     const std::int64_t total = hits + misses;
@@ -42,6 +48,22 @@ class TableCache {
   /// Keep at most `capacity` table sets; least-recently-used is evicted.
   explicit TableCache(std::size_t capacity = 8) : capacity_(capacity) {
     TE_REQUIRE(capacity >= 1, "cache needs capacity >= 1");
+  }
+
+  /// Enable the disk warm-start tier: misses first try
+  /// `<dir>/tables_m<order>_n<dim>_<dtype>.tetc` before rebuilding, and
+  /// fresh builds are spilled there (best effort -- a persistence failure
+  /// never fails a solve). Empty string disables.
+  void set_spill_dir(std::string dir) {
+    std::lock_guard lock(mutex_);
+    spill_dir_ = std::move(dir);
+  }
+
+  /// Spill-file path the cache would use for one shape (empty when the
+  /// spill tier is disabled). Exposed so tools/benches can pre-pack it.
+  [[nodiscard]] std::string spill_path(int order, int dim) const {
+    std::lock_guard lock(mutex_);
+    return spill_path_locked(order, dim);
   }
 
   /// Tables for one shape/tier. Tiers that never read tables (general, cse,
@@ -64,10 +86,29 @@ class TableCache {
     ++stats_.misses;
     // Building under the lock serializes concurrent misses on the same key
     // into one build + (n - 1) hits; table construction is cheap relative
-    // to the solves it amortizes.
-    entries_.push_front(
-        {order, dim, tier,
-         std::make_shared<const kernels::KernelTables<T>>(order, dim)});
+    // to the solves it amortizes. With a spill directory configured, a
+    // miss first tries the disk copy (no rebuild), and a cold build is
+    // written back for the next process.
+    std::shared_ptr<const kernels::KernelTables<T>> tables;
+    const std::string spill = spill_path_locked(order, dim);
+    if (!spill.empty()) {
+      if (auto loaded = io::try_load_kernel_tables<T>(spill, order, dim)) {
+        ++stats_.disk_hits;
+        tables = std::make_shared<const kernels::KernelTables<T>>(
+            std::move(*loaded));
+      }
+    }
+    if (!tables) {
+      tables = std::make_shared<const kernels::KernelTables<T>>(order, dim);
+      if (!spill.empty()) {
+        try {
+          io::save_kernel_tables(spill, *tables);
+        } catch (const InvalidArgument&) {
+          // unwritable spill dir: stay purely in-memory
+        }
+      }
+    }
+    entries_.push_front({order, dim, tier, std::move(tables)});
     if (entries_.size() > capacity_) {
       entries_.pop_back();
       ++stats_.evictions;
@@ -100,10 +141,19 @@ class TableCache {
     std::shared_ptr<const kernels::KernelTables<T>> tables;
   };
 
+  [[nodiscard]] std::string spill_path_locked(int order, int dim) const {
+    if (spill_dir_.empty()) return {};
+    std::ostringstream os;
+    os << spill_dir_ << "/tables_m" << order << "_n" << dim << '_'
+       << io::dtype_name(io::dtype_code<T>()) << ".tetc";
+    return os.str();
+  }
+
   mutable std::mutex mutex_;
   std::size_t capacity_;
   std::list<Entry> entries_;  ///< front = most recently used
   TableCacheStats stats_;
+  std::string spill_dir_;
 };
 
 }  // namespace te::batch

@@ -1,0 +1,134 @@
+#pragma once
+// TETC-v1 readers.
+//
+// Two paths share one section-walking core:
+//   * StreamReader -- sequential ifstream reads; each section's payload is
+//     copied into a per-section buffer. Used by the CLI/tools and the
+//     checkpoint replay (which wants torn-tail tolerance, see below).
+//   * MappedFile + SectionWalker -- the whole container is mmap'ed and
+//     sections are returned as zero-copy spans into the mapping; the object
+//     codecs (container.hpp) can then hand out SymmetricTensor /
+//     KernelTables views that alias the file pages directly.
+//
+// Strict mode (the default) throws IoError, with the file offset, on any
+// malformed byte: bad magic, bad CRC, nonzero padding, truncation.
+// Torn-tail mode (`tolerate_torn_tail`) is the write-ahead-log semantic:
+// the first malformed or incomplete section terminates iteration cleanly
+// instead of throwing, so a log whose writer died mid-append replays every
+// fully-flushed record and ignores the torn tail.
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "te/io/format.hpp"
+
+namespace te::io {
+
+/// One decoded section header (offsets are absolute file positions).
+struct SectionInfo {
+  std::uint32_t type = 0;
+  std::uint32_t version = 0;
+  std::uint64_t header_offset = 0;
+  std::uint64_t payload_offset = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+/// Zero-copy section: payload aliases the caller's file span (MappedFile).
+struct SectionView {
+  SectionInfo info;
+  std::span<const std::byte> payload;
+};
+
+/// Owning section: payload copied out of the stream.
+struct SectionData {
+  SectionInfo info;
+  std::vector<std::byte> payload;
+};
+
+/// Walks sections of an in-memory (typically mmap'ed) container image.
+/// Validates the file header on construction and every section on next().
+class SectionWalker {
+ public:
+  SectionWalker(std::span<const std::byte> file, std::string container,
+                bool tolerate_torn_tail = false);
+
+  /// Next section, or nullopt at end-of-file (or at the torn tail in
+  /// tolerant mode). Strict mode throws IoError on any malformed content.
+  [[nodiscard]] std::optional<SectionView> next();
+
+ private:
+  std::span<const std::byte> file_;
+  std::string container_;
+  bool tolerant_;
+  std::uint64_t pos_;
+  bool stopped_ = false;
+};
+
+/// Sequential reader over an on-disk container.
+class StreamReader {
+ public:
+  explicit StreamReader(std::string path, bool tolerate_torn_tail = false);
+
+  StreamReader(const StreamReader&) = delete;
+  StreamReader& operator=(const StreamReader&) = delete;
+
+  /// Next section (payload copied), or nullopt at end-of-file / torn tail.
+  [[nodiscard]] std::optional<SectionData> next();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ifstream is_;
+  std::uint64_t file_bytes_ = 0;
+  std::uint64_t pos_ = 0;
+  bool tolerant_;
+  bool stopped_ = false;
+};
+
+/// Read-only mmap of a container file; the mapping outlives every view and
+/// zero-copy object handed out of it, so keep the MappedFile alive while
+/// borrowed tensors/tables are in use.
+class MappedFile {
+ public:
+  explicit MappedFile(std::string path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Section walker over the mapping (validates the file header).
+  [[nodiscard]] SectionWalker sections(bool tolerate_torn_tail = false) const {
+    return SectionWalker(bytes(), path_, tolerate_torn_tail);
+  }
+
+ private:
+  void unmap() noexcept;
+
+  std::string path_;
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// First section of the given type in a mapped container, as a zero-copy
+/// view. Unknown sections are skipped (forward compatibility); a missing
+/// section is a precise IoError naming the type.
+[[nodiscard]] SectionView find_section(const MappedFile& file,
+                                       SectionType type);
+
+/// First section of the given type read from disk (payload copied).
+[[nodiscard]] SectionData find_section(const std::string& path,
+                                       SectionType type);
+
+}  // namespace te::io

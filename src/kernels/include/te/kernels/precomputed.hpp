@@ -22,6 +22,7 @@
 
 #include "te/comb/index_class.hpp"
 #include "te/comb/multinomial.hpp"
+#include "te/obs/obs.hpp"
 #include "te/tensor/symmetric_tensor.hpp"
 #include "te/util/op_counter.hpp"
 
@@ -31,28 +32,6 @@ namespace te::kernels {
 template <Real T>
 class KernelTables {
  public:
-  KernelTables(int order, int dim)
-      : order_(order),
-        dim_(dim),
-        num_classes_(comb::num_unique_entries(order, dim)) {
-    build();
-  }
-
-  [[nodiscard]] int order() const { return order_; }
-  [[nodiscard]] int dim() const { return dim_; }
-  [[nodiscard]] offset_t num_classes() const { return num_classes_; }
-
-  /// Index representation of class r: row r of the U x m table.
-  [[nodiscard]] std::span<const index_t> class_index(offset_t r) const {
-    return {index_table_.data() + static_cast<std::size_t>(r) * order_,
-            static_cast<std::size_t>(order_)};
-  }
-
-  /// Eq. 4 coefficient of class r, already converted to the scalar type.
-  [[nodiscard]] T coeff0(offset_t r) const {
-    return coeff0_[static_cast<std::size_t>(r)];
-  }
-
   /// One Eq. 6 contribution: class `cls` adds
   /// sigma * a[cls] * prod_{t != skip_pos} x[idx_t] to y[out_index].
   struct Contribution {
@@ -62,20 +41,97 @@ class KernelTables {
     T sigma;
   };
 
+  KernelTables(int order, int dim)
+      : order_(order),
+        dim_(dim),
+        num_classes_(comb::num_unique_entries(order, dim)) {
+    build();
+  }
+
+  /// Rehydrate tables from serialized arrays (te::io warm-start path): no
+  /// combinatorial rebuild happens. Sizes are validated against the shape.
+  KernelTables(int order, int dim, std::vector<index_t> index_table,
+               std::vector<T> coeff0, std::vector<Contribution> contribs)
+      : order_(order),
+        dim_(dim),
+        num_classes_(comb::num_unique_entries(order, dim)),
+        index_table_(std::move(index_table)),
+        coeff0_(std::move(coeff0)),
+        contribs_(std::move(contribs)) {
+    check_table_sizes(index_table_.size(), coeff0_.size());
+  }
+
+  /// Borrowed (zero-copy) tables over caller-owned arrays -- the te::io
+  /// mmap path aliases container pages through this. The arrays must
+  /// outlive the view (keep the io::MappedFile alive).
+  KernelTables(borrow_t, int order, int dim,
+               std::span<const index_t> index_table, std::span<const T> coeff0,
+               std::span<const Contribution> contribs)
+      : order_(order),
+        dim_(dim),
+        num_classes_(comb::num_unique_entries(order, dim)),
+        borrowed_(true),
+        index_view_(index_table),
+        coeff0_view_(coeff0),
+        contrib_view_(contribs) {
+    check_table_sizes(index_view_.size(), coeff0_view_.size());
+  }
+
+  [[nodiscard]] int order() const { return order_; }
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] offset_t num_classes() const { return num_classes_; }
+
+  /// True when the tables alias external storage (mmap'ed container).
+  [[nodiscard]] bool is_borrowed() const { return borrowed_; }
+
+  /// The full U x m index table, row-major (serialization + GPU upload).
+  [[nodiscard]] std::span<const index_t> index_table() const {
+    return borrowed_ ? index_view_ : std::span<const index_t>(index_table_);
+  }
+
+  /// All Eq. 4 coefficients, one per class (serialization + GPU upload).
+  [[nodiscard]] std::span<const T> coeff0_table() const {
+    return borrowed_ ? coeff0_view_ : std::span<const T>(coeff0_);
+  }
+
+  /// Index representation of class r: row r of the U x m table.
+  [[nodiscard]] std::span<const index_t> class_index(offset_t r) const {
+    return index_table().subspan(
+        static_cast<std::size_t>(r) * static_cast<std::size_t>(order_),
+        static_cast<std::size_t>(order_));
+  }
+
+  /// Eq. 4 coefficient of class r, already converted to the scalar type.
+  [[nodiscard]] T coeff0(offset_t r) const {
+    return coeff0_table()[static_cast<std::size_t>(r)];
+  }
+
   /// All Eq. 6 contributions, grouped by class (ascending cls).
   [[nodiscard]] std::span<const Contribution> contributions() const {
-    return contribs_;
+    return borrowed_ ? contrib_view_ : std::span<const Contribution>(contribs_);
   }
 
   /// Bytes of table storage (the "(m + 2) x" overhead the paper quotes).
   [[nodiscard]] std::size_t table_bytes() const {
-    return index_table_.size() * sizeof(index_t) +
-           coeff0_.size() * sizeof(T) +
-           contribs_.size() * sizeof(Contribution);
+    return index_table().size() * sizeof(index_t) +
+           coeff0_table().size() * sizeof(T) +
+           contributions().size() * sizeof(Contribution);
   }
 
  private:
+  void check_table_sizes(std::size_t index_entries,
+                         std::size_t coeff_entries) const {
+    TE_REQUIRE(index_entries == static_cast<std::size_t>(num_classes_) *
+                                    static_cast<std::size_t>(order_),
+               "index table size mismatch for (" << order_ << ", " << dim_
+                                                 << ")");
+    TE_REQUIRE(coeff_entries == static_cast<std::size_t>(num_classes_),
+               "coefficient table size mismatch for (" << order_ << ", "
+                                                       << dim_ << ")");
+  }
+
   void build() {
+    TE_OBS_ONLY(obs::global().counter("kernels.tables.built").inc());
     index_table_.reserve(static_cast<std::size_t>(num_classes_) * order_);
     coeff0_.reserve(static_cast<std::size_t>(num_classes_));
     for (comb::IndexClassIterator it(order_, dim_); !it.done(); it.next()) {
@@ -98,6 +154,13 @@ class KernelTables {
   std::vector<index_t> index_table_;
   std::vector<T> coeff0_;
   std::vector<Contribution> contribs_;
+  /// Borrowed mode: accessors read the spans below instead of the vectors.
+  /// The spans never alias this object's own vectors, so default copy/move
+  /// stay safe.
+  bool borrowed_ = false;
+  std::span<const index_t> index_view_;
+  std::span<const T> coeff0_view_;
+  std::span<const Contribution> contrib_view_;
 };
 
 /// A x^m with precomputed tables: the loop body is pure floating point --

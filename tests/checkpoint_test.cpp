@@ -1,0 +1,288 @@
+// Scheduler checkpoint/resume tests: a run killed after k chunks and
+// resumed from its write-ahead log must finish with results bitwise
+// identical to an uninterrupted run -- on every backend. The log is pinned
+// to one exact problem by a fingerprint; mismatched resumes are refused.
+// The TableCache disk-spill tier (warm-starting KernelTables from a .tetc
+// file) rides along here since it shares the persistence machinery.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "te/batch/scheduler.hpp"
+#include "te/io/reader.hpp"
+
+namespace te::batch {
+namespace {
+
+using kernels::Tier;
+
+std::string tmp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("te_ckpt_test_") + name))
+      .string();
+}
+
+struct TmpFile {
+  explicit TmpFile(const char* name) : path(tmp_path(name)) {
+    std::filesystem::remove(path);
+  }
+  ~TmpFile() { std::filesystem::remove(path); }
+  std::string path;
+};
+
+struct TmpDir {
+  explicit TmpDir(const char* name) : path(tmp_path(name)) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TmpDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+template <Real T>
+void expect_bitwise(const std::vector<sshopm::Result<T>>& a,
+                    const std::vector<sshopm::Result<T>>& b,
+                    const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].lambda, b[i].lambda) << what << " slot " << i;
+    EXPECT_EQ(a[i].x, b[i].x) << what << " slot " << i;
+    EXPECT_EQ(a[i].iterations, b[i].iterations) << what << " slot " << i;
+    EXPECT_EQ(a[i].converged, b[i].converged) << what << " slot " << i;
+  }
+}
+
+/// Kill-after-k / resume cycle on one backend; compares against the
+/// uninterrupted run at every k.
+template <Real T>
+void run_kill_resume_cycle(Backend backend, Tier tier) {
+  auto p = BatchProblem<T>::random(61, 10, 4, 4, 3);
+  p.options.alpha = 1.0;
+
+  SchedulerOptions base;
+  base.chunk_tensors = 3;  // 4 chunks
+  Scheduler<T> ref_sched(backend, base);
+  const JobId ref_id = ref_sched.submit(p, tier);
+  ref_sched.run();
+  const auto& ref = ref_sched.result(ref_id).results;
+
+  for (int k = 0; k <= 4; ++k) {
+    TmpFile ckpt("cycle.tetc");
+    {
+      SchedulerOptions opt = base;
+      opt.checkpoint_path = ckpt.path;
+      Scheduler<T> dying(backend, opt);
+      const JobId id = dying.submit(p, tier);
+      EXPECT_EQ(dying.restored_chunks(id), 0);
+      EXPECT_EQ(dying.run(k), std::min(k, 4));
+      // Scheduler destroyed here without finishing: the "kill".
+    }
+    SchedulerOptions opt = base;
+    opt.checkpoint_path = ckpt.path;
+    Scheduler<T> resumed(backend, opt);
+    const JobId id = resumed.submit(p, tier);
+    EXPECT_EQ(resumed.restored_chunks(id), std::min(k, 4));
+    EXPECT_EQ(resumed.pending_chunks(), 4 - std::min(k, 4));
+    resumed.run();
+    expect_bitwise(ref, resumed.result(id).results, "resume");
+  }
+}
+
+TEST(CheckpointResume, BitwiseIdenticalOnCpuSequential) {
+  run_kill_resume_cycle<float>(Backend::kCpuSequential, Tier::kBlocked);
+}
+
+TEST(CheckpointResume, BitwiseIdenticalOnCpuParallel) {
+  run_kill_resume_cycle<double>(Backend::kCpuParallel, Tier::kGeneral);
+}
+
+TEST(CheckpointResume, BitwiseIdenticalOnGpuSim) {
+  run_kill_resume_cycle<float>(Backend::kGpuSim, Tier::kUnrolled);
+}
+
+TEST(CheckpointResume, MultipleJobsResumeIndependently) {
+  auto p1 = BatchProblem<float>::random(62, 4, 3, 4, 3);
+  auto p2 = BatchProblem<float>::random(63, 4, 3, 3, 6);
+  TmpFile ckpt("multi.tetc");
+  SchedulerOptions opt;
+  opt.chunk_tensors = 2;  // 2 chunks per job
+  opt.checkpoint_path = ckpt.path;
+  {
+    Scheduler<float> dying(Backend::kCpuSequential, opt);
+    (void)dying.submit(p1, Tier::kBlocked);
+    (void)dying.submit(p2, Tier::kGeneral);
+    EXPECT_EQ(dying.run(3), 3);  // all of job 1, half of job 2
+  }
+  Scheduler<float> resumed(Backend::kCpuSequential, opt);
+  const JobId j1 = resumed.submit(p1, Tier::kBlocked);
+  const JobId j2 = resumed.submit(p2, Tier::kGeneral);
+  EXPECT_EQ(resumed.restored_chunks(j1), 2);
+  EXPECT_EQ(resumed.restored_chunks(j2), 1);
+  resumed.run();
+  expect_bitwise(solve_cpu_sequential(p1, Tier::kBlocked).results,
+                 resumed.result(j1).results, "job 1");
+  expect_bitwise(solve_cpu_sequential(p2, Tier::kGeneral).results,
+                 resumed.result(j2).results, "job 2");
+}
+
+TEST(CheckpointResume, FingerprintMismatchIsRefused) {
+  auto p = BatchProblem<float>::random(64, 4, 2, 4, 3);
+  TmpFile ckpt("pin.tetc");
+  SchedulerOptions opt;
+  opt.chunk_tensors = 2;
+  opt.checkpoint_path = ckpt.path;
+  {
+    Scheduler<float> s(Backend::kCpuSequential, opt);
+    (void)s.submit(p, Tier::kBlocked);
+    (void)s.run(1);
+  }
+  // Same shape, one perturbed tensor value: the log must not be replayed
+  // onto a different problem.
+  auto tweaked = p;
+  tweaked.tensors[0].value(0) += 1e-6f;
+  Scheduler<float> s(Backend::kCpuSequential, opt);
+  EXPECT_THROW((void)s.submit(tweaked, Tier::kBlocked), InvalidArgument);
+  // Same problem under a different tier is a different computation too.
+  Scheduler<float> s2(Backend::kCpuSequential, opt);
+  EXPECT_THROW((void)s2.submit(p, Tier::kGeneral), InvalidArgument);
+  // The original problem still resumes fine.
+  Scheduler<float> ok(Backend::kCpuSequential, opt);
+  const JobId id = ok.submit(p, Tier::kBlocked);
+  EXPECT_EQ(ok.restored_chunks(id), 1);
+  ok.run();
+  expect_bitwise(solve_cpu_sequential(p, Tier::kBlocked).results,
+                 ok.result(id).results, "pinned resume");
+}
+
+TEST(CheckpointResume, ChangedChunkingIsRefused) {
+  auto p = BatchProblem<float>::random(65, 4, 2, 4, 3);
+  TmpFile ckpt("chunking.tetc");
+  SchedulerOptions opt;
+  opt.chunk_tensors = 2;
+  opt.checkpoint_path = ckpt.path;
+  {
+    Scheduler<float> s(Backend::kCpuSequential, opt);
+    (void)s.submit(p, Tier::kBlocked);
+    (void)s.run(1);
+  }
+  opt.chunk_tensors = 1;  // restored chunk boundaries would not line up
+  Scheduler<float> s(Backend::kCpuSequential, opt);
+  EXPECT_THROW((void)s.submit(p, Tier::kBlocked), InvalidArgument);
+}
+
+TEST(CheckpointResume, TornTailIsTruncatedAndResumeOfResumeWorks) {
+  auto p = BatchProblem<float>::random(66, 6, 3, 4, 3);
+  TmpFile ckpt("torn.tetc");
+  SchedulerOptions opt;
+  opt.chunk_tensors = 2;  // 3 chunks
+  opt.checkpoint_path = ckpt.path;
+  {
+    Scheduler<float> s(Backend::kCpuSequential, opt);
+    (void)s.submit(p, Tier::kBlocked);
+    (void)s.run(2);
+  }
+  // Simulate a crash mid-append: chop bytes off the log's tail so the last
+  // chunk section is torn.
+  const auto size = std::filesystem::file_size(ckpt.path);
+  std::filesystem::resize_file(ckpt.path, size - 13);
+  Scheduler<float> resumed(Backend::kCpuSequential, opt);
+  const JobId id = resumed.submit(p, Tier::kBlocked);
+  EXPECT_EQ(resumed.restored_chunks(id), 1);  // torn second chunk dropped
+  resumed.run();
+  expect_bitwise(solve_cpu_sequential(p, Tier::kBlocked).results,
+                 resumed.result(id).results, "torn resume");
+  // The resumed run appended over a truncated tail: the log is strictly
+  // valid again (this is what a resume-of-a-resume replays).
+  io::StreamReader strict(ckpt.path);
+  int sections = 0;
+  while (strict.next()) ++sections;
+  EXPECT_EQ(sections, 1 + 3);  // manifest + one restored + two re-executed
+}
+
+TEST(CheckpointResume, CompletedRunRestoresEverythingWithoutExecuting) {
+  auto p = BatchProblem<double>::random(67, 4, 3, 4, 3);
+  TmpFile ckpt("done.tetc");
+  SchedulerOptions opt;
+  opt.chunk_tensors = 2;
+  opt.checkpoint_path = ckpt.path;
+  std::vector<sshopm::Result<double>> first;
+  {
+    Scheduler<double> s(Backend::kCpuSequential, opt);
+    const JobId id = s.submit(p, Tier::kBlocked);
+    s.run();
+    first = s.result(id).results;
+  }
+  Scheduler<double> again(Backend::kCpuSequential, opt);
+  const JobId id = again.submit(p, Tier::kBlocked);
+  EXPECT_EQ(again.restored_chunks(id), 2);
+  EXPECT_EQ(again.pending_chunks(), 0);
+  EXPECT_EQ(again.run(), 0);  // nothing left to execute
+  expect_bitwise(first, again.result(id).results, "full restore");
+}
+
+// ---------------------------------------------------------------------------
+// TableCache disk spill: KernelTables warm-started from a .tetc file.
+
+TEST(TableSpill, SecondSchedulerWarmStartsFromDisk) {
+  TmpDir spill("spill_dir");
+  auto p = BatchProblem<float>::random(68, 4, 2, 4, 3);
+  SchedulerOptions opt;
+  opt.chunk_tensors = 2;
+  opt.table_spill_dir = spill.path;
+
+  std::vector<sshopm::Result<float>> cold;
+  {
+    Scheduler<float> s(Backend::kCpuSequential, opt);
+    const JobId id = s.submit(p, Tier::kBlocked);
+    s.run();
+    cold = s.result(id).results;
+    EXPECT_EQ(s.cache_stats().disk_hits, 0);  // nothing spilled yet
+  }
+  // The cold run spilled its built tables.
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(spill.path) / "tables_m4_n3_float32.tetc"));
+
+  Scheduler<float> warm(Backend::kCpuSequential, opt);
+  const JobId id = warm.submit(p, Tier::kBlocked);
+  warm.run();
+  EXPECT_EQ(warm.cache_stats().disk_hits, 1);
+  EXPECT_EQ(warm.cache_stats().misses, 1);  // miss in RAM, hit on disk
+  // Disk-loaded tables must not perturb results by a single bit.
+  expect_bitwise(cold, warm.result(id).results, "warm tables");
+}
+
+TEST(TableSpill, CorruptSpillFileFallsBackToBuilding) {
+  TmpDir spill("spill_bad");
+  {
+    std::ofstream bad(
+        (std::filesystem::path(spill.path) / "tables_m4_n3_float32.tetc")
+            .string(),
+        std::ios::binary);
+    bad << "garbage, not a container";
+  }
+  auto p = BatchProblem<float>::random(69, 2, 2, 4, 3);
+  SchedulerOptions opt;
+  opt.table_spill_dir = spill.path;
+  Scheduler<float> s(Backend::kCpuSequential, opt);
+  const JobId id = s.submit(p, Tier::kBlocked);
+  s.run();  // must not throw: corrupt spill = cold build
+  EXPECT_EQ(s.cache_stats().disk_hits, 0);
+  expect_bitwise(solve_cpu_sequential(p, Tier::kBlocked).results,
+                 s.result(id).results, "fallback build");
+}
+
+TEST(TableSpill, UnwritableSpillDirIsSilentlyIgnored) {
+  auto p = BatchProblem<float>::random(70, 2, 2, 4, 3);
+  SchedulerOptions opt;
+  opt.table_spill_dir = tmp_path("does_not_exist_dir/nested");
+  Scheduler<float> s(Backend::kCpuSequential, opt);
+  const JobId id = s.submit(p, Tier::kBlocked);
+  s.run();  // spill failures never fail a solve
+  expect_bitwise(solve_cpu_sequential(p, Tier::kBlocked).results,
+                 s.result(id).results, "unwritable spill");
+}
+
+}  // namespace
+}  // namespace te::batch

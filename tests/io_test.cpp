@@ -1,0 +1,492 @@
+// te::io round-trip tests: every object codec must survive write -> read
+// bitwise, on BOTH read paths (streaming copy and zero-copy mmap view).
+// Framing behaviors (alignment, append mode, unknown-section skip, torn
+// tails) are covered here too; byte-level corruption is io_corruption_test.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "te/dwmri/dataset.hpp"
+#include "te/io/batch_codec.hpp"
+#include "te/io/checkpoint.hpp"
+#include "te/io/container.hpp"
+#include "te/tensor/generators.hpp"
+#include "te/util/rng.hpp"
+#include "te/util/sphere.hpp"
+
+namespace te::io {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("te_io_test_") + name))
+      .string();
+}
+
+/// RAII temp file: removed on scope exit so tests don't leak state.
+struct TmpFile {
+  explicit TmpFile(const char* name) : path(tmp_path(name)) {
+    std::filesystem::remove(path);
+  }
+  ~TmpFile() { std::filesystem::remove(path); }
+  std::string path;
+};
+
+template <Real T>
+std::vector<SymmetricTensor<T>> random_batch(std::uint64_t seed, int count,
+                                             int order, int dim) {
+  std::vector<SymmetricTensor<T>> out;
+  CounterRng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    out.push_back(random_symmetric_tensor<T>(
+        rng, static_cast<std::uint64_t>(i), order, dim));
+  }
+  return out;
+}
+
+template <Real T>
+void expect_results_bitwise(const std::vector<sshopm::Result<T>>& a,
+                            const std::vector<sshopm::Result<T>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].lambda, b[i].lambda) << "slot " << i;
+    EXPECT_EQ(a[i].x, b[i].x) << "slot " << i;
+    EXPECT_EQ(a[i].iterations, b[i].iterations) << "slot " << i;
+    EXPECT_EQ(a[i].converged, b[i].converged) << "slot " << i;
+    EXPECT_EQ(a[i].failure, b[i].failure) << "slot " << i;
+    EXPECT_EQ(a[i].lambda_trace, b[i].lambda_trace) << "slot " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+TEST(IoFraming, EmptyContainerIsJustTheHeader) {
+  TmpFile f("empty.tetc");
+  {
+    Writer w(f.path);
+    w.flush();
+    EXPECT_EQ(w.size(), kFileHeaderBytes);
+    EXPECT_EQ(w.sections_added(), 0);
+  }
+  StreamReader r(f.path);
+  EXPECT_FALSE(r.next().has_value());
+  MappedFile m(f.path);
+  EXPECT_EQ(m.bytes().size(), kFileHeaderBytes);
+  auto walker = m.sections();
+  EXPECT_FALSE(walker.next().has_value());
+}
+
+TEST(IoFraming, SectionsAreAlignedAndTyped) {
+  TmpFile f("framing.tetc");
+  PayloadBuilder b;
+  b.put_u32(0xDEADBEEFu);
+  {
+    Writer w(f.path);
+    w.add_section(SectionType::kTensorBatch, 7, b.bytes());
+    w.add_section(SectionType::kKernelTables, 1, {});  // empty payload is ok
+    w.flush();
+    EXPECT_EQ(w.sections_added(), 2);
+  }
+  StreamReader r(f.path);
+  const auto s1 = r.next();
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_EQ(s1->info.type, static_cast<std::uint32_t>(
+                               SectionType::kTensorBatch));
+  EXPECT_EQ(s1->info.version, 7u);
+  EXPECT_EQ(s1->info.header_offset % kAlign, 0u);
+  EXPECT_EQ(s1->info.payload_bytes, 4u);
+  const auto s2 = r.next();
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(s2->info.header_offset % kAlign, 0u);
+  EXPECT_EQ(s2->info.payload_bytes, 0u);
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST(IoFraming, AppendModeExtendsAnExistingContainer) {
+  TmpFile f("append.tetc");
+  PayloadBuilder b;
+  b.put_u64(42);
+  {
+    Writer w(f.path);
+    w.add_section(SectionType::kChunkResult, 1, b.bytes());
+    w.flush();
+  }
+  {
+    Writer w(f.path, OpenMode::kAppend);
+    w.add_section(SectionType::kChunkResult, 1, b.bytes());
+    w.flush();
+    EXPECT_EQ(w.sections_added(), 1);  // only the new one
+  }
+  StreamReader r(f.path);
+  int n = 0;
+  while (r.next()) ++n;
+  EXPECT_EQ(n, 2);
+}
+
+TEST(IoFraming, AppendToMissingFileCreatesAFreshContainer) {
+  TmpFile f("append_fresh.tetc");
+  {
+    Writer w(f.path, OpenMode::kAppend);
+    w.flush();
+  }
+  StreamReader r(f.path);  // header must validate
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST(IoFraming, UnknownSectionTypesAreSkippedByFindSection) {
+  TmpFile f("unknown.tetc");
+  const auto tensors = random_batch<float>(5, 2, 3, 3);
+  {
+    Writer w(f.path);
+    PayloadBuilder junk;
+    junk.put_u32(123);
+    w.add_section(static_cast<SectionType>(999), 1, junk.bytes());
+    add_tensor_batch_section(
+        w, std::span<const SymmetricTensor<float>>(tensors));
+    w.flush();
+  }
+  // find_section walks past the foreign section (forward compatibility).
+  const auto loaded = load_tensors<float>(f.path);
+  ASSERT_EQ(loaded.size(), tensors.size());
+  EXPECT_EQ(loaded[0], tensors[0]);
+  // ...while a missing type is a precise error.
+  EXPECT_THROW((void)find_section(f.path, SectionType::kDataset), IoError);
+}
+
+TEST(IoFraming, FutureVersionOfAKnownSectionIsRejected) {
+  TmpFile f("future.tetc");
+  const auto tensors = random_batch<double>(6, 1, 3, 3);
+  {
+    Writer w(f.path);
+    add_tensor_batch_section(
+        w, std::span<const SymmetricTensor<double>>(tensors));
+    w.flush();
+  }
+  // Re-wrap the valid payload under a future version number.
+  TmpFile g("future2.tetc");
+  {
+    StreamReader r(f.path);
+    const auto s = r.next();
+    ASSERT_TRUE(s.has_value());
+    Writer w(g.path);
+    w.add_section(SectionType::kTensorBatch, kTensorBatchVersion + 1,
+                  s->payload);
+    w.flush();
+  }
+  EXPECT_THROW((void)load_tensors<double>(g.path), IoError);
+}
+
+TEST(IoFraming, IoErrorCarriesContainerAndOffsetContext) {
+  TmpFile f("ctx.tetc");
+  {
+    std::ofstream out(f.path, std::ios::binary);
+    out << "not a container at all";
+  }
+  try {
+    StreamReader r(f.path);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(f.path), std::string::npos) << what;
+    EXPECT_NE(what.find("offset"), std::string::npos) << what;
+  }
+  // IoError is part of the library-wide exception family.
+  EXPECT_THROW((void)MappedFile(tmp_path("does_not_exist.tetc")),
+               InvalidArgument);
+}
+
+TEST(IoFraming, TornTailToleranceEndsIterationInsteadOfThrowing) {
+  TmpFile f("torn.tetc");
+  PayloadBuilder b;
+  b.put_u64(7);
+  {
+    Writer w(f.path);
+    w.add_section(SectionType::kChunkResult, 1, b.bytes());
+    w.add_section(SectionType::kChunkResult, 1, b.bytes());
+    w.flush();
+  }
+  // Chop the second section in half: a writer died mid-append.
+  const auto full = std::filesystem::file_size(f.path);
+  std::filesystem::resize_file(f.path, full - 20);
+  {
+    StreamReader strict(f.path);
+    EXPECT_TRUE(strict.next().has_value());
+    EXPECT_THROW((void)strict.next(), IoError);
+  }
+  {
+    StreamReader tolerant(f.path, /*tolerate_torn_tail=*/true);
+    EXPECT_TRUE(tolerant.next().has_value());
+    EXPECT_FALSE(tolerant.next().has_value());  // torn tail = end of log
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tensor batches.
+
+TEST(IoTensorBatch, RoundTripsBitwiseOnBothReadPaths) {
+  for (const auto& [order, dim] :
+       {std::pair{3, 3}, {4, 3}, {3, 6}, {6, 3}}) {
+    TmpFile f("tensors.tetc");
+    const auto tensors = random_batch<float>(
+        static_cast<std::uint64_t>(order * 10 + dim), 5, order, dim);
+    save_tensors<float>(f.path,
+                        std::span<const SymmetricTensor<float>>(tensors));
+
+    const auto streamed = load_tensors<float>(f.path);
+    ASSERT_EQ(streamed.size(), tensors.size());
+    for (std::size_t i = 0; i < tensors.size(); ++i) {
+      EXPECT_EQ(streamed[i], tensors[i]) << "streamed " << i;
+      EXPECT_FALSE(streamed[i].is_borrowed());
+    }
+
+    MappedFile m(f.path);
+    const auto views = view_tensor_batch<float>(
+        find_section(m, SectionType::kTensorBatch), f.path);
+    ASSERT_EQ(views.size(), tensors.size());
+    for (std::size_t i = 0; i < tensors.size(); ++i) {
+      EXPECT_EQ(views[i], tensors[i]) << "view " << i;
+      EXPECT_TRUE(views[i].is_borrowed());
+    }
+  }
+}
+
+TEST(IoTensorBatch, DoubleBatchRoundTripsAndDtypeIsChecked) {
+  TmpFile f("tensors_f64.tetc");
+  const auto tensors = random_batch<double>(9, 3, 4, 3);
+  save_tensors<double>(f.path,
+                       std::span<const SymmetricTensor<double>>(tensors));
+  const auto back = load_tensors<double>(f.path);
+  ASSERT_EQ(back.size(), tensors.size());
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    EXPECT_EQ(back[i], tensors[i]);
+  }
+  // Reading with the wrong scalar type is a precise error, not garbage.
+  EXPECT_THROW((void)load_tensors<float>(f.path), IoError);
+}
+
+TEST(IoTensorBatch, BorrowedViewsRejectMutation) {
+  TmpFile f("borrowed.tetc");
+  const auto tensors = random_batch<float>(10, 1, 4, 3);
+  save_tensors<float>(f.path,
+                      std::span<const SymmetricTensor<float>>(tensors));
+  MappedFile m(f.path);
+  auto views = view_tensor_batch<float>(
+      find_section(m, SectionType::kTensorBatch), f.path);
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_THROW(views[0].scale(2.0f), InvalidArgument);
+  EXPECT_THROW((void)views[0].value(0), InvalidArgument);  // mutable access
+  // Read-only interfaces stay fully usable on a view.
+  EXPECT_EQ(views[0].frobenius_norm(), tensors[0].frobenius_norm());
+}
+
+// ---------------------------------------------------------------------------
+// Kernel tables.
+
+TEST(IoKernelTables, RoundTripsBitwiseOnBothReadPaths) {
+  for (const auto& [order, dim] : {std::pair{3, 3}, {4, 3}, {4, 5}}) {
+    TmpFile f("tables.tetc");
+    const kernels::KernelTables<float> built(order, dim);
+    save_kernel_tables(f.path, built);
+
+    const auto streamed = read_kernel_tables<float>(
+        find_section(f.path, SectionType::kKernelTables), f.path);
+    EXPECT_FALSE(streamed.is_borrowed());
+    EXPECT_EQ(streamed.order(), built.order());
+    EXPECT_EQ(streamed.dim(), built.dim());
+    EXPECT_EQ(streamed.num_classes(), built.num_classes());
+    ASSERT_EQ(streamed.contributions().size(), built.contributions().size());
+
+    MappedFile m(f.path);
+    const auto view = view_kernel_tables<float>(
+        find_section(m, SectionType::kKernelTables), f.path);
+    EXPECT_TRUE(view.is_borrowed());
+
+    // The loaded tables must produce bitwise-identical kernel results.
+    CounterRng rng(3);
+    std::vector<float> x(static_cast<std::size_t>(dim));
+    for (int i = 0; i < dim; ++i) {
+      x[static_cast<std::size_t>(i)] = static_cast<float>(
+          rng.in(0, static_cast<std::uint64_t>(i), -1, 1));
+    }
+    const auto a = random_batch<float>(
+        static_cast<std::uint64_t>(order + dim), 1, order, dim)[0];
+    const std::span<const float> xs(x.data(), x.size());
+    const float ref = kernels::ttsv0_precomputed(a, built, xs);
+    EXPECT_EQ(kernels::ttsv0_precomputed(a, streamed, xs), ref);
+    EXPECT_EQ(kernels::ttsv0_precomputed(a, view, xs), ref);
+  }
+}
+
+TEST(IoKernelTables, TryLoadFiltersByShapeAndSurvivesMissingFiles) {
+  TmpFile f("tables_multi.tetc");
+  {
+    Writer w(f.path);
+    add_kernel_tables_section(w, kernels::KernelTables<float>(3, 3));
+    add_kernel_tables_section(w, kernels::KernelTables<float>(4, 3));
+    w.flush();
+  }
+  // Finds the matching shape even when it is not the first section...
+  const auto hit = try_load_kernel_tables<float>(f.path, 4, 3);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->order(), 4);
+  EXPECT_EQ(hit->dim(), 3);
+  // ...returns nullopt (never throws) for absent shapes and absent files.
+  EXPECT_FALSE(try_load_kernel_tables<float>(f.path, 6, 3).has_value());
+  EXPECT_FALSE(try_load_kernel_tables<double>(f.path, 4, 3).has_value());
+  EXPECT_FALSE(
+      try_load_kernel_tables<float>(tmp_path("nope.tetc"), 4, 3).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Batch results.
+
+TEST(IoBatchResult, RoundTripsBitwiseOnBothReadPaths) {
+  // A real solve, so the records carry genuine traces/failure codes.
+  auto p = batch::BatchProblem<double>::random(21, 4, 3, 4, 3);
+  p.options.alpha = 1.0;
+  p.options.record_trace = true;
+  const auto result = batch::solve_cpu_sequential(p, kernels::Tier::kBlocked);
+
+  TmpFile f("result.tetc");
+  save_batch_result(f.path, result);
+
+  const auto streamed = load_batch_result<double>(f.path);
+  EXPECT_EQ(streamed.num_tensors, result.num_tensors);
+  EXPECT_EQ(streamed.num_starts, result.num_starts);
+  EXPECT_EQ(streamed.useful_flops, result.useful_flops);
+  EXPECT_EQ(streamed.wall_seconds, result.wall_seconds);
+  EXPECT_EQ(streamed.modeled_seconds, result.modeled_seconds);
+  EXPECT_EQ(streamed.transfer_seconds, result.transfer_seconds);
+  expect_results_bitwise(result.results, streamed.results);
+
+  MappedFile m(f.path);
+  const auto mapped = read_batch_result<double>(
+      find_section(m, SectionType::kBatchResult), f.path);
+  expect_results_bitwise(result.results, mapped.results);
+}
+
+// ---------------------------------------------------------------------------
+// Datasets.
+
+TEST(IoDataset, RoundTripsTensorsAndGroundTruthFibers) {
+  dwmri::DatasetOptions opt;
+  opt.num_voxels = 12;
+  const auto ds = dwmri::make_dataset<float>(2011, opt);
+
+  TmpFile f("dataset.tetc");
+  save_dataset(f.path, ds);
+  const auto back = load_dataset<float>(f.path);
+
+  ASSERT_EQ(back.voxels.size(), ds.voxels.size());
+  for (std::size_t v = 0; v < ds.voxels.size(); ++v) {
+    EXPECT_EQ(back.voxels[v].tensor, ds.voxels[v].tensor) << "voxel " << v;
+    ASSERT_EQ(back.voxels[v].fibers.size(), ds.voxels[v].fibers.size());
+    for (std::size_t k = 0; k < ds.voxels[v].fibers.size(); ++k) {
+      const auto& a = ds.voxels[v].fibers[k];
+      const auto& b = back.voxels[v].fibers[k];
+      EXPECT_EQ(a.weight, b.weight);
+      for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(a.direction[static_cast<std::size_t>(i)],
+                  b.direction[static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint codec (the scheduler-level resume test is checkpoint_test.cpp).
+
+TEST(IoCheckpoint, FingerprintPinsEveryInputBit) {
+  auto p = batch::BatchProblem<float>::random(31, 3, 2, 4, 3);
+  const auto base = problem_fingerprint<float>(
+      p.order, p.dim, 1, p.options,
+      std::span<const SymmetricTensor<float>>(p.tensors),
+      std::span<const std::vector<float>>(p.starts));
+
+  auto tweaked = p;
+  tweaked.tensors[1].value(0) += 1e-7f;
+  EXPECT_NE(base, problem_fingerprint<float>(
+                      p.order, p.dim, 1, p.options,
+                      std::span<const SymmetricTensor<float>>(tweaked.tensors),
+                      std::span<const std::vector<float>>(p.starts)));
+
+  auto topt = p.options;
+  topt.tolerance *= 2;
+  EXPECT_NE(base, problem_fingerprint<float>(
+                      p.order, p.dim, 1, topt,
+                      std::span<const SymmetricTensor<float>>(p.tensors),
+                      std::span<const std::vector<float>>(p.starts)));
+
+  EXPECT_NE(base, problem_fingerprint<float>(
+                      p.order, p.dim, 2, p.options,
+                      std::span<const SymmetricTensor<float>>(p.tensors),
+                      std::span<const std::vector<float>>(p.starts)));
+}
+
+TEST(IoCheckpoint, LogRoundTripsJobsAndChunksAndTruncatesTornTails) {
+  TmpFile f("wal.tetc");
+  CheckpointJob job;
+  job.job = 0;
+  job.fingerprint = 0xABCD1234u;
+  job.order = 4;
+  job.dim = 3;
+  job.num_tensors = 4;
+  job.num_starts = 2;
+  job.tier = 3;
+  job.chunk_tensors = 2;
+
+  CheckpointChunk<float> chunk;
+  chunk.job = 0;
+  chunk.begin = 0;
+  chunk.end = 2;
+  for (int i = 0; i < 4; ++i) {
+    sshopm::Result<float> r;
+    r.lambda = static_cast<float>(i) * 0.25f;
+    r.x = {0.6f, 0.8f, 0.0f};
+    r.iterations = i + 1;
+    r.converged = (i % 2) == 0;
+    chunk.results.push_back(std::move(r));
+  }
+  {
+    Writer w(f.path);
+    add_checkpoint_job_section(w, job);
+    add_checkpoint_chunk_section(w, chunk);
+    w.flush();
+  }
+  const auto intact_end = std::filesystem::file_size(f.path);
+  // Torn tail: a half-written third section.
+  {
+    Writer w(f.path, OpenMode::kAppend);
+    add_checkpoint_chunk_section(w, chunk);
+    w.flush();
+  }
+  std::filesystem::resize_file(f.path, intact_end + 40);
+
+  const auto replay = load_checkpoint<float>(f.path);
+  ASSERT_TRUE(replay.present);
+  ASSERT_EQ(replay.jobs.size(), 1u);
+  EXPECT_EQ(replay.jobs[0].fingerprint, job.fingerprint);
+  EXPECT_EQ(replay.jobs[0].chunk_tensors, job.chunk_tensors);
+  ASSERT_EQ(replay.chunks.size(), 1u);  // torn third section ignored
+  EXPECT_EQ(replay.chunks[0].begin, 0);
+  EXPECT_EQ(replay.chunks[0].end, 2);
+  expect_results_bitwise(chunk.results, replay.chunks[0].results);
+
+  // Truncation puts the file back to its intact prefix, ready to append.
+  truncate_torn_tail(f.path, replay.valid_end);
+  EXPECT_EQ(std::filesystem::file_size(f.path), intact_end);
+  StreamReader strict(f.path);  // now strictly valid again
+  int n = 0;
+  while (strict.next()) ++n;
+  EXPECT_EQ(n, 2);
+
+  const auto missing = load_checkpoint<float>(tmp_path("no_wal.tetc"));
+  EXPECT_FALSE(missing.present);
+}
+
+}  // namespace
+}  // namespace te::io

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "te/batch/scheduler.hpp"
+#include "te/io/container.hpp"
 #include "te/kernels/dense.hpp"
 #include "te/kernels/general.hpp"
 #include "te/kernels/ttsv.hpp"
@@ -241,6 +244,56 @@ TEST_P(SeedSweep, SchedulerIsBitwiseEqualToOneShotBackends) {
   // Pipelining hides transfer; it can never add time.
   EXPECT_LE(sched.job_pipeline(id).overlapped_seconds,
             sched.job_pipeline(id).serialized_seconds + 1e-15);
+}
+
+TEST_P(SeedSweep, ContainerRoundTripIsBitwiseOnBothReadPaths) {
+  // Persistence property: for randomized shapes, a tensor batch pushed
+  // through the TETC container comes back bitwise identical on BOTH read
+  // paths (streamed copy and zero-copy mmap view), and the solver produces
+  // bitwise-identical results from the reloaded tensors.
+  const std::uint64_t seed = GetParam();
+  CounterRng rng(seed + 800);
+  const int order = 3 + static_cast<int>(rng.at(0, 0) % 3);  // 3..5
+  const int dim = 2 + static_cast<int>(rng.at(0, 1) % 4);    // 2..5
+  const int count = 1 + static_cast<int>(rng.at(0, 2) % 6);
+
+  std::vector<SymmetricTensor<double>> tensors;
+  for (int i = 0; i < count; ++i) {
+    tensors.push_back(random_symmetric_tensor<double>(
+        rng, 10 + static_cast<std::uint64_t>(i), order, dim));
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("te_prop_roundtrip_" + std::to_string(seed) + ".tetc"))
+          .string();
+  io::save_tensors<double>(
+      path, std::span<const SymmetricTensor<double>>(tensors));
+
+  const auto streamed = io::load_tensors<double>(path);
+  ASSERT_EQ(streamed.size(), tensors.size());
+  io::MappedFile mapped(path);
+  const auto views = io::view_tensor_batch<double>(
+      io::find_section(mapped, io::SectionType::kTensorBatch), path);
+  ASSERT_EQ(views.size(), tensors.size());
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    EXPECT_EQ(streamed[i], tensors[i]) << "streamed " << i;
+    EXPECT_EQ(views[i], tensors[i]) << "mmap view " << i;
+  }
+
+  // Solving from the reloaded batch is bitwise the same computation.
+  const auto x0 = random_sphere_vector<double>(rng, 99, dim);
+  sshopm::Options opt;
+  opt.alpha = 1.0;
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    kernels::BoundKernels<double> ka(tensors[i], kernels::Tier::kGeneral);
+    kernels::BoundKernels<double> kb(streamed[i], kernels::Tier::kGeneral);
+    const auto ra = sshopm::solve(ka, {x0.data(), x0.size()}, opt);
+    const auto rb = sshopm::solve(kb, {x0.data(), x0.size()}, opt);
+    EXPECT_EQ(ra.lambda, rb.lambda) << "tensor " << i;
+    EXPECT_EQ(ra.x, rb.x) << "tensor " << i;
+    EXPECT_EQ(ra.iterations, rb.iterations) << "tensor " << i;
+  }
+  std::filesystem::remove(path);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
