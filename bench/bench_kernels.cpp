@@ -12,6 +12,13 @@
 //   --require-warm-start  fail if any KernelTables were built from scratch
 //                         (asserted via the kernels.tables.built counter;
 //                         the CI persistence leg's disk-warm-start gate)
+//   --multi               also register the multi-vector (SoA) kernel
+//                         sweep: ttsv0+ttsv1 pairs across lane widths and
+//                         tiers, items = lane-calls so per-lane throughput
+//                         is directly comparable to the scalar numbers;
+//                         runs the width autotuner per tier so the
+//                         kernels.multi.autotune_width.* gauges land in
+//                         the metrics dump
 
 #include <benchmark/benchmark.h>
 
@@ -22,8 +29,10 @@
 
 #include "bench_common.hpp"
 #include "te/io/container.hpp"
+#include "te/kernels/autotune.hpp"
 #include "te/kernels/dense.hpp"
 #include "te/kernels/dispatch.hpp"
+#include "te/kernels/multi_dispatch.hpp"
 #include "te/kernels/precomputed.hpp"
 #include "te/obs/obs.hpp"
 #include "te/sshopm/sshopm.hpp"
@@ -221,16 +230,69 @@ void BM_SshopmIteration_Unrolled43(benchmark::State& state) {
 }
 BENCHMARK(BM_SshopmIteration_Unrolled43);
 
+// One ttsv0 + ttsv1 pair over a W-lane batch; items processed counts
+// lane-calls, so per-item time is directly comparable with the scalar
+// benchmarks above (a perfect multi kernel shows W-fold lower per-item
+// cost on the class-walk-bound tiers).
+void BM_TtsvPair_Multi(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int w = static_cast<int>(state.range(2));
+  const auto tier = static_cast<kernels::Tier>(state.range(3));
+  Fixture f(m, n);
+  if (tier == kernels::Tier::kUnrolled &&
+      kernels::find_unrolled<float>(m, n) == nullptr) {
+    state.SkipWithError("shape not registered");
+    return;
+  }
+  kernels::MultiKernels<float> k(f.a, tier, &f.tables, w);
+  state.SetLabel(std::string(kernels::tier_name(tier)) + "/w" +
+                 std::to_string(w) + (k.vectorized() ? "" : "/fallback"));
+  kernels::VectorBatch<float> x(n, w);
+  kernels::VectorBatch<float> y(n, w);
+  CounterRng rng(11);
+  for (int i = 0; i < n; ++i) {
+    for (int lane = 0; lane < w; ++lane) {
+      x.at(i, lane) = static_cast<float>(
+          rng.in(1, static_cast<std::uint64_t>(i * w + lane), -1, 1));
+    }
+  }
+  std::vector<float> out(static_cast<std::size_t>(w));
+  for (auto _ : state) {
+    k.ttsv0(x, {out.data(), out.size()});
+    benchmark::DoNotOptimize(out.data());
+    k.ttsv1(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * w);
+}
+
+void register_multi_benchmarks() {
+  for (const auto& [m, n] : {std::pair{4, 3}, {4, 5}, {6, 3}}) {
+    for (const auto tier :
+         {kernels::Tier::kGeneral, kernels::Tier::kPrecomputed,
+          kernels::Tier::kUnrolled}) {
+      std::vector<int> widths = {1};
+      for (const int w : kernels::multi_widths()) widths.push_back(w);
+      for (const int w : widths) {
+        benchmark::RegisterBenchmark("BM_TtsvPair_Multi", BM_TtsvPair_Multi)
+            ->Args({m, n, w, static_cast<long>(tier)});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   te::CliArgs cli(argc, argv);
   g_tables_path = cli.get_or("tables", std::string());
+  const bool multi = cli.has("multi");
   // Strip the local flags before google-benchmark validates argv.
   std::vector<char*> filtered;
   for (int i = 0; i < argc; ++i) {
     const std::string_view a(argv[i]);
-    if (a == "--require-warm-start") continue;
+    if (a == "--require-warm-start" || a == "--multi") continue;
     if (a.rfind("--metrics-json", 0) == 0 ||
         a.rfind("--metrics-csv", 0) == 0 || a.rfind("--tables", 0) == 0) {
       if (a.find('=') == std::string_view::npos && i + 1 < argc) ++i;
@@ -238,6 +300,7 @@ int main(int argc, char** argv) {
     }
     filtered.push_back(argv[i]);
   }
+  if (multi) register_multi_benchmarks();
   int fargc = static_cast<int>(filtered.size());
   ::benchmark::Initialize(&fargc, filtered.data());
   if (::benchmark::ReportUnrecognizedArguments(fargc, filtered.data())) {
@@ -245,6 +308,17 @@ int main(int argc, char** argv) {
   }
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  if (multi) {
+    // Record the per-tier autotuned widths so the metrics dump carries the
+    // kernels.multi.autotune_width.* trajectory alongside the raw timings.
+    for (const auto tier :
+         {te::kernels::Tier::kGeneral, te::kernels::Tier::kPrecomputed,
+          te::kernels::Tier::kUnrolled}) {
+      const auto rep = te::kernels::autotune_multi_width(4, 5, tier, 200);
+      std::cerr << "autotune " << te::kernels::tier_name(tier)
+                << ": best width " << rep.best_width << "\n";
+    }
+  }
   if (!te::bench::maybe_write_metrics(cli, "bench_kernels",
                                       {{"workload", "ttsv microbench"}})) {
     return 1;

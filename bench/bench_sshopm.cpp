@@ -10,13 +10,19 @@
 // schema-validates.
 //
 // Flags: --tensors N --starts V --alpha A --csv
-//        --metrics-json PATH --metrics-csv PATH.
+//        --metrics-json PATH --metrics-csv PATH
+//        --multi  run the lane-blocked multi-start sweep (m=4, n=10,
+//                 64 starts) per tier across every registered lane width
+//                 against the per-vector baseline, asserting slot-for-slot
+//                 FailureReason parity and reporting the speedup table.
 
 #include <array>
 #include <cinttypes>
 
 #include "bench_common.hpp"
 #include "te/batch/scheduler.hpp"
+#include "te/tensor/generators.hpp"
+#include "te/util/rng.hpp"
 
 int main(int argc, char** argv) {
   using namespace te;
@@ -97,6 +103,96 @@ int main(int argc, char** argv) {
         "overlapped %.3f ms, hidden %.3f ms\n",
         rep.chunks, rep.serialized_seconds * 1e3,
         rep.overlapped_seconds * 1e3, rep.hidden_seconds() * 1e3);
+  }
+
+  // Multi-vector sweep: the index-class walk amortized across SIMD lanes.
+  // Baseline is the exact per-vector loop the scalar backends run; every
+  // width must keep slot-for-slot FailureReason parity, and the acceptance
+  // workload (m=4, n=10, 64 starts) is where the general tier's class walk
+  // dominates enough for the amortization to pay off.
+  if (args.has("multi")) {
+    const int mm = 4;
+    const int mn = 10;
+    const int ms = 64;
+    CounterRng rng(0xb57a);
+    const auto a = random_symmetric_tensor<float>(rng, 0, mm, mn);
+    std::vector<std::vector<float>> starts;
+    starts.reserve(static_cast<std::size_t>(ms));
+    for (int v = 0; v < ms; ++v) {
+      std::vector<float> x0(static_cast<std::size_t>(mn));
+      for (int i = 0; i < mn; ++i) {
+        x0[static_cast<std::size_t>(i)] = static_cast<float>(
+            rng.in(1, static_cast<std::uint64_t>(v * mn + i), -1, 1));
+      }
+      starts.push_back(std::move(x0));
+    }
+    sshopm::Options sopt;
+    sopt.alpha = 1.0;
+    sopt.tolerance = 1e-6;
+
+    bench::banner("Multi-vector SS-HOPM sweep",
+                  "m=4 n=10, 64 starts per tier; lane widths vs the "
+                  "per-vector baseline (parity-checked)");
+    TextTable mt;
+    mt.set_header({"tier", "width", "wall ms", "speedup", "conv", "parity"});
+    kernels::KernelTables<float> tables(mm, mn);
+    for (const Tier tier : {Tier::kGeneral, Tier::kPrecomputed}) {
+      const kernels::KernelTables<float>* tab =
+          tier == Tier::kPrecomputed ? &tables : nullptr;
+      kernels::BoundKernels<float> sk(a, tier, tab);
+      std::vector<sshopm::Result<float>> ref;
+      WallTimer base_timer;
+      for (const auto& x0 : starts) {
+        ref.push_back(sshopm::solve(sk, {x0.data(), x0.size()}, sopt));
+      }
+      const double base_s = base_timer.seconds();
+      std::int64_t base_conv = 0;
+      for (const auto& r : ref) base_conv += r.converged ? 1 : 0;
+      char basems[32];
+      std::snprintf(basems, sizeof basems, "%.2f", base_s * 1e3);
+      mt.add_row({std::string(kernels::tier_name(tier)), "1", basems,
+                  "1.00x", std::to_string(base_conv), "ref"});
+
+      double best_speedup = 0;
+      for (const int width : kernels::multi_widths()) {
+        kernels::MultiKernels<float> mk(a, tier, tab, width);
+        WallTimer timer;
+        const auto got = sshopm::solve_multi(
+            mk,
+            std::span<const std::vector<float>>(starts.data(),
+                                                starts.size()),
+            sopt);
+        const double s = timer.seconds();
+        bool parity = got.size() == ref.size();
+        std::int64_t conv = 0;
+        for (std::size_t i = 0; i < got.size() && parity; ++i) {
+          conv += got[i].converged ? 1 : 0;
+          parity = got[i].failure == ref[i].failure &&
+                   got[i].converged == ref[i].converged;
+        }
+        const double speedup = s > 0 ? base_s / s : 0;
+        best_speedup = std::max(best_speedup, speedup);
+        char ms_buf[32], sp[32];
+        std::snprintf(ms_buf, sizeof ms_buf, "%.2f", s * 1e3);
+        std::snprintf(sp, sizeof sp, "%.2fx", speedup);
+        mt.add_row({std::string(kernels::tier_name(tier)),
+                    std::to_string(width), ms_buf, sp, std::to_string(conv),
+                    parity ? "ok" : "MISMATCH"});
+        if (!parity) {
+          std::fprintf(stderr,
+                       "bench_sshopm: FailureReason parity violated "
+                       "(tier %s width %d)\n",
+                       kernels::tier_name(tier).data(), width);
+          return 1;
+        }
+      }
+      TE_OBS_ONLY(obs::global()
+                      .gauge("bench.sshopm.multi_speedup." +
+                             std::string(kernels::tier_name(tier)))
+                      .set(best_speedup));
+      (void)best_speedup;
+    }
+    bench::emit(mt, csv);
   }
 
   return bench::maybe_write_metrics(args, "bench_sshopm",

@@ -53,12 +53,23 @@ done
 
 # Bench smoke: the metrics pipeline end to end. A small bench_sshopm run
 # must produce a schema-valid te-obs-v1 artifact (this is what perf-tracking
-# jobs archive), checked by the bundled validator.
-echo "=== build: bench smoke (BENCH_sshopm.json) ==="
-cmake --build build -j "${JOBS}" --target bench_sshopm obs_json_check
-./build/bench/bench_sshopm --tensors 16 --starts 4 \
+# jobs archive), checked by the bundled validator. --multi additionally runs
+# the lane-blocked sweep, which exits nonzero if any width breaks
+# slot-for-slot FailureReason parity with the per-vector baseline, and the
+# validator asserts the multi-vector gauges actually landed in the dump.
+echo "=== build: bench smoke (BENCH_sshopm.json + BENCH_kernels.json) ==="
+cmake --build build -j "${JOBS}" --target bench_sshopm bench_kernels \
+  obs_json_check
+./build/bench/bench_sshopm --tensors 16 --starts 4 --multi \
   --metrics-json build/BENCH_sshopm.json
-./build/tools/obs_json_check build/BENCH_sshopm.json
+./build/tools/obs_json_check build/BENCH_sshopm.json \
+  --require-gauge sshopm.multi.width 1 \
+  --require-gauge bench.sshopm.multi_speedup.general 1
+./build/bench/bench_kernels --multi --benchmark_filter=Multi \
+  --benchmark_min_time=0.01 --metrics-json build/BENCH_kernels.json
+./build/tools/obs_json_check build/BENCH_kernels.json \
+  --require-gauge kernels.multi.simd_width 1 \
+  --require-gauge kernels.multi.autotune_width.general 1
 
 # Pass 2: host-sanitized. RelWithDebInfo keeps stacks symbolized; native
 # arch off so the instrumented binaries stay portable across CI hosts.

@@ -42,6 +42,7 @@
 #include "te/io/checkpoint.hpp"
 #include "te/obs/obs.hpp"
 #include "te/obs/span.hpp"
+#include "te/sshopm/multi.hpp"
 
 namespace te::batch {
 
@@ -93,6 +94,13 @@ struct SchedulerOptions {
   /// When non-empty: TableCache spill directory -- precomputed/blocked-tier
   /// tables are warm-started from disk and written back on cold builds.
   std::string table_spill_dir;
+  /// Lane width for the CPU backends' per-tensor start sweep: 1 = the
+  /// per-vector scalar path (bitwise-stable default, and what the
+  /// checkpoint bitwise-resume guarantee assumes -- resume with the same
+  /// width), 0 = autotuned hardware width, otherwise a registered power of
+  /// two (kernels::multi_widths()). Ignored by the kGpuSim backend, whose
+  /// device model is already one-thread-per-vector.
+  int simd_width = 1;
 };
 
 /// Handle to a submitted job.
@@ -118,6 +126,7 @@ struct SchedulerMetrics {
   obs::Gauge& pipe_hidden;
   obs::Counter& ckpt_chunks_appended;
   obs::Counter& ckpt_chunks_restored;
+  obs::Gauge& simd_width;
 
   static SchedulerMetrics& get() {
     static SchedulerMetrics m{
@@ -135,6 +144,7 @@ struct SchedulerMetrics {
         obs::global().gauge("batch.pipeline.hidden_seconds"),
         obs::global().counter("io.checkpoint.chunks_appended"),
         obs::global().counter("io.checkpoint.chunks_restored"),
+        obs::global().gauge("batch.scheduler.simd_width"),
     };
     return m;
   }
@@ -174,6 +184,8 @@ class Scheduler {
     TE_REQUIRE(opt_.pipeline_buffers >= 1,
                "pipeline needs at least one buffer");
     TE_REQUIRE(opt_.cpu_threads >= 1, "cpu_threads must be positive");
+    TE_REQUIRE(opt_.simd_width == 0 || kernels::is_multi_width(opt_.simd_width),
+               "unsupported simd_width " << opt_.simd_width);
     if (!opt_.table_spill_dir.empty()) {
       cache_.set_spill_dir(opt_.table_spill_dir);
     }
@@ -218,6 +230,7 @@ class Scheduler {
       auto& m = detail::SchedulerMetrics::get();
       m.jobs_submitted.inc();
       m.queue_depth.set(static_cast<double>(queue_.size()));
+      m.simd_width.set(static_cast<double>(opt_.simd_width));
     });
     return id;
   }
@@ -387,9 +400,13 @@ class Scheduler {
         break;
       }
       case Backend::kCpuParallel: {
-        pool().parallel_for(c.end - c.begin, [&](std::int64_t i) {
-          solve_one_tensor(job, c.begin + static_cast<int>(i), tables.get());
-        });
+        // Bulk dispatch: one chunked task per worker, one lock/wakeup.
+        pool().submit_range(
+            c.begin, c.end, [&](std::int64_t b, std::int64_t e, int) {
+              for (std::int64_t t = b; t < e; ++t) {
+                solve_one_tensor(job, static_cast<int>(t), tables.get());
+              }
+            });
         break;
       }
       case Backend::kGpuSim: {
@@ -513,17 +530,31 @@ class Scheduler {
   /// One tensor, all starts -- the identical arithmetic (BoundKernels +
   /// sshopm::solve) of the one-shot CPU backends, writing into this job's
   /// result slots. Table sharing cannot perturb results: table contents are
-  /// a pure function of (order, dim).
+  /// a pure function of (order, dim). With simd_width != 1 the start sweep
+  /// runs lane-blocked through sshopm::solve_multi instead (same slot
+  /// layout, classification parity per DESIGN.md section 11).
   void solve_one_tensor(Job& job, int t,
                         const kernels::KernelTables<T>* tables) {
     const BatchProblem<T>& p = job.problem;
+    sshopm::Result<T>* out =
+        job.result.results.data() +
+        static_cast<std::size_t>(t) * p.num_starts();
+    if (opt_.simd_width != 1) {
+      kernels::MultiKernels<T> k(p.tensors[static_cast<std::size_t>(t)],
+                                 job.tier, tables, opt_.simd_width);
+      auto runs = sshopm::solve_multi(
+          k, std::span<const std::vector<T>>(p.starts.data(),
+                                             p.starts.size()),
+          p.options);
+      std::move(runs.begin(), runs.end(), out);
+      return;
+    }
     kernels::BoundKernels<T> k(p.tensors[static_cast<std::size_t>(t)],
                                job.tier, tables);
     for (int v = 0; v < p.num_starts(); ++v) {
       const auto& x0 = p.starts[static_cast<std::size_t>(v)];
-      job.result.results[static_cast<std::size_t>(t) * p.num_starts() + v] =
-          sshopm::solve(k, std::span<const T>(x0.data(), x0.size()),
-                        p.options);
+      out[v] = sshopm::solve(k, std::span<const T>(x0.data(), x0.size()),
+                             p.options);
     }
   }
 

@@ -1,5 +1,8 @@
 #include "te/kernels/autotune.hpp"
 
+#include <string>
+
+#include "te/kernels/multi_dispatch.hpp"
 #include "te/tensor/generators.hpp"
 #include "te/util/rng.hpp"
 #include "te/util/timer.hpp"
@@ -75,6 +78,73 @@ AutotuneReport autotune_tier(int order, int dim, int min_reps) {
   consider(Tier::kCse, report.cse_us);
   consider(Tier::kBlocked, report.blocked_us);
   consider(Tier::kUnrolled, report.unrolled_us);
+  return report;
+}
+
+MultiWidthReport autotune_multi_width(int order, int dim, Tier tier,
+                                      int min_reps) {
+  TE_REQUIRE(min_reps >= 1, "need at least one rep");
+  CounterRng rng(0x517d);
+  const auto a = random_symmetric_tensor<float>(rng, 1, order, dim);
+  const KernelTables<float>* tab = nullptr;
+  KernelTables<float> tables(order, dim);
+  if (tier == Tier::kPrecomputed || tier == Tier::kBlocked) tab = &tables;
+
+  MultiWidthReport report;
+  report.tier = tier;
+  float sink = 0;
+
+  const auto measure = [&](int width) -> double {
+    if (tier == Tier::kUnrolled &&
+        find_unrolled<float>(order, dim) == nullptr) {
+      return -1;
+    }
+    MultiKernels<float> k(a, tier, tab, width);
+    // A width that degrades to the per-lane fallback is the scalar math
+    // plus gather overhead -- never preferable to width 1, so don't let
+    // timing noise pick it.
+    if (width > 1 && !k.vectorized()) return -1;
+    VectorBatch<float> x(dim, width);
+    VectorBatch<float> y(dim, width);
+    std::vector<float> out(static_cast<std::size_t>(width));
+    for (int i = 0; i < dim; ++i) {
+      for (int w = 0; w < width; ++w) {
+        x.at(i, w) = static_cast<float>(
+            rng.in(3, static_cast<std::uint64_t>(i * width + w), -1, 1));
+      }
+    }
+    WallTimer timer;
+    for (int r = 0; r < min_reps; ++r) {
+      k.ttsv0(x, {out.data(), out.size()});
+      sink += out[0];
+      k.ttsv1(x, y);
+      sink += y.at(0, 0);
+    }
+    return timer.seconds() * 1e6 / (static_cast<double>(min_reps) * width);
+  };
+
+  double best = -1;
+  std::vector<int> widths = {1};
+  for (const int w : multi_widths()) widths.push_back(w);
+  for (const int w : widths) {
+    const double us = measure(w);
+    if (us < 0) continue;  // no vectorized route at this width
+    report.lane_us.emplace_back(w, us);
+    if (best < 0 || us < best) {
+      best = us;
+      report.best_width = w;
+    }
+  }
+
+  // Keep the compiler from deleting the measurement loops.
+  if (sink == 12345.678f && !report.lane_us.empty()) {
+    report.lane_us.front().second += 1e-9;
+  }
+
+  TE_OBS_ONLY(obs::global()
+                  .gauge("kernels.multi.autotune_width." +
+                         std::string(tier_name(tier)))
+                  .set(static_cast<double>(report.best_width)));
   return report;
 }
 

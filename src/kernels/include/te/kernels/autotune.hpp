@@ -32,4 +32,27 @@ struct AutotuneReport {
 [[nodiscard]] AutotuneReport autotune_tier(int order, int dim,
                                            int min_reps = 2000);
 
+/// Result of a multi-vector width tuning run: per-lane cost of every lane
+/// width at one (shape, tier), including the width-1 per-vector baseline.
+struct MultiWidthReport {
+  Tier tier = Tier::kGeneral;
+  int best_width = 1;
+  /// (width, microseconds per *lane* per ttsv0+ttsv1 pair). Only widths
+  /// with a genuinely vectorized route are candidates; a width that would
+  /// degrade to the per-lane scalar fallback is the same math plus gather
+  /// overhead, so it is never worth picking over width 1 and is not timed.
+  std::vector<std::pair<int, double>> lane_us;
+};
+
+/// Measure the multi kernels at (order, dim, tier) across width 1 and all
+/// registered vector widths with a vectorized route, and pick the
+/// cheapest per lane. Tiers with no vectorized route (cse, blocked,
+/// unregistered unrolled shapes) report width 1 without timing the
+/// fallback. The chosen width is recorded in the te::obs gauge
+/// `kernels.multi.autotune_width.<tier>` so dispatch regressions show up
+/// in exported metric trajectories.
+[[nodiscard]] MultiWidthReport autotune_multi_width(int order, int dim,
+                                                    Tier tier,
+                                                    int min_reps = 500);
+
 }  // namespace te::kernels

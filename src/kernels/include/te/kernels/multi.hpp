@@ -1,0 +1,313 @@
+#pragma once
+// Multi-vector (SoA) kernel tier: ttsv0/ttsv1 over W starting vectors at
+// once. This is the paper's thread-per-vector GPU layout (Section V-B/C)
+// mapped onto CPU SIMD lanes: one walk over the index classes per *batch*
+// instead of per vector, broadcasting the tensor value and coefficient of
+// each class once and FMA-ing across all W lanes.
+//
+// Storage is structure-of-arrays: a VectorBatch<T> keeps lane w of
+// component i at data[i * width + w], so each class visit issues one
+// contiguous W-wide load per mode index. All three scalar tiers have a
+// multi twin here:
+//
+//   * ttsv{0,1}_multi_general_raw     -- on-the-fly indices/coefficients
+//   * ttsv{0,1}_multi_precomputed_raw -- shared KernelTables
+//   * ttsv{0,1}_multi_unrolled        -- compile-time (M, N, W) expansion
+//
+// Numerical contract (relied on by the differential tests): per lane, each
+// multi kernel executes exactly the scalar tier's operation sequence -- the
+// same product chains in the same order, the same scalar coefficient
+// product hoisted before the lane multiply, the same double (general /
+// precomputed) or T (unrolled) accumulator precision. Any difference versus
+// the scalar kernel can therefore come only from FMA contraction choices
+// the compiler makes differently for vector and scalar code; the documented
+// tolerance in DESIGN.md covers exactly that, and convergence/failure
+// *classification* in the solver layer must still match slot-for-slot.
+
+#include <span>
+#include <vector>
+
+#include "te/comb/index_class.hpp"
+#include "te/comb/multinomial.hpp"
+#include "te/kernels/precomputed.hpp"
+#include "te/kernels/unrolled.hpp"
+#include "te/tensor/symmetric_tensor.hpp"
+#include "te/util/op_counter.hpp"
+#include "te/util/simd.hpp"
+
+namespace te::kernels {
+
+/// W starting vectors of dimension n in structure-of-arrays layout: lane w
+/// of component i lives at data()[i * width + w]. Storage is 64-byte
+/// aligned (simd::kBatchAlignment), so a row of W lanes never straddles a
+/// cache line for power-of-two widths up to 16.
+template <Real T>
+class VectorBatch {
+ public:
+  VectorBatch(int dim, int width)
+      : dim_(dim),
+        width_(width),
+        data_(static_cast<std::size_t>(dim) * static_cast<std::size_t>(width),
+              T(0)) {
+    TE_REQUIRE(dim >= 1 && width >= 1, "batch needs dim >= 1, width >= 1");
+  }
+
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] int width() const { return width_; }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+
+  /// Row of W lanes holding component i of every vector.
+  [[nodiscard]] T* component(int i) {
+    return data_.data() +
+           static_cast<std::size_t>(i) * static_cast<std::size_t>(width_);
+  }
+  [[nodiscard]] const T* component(int i) const {
+    return data_.data() +
+           static_cast<std::size_t>(i) * static_cast<std::size_t>(width_);
+  }
+
+  [[nodiscard]] T& at(int i, int w) { return component(i)[w]; }
+  [[nodiscard]] const T& at(int i, int w) const { return component(i)[w]; }
+
+  /// Scatter a conventional (AoS) vector into lane w.
+  void load_lane(int w, std::span<const T> x) {
+    TE_REQUIRE(static_cast<int>(x.size()) == dim_ && w >= 0 && w < width_,
+               "lane load shape mismatch");
+    for (int i = 0; i < dim_; ++i) at(i, w) = x[static_cast<std::size_t>(i)];
+  }
+
+  /// Gather lane w back into a conventional vector.
+  void store_lane(int w, std::span<T> out) const {
+    TE_REQUIRE(static_cast<int>(out.size()) == dim_ && w >= 0 && w < width_,
+               "lane store shape mismatch");
+    for (int i = 0; i < dim_; ++i) out[static_cast<std::size_t>(i)] = at(i, w);
+  }
+
+  void fill(T v) {
+    for (auto& e : data_) e = v;
+  }
+
+ private:
+  int dim_;
+  int width_;
+  std::vector<T, simd::AlignedAllocator<T>> data_;
+};
+
+namespace detail {
+/// Row pointer into a raw SoA batch: component i, lanes [0, W).
+template <Real T, int W>
+[[nodiscard]] inline const T* row(const T* xb, index_t i) noexcept {
+  return xb + static_cast<std::size_t>(i) * static_cast<std::size_t>(W);
+}
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// General tier: on-the-fly enumeration, one class walk for all W lanes.
+// ---------------------------------------------------------------------------
+
+/// W-lane ttsv0 (Eq. 4): `xb` is a SoA batch (dim rows x W lanes), `out`
+/// receives the W scalars A x_w^m. The integer work per class (index update
+/// + multinomial) is paid once for the whole batch.
+template <Real T, int W>
+void ttsv0_multi_general_raw(int order, int dim, const T* values,
+                             const T* xb, T* out,
+                             OpCounts* ops = nullptr) noexcept {
+  using VT = simd::Pack<T, W>;
+  using VD = simd::Pack<double, W>;
+  const int m = order;
+  VD y = VD::zero();
+  for (comb::IndexClassIterator it(m, dim); !it.done(); it.next()) {
+    const auto idx = it.index();
+    VT xhat = VT::load(detail::row<T, W>(xb, idx[0]));
+    for (int t = 1; t < m; ++t) {
+      xhat *= VT::load(detail::row<T, W>(xb, idx[t]));
+    }
+    const auto c = comb::multinomial_from_index(idx);
+    const T cav =
+        static_cast<T>(c) * values[static_cast<std::size_t>(it.rank())];
+    y += (VT::broadcast(cav) * xhat).template to<double>();
+    if (ops) {
+      ops->fmul += W * (m + 1) + 1;  // W lane chains + the hoisted c*A
+      ops->fadd += W;
+      ops->iop += 3 * m;  // amortized: one index walk for all W lanes
+    }
+  }
+  for (int w = 0; w < W; ++w) out[w] = static_cast<T>(y.lane(w));
+}
+
+/// W-lane ttsv1 (Eq. 6): writes the SoA batch `yb` (dim rows x W lanes).
+template <Real T, int W>
+void ttsv1_multi_general_raw(int order, int dim, const T* values,
+                             const T* xb, T* yb, OpCounts* ops = nullptr) {
+  using VT = simd::Pack<T, W>;
+  using VD = simd::Pack<double, W>;
+  const int m = order;
+  constexpr int kMaxOrder = comb::kMaxFactorialArg;
+  TE_REQUIRE(m <= kMaxOrder, "order too large for exact multinomials");
+  TE_REQUIRE(dim <= 64, "general kernel supports dim <= 64");
+
+  VD acc[64];
+  for (int i = 0; i < dim; ++i) acc[i] = VD::zero();
+  VT pre[kMaxOrder + 1];
+  VT suf[kMaxOrder + 1];
+
+  for (comb::IndexClassIterator it(m, dim); !it.done(); it.next()) {
+    const auto idx = it.index();
+    pre[0] = VT::broadcast(T(1));
+    for (int t = 0; t < m; ++t) {
+      pre[t + 1] = pre[t] * VT::load(detail::row<T, W>(xb, idx[t]));
+    }
+    suf[m] = VT::broadcast(T(1));
+    for (int t = m - 1; t >= 0; --t) {
+      suf[t] = suf[t + 1] * VT::load(detail::row<T, W>(xb, idx[t]));
+    }
+    const T av = values[static_cast<std::size_t>(it.rank())];
+
+    for (int t = 0; t < m;) {
+      const index_t i = idx[t];
+      const auto sigma = comb::multinomial_drop_one(idx, i);
+      const VT xhat = pre[t] * suf[t + 1];
+      const T sav = static_cast<T>(sigma) * av;
+      acc[static_cast<std::size_t>(i)] +=
+          (VT::broadcast(sav) * xhat).template to<double>();
+      while (t < m && idx[t] == i) ++t;
+      if (ops) {
+        ops->fmul += 2 * W + 1;  // xhat join + lane scale + hoisted sigma*A
+        ops->fadd += W;
+        ops->iop += m + 2;
+      }
+    }
+    if (ops) {
+      ops->fmul += 2 * m * W;  // prefix + suffix chains, W lanes each
+      ops->iop += 3 * m;
+    }
+  }
+  for (int i = 0; i < dim; ++i) {
+    T* out = yb + static_cast<std::size_t>(i) * static_cast<std::size_t>(W);
+    for (int w = 0; w < W; ++w) {
+      out[w] = static_cast<T>(acc[static_cast<std::size_t>(i)].lane(w));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Precomputed tier: shared KernelTables, pure floating-point class walk.
+// ---------------------------------------------------------------------------
+
+/// W-lane ttsv0 over precomputed tables.
+template <Real T, int W>
+void ttsv0_multi_precomputed_raw(const KernelTables<T>& tab, const T* values,
+                                 const T* xb, T* out,
+                                 OpCounts* ops = nullptr) {
+  using VT = simd::Pack<T, W>;
+  using VD = simd::Pack<double, W>;
+  const int m = tab.order();
+  VD y = VD::zero();
+  for (offset_t r = 0; r < tab.num_classes(); ++r) {
+    const auto idx = tab.class_index(r);
+    VT xhat = VT::load(detail::row<T, W>(xb, idx[0]));
+    for (int t = 1; t < m; ++t) {
+      xhat *= VT::load(detail::row<T, W>(xb, idx[t]));
+    }
+    const T cav = tab.coeff0(r) * values[static_cast<std::size_t>(r)];
+    y += (VT::broadcast(cav) * xhat).template to<double>();
+  }
+  if (ops) {
+    ops->fmul += tab.num_classes() * (W * (m + 1) + 1);
+    ops->fadd += tab.num_classes() * W;
+    ops->iop += tab.num_classes();
+  }
+  for (int w = 0; w < W; ++w) out[w] = static_cast<T>(y.lane(w));
+}
+
+/// W-lane ttsv1 over the precomputed contribution list.
+template <Real T, int W>
+void ttsv1_multi_precomputed_raw(const KernelTables<T>& tab, const T* values,
+                                 const T* xb, T* yb,
+                                 OpCounts* ops = nullptr) {
+  using VT = simd::Pack<T, W>;
+  using VD = simd::Pack<double, W>;
+  const int m = tab.order();
+  const int n = tab.dim();
+  TE_REQUIRE(n <= 64, "precomputed kernel supports dim <= 64");
+  VD acc[64];
+  for (int i = 0; i < n; ++i) acc[i] = VD::zero();
+
+  for (const auto& c : tab.contributions()) {
+    const auto idx = tab.class_index(c.cls);
+    VT xhat = VT::broadcast(T(1));
+    for (int t = 0; t < m; ++t) {
+      if (t != c.skip_pos) {
+        xhat *= VT::load(detail::row<T, W>(xb, idx[t]));
+      }
+    }
+    const T sav = c.sigma * values[static_cast<std::size_t>(c.cls)];
+    acc[static_cast<std::size_t>(c.out_index)] +=
+        (VT::broadcast(sav) * xhat).template to<double>();
+  }
+  for (int i = 0; i < n; ++i) {
+    T* out = yb + static_cast<std::size_t>(i) * static_cast<std::size_t>(W);
+    for (int w = 0; w < W; ++w) {
+      out[w] = static_cast<T>(acc[static_cast<std::size_t>(i)].lane(w));
+    }
+  }
+  if (ops) {
+    const auto s = static_cast<std::int64_t>(tab.contributions().size());
+    ops->fmul += s * (W * m + 1);
+    ops->fadd += s * W;
+    ops->iop += s * 2;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Unrolled tier: compile-time (M, N) tables, width-templated lane loop.
+// ---------------------------------------------------------------------------
+
+/// W-lane ttsv0, fully unrolled for shape (M, N). `a` points at the packed
+/// unique values, `xb` at the SoA batch, `out` at W output scalars.
+template <Real T, int M, int N, int W>
+inline void ttsv0_multi_unrolled(const T* a, const T* xb, T* out) noexcept {
+  constexpr const UnrolledTable<M, N>& tab = kUnrolledTable<M, N>;
+  using VT = simd::Pack<T, W>;
+  VT y = VT::zero();
+#pragma GCC unroll 4096
+  for (std::int64_t j = 0; j < tab.kU; ++j) {
+    VT p = VT::load(detail::row<T, W>(xb, tab.idx[j][0]));
+#pragma GCC unroll 16
+    for (int t = 1; t < M; ++t) {
+      p *= VT::load(detail::row<T, W>(xb, tab.idx[j][t]));
+    }
+    y += VT::broadcast(static_cast<T>(tab.coeff0[j]) * a[j]) * p;
+  }
+  y.store(out);
+}
+
+/// W-lane ttsv1, fully unrolled; `yb` is the SoA output batch (N rows).
+template <Real T, int M, int N, int W>
+inline void ttsv1_multi_unrolled(const T* a, const T* xb, T* yb) noexcept {
+  constexpr const UnrolledTable<M, N>& tab = kUnrolledTable<M, N>;
+  using VT = simd::Pack<T, W>;
+  VT acc[N];
+#pragma GCC unroll 16
+  for (int i = 0; i < N; ++i) acc[i] = VT::zero();
+#pragma GCC unroll 4096
+  for (std::int64_t s = 0; s < tab.kS; ++s) {
+    const std::int32_t cls = tab.c_cls[s];
+    VT p = VT::broadcast(T(1));
+#pragma GCC unroll 16
+    for (int t = 0; t < M; ++t) {
+      if (static_cast<index_t>(t) != tab.c_skip[s]) {
+        p *= VT::load(detail::row<T, W>(xb, tab.idx[cls][t]));
+      }
+    }
+    acc[tab.c_out[s]] += VT::broadcast(static_cast<T>(tab.c_sigma[s]) * a[cls]) * p;
+  }
+#pragma GCC unroll 16
+  for (int i = 0; i < N; ++i) {
+    acc[i].store(yb + static_cast<std::size_t>(i) * static_cast<std::size_t>(W));
+  }
+}
+
+}  // namespace te::kernels

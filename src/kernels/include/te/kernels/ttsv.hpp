@@ -25,11 +25,42 @@
 
 namespace te::kernels {
 
-/// A x^{m-p} as a symmetric order-p tensor (p >= 1). For p == 0 use
-/// ttsv0_general (scalar result); this overload requires 1 <= p <= m.
+/// Reusable scratch for the general-p ttsv: the accumulator, the output
+/// index-class monomials, and the exponent-difference buffer. All three
+/// were per-call allocations; callers evaluating many (p, n)-compatible
+/// products (Hessian chains, p-sweeps over one tensor) can hoist them.
+/// `prepare` is idempotent per (p, n) pair -- the monomial table is
+/// rebuilt only when the shape changes, the accumulator is re-zeroed
+/// every call.
+struct TtsvWorkspace {
+  std::vector<double> acc;
+  std::vector<std::vector<index_t>> out_monos;
+  std::vector<index_t> diff;
+  int p = -1;  ///< shape of the cached out_monos table
+  int n = -1;
+
+  void prepare(int p_, int n_, offset_t num_unique) {
+    if (p != p_ || n != n_) {
+      out_monos.clear();
+      out_monos.reserve(static_cast<std::size_t>(num_unique));
+      for (comb::IndexClassIterator jt(p_, n_); !jt.done(); jt.next()) {
+        out_monos.push_back(comb::index_to_monomial(jt.index(), n_));
+      }
+      diff.resize(static_cast<std::size_t>(n_));
+      p = p_;
+      n = n_;
+    }
+    acc.assign(static_cast<std::size_t>(num_unique), 0.0);
+  }
+};
+
+/// A x^{m-p} as a symmetric order-p tensor (p >= 1), reusing `ws` for all
+/// scratch storage. For p == 0 use ttsv0_general (scalar result); this
+/// overload requires 1 <= p <= m.
 template <Real T>
 [[nodiscard]] SymmetricTensor<T> ttsv(const SymmetricTensor<T>& a,
                                       std::span<const T> x, int p,
+                                      TtsvWorkspace& ws,
                                       OpCounts* ops = nullptr) {
   const int m = a.order();
   const int n = a.dim();
@@ -37,16 +68,11 @@ template <Real T>
   TE_REQUIRE(static_cast<int>(x.size()) == n, "vector length mismatch");
 
   SymmetricTensor<T> out(p, n);
-  std::vector<double> acc(static_cast<std::size_t>(out.num_unique()), 0.0);
+  ws.prepare(p, n, out.num_unique());
+  std::vector<double>& acc = ws.acc;
+  const std::vector<std::vector<index_t>>& out_monos = ws.out_monos;
+  std::vector<index_t>& diff = ws.diff;
 
-  // Monomials of all output classes, precomputed once.
-  std::vector<std::vector<index_t>> out_monos;
-  out_monos.reserve(static_cast<std::size_t>(out.num_unique()));
-  for (comb::IndexClassIterator jt(p, n); !jt.done(); jt.next()) {
-    out_monos.push_back(comb::index_to_monomial(jt.index(), n));
-  }
-
-  std::vector<index_t> diff(static_cast<std::size_t>(n));
   for (comb::IndexClassIterator it(m, n); !it.done(); it.next()) {
     const auto k = comb::index_to_monomial(it.index(), n);
     const double av = static_cast<double>(a.value(it.rank()));
@@ -83,6 +109,16 @@ template <Real T>
     out.value(r) = static_cast<T>(acc[static_cast<std::size_t>(r)]);
   }
   return out;
+}
+
+/// Convenience overload with a fresh workspace per call (the original
+/// allocating behaviour).
+template <Real T>
+[[nodiscard]] SymmetricTensor<T> ttsv(const SymmetricTensor<T>& a,
+                                      std::span<const T> x, int p,
+                                      OpCounts* ops = nullptr) {
+  TtsvWorkspace ws;
+  return ttsv(a, x, p, ws, ops);
 }
 
 }  // namespace te::kernels

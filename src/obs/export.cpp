@@ -544,4 +544,22 @@ ValidationResult validate_export_json(const std::string& json) {
   return res;
 }
 
+std::optional<double> read_export_gauge(const std::string& json,
+                                        const std::string& name) {
+  JsonValue doc;
+  std::string error;
+  JsonParser parser(json);
+  if (!parser.parse(doc, error)) return std::nullopt;
+  if (doc.kind != JsonValue::Kind::kObject) return std::nullopt;
+  const JsonValue* gauges = doc.find("gauges");
+  if (gauges == nullptr || gauges->kind != JsonValue::Kind::kObject) {
+    return std::nullopt;
+  }
+  const JsonValue* g = gauges->find(name);
+  if (g == nullptr || g->kind != JsonValue::Kind::kNumber) {
+    return std::nullopt;
+  }
+  return g->number;
+}
+
 }  // namespace te::obs

@@ -19,6 +19,7 @@
 // disabled builds too -- they just see an empty snapshot -- so bench
 // command lines do not change between configurations.
 
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -55,5 +56,13 @@ struct ValidationResult {
 /// max/mean plus a kHistogramBuckets-long bucket array, spans as an array
 /// of {path, depth, start_seconds, duration_seconds}.
 [[nodiscard]] ValidationResult validate_export_json(const std::string& json);
+
+/// Read one gauge value out of a te-obs-v1 document by metric name.
+/// Returns nullopt when the document does not parse, has no gauges
+/// object, or the gauge is absent (the TE_OBS=OFF export). CI uses this
+/// (via obs_json_check --require-gauge) to assert bench artifacts carry a
+/// given gauge above a floor.
+[[nodiscard]] std::optional<double> read_export_gauge(
+    const std::string& json, const std::string& name);
 
 }  // namespace te::obs

@@ -64,19 +64,30 @@ void ThreadPool::wait_idle() {
   }
 }
 
-void ThreadPool::parallel_chunks(
-    std::int64_t count,
+void ThreadPool::submit_range(
+    std::int64_t first, std::int64_t last,
     const std::function<void(std::int64_t, std::int64_t, int)>& f) {
-  if (count <= 0) return;
+  if (last <= first) return;
+  const std::int64_t count = last - first;
   const int p = num_threads();
   const std::int64_t chunk = (count + p - 1) / p;
   int launched = 0;
-  for (std::int64_t begin = 0; begin < count; begin += chunk) {
-    const std::int64_t end = std::min(begin + chunk, count);
-    const int worker = launched++;
-    submit([&f, begin, end, worker] { f(begin, end, worker); });
+  {
+    std::lock_guard lock(mutex_);
+    for (std::int64_t begin = first; begin < last; begin += chunk) {
+      const std::int64_t end = std::min(begin + chunk, last);
+      const int worker = launched++;
+      queue_.push_back([&f, begin, end, worker] { f(begin, end, worker); });
+    }
   }
+  cv_job_.notify_all();
   wait_idle();
+}
+
+void ThreadPool::parallel_chunks(
+    std::int64_t count,
+    const std::function<void(std::int64_t, std::int64_t, int)>& f) {
+  submit_range(0, count, f);
 }
 
 void ThreadPool::parallel_for(std::int64_t count,

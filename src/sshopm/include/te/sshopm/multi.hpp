@@ -1,0 +1,245 @@
+#pragma once
+// Lane-blocked SS-HOPM: the paper's thread-per-vector batch (Section V-B)
+// on CPU SIMD lanes. solve_multi() runs W starting vectors per block in
+// lockstep through the multi-vector kernels: every iteration issues ONE
+// ttsv1 and ONE ttsv0 over the whole block, so the index-class walk --
+// the dominant cost of the general/precomputed tiers -- is paid once per
+// block instead of once per vector.
+//
+// Lanes retire *independently*: a lane that converges, degenerates or goes
+// non-finite freezes (its result is captured immediately, its batch row is
+// no longer updated) while the surviving lanes keep iterating. Retired
+// lanes still ride along in the kernel calls -- that wasted work is what
+// the sshopm.multi.lane_occupancy gauge measures -- but since every kernel
+// operation is lane-wise, a frozen lane's (possibly NaN) row can never
+// contaminate a live lane.
+//
+// Semantics contract (the differential tests assert this): each lane runs
+// exactly the solve() state machine from sshopm.hpp -- same normalization
+// order, same trace points, same FailureReason classification, same
+// iteration counts. The lane iterate lives contiguously in Result::x and
+// every solver-level step (shift update, try_normalize) runs on that
+// contiguous span with the same code shape solve() compiles, so the only
+// value drift the scalar path can see comes from the kernels' vector
+// routes themselves (FMA contraction inside the vectorized class walk,
+// DESIGN.md section 11); the per-lane fallback routes are bitwise.
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "te/kernels/multi_dispatch.hpp"
+#include "te/obs/obs.hpp"
+#include "te/sshopm/sshopm.hpp"
+#include "te/util/op_counter.hpp"
+
+namespace te::sshopm {
+
+#if TE_OBS_ENABLED
+namespace detail {
+/// Lane-blocking instrumentation, name-resolved once.
+struct MultiSolveMetrics {
+  obs::Counter& blocks;
+  obs::Counter& lane_iterations;         ///< iterations by live lanes
+  obs::Counter& lane_iterations_wasted;  ///< retired lanes riding along
+  obs::Gauge& width;
+  obs::Gauge& occupancy;  ///< live fraction of lane-iterations, last call
+
+  static MultiSolveMetrics& get() {
+    static MultiSolveMetrics m{
+        obs::global().counter("sshopm.multi.blocks"),
+        obs::global().counter("sshopm.multi.lane_iterations"),
+        obs::global().counter("sshopm.multi.lane_iterations_wasted"),
+        obs::global().gauge("sshopm.multi.width"),
+        obs::global().gauge("sshopm.multi.lane_occupancy"),
+    };
+    return m;
+  }
+};
+}  // namespace detail
+#endif  // TE_OBS_ENABLED
+
+/// SS-HOPM over all `starts` in blocks of k.width() lanes. Returns one
+/// Result per start, in order, with the same classification semantics as
+/// calling solve() per start (see the contract above). OpCounts tallies
+/// the work actually executed, which includes retired lanes that ride
+/// along inside a partially-live block.
+template <Real T>
+[[nodiscard]] std::vector<Result<T>> solve_multi(
+    const kernels::MultiKernels<T>& k, std::span<const std::vector<T>> starts,
+    const Options& opt, OpCounts* ops = nullptr) {
+  const int n = k.tensor().dim();
+  const int width = k.width();
+  TE_REQUIRE(opt.max_iterations >= 1, "max_iterations must be positive");
+  for (const auto& x0 : starts) {
+    TE_REQUIRE(static_cast<int>(x0.size()) == n,
+               "start vector length mismatch");
+  }
+
+  std::vector<Result<T>> results(starts.size());
+  const T alpha = static_cast<T>(opt.alpha);
+  const T sign = opt.alpha >= 0 ? T(1) : T(-1);
+
+  // The SoA batches are kernel I/O only. Each lane's iterate lives
+  // contiguously in its Result::x (exactly like solve()), and y's lane is
+  // gathered into ybuf before the shift update, so the solver-level loops
+  // below compile with the same shape -- and the same FP contraction
+  // decisions -- as solve()'s.
+  kernels::VectorBatch<T> x(n, width);
+  kernels::VectorBatch<T> y(n, width);
+  std::vector<T> ybuf(static_cast<std::size_t>(n));
+  std::vector<T> lambda(static_cast<std::size_t>(width));
+  std::vector<T> out0(static_cast<std::size_t>(width));
+  std::int64_t live_lane_iters = 0;
+  std::int64_t wasted_lane_iters = 0;
+  std::int64_t blocks = 0;
+
+  for (std::size_t base = 0; base < starts.size();
+       base += static_cast<std::size_t>(width)) {
+    const int lanes = static_cast<int>(
+        std::min(static_cast<std::size_t>(width), starts.size() - base));
+    ++blocks;
+
+    // active[w]: lane still iterating. Lanes beyond `lanes` (the partial
+    // final block) start retired with zero rows; they are never read back.
+    bool active[simd::kMaxWidth] = {};
+    x.fill(T(0));
+    for (int w = 0; w < lanes; ++w) {
+      const auto& x0 = starts[base + static_cast<std::size_t>(w)];
+      Result<T>& r = results[base + static_cast<std::size_t>(w)];
+      r.x.assign(x0.begin(), x0.end());
+      std::span<T> xw(r.x.data(), r.x.size());
+      if (try_normalize(xw) == T(0)) {
+        // r.x keeps the untouched start, matching solve()'s contract.
+        r.failure = FailureReason::kDegenerateIterate;
+        TE_OBS_ONLY(detail::record_solve(r, opt));
+        continue;
+      }
+      x.load_lane(w, {r.x.data(), r.x.size()});
+      active[w] = true;
+    }
+
+    const auto any_active = [&] {
+      for (int w = 0; w < lanes; ++w) {
+        if (active[w]) return true;
+      }
+      return false;
+    };
+
+    if (any_active()) {
+      k.ttsv0(x, {out0.data(), out0.size()}, ops);
+      for (int w = 0; w < lanes; ++w) {
+        if (!active[w]) continue;
+        Result<T>& r = results[base + static_cast<std::size_t>(w)];
+        lambda[static_cast<std::size_t>(w)] = out0[static_cast<std::size_t>(w)];
+        if (opt.record_trace) {
+          r.lambda_trace.push_back(lambda[static_cast<std::size_t>(w)]);
+        }
+        if (!std::isfinite(
+                static_cast<double>(lambda[static_cast<std::size_t>(w)]))) {
+          // r.x already holds the normalized start, as in solve().
+          r.lambda = lambda[static_cast<std::size_t>(w)];
+          r.failure = FailureReason::kNonFiniteLambda;
+          active[w] = false;
+          TE_OBS_ONLY(detail::record_solve(r, opt));
+        }
+      }
+    }
+
+    for (int it = 0; it < opt.max_iterations && any_active(); ++it) {
+      for (int w = 0; w < lanes; ++w) {
+        if (active[w]) {
+          ++live_lane_iters;
+        } else {
+          ++wasted_lane_iters;
+        }
+      }
+      if (lanes < width) wasted_lane_iters += width - lanes;
+
+      // xhat = +-(A x^{m-1} + alpha x) per live lane, then normalize --
+      // the contiguous loop below is solve()'s, verbatim, on r.x.
+      k.ttsv1(x, y, ops);
+      for (int w = 0; w < lanes; ++w) {
+        if (!active[w]) continue;
+        Result<T>& r = results[base + static_cast<std::size_t>(w)];
+        y.store_lane(w, {ybuf.data(), ybuf.size()});
+        std::span<T> xw(r.x.data(), r.x.size());
+        for (int i = 0; i < n; ++i) {
+          const auto ui = static_cast<std::size_t>(i);
+          xw[ui] = sign * (ybuf[ui] + alpha * xw[ui]);
+        }
+        r.iterations = it + 1;
+        if (try_normalize(xw) == T(0)) {
+          // r.x holds the pre-normalization iterate, as in solve().
+          r.failure = FailureReason::kDegenerateIterate;
+          r.lambda = lambda[static_cast<std::size_t>(w)];
+          active[w] = false;
+          TE_OBS_ONLY(detail::record_solve(r, opt));
+          continue;
+        }
+        x.load_lane(w, {r.x.data(), r.x.size()});
+      }
+      if (!any_active()) break;
+
+      k.ttsv0(x, {out0.data(), out0.size()}, ops);
+      for (int w = 0; w < lanes; ++w) {
+        if (!active[w]) continue;
+        Result<T>& r = results[base + static_cast<std::size_t>(w)];
+        const T next = out0[static_cast<std::size_t>(w)];
+        if (opt.record_trace) r.lambda_trace.push_back(next);
+        if (ops) {
+          ops->fmul += 3 * n;  // shift fma + norm dot + scaling
+          ops->fadd += 2 * n;
+          ops->sfu += 1;
+        }
+        if (!std::isfinite(static_cast<double>(next))) {
+          lambda[static_cast<std::size_t>(w)] = next;
+          r.lambda = next;
+          r.failure = FailureReason::kNonFiniteLambda;
+          active[w] = false;
+          TE_OBS_ONLY(detail::record_solve(r, opt));
+          continue;
+        }
+        if (std::abs(static_cast<double>(
+                next - lambda[static_cast<std::size_t>(w)])) <=
+            opt.tolerance) {
+          lambda[static_cast<std::size_t>(w)] = next;
+          r.lambda = next;
+          r.converged = true;
+          active[w] = false;
+          TE_OBS_ONLY(detail::record_solve(r, opt));
+          continue;
+        }
+        lambda[static_cast<std::size_t>(w)] = next;
+      }
+    }
+
+    // Budget exhausted: the survivors report kMaxIterations.
+    for (int w = 0; w < lanes; ++w) {
+      if (!active[w]) continue;
+      Result<T>& r = results[base + static_cast<std::size_t>(w)];
+      r.lambda = lambda[static_cast<std::size_t>(w)];
+      r.failure = FailureReason::kMaxIterations;
+      TE_OBS_ONLY(detail::record_solve(r, opt));
+    }
+  }
+
+  TE_OBS_ONLY({
+    auto& m = detail::MultiSolveMetrics::get();
+    m.blocks.add(blocks);
+    m.lane_iterations.add(live_lane_iters);
+    m.lane_iterations_wasted.add(wasted_lane_iters);
+    m.width.set(static_cast<double>(width));
+    const std::int64_t total = live_lane_iters + wasted_lane_iters;
+    if (total > 0) {
+      m.occupancy.set(static_cast<double>(live_lane_iters) /
+                      static_cast<double>(total));
+    }
+  });
+  (void)blocks;
+  (void)live_lane_iters;
+  (void)wasted_lane_iters;
+  return results;
+}
+
+}  // namespace te::sshopm

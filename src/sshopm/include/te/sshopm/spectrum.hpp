@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "te/kernels/general.hpp"
+#include "te/sshopm/multi.hpp"
 #include "te/sshopm/newton.hpp"
 #include "te/sshopm/sshopm.hpp"
 #include "te/util/linalg.hpp"
@@ -129,6 +130,11 @@ struct MultiStartOptions {
   /// production pattern: cheap batched power iterations, then a handful of
   /// quadratic steps per *distinct* pair).
   bool refine_newton = false;
+  /// Lane width for the multi-start sweep: 1 = the per-vector scalar path
+  /// (bitwise-stable default), 0 = autotuned hardware width, otherwise a
+  /// registered power of two (see kernels::multi_widths()). Widths > 1 run
+  /// the sweep lane-blocked through solve_multi.
+  int simd_width = 1;
 };
 
 /// Deduplicate finished SS-HOPM runs (from any backend) into distinct
@@ -224,12 +230,17 @@ template <Real T>
     std::span<const std::vector<T>> starts, const MultiStartOptions& opt,
     const kernels::KernelTables<T>* tables = nullptr,
     OpCounts* ops = nullptr) {
-  kernels::BoundKernels<T> k(a, tier, tables);
   std::vector<Result<T>> runs;
-  runs.reserve(starts.size());
-  for (const auto& x0 : starts) {
-    runs.push_back(
-        solve(k, std::span<const T>(x0.data(), x0.size()), opt.inner, ops));
+  if (opt.simd_width != 1) {
+    kernels::MultiKernels<T> k(a, tier, tables, opt.simd_width);
+    runs = solve_multi(k, starts, opt.inner, ops);
+  } else {
+    kernels::BoundKernels<T> k(a, tier, tables);
+    runs.reserve(starts.size());
+    for (const auto& x0 : starts) {
+      runs.push_back(
+          solve(k, std::span<const T>(x0.data(), x0.size()), opt.inner, ops));
+    }
   }
   return cluster_results(a, std::span<const Result<T>>(runs.data(),
                                                        runs.size()),

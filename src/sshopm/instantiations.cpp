@@ -1,6 +1,7 @@
 // Explicit instantiations for the SS-HOPM templates (float and double),
 // keeping template errors local and giving the library object code.
 
+#include "te/sshopm/multi.hpp"
 #include "te/sshopm/spectrum.hpp"
 #include "te/sshopm/sshopm.hpp"
 
@@ -12,6 +13,13 @@ template Result<float> solve(const kernels::BoundKernels<float>&,
 template Result<double> solve(const kernels::BoundKernels<double>&,
                               std::span<const double>, const Options&,
                               OpCounts*);
+
+template std::vector<Result<float>> solve_multi(
+    const kernels::MultiKernels<float>&, std::span<const std::vector<float>>,
+    const Options&, OpCounts*);
+template std::vector<Result<double>> solve_multi(
+    const kernels::MultiKernels<double>&, std::span<const std::vector<double>>,
+    const Options&, OpCounts*);
 
 template std::vector<Eigenpair<float>> find_eigenpairs(
     const SymmetricTensor<float>&, kernels::Tier,

@@ -1,0 +1,687 @@
+// Multi-vector (SoA) kernel tier tests: the W-lane kernels must reproduce
+// the scalar tiers lane-for-lane, solve_multi must match solve()
+// slot-for-slot in classification (values within the documented
+// contraction tolerance, DESIGN.md section 11), and the batch scheduler
+// must keep that parity end to end. Plus the satellites that ride along:
+// ThreadPool::submit_range, the reusable ttsv workspace, the width
+// autotuner, and the te-obs-v1 gauge reader.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "te/batch/scheduler.hpp"
+#include "te/kernels/autotune.hpp"
+#include "te/kernels/dispatch.hpp"
+#include "te/kernels/multi.hpp"
+#include "te/kernels/multi_dispatch.hpp"
+#include "te/kernels/ttsv.hpp"
+#include "te/obs/export.hpp"
+#include "te/parallel/thread_pool.hpp"
+#include "te/sshopm/multi.hpp"
+#include "te/sshopm/sshopm.hpp"
+#include "te/tensor/generators.hpp"
+#include "te/util/rng.hpp"
+
+namespace te {
+namespace {
+
+using kernels::MultiKernels;
+using kernels::Tier;
+using kernels::VectorBatch;
+
+template <Real T>
+VectorBatch<T> random_batch(int n, int width, std::uint64_t seed) {
+  CounterRng rng(seed);
+  VectorBatch<T> b(n, width);
+  for (int i = 0; i < n; ++i) {
+    for (int w = 0; w < width; ++w) {
+      b.at(i, w) = static_cast<T>(
+          rng.in(2, static_cast<std::uint64_t>(i * width + w), -1.0, 1.0));
+    }
+  }
+  return b;
+}
+
+template <Real T>
+std::vector<std::vector<T>> random_starts(int count, int n,
+                                          std::uint64_t seed) {
+  CounterRng rng(seed);
+  std::vector<std::vector<T>> starts;
+  starts.reserve(static_cast<std::size_t>(count));
+  for (int v = 0; v < count; ++v) {
+    std::vector<T> x(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] = static_cast<T>(
+          rng.in(4, static_cast<std::uint64_t>(v * n + i), -1.0, 1.0));
+    }
+    starts.push_back(std::move(x));
+  }
+  return starts;
+}
+
+// ---------------------------------------------------------------------------
+// VectorBatch: SoA layout, alignment, lane round-trips.
+// ---------------------------------------------------------------------------
+
+TEST(VectorBatch, StorageIsCacheLineAligned) {
+  for (int width : {2, 4, 8, 16}) {
+    VectorBatch<float> bf(7, width);
+    VectorBatch<double> bd(7, width);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(bf.data()) %
+                  simd::kBatchAlignment,
+              0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(bd.data()) %
+                  simd::kBatchAlignment,
+              0u);
+  }
+}
+
+TEST(VectorBatch, LaneLoadStoreRoundTripsAndIsSoA) {
+  VectorBatch<double> b(3, 4);
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  b.load_lane(2, {x.data(), x.size()});
+  // SoA: component i of lane w sits at data[i * width + w].
+  EXPECT_EQ(b.data()[0 * 4 + 2], 1.0);
+  EXPECT_EQ(b.data()[1 * 4 + 2], 2.0);
+  EXPECT_EQ(b.data()[2 * 4 + 2], 3.0);
+  std::vector<double> back(3);
+  b.store_lane(2, {back.data(), back.size()});
+  EXPECT_EQ(back, x);
+  // Other lanes untouched (zero-initialized).
+  EXPECT_EQ(b.at(1, 0), 0.0);
+}
+
+TEST(VectorBatch, RejectsBadShapesAndLanes) {
+  EXPECT_THROW(VectorBatch<float>(0, 4), InvalidArgument);
+  EXPECT_THROW(VectorBatch<float>(3, 0), InvalidArgument);
+  VectorBatch<float> b(3, 2);
+  std::vector<float> x(3, 1.0f);
+  EXPECT_THROW(b.load_lane(2, {x.data(), x.size()}), InvalidArgument);
+  std::vector<float> bad(2, 1.0f);
+  EXPECT_THROW(b.load_lane(0, {bad.data(), bad.size()}), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Differential kernel sweep: every tier x width x shape vs the scalar path.
+// ---------------------------------------------------------------------------
+
+class MultiKernelTest : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+// The general and precomputed multi kernels execute, per lane, exactly the
+// scalar operation sequence with the same double accumulator; the lane
+// product chains are pure multiplies feeding a mixed-precision add, which
+// FMA contraction cannot fuse, so the match is exact.
+TEST_P(MultiKernelTest, GeneralTierMatchesScalarPerLaneExactly) {
+  const auto [m, n] = GetParam();
+  CounterRng rng(200);
+  const auto a = random_symmetric_tensor<double>(rng, 0, m, n);
+  kernels::BoundKernels<double> scalar(a, Tier::kGeneral);
+  for (int width : kernels::multi_widths()) {
+    MultiKernels<double> multi(a, Tier::kGeneral, nullptr, width);
+    ASSERT_TRUE(multi.vectorized()) << "width " << width;
+    auto x = random_batch<double>(n, width, 300 + static_cast<std::uint64_t>(
+                                                      width));
+    std::vector<double> out(static_cast<std::size_t>(width));
+    VectorBatch<double> y(n, width);
+    multi.ttsv0(x, {out.data(), out.size()});
+    multi.ttsv1(x, y);
+    std::vector<double> sx(static_cast<std::size_t>(n)),
+        sy(static_cast<std::size_t>(n));
+    for (int w = 0; w < width; ++w) {
+      x.store_lane(w, {sx.data(), sx.size()});
+      EXPECT_EQ(out[static_cast<std::size_t>(w)],
+                scalar.ttsv0({sx.data(), sx.size()}))
+          << "ttsv0 width " << width << " lane " << w;
+      scalar.ttsv1({sx.data(), sx.size()}, {sy.data(), sy.size()});
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(y.at(i, w), sy[static_cast<std::size_t>(i)])
+            << "ttsv1 width " << width << " lane " << w << " entry " << i;
+      }
+    }
+  }
+}
+
+TEST_P(MultiKernelTest, PrecomputedTierMatchesScalarPerLaneExactly) {
+  const auto [m, n] = GetParam();
+  CounterRng rng(201);
+  const auto a = random_symmetric_tensor<float>(rng, 0, m, n);
+  kernels::KernelTables<float> tab(m, n);
+  kernels::BoundKernels<float> scalar(a, Tier::kPrecomputed, &tab);
+  for (int width : kernels::multi_widths()) {
+    MultiKernels<float> multi(a, Tier::kPrecomputed, &tab, width);
+    ASSERT_TRUE(multi.vectorized()) << "width " << width;
+    auto x = random_batch<float>(n, width, 400 + static_cast<std::uint64_t>(
+                                                     width));
+    std::vector<float> out(static_cast<std::size_t>(width));
+    VectorBatch<float> y(n, width);
+    multi.ttsv0(x, {out.data(), out.size()});
+    multi.ttsv1(x, y);
+    std::vector<float> sx(static_cast<std::size_t>(n)),
+        sy(static_cast<std::size_t>(n));
+    for (int w = 0; w < width; ++w) {
+      x.store_lane(w, {sx.data(), sx.size()});
+      EXPECT_EQ(out[static_cast<std::size_t>(w)],
+                scalar.ttsv0({sx.data(), sx.size()}))
+          << "ttsv0 width " << width << " lane " << w;
+      scalar.ttsv1({sx.data(), sx.size()}, {sy.data(), sy.size()});
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(y.at(i, w), sy[static_cast<std::size_t>(i)])
+            << "ttsv1 width " << width << " lane " << w << " entry " << i;
+      }
+    }
+  }
+}
+
+// The unrolled tier accumulates in T like its scalar twin; the compiler may
+// contract multiply-add pairs differently for vector and scalar code, so
+// the contract is the documented relative tolerance, not bit-equality.
+TEST_P(MultiKernelTest, UnrolledTierMatchesScalarWithinTolerance) {
+  const auto [m, n] = GetParam();
+  if (kernels::find_unrolled<double>(m, n) == nullptr) {
+    GTEST_SKIP() << "shape not in scalar unrolled registry";
+  }
+  CounterRng rng(202);
+  const auto a = random_symmetric_tensor<double>(rng, 0, m, n);
+  kernels::BoundKernels<double> scalar(a, Tier::kUnrolled);
+  for (int width : kernels::multi_widths()) {
+    MultiKernels<double> multi(a, Tier::kUnrolled, nullptr, width);
+    auto x = random_batch<double>(n, width, 500 + static_cast<std::uint64_t>(
+                                                      width));
+    std::vector<double> out(static_cast<std::size_t>(width));
+    VectorBatch<double> y(n, width);
+    multi.ttsv0(x, {out.data(), out.size()});
+    multi.ttsv1(x, y);
+    std::vector<double> sx(static_cast<std::size_t>(n)),
+        sy(static_cast<std::size_t>(n));
+    for (int w = 0; w < width; ++w) {
+      x.store_lane(w, {sx.data(), sx.size()});
+      const double s0 = scalar.ttsv0({sx.data(), sx.size()});
+      EXPECT_NEAR(out[static_cast<std::size_t>(w)], s0,
+                  1e-12 * std::max(1.0, std::abs(s0)))
+          << "ttsv0 width " << width << " lane " << w;
+      scalar.ttsv1({sx.data(), sx.size()}, {sy.data(), sy.size()});
+      for (int i = 0; i < n; ++i) {
+        EXPECT_NEAR(y.at(i, w), sy[static_cast<std::size_t>(i)],
+                    1e-12 *
+                        std::max(1.0,
+                                 std::abs(sy[static_cast<std::size_t>(i)])))
+            << "ttsv1 width " << width << " lane " << w << " entry " << i;
+      }
+    }
+  }
+}
+
+// Tiers without a vectorized route (cse, blocked) gather each lane through
+// the scalar kernels, so every width is bitwise identical by construction.
+TEST_P(MultiKernelTest, FallbackTiersAreBitwiseForEveryWidth) {
+  const auto [m, n] = GetParam();
+  CounterRng rng(203);
+  const auto a = random_symmetric_tensor<double>(rng, 0, m, n);
+  kernels::KernelTables<double> tab(m, n);
+  for (Tier tier : {Tier::kCse, Tier::kBlocked}) {
+    const kernels::KernelTables<double>* tables =
+        tier == Tier::kBlocked ? &tab : nullptr;
+    kernels::BoundKernels<double> scalar(a, tier, tables);
+    for (int width : kernels::multi_widths()) {
+      MultiKernels<double> multi(a, tier, tables, width);
+      EXPECT_FALSE(multi.vectorized());
+      auto x = random_batch<double>(n, width,
+                                    600 + static_cast<std::uint64_t>(width));
+      std::vector<double> out(static_cast<std::size_t>(width));
+      VectorBatch<double> y(n, width);
+      multi.ttsv0(x, {out.data(), out.size()});
+      multi.ttsv1(x, y);
+      std::vector<double> sx(static_cast<std::size_t>(n)),
+          sy(static_cast<std::size_t>(n));
+      for (int w = 0; w < width; ++w) {
+        x.store_lane(w, {sx.data(), sx.size()});
+        EXPECT_EQ(out[static_cast<std::size_t>(w)],
+                  scalar.ttsv0({sx.data(), sx.size()}));
+        scalar.ttsv1({sx.data(), sx.size()}, {sy.data(), sy.size()});
+        for (int i = 0; i < n; ++i) {
+          EXPECT_EQ(y.at(i, w), sy[static_cast<std::size_t>(i)]);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MultiKernelTest,
+    ::testing::Values(std::pair{2, 3}, std::pair{3, 3}, std::pair{3, 5},
+                      std::pair{4, 3}, std::pair{4, 5}, std::pair{4, 10},
+                      std::pair{5, 4}, std::pair{6, 3}),
+    [](const auto& pinfo) {
+      return "m" + std::to_string(pinfo.param.first) + "n" +
+             std::to_string(pinfo.param.second);
+    });
+
+TEST(MultiKernels, WidthResolutionAndValidation) {
+  CounterRng rng(204);
+  const auto a = random_symmetric_tensor<double>(rng, 0, 3, 4);
+  // Width 0 resolves to the tier's autopick; width 1 is the scalar route.
+  MultiKernels<double> autow(a, Tier::kGeneral, nullptr, 0);
+  EXPECT_TRUE(kernels::is_multi_width(autow.width()));
+  EXPECT_EQ(autow.width(),
+            kernels::pick_simd_width<double>(3, 4, Tier::kGeneral));
+  MultiKernels<double> one(a, Tier::kGeneral, nullptr, 1);
+  EXPECT_EQ(one.width(), 1);
+  EXPECT_FALSE(one.vectorized());
+  // Non-registered widths are rejected.
+  EXPECT_THROW(MultiKernels<double>(a, Tier::kGeneral, nullptr, 3),
+               InvalidArgument);
+  EXPECT_THROW(MultiKernels<double>(a, Tier::kGeneral, nullptr, 64),
+               InvalidArgument);
+  // Fallback tiers autopick width 1 (a wider batch would only add gather
+  // overhead with no amortization).
+  EXPECT_EQ(kernels::pick_simd_width<double>(3, 4, Tier::kCse), 1);
+  EXPECT_EQ(kernels::pick_simd_width<double>(3, 4, Tier::kBlocked), 1);
+}
+
+TEST(MultiKernels, BatchShapeMismatchThrows) {
+  CounterRng rng(205);
+  const auto a = random_symmetric_tensor<double>(rng, 0, 3, 4);
+  MultiKernels<double> k(a, Tier::kGeneral, nullptr, 4);
+  VectorBatch<double> wrong_width(4, 2);
+  VectorBatch<double> wrong_dim(3, 4);
+  std::vector<double> out(4);
+  EXPECT_THROW(k.ttsv0(wrong_width, {out.data(), out.size()}),
+               InvalidArgument);
+  EXPECT_THROW(k.ttsv0(wrong_dim, {out.data(), out.size()}),
+               InvalidArgument);
+  VectorBatch<double> x(4, 4);
+  std::vector<double> short_out(2);
+  EXPECT_THROW(k.ttsv0(x, {short_out.data(), short_out.size()}),
+               InvalidArgument);
+}
+
+TEST(MultiKernels, OpCountsScaleWithWidth) {
+  CounterRng rng(206);
+  const auto a = random_symmetric_tensor<double>(rng, 0, 4, 5);
+  kernels::BoundKernels<double> scalar(a, Tier::kGeneral);
+  std::vector<double> sx(5, 0.5);
+  OpCounts one;
+  (void)scalar.ttsv0({sx.data(), sx.size()}, &one);
+  const int width = 4;
+  MultiKernels<double> multi(a, Tier::kGeneral, nullptr, width);
+  auto x = random_batch<double>(5, width, 207);
+  std::vector<double> out(static_cast<std::size_t>(width));
+  OpCounts many;
+  multi.ttsv0(x, {out.data(), out.size()}, &many);
+  // Full W-fold flop tally (plus the hoisted c*A product, once per class --
+  // the scalar count has one fadd per class, reuse it as the class count),
+  // but the integer index walk is amortized: paid once per class, not once
+  // per lane.
+  EXPECT_EQ(many.fmul, width * one.fmul + one.fadd);
+  EXPECT_EQ(many.fadd, width * one.fadd);
+  EXPECT_EQ(many.iop, one.iop);
+  EXPECT_LT(many.iop, width * one.iop);
+}
+
+// ---------------------------------------------------------------------------
+// solve_multi: slot-for-slot parity with the per-vector scalar solver.
+// ---------------------------------------------------------------------------
+
+template <Real T>
+void expect_slot_parity(const std::vector<sshopm::Result<T>>& multi,
+                        const std::vector<sshopm::Result<T>>& scalar,
+                        double tol, const char* what) {
+  ASSERT_EQ(multi.size(), scalar.size()) << what;
+  for (std::size_t i = 0; i < multi.size(); ++i) {
+    const auto& a = multi[i];
+    const auto& b = scalar[i];
+    // Classification is exact: converged flag, failure reason, iteration
+    // count and trace length must match slot-for-slot.
+    EXPECT_EQ(a.converged, b.converged) << what << " slot " << i;
+    EXPECT_EQ(static_cast<int>(a.failure), static_cast<int>(b.failure))
+        << what << " slot " << i;
+    EXPECT_EQ(a.iterations, b.iterations) << what << " slot " << i;
+    EXPECT_EQ(a.lambda_trace.size(), b.lambda_trace.size())
+        << what << " slot " << i;
+    // Values match within the documented tolerance (exactly, for routes
+    // that are bitwise by construction -- tol == 0 asserts that).
+    if (std::isfinite(static_cast<double>(b.lambda))) {
+      EXPECT_LE(std::abs(static_cast<double>(a.lambda - b.lambda)),
+                tol * std::max(1.0, std::abs(static_cast<double>(b.lambda))))
+          << what << " slot " << i;
+    }
+    ASSERT_EQ(a.x.size(), b.x.size()) << what << " slot " << i;
+    for (std::size_t j = 0; j < a.x.size(); ++j) {
+      if (!std::isfinite(static_cast<double>(b.x[j]))) continue;
+      EXPECT_LE(std::abs(static_cast<double>(a.x[j] - b.x[j])),
+                tol * std::max(1.0, std::abs(static_cast<double>(b.x[j]))))
+          << what << " slot " << i << " entry " << j;
+    }
+  }
+}
+
+class SolveMultiTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveMultiTest, MatchesScalarSolveAcrossTiersAndPartialBlocks) {
+  const int width = GetParam();
+  const int m = 4;
+  const int n = 6;
+  CounterRng rng(210);
+  const auto a = random_symmetric_tensor<double>(rng, 0, m, n);
+  kernels::KernelTables<double> tab(m, n);
+  sshopm::Options opt;
+  opt.alpha = 2.0;
+  opt.max_iterations = 60;
+  opt.record_trace = true;
+  // width + 3 starts: the final block is partial unless width divides it.
+  const auto starts = random_starts<double>(width + 3, n, 211);
+
+  struct TierCase {
+    Tier tier;
+    const kernels::KernelTables<double>* tables;
+  };
+  const TierCase cases[] = {
+      {Tier::kGeneral, nullptr},
+      {Tier::kPrecomputed, &tab},
+      {Tier::kCse, nullptr},
+      {Tier::kBlocked, &tab},
+  };
+  for (const auto& c : cases) {
+    kernels::BoundKernels<double> sk(a, c.tier, c.tables);
+    std::vector<sshopm::Result<double>> ref;
+    for (const auto& x0 : starts) {
+      ref.push_back(sshopm::solve(sk, {x0.data(), x0.size()}, opt));
+    }
+    MultiKernels<double> mk(a, c.tier, c.tables, width);
+    const auto got = sshopm::solve_multi(
+        mk, std::span<const std::vector<double>>(starts.data(),
+                                                 starts.size()),
+        opt);
+    // Classification is exact for every tier -- and because the lane
+    // iterate lives contiguously in Result::x and goes through solve()'s
+    // own update/normalize code shape, the lane-exact kernel routes
+    // (general/precomputed vector routes, cse/blocked per-lane fallback)
+    // make the whole run bitwise identical to the scalar path.
+    expect_slot_parity(got, ref, 0.0, kernels::tier_name(c.tier).data());
+  }
+}
+
+TEST_P(SolveMultiTest, PoisonedLanesRetireIndependentlyWithScalarParity) {
+  const int width = GetParam();
+  const int m = 3;
+  const int n = 5;
+  CounterRng rng(212);
+  const auto a = random_symmetric_tensor<double>(rng, 0, m, n);
+  sshopm::Options opt;
+  opt.alpha = 1.0;
+  opt.max_iterations = 40;
+  // A healthy sweep with poisoned lanes mixed in: an all-zero start (initial
+  // degenerate), a NaN start (non-finite lambda), and a huge start that
+  // normalizes fine. The scalar solver classifies each independently; the
+  // lane-blocked solver must match even though the poisoned lanes share a
+  // SIMD block with healthy ones.
+  auto starts = random_starts<double>(2 * width + 1, n, 213);
+  starts[1].assign(static_cast<std::size_t>(n), 0.0);  // degenerate
+  starts[2].assign(static_cast<std::size_t>(n),
+                   std::numeric_limits<double>::quiet_NaN());
+  starts[3].assign(static_cast<std::size_t>(n), 1e154);  // huge but normal
+
+  kernels::BoundKernels<double> sk(a, Tier::kGeneral);
+  std::vector<sshopm::Result<double>> ref;
+  for (const auto& x0 : starts) {
+    ref.push_back(sshopm::solve(sk, {x0.data(), x0.size()}, opt));
+  }
+  ASSERT_EQ(ref[1].failure, sshopm::FailureReason::kDegenerateIterate);
+
+  MultiKernels<double> mk(a, Tier::kGeneral, nullptr, width);
+  const auto got = sshopm::solve_multi(
+      mk,
+      std::span<const std::vector<double>>(starts.data(), starts.size()),
+      opt);
+  expect_slot_parity(got, ref, 1e-10, "poisoned");
+  // The degenerate lane keeps its untouched start vector.
+  EXPECT_EQ(got[1].x, starts[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SolveMultiTest,
+                         ::testing::Values(2, 4, 8, 16),
+                         [](const auto& pinfo) {
+                           return "w" + std::to_string(pinfo.param);
+                         });
+
+TEST(SolveMulti, UnrolledTierClassificationParity) {
+  const int m = 4;
+  const int n = 3;  // registered in both unrolled registries
+  CounterRng rng(214);
+  const auto a = random_symmetric_tensor<float>(rng, 0, m, n);
+  sshopm::Options opt;
+  opt.alpha = 1.5;
+  opt.max_iterations = 80;
+  const auto starts = random_starts<float>(10, n, 215);
+  kernels::BoundKernels<float> sk(a, Tier::kUnrolled);
+  std::vector<sshopm::Result<float>> ref;
+  for (const auto& x0 : starts) {
+    ref.push_back(sshopm::solve(sk, {x0.data(), x0.size()}, opt));
+  }
+  for (int width : {4, 8}) {
+    MultiKernels<float> mk(a, Tier::kUnrolled, nullptr, width);
+    const auto got = sshopm::solve_multi(
+        mk,
+        std::span<const std::vector<float>>(starts.data(), starts.size()),
+        opt);
+    expect_slot_parity(got, ref, 1e-4, "unrolled");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spectrum + Scheduler consumers keep parity end to end.
+// ---------------------------------------------------------------------------
+
+TEST(Spectrum, SimdWidthFindsTheSameEigenpairs) {
+  const int m = 4;
+  const int n = 5;
+  CounterRng rng(220);
+  const auto a = random_symmetric_tensor<double>(rng, 0, m, n);
+  const auto starts = random_starts<double>(24, n, 221);
+  sshopm::MultiStartOptions opt;
+  opt.inner.alpha = 2.0;
+  opt.inner.max_iterations = 300;
+  const auto scalar = sshopm::find_eigenpairs(
+      a, Tier::kGeneral,
+      std::span<const std::vector<double>>(starts.data(), starts.size()),
+      opt);
+  for (int width : {0, 4}) {
+    opt.simd_width = width;
+    const auto multi = sshopm::find_eigenpairs(
+        a, Tier::kGeneral,
+        std::span<const std::vector<double>>(starts.data(), starts.size()),
+        opt);
+    ASSERT_EQ(multi.size(), scalar.size()) << "width " << width;
+    for (std::size_t i = 0; i < multi.size(); ++i) {
+      EXPECT_NEAR(multi[i].lambda, scalar[i].lambda, 1e-8);
+      EXPECT_EQ(multi[i].basin_count, scalar[i].basin_count);
+      EXPECT_EQ(static_cast<int>(multi[i].type),
+                static_cast<int>(scalar[i].type));
+    }
+  }
+}
+
+TEST(SchedulerMulti, LaneBlockedBackendsMatchScalarScheduler) {
+  auto p = batch::BatchProblem<double>::random(222, 6, 9, 4, 3);
+  p.options.alpha = 1.0;
+  for (Tier tier : {Tier::kGeneral, Tier::kPrecomputed}) {
+    batch::SchedulerOptions scalar_opt;
+    scalar_opt.chunk_tensors = 2;
+    batch::Scheduler<double> scalar_sched(batch::Backend::kCpuSequential,
+                                          scalar_opt);
+    const auto sid = scalar_sched.submit(p, tier);
+    scalar_sched.run();
+    const auto& ref = scalar_sched.result(sid).results;
+
+    for (auto backend : {batch::Backend::kCpuSequential,
+                         batch::Backend::kCpuParallel}) {
+      batch::SchedulerOptions opt;
+      opt.chunk_tensors = 2;
+      opt.cpu_threads = 3;
+      opt.simd_width = 4;
+      batch::Scheduler<double> sched(backend, opt);
+      const auto id = sched.submit(p, tier);
+      sched.run();
+      expect_slot_parity(sched.result(id).results, ref, 1e-10,
+                         kernels::tier_name(tier).data());
+    }
+  }
+}
+
+TEST(SchedulerMulti, RejectsUnregisteredWidth) {
+  batch::SchedulerOptions opt;
+  opt.simd_width = 5;
+  EXPECT_THROW(batch::Scheduler<float>(batch::Backend::kCpuSequential, opt),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool::submit_range (satellite): bulk chunk dispatch.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolRange, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(103);
+  pool.submit_range(3, 103, [&](std::int64_t b, std::int64_t e, int worker) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 4);
+    EXPECT_LT(b, e);
+    for (std::int64_t i = b; i < e; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (std::int64_t i = 0; i < 103; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), i < 3 ? 0 : 1)
+        << "index " << i;
+  }
+}
+
+TEST(ThreadPoolRange, EmptyAndSingletonRanges) {
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.submit_range(5, 5, [&](std::int64_t, std::int64_t, int) { ++calls; });
+  pool.submit_range(7, 5, [&](std::int64_t, std::int64_t, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> total{0};
+  pool.submit_range(41, 42, [&](std::int64_t b, std::int64_t e, int) {
+    total.fetch_add(static_cast<int>(e - b));
+    EXPECT_EQ(b, 41);
+    EXPECT_EQ(e, 42);
+  });
+  EXPECT_EQ(total.load(), 1);
+}
+
+TEST(ThreadPoolRange, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.submit_range(0, 10,
+                        [&](std::int64_t b, std::int64_t, int) {
+                          if (b == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> n{0};
+  pool.submit_range(0, 4, [&](std::int64_t b, std::int64_t e, int) {
+    n.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(n.load(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// TtsvWorkspace (satellite): hoisted scratch matches the allocating path.
+// ---------------------------------------------------------------------------
+
+TEST(TtsvWorkspace, ReusedWorkspaceMatchesFreshCalls) {
+  CounterRng rng(230);
+  const auto a3 = random_symmetric_tensor<double>(rng, 0, 4, 4);
+  const auto a4 = random_symmetric_tensor<double>(rng, 1, 3, 5);
+  std::vector<double> x4 = {0.3, -0.7, 0.2, 0.9};
+  std::vector<double> x5 = {0.1, 0.4, -0.6, 0.8, -0.2};
+  kernels::TtsvWorkspace ws;
+  // Same workspace across changing (p, n) shapes and repeated calls.
+  for (int rep = 0; rep < 2; ++rep) {
+    for (int p = 1; p <= 4; ++p) {
+      const auto fresh = kernels::ttsv(a3, {x4.data(), x4.size()}, p);
+      const auto reused = kernels::ttsv(a3, {x4.data(), x4.size()}, p, ws);
+      ASSERT_EQ(fresh.num_unique(), reused.num_unique());
+      for (offset_t r = 0; r < fresh.num_unique(); ++r) {
+        EXPECT_EQ(fresh.value(r), reused.value(r))
+            << "p=" << p << " rep=" << rep << " r=" << r;
+      }
+    }
+    for (int p = 1; p <= 3; ++p) {
+      const auto fresh = kernels::ttsv(a4, {x5.data(), x5.size()}, p);
+      const auto reused = kernels::ttsv(a4, {x5.data(), x5.size()}, p, ws);
+      for (offset_t r = 0; r < fresh.num_unique(); ++r) {
+        EXPECT_EQ(fresh.value(r), reused.value(r));
+      }
+    }
+  }
+  // The monomial table is cached per shape (prepare is idempotent).
+  EXPECT_EQ(ws.p, 3);
+  EXPECT_EQ(ws.n, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Width autotuner + obs export reader (satellites).
+// ---------------------------------------------------------------------------
+
+TEST(AutotuneMultiWidth, ReportsValidWidthAndMeasuresEveryCandidate) {
+  const auto rep = kernels::autotune_multi_width(3, 4, Tier::kGeneral, 3);
+  EXPECT_EQ(rep.tier, Tier::kGeneral);
+  EXPECT_TRUE(kernels::is_multi_width(rep.best_width));
+  ASSERT_EQ(rep.lane_us.size(), 1 + kernels::multi_widths().size());
+  EXPECT_EQ(rep.lane_us.front().first, 1);
+  for (const auto& [w, us] : rep.lane_us) {
+    EXPECT_TRUE(kernels::is_multi_width(w));
+    EXPECT_GT(us, 0.0) << "width " << w;
+  }
+  // Fallback tiers have no vectorized candidates: the scalar math plus
+  // gather overhead can never beat width 1, so only width 1 is timed.
+  const auto cse = kernels::autotune_multi_width(3, 4, Tier::kCse, 2);
+  EXPECT_EQ(cse.best_width, 1);
+  ASSERT_EQ(cse.lane_us.size(), 1u);
+  EXPECT_EQ(cse.lane_us.front().first, 1);
+}
+
+TEST(ObsExport, ReadExportGaugeFindsGaugesAndRejectsGarbage) {
+  const std::string doc = R"({
+    "schema": "te-obs-v1",
+    "meta": {},
+    "counters": {"a.calls": 3},
+    "gauges": {"kernels.multi.simd_width": 8, "occ": 0.75},
+    "histograms": {},
+    "spans": []
+  })";
+  ASSERT_TRUE(obs::validate_export_json(doc).ok);
+  const auto w = obs::read_export_gauge(doc, "kernels.multi.simd_width");
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(*w, 8.0);
+  const auto occ = obs::read_export_gauge(doc, "occ");
+  ASSERT_TRUE(occ.has_value());
+  EXPECT_DOUBLE_EQ(*occ, 0.75);
+  EXPECT_FALSE(obs::read_export_gauge(doc, "missing").has_value());
+  EXPECT_FALSE(obs::read_export_gauge("not json", "occ").has_value());
+  EXPECT_FALSE(obs::read_export_gauge("{}", "occ").has_value());
+}
+
+TEST(ObsExport, ReadExportGaugeRoundTripsThroughSnapshot) {
+  obs::global().gauge("multi_test.roundtrip").set(12.5);
+  const std::string json = obs::to_json(obs::global().snapshot());
+  const auto v = obs::read_export_gauge(json, "multi_test.roundtrip");
+#if TE_OBS_ENABLED
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 12.5);
+#else
+  // Disabled builds export an empty snapshot; absent means nullopt, not UB.
+  EXPECT_FALSE(v.has_value());
+#endif
+}
+
+}  // namespace
+}  // namespace te

@@ -1,22 +1,34 @@
 // Schema gate for te::obs JSON exports (scripts/ci.sh bench smoke pass).
 //
-// Usage: obs_json_check FILE [FILE...]
+// Usage: obs_json_check FILE [FILE...] [--require-gauge NAME MIN]...
 //
 // Each FILE must parse as a te-obs-v1 document (schema tag, meta, counters,
-// gauges, histograms with full bucket arrays, spans). Exit status 0 iff all
-// files validate; every failure is reported on stderr with the offending
-// path so CI logs point at the broken artifact directly.
+// gauges, histograms with full bucket arrays, spans). Every --require-gauge
+// NAME MIN pair additionally demands that each FILE carries gauge NAME with
+// value >= MIN -- CI uses this to assert bench artifacts really exercised a
+// feature (e.g. kernels.multi.simd_width >= 1). Exit status 0 iff all files
+// validate and satisfy every requirement; every failure is reported on
+// stderr with the offending path so CI logs point at the broken artifact
+// directly.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "te/obs/export.hpp"
 
 namespace {
 
-bool check_file(const char* path) {
+struct GaugeRequirement {
+  std::string name;
+  double min = 0;
+};
+
+bool check_file(const char* path,
+                const std::vector<GaugeRequirement>& required) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "obs_json_check: cannot open %s\n", path);
@@ -24,24 +36,59 @@ bool check_file(const char* path) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  const te::obs::ValidationResult v =
-      te::obs::validate_export_json(buf.str());
+  const std::string json = buf.str();
+  const te::obs::ValidationResult v = te::obs::validate_export_json(json);
   if (!v.ok) {
     std::fprintf(stderr, "obs_json_check: %s: %s\n", path, v.error.c_str());
     return false;
   }
-  std::printf("obs_json_check: %s: ok\n", path);
-  return true;
+  bool ok = true;
+  for (const auto& req : required) {
+    const auto g = te::obs::read_export_gauge(json, req.name);
+    if (!g.has_value()) {
+      std::fprintf(stderr, "obs_json_check: %s: missing gauge '%s'\n", path,
+                   req.name.c_str());
+      ok = false;
+    } else if (*g < req.min) {
+      std::fprintf(stderr,
+                   "obs_json_check: %s: gauge '%s' = %g below minimum %g\n",
+                   path, req.name.c_str(), *g, req.min);
+      ok = false;
+    }
+  }
+  if (ok) std::printf("obs_json_check: %s: ok\n", path);
+  return ok;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: obs_json_check FILE [FILE...]\n");
+  std::vector<const char*> files;
+  std::vector<GaugeRequirement> required;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require-gauge") {
+      if (i + 2 >= argc) {
+        std::fprintf(stderr,
+                     "obs_json_check: --require-gauge needs NAME MIN\n");
+        return 2;
+      }
+      GaugeRequirement req;
+      req.name = argv[i + 1];
+      req.min = std::strtod(argv[i + 2], nullptr);
+      required.push_back(std::move(req));
+      i += 2;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: obs_json_check FILE [FILE...] "
+                 "[--require-gauge NAME MIN]...\n");
     return 2;
   }
   bool ok = true;
-  for (int i = 1; i < argc; ++i) ok = check_file(argv[i]) && ok;
+  for (const char* f : files) ok = check_file(f, required) && ok;
   return ok ? 0 : 1;
 }
