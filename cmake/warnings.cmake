@@ -1,0 +1,21 @@
+# Strict warning set, applied to every target through te_options.
+#
+# The set is deliberately small and fully clean -- each flag is one the
+# codebase actually builds warning-free under, so any new diagnostic is a
+# regression, not noise:
+#
+#   -Wall -Wextra          the baseline
+#   -Wshadow               nested-scope shadowing (the kernel generators
+#                          nest loops deep enough for this to bite)
+#   -Wconversion           implicit narrowing (index_t/offset_t/size_t mix)
+#   -Wdouble-promotion     accidental float->double promotion in the
+#                          float-instantiated kernels
+#   -Wextra-semi           stray semicolons after member functions and
+#                          macro expansions
+#
+# Guarded by the TE_WARNINGS option defined in the top-level lists file.
+
+if(TE_WARNINGS)
+  target_compile_options(te_options INTERFACE
+    -Wall -Wextra -Wshadow -Wconversion -Wdouble-promotion -Wextra-semi)
+endif()

@@ -24,6 +24,15 @@
 #      container -- the te::obs counter assertion in --require-warm-start
 #      fails the run if anything is rebuilt), and exercise the scheduler's
 #      kill/checkpoint/resume cycle end to end with a bitwise cross-check.
+#   6. static-verification gate (te::analysis): te_analyze --all must prove
+#      every registered shape x tier x lane width correct (class coverage,
+#      multinomial coefficients, write targets, race-freedom of the traced
+#      device kernels) and its metrics artifact must carry the analysis.*
+#      gauges; the analysis-labeled ctest sweep runs the same domain through
+#      the library API.
+#   7. clang-tidy (when installed): the bugprone/performance profile from
+#      .clang-tidy over src/ and tools/, using the compile database of the
+#      pass-1 tree. Skipped with a notice on hosts without clang-tidy.
 #
 # Usage: scripts/ci.sh [extra cmake args...]
 set -euo pipefail
@@ -42,11 +51,13 @@ run_pass() {
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
 }
 
-# Pass 1: plain tier-1 configuration.
-run_pass build -DCMAKE_BUILD_TYPE=Release "$@"
+# Pass 1: plain tier-1 configuration. The compile database feeds the
+# clang-tidy leg (pass 7).
+run_pass build -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@"
 
 # Labeled subsets (same build tree; cheap, and verifies the label wiring).
-for label in tier1 slow stress; do
+for label in tier1 slow stress analysis; do
   echo "=== build: ctest -L ${label} ==="
   ctest --test-dir build -L "${label}" --output-on-failure -j "${JOBS}"
 done
@@ -151,5 +162,31 @@ rm -f build/ci_sched.tetc
 ./build/examples/streaming_scheduler --tensors 8 --starts 8 --chunk 3 \
   --checkpoint build/ci_sched.tetc --resume
 ./build/tools/tetc_check build/ci_sched.tetc --quiet
+
+# Pass 6: static verification (te::analysis). te_analyze exits nonzero
+# unless every registered shape x tier x lane width proves clean, and the
+# metrics artifact must carry the analysis.* gauges (plans_proven >= 1 and
+# a bank-conflict way >= 1 show the sweep actually ran and traced).
+echo "=== build: static-verification leg (te_analyze --all) ==="
+cmake --build build -j "${JOBS}" --target te_analyze obs_json_check
+./build/tools/te_analyze --all --quiet --json build/ANALYSIS.json
+./build/tools/obs_json_check build/ANALYSIS.json \
+  --require-gauge analysis.plans_proven 1 \
+  --require-gauge analysis.shapes_analyzed 1 \
+  --require-gauge analysis.bank_conflict.max_way 1
+
+# Pass 7: clang-tidy over src/ and tools/ with the pass-1 compile database.
+# Gated on availability: CI images without LLVM skip with a notice instead
+# of silently passing (the leg prints which binary it used when it runs).
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  echo "=== clang-tidy: run-clang-tidy over src/ tools/ ==="
+  run-clang-tidy -p build -quiet "$(pwd)/src/.*" "$(pwd)/tools/.*"
+elif command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== clang-tidy: per-file sweep over src/ tools/ ==="
+  find src tools -name '*.cpp' -print0 |
+    xargs -0 -n 1 -P "${JOBS}" clang-tidy -p build --quiet
+else
+  echo "=== clang-tidy: not installed, leg skipped ==="
+fi
 
 echo "CI: all passes green."

@@ -1,0 +1,191 @@
+#include "te/analysis/checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "te/comb/index_class.hpp"
+#include "te/comb/multinomial.hpp"
+#include "te/util/assert.hpp"
+
+namespace te::analysis {
+
+namespace {
+
+void add_finding(CheckReport& rep, Finding f) {
+  if (static_cast<std::int64_t>(rep.findings.size()) <
+      kMaxFindingsPerReport) {
+    rep.findings.push_back(std::move(f));
+  } else {
+    ++rep.suppressed;
+  }
+}
+
+/// Compare one extracted term list against its reference slice. `mode` is
+/// "ttsv0"/"ttsv1" for diagnostics.
+void check_terms(const std::vector<Term>& ref, const std::vector<Term>& got,
+                 const char* mode, int lane, CheckReport& rep) {
+  std::map<std::pair<offset_t, index_t>, const Term*> by_key;
+  for (const Term& t : got) by_key.emplace(std::make_pair(t.cls, t.out_index), &t);
+
+  std::vector<const Term*> missing;
+  for (const Term& r : ref) {
+    ++rep.terms_checked;
+    const auto it = by_key.find(std::make_pair(r.cls, r.out_index));
+    if (it == by_key.end()) {
+      missing.push_back(&r);
+      continue;
+    }
+    const Term& g = *it->second;
+    by_key.erase(it);
+    if (g.coeff != r.coeff) {
+      Finding f;
+      f.kind = FindingKind::kCoefficientMismatch;
+      f.cls = r.cls;
+      f.out_index = r.out_index;
+      f.lane = lane;
+      f.expected = r.coeff;
+      f.actual = g.coeff;
+      f.detail = mode;
+      add_finding(rep, std::move(f));
+    }
+    if (g.exponents != r.exponents) {
+      Finding f;
+      f.kind = FindingKind::kWrongMonomial;
+      f.cls = r.cls;
+      f.out_index = r.out_index;
+      f.lane = lane;
+      std::ostringstream os;
+      os << mode << " exponents [";
+      for (std::size_t q = 0; q < g.exponents.size(); ++q) {
+        os << (q ? " " : "") << g.exponents[q];
+      }
+      os << "] want [";
+      for (std::size_t q = 0; q < r.exponents.size(); ++q) {
+        os << (q ? " " : "") << r.exponents[q];
+      }
+      os << "]";
+      f.detail = os.str();
+      add_finding(rep, std::move(f));
+    }
+  }
+
+  // Whatever the plan computed beyond the reference. A leftover whose
+  // coefficient and monomial match a *missing* term of the same class is a
+  // mis-addressed write, not an invented term.
+  for (const auto& [key, extra] : by_key) {
+    auto hit = std::find_if(
+        missing.begin(), missing.end(), [&](const Term* m) {
+          return m->cls == extra->cls && m->coeff == extra->coeff &&
+                 m->exponents == extra->exponents;
+        });
+    if (hit != missing.end()) {
+      Finding f;
+      f.kind = FindingKind::kWrongWriteTarget;
+      f.cls = extra->cls;
+      f.out_index = extra->out_index;
+      f.lane = lane;
+      f.expected = static_cast<double>((*hit)->out_index);
+      f.actual = static_cast<double>(extra->out_index);
+      std::ostringstream os;
+      os << mode << " contribution for y[" << (*hit)->out_index
+         << "] landed on y[" << extra->out_index << "]";
+      f.detail = os.str();
+      add_finding(rep, std::move(f));
+      missing.erase(hit);
+      continue;
+    }
+    Finding f;
+    f.kind = FindingKind::kUnexpectedTerm;
+    f.cls = extra->cls;
+    f.out_index = extra->out_index;
+    f.lane = lane;
+    f.actual = extra->coeff;
+    f.detail = mode;
+    add_finding(rep, std::move(f));
+  }
+
+  for (const Term* m : missing) {
+    Finding f;
+    f.kind = FindingKind::kMissingClass;
+    f.cls = m->cls;
+    f.out_index = m->out_index;
+    f.lane = lane;
+    f.expected = m->coeff;
+    f.detail = mode;
+    add_finding(rep, std::move(f));
+  }
+}
+
+}  // namespace
+
+AccessPlan reference_plan(int order, int dim) {
+  TE_REQUIRE(order >= 1 && dim >= 1, "reference plan needs a valid shape");
+  AccessPlan ref;
+  ref.order = order;
+  ref.dim = dim;
+  for (comb::IndexClassIterator it(order, dim); !it.done(); it.next()) {
+    const auto idx = it.index();
+    const std::vector<index_t> mono = comb::index_to_monomial(idx, dim);
+
+    Term t0;
+    t0.cls = it.rank();
+    t0.out_index = 0;
+    t0.coeff = static_cast<double>(comb::multinomial_from_index(idx));
+    t0.exponents = mono;
+    ref.ttsv0.push_back(std::move(t0));
+
+    for (int t = 0; t < order;) {
+      const index_t i = idx[static_cast<std::size_t>(t)];
+      Term t1;
+      t1.cls = it.rank();
+      t1.out_index = i;
+      t1.coeff = static_cast<double>(comb::multinomial_drop_one(idx, i));
+      t1.exponents = mono;
+      t1.exponents[static_cast<std::size_t>(i)] =
+          static_cast<index_t>(t1.exponents[static_cast<std::size_t>(i)] - 1);
+      ref.ttsv1.push_back(std::move(t1));
+      while (t < order && idx[static_cast<std::size_t>(t)] == i) ++t;
+    }
+  }
+  return ref;
+}
+
+CheckReport check_plan(const AccessPlan& plan) {
+  const AccessPlan ref = reference_plan(plan.order, plan.dim);
+  CheckReport rep;
+  rep.order = plan.order;
+  rep.dim = plan.dim;
+  rep.tier = plan.tier;
+  rep.width = plan.width;
+  check_terms(ref.ttsv0, plan.ttsv0, "ttsv0", plan.lane, rep);
+  check_terms(ref.ttsv1, plan.ttsv1, "ttsv1", plan.lane, rep);
+  return rep;
+}
+
+CheckReport check_plans(std::span<const AccessPlan> plans) {
+  TE_REQUIRE(!plans.empty(), "no plans to check");
+  const AccessPlan ref = reference_plan(plans[0].order, plans[0].dim);
+  CheckReport rep;
+  rep.order = plans[0].order;
+  rep.dim = plans[0].dim;
+  rep.tier = plans[0].tier;
+  rep.width = plans[0].width;
+  for (const AccessPlan& p : plans) {
+    check_terms(ref.ttsv0, p.ttsv0, "ttsv0", p.lane, rep);
+    check_terms(ref.ttsv1, p.ttsv1, "ttsv1", p.lane, rep);
+    if (&p != &plans[0] &&
+        (p.ttsv0 != plans[0].ttsv0 || p.ttsv1 != plans[0].ttsv1)) {
+      Finding f;
+      f.kind = FindingKind::kLaneMismatch;
+      f.lane = p.lane;
+      f.detail = "plan differs from lane 0";
+      add_finding(rep, std::move(f));
+    }
+  }
+  return rep;
+}
+
+}  // namespace te::analysis

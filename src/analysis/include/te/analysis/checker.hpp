@@ -1,0 +1,41 @@
+#pragma once
+// Proof obligations over extracted access plans.
+//
+// reference_plan() derives, from the combinatorics layer alone, the exact
+// term set any correct ttsv kernel must compute for a shape (Eq. 4 / Eq. 6
+// with exact integer multinomials). check_plan() then compares an extracted
+// plan term-by-term:
+//
+//   * every reference term present exactly once     (else kMissingClass)
+//   * every coefficient equal to the multinomial    (else kCoefficientMismatch)
+//   * every x-exponent vector equal to the monomial (else kWrongMonomial)
+//   * no terms outside the reference                (else kUnexpectedTerm)
+//
+// A missing term and an unexpected term of the same class carrying the
+// missing term's coefficient and monomial are folded into one
+// kWrongWriteTarget finding -- the signature of a mis-addressed
+// accumulation (the off-by-one-output mutant).
+//
+// check_plans() verifies each lane of a multi-width extraction and
+// additionally requires all lanes to carry identical plans
+// (else kLaneMismatch): the SoA kernels promise per-lane scalar semantics.
+
+#include <span>
+
+#include "te/analysis/plan.hpp"
+
+namespace te::analysis {
+
+/// The combinatorics-derived reference plan for (order, dim): one ttsv0
+/// term per index class with the Eq. 4 multinomial, one ttsv1 term per
+/// (class, distinct index) with the Eq. 6 drop-one multinomial.
+[[nodiscard]] AccessPlan reference_plan(int order, int dim);
+
+/// Prove one plan against reference_plan(plan.order, plan.dim).
+[[nodiscard]] CheckReport check_plan(const AccessPlan& plan);
+
+/// Prove a per-lane plan family (extract_multi_plans output): every lane
+/// individually plus cross-lane plan equality.
+[[nodiscard]] CheckReport check_plans(std::span<const AccessPlan> plans);
+
+}  // namespace te::analysis

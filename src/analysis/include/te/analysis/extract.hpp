@@ -1,0 +1,87 @@
+#pragma once
+// Access-plan extraction by exact algebraic probing.
+//
+// Every ttsv kernel is *linear in the tensor values* and has data-
+// independent control flow, so the extractor never needs to see inside the
+// kernel -- it recovers the full term set from O(U * n) evaluations of the
+// real shipped binary:
+//
+//   * probing with a = e_r (one-hot on class r) and x = 1 yields, per
+//     output, the total coefficient the kernel assigns class r;
+//   * repeating with x_q = 2 (others 1) scales that output by exactly
+//     2^(exponent of x_q), so the exponent is log2 of the ratio.
+//
+// All intermediate values are products of multinomials (<= m! <= 40320 for
+// the registered shapes) and powers of two (<= 2^m), far inside the range
+// where double arithmetic -- including any FMA contraction the compiler
+// picks -- is exact, so the extraction is exact, not approximate: a ratio
+// that is not a clean power of two can only mean the kernel's contribution
+// is not a single monomial, which is recorded as kBadExponent and flagged
+// by the checker.
+//
+// Multi-lane kernels are probed with *rotated* lane assignments: batch call
+// j gives lane w the probe (j + w) mod (n + 1), covering every (lane,
+// probe) pair in n + 1 calls. Any cross-lane leakage desynchronizes a
+// lane's probe labels from what it actually computed and surfaces as
+// coefficient/monomial findings plus a lane mismatch.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "te/analysis/plan.hpp"
+#include "te/kernels/multi.hpp"
+
+namespace te::analysis {
+
+/// A scalar probe target: ttsv0/ttsv1 evaluated on caller-supplied packed
+/// values and vector. The std::function indirection lets the seeded-defect
+/// tests probe mutated kernels through the same machinery that verifies the
+/// shipped tiers.
+struct ProbeKernel {
+  int order = 0;
+  int dim = 0;
+  /// Recorded into the extracted plan (labeling only).
+  kernels::Tier tier = kernels::Tier::kGeneral;
+  std::function<double(std::span<const double> values,
+                       std::span<const double> x)>
+      ttsv0;
+  std::function<void(std::span<const double> values,
+                     std::span<const double> x, std::span<double> y)>
+      ttsv1;
+};
+
+/// A multi-lane probe target over SoA batches. `out0` receives the W ttsv0
+/// scalars; `y` the W-lane result batch.
+struct MultiProbeKernel {
+  int order = 0;
+  int dim = 0;
+  int width = 1;
+  /// Recorded into the extracted plans (labeling only).
+  kernels::Tier tier = kernels::Tier::kGeneral;
+  std::function<void(std::span<const double> values,
+                     const kernels::VectorBatch<double>& x,
+                     std::span<double> out0)>
+      ttsv0;
+  std::function<void(std::span<const double> values,
+                     const kernels::VectorBatch<double>& x,
+                     kernels::VectorBatch<double>& y)>
+      ttsv1;
+};
+
+/// Extract the complete access plan of a scalar kernel (width 1, lane 0).
+[[nodiscard]] AccessPlan extract_plan(const ProbeKernel& k);
+
+/// Extract one plan per lane of a multi-lane kernel (rotation probing).
+[[nodiscard]] std::vector<AccessPlan> extract_multi_plans(
+    const MultiProbeKernel& k);
+
+/// Probe bindings for the shipped tiers (double instantiations). The
+/// returned callables construct the tensor view and dispatch facade per
+/// call; table tiers build their KernelTables once and share them across
+/// probes.
+[[nodiscard]] ProbeKernel bind_tier(int order, int dim, kernels::Tier tier);
+[[nodiscard]] MultiProbeKernel bind_multi_tier(int order, int dim,
+                                               kernels::Tier tier, int width);
+
+}  // namespace te::analysis

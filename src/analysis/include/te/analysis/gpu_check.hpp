@@ -1,0 +1,76 @@
+#pragma once
+// Launch-level verification and performance diagnostics from gpusim access
+// traces.
+//
+// The batched SS-HOPM device kernel also has data-independent *memory*
+// behaviour per barrier epoch (which bytes each lane touches is fixed by
+// the launch geometry; only how many iterations a lane runs varies), so one
+// traced launch covering the full iteration range proves:
+//
+//   * static race-freedom -- per (block, epoch), every pair of overlapping
+//     shared accesses by different lanes involves at most reads; a
+//     write/write overlap is kRace, a write/read overlap is
+//     kReadBeforePublish (the read is not ordered after the barrier that
+//     publishes the value);
+//   * disjoint global write sets -- two lanes anywhere in the grid writing
+//     overlapping global bytes is kRace (blocks are logically concurrent
+//     and nothing orders them).
+//
+// The same trace yields the static performance diagnostics the DeviceSpec
+// cost model assumes away: warp transactions are reconstructed by grouping
+// events on (block, epoch, warp, seq) -- lockstep lanes issue their seq-k
+// same-space accesses together -- then scored against the banking
+// (shared_banks x shared_bank_bytes) and coalescing (gmem_segment_bytes)
+// parameters. Element-granular accesses feed the bank statistics; bulk
+// events (SharedArray::read_all's whole-extent records) stand for library
+// loops the simulator cannot see inside and are excluded from conflict
+// counting, exactly as compute-sanitizer loses granularity at call
+// boundaries. Cost-model cross-checks are *diagnostic*: a kernel whose
+// OpCounts tallies say "no shared traffic" while the trace shows some (or
+// vice versa) gets a kCostModelMismatch finding that reports but does not
+// disprove.
+
+#include <vector>
+
+#include "te/analysis/plan.hpp"
+#include "te/gpusim/access_trace.hpp"
+#include "te/gpusim/device_spec.hpp"
+
+namespace te::analysis {
+
+/// Race / publish-ordering obligations over one launch's trace.
+[[nodiscard]] std::vector<Finding> check_trace(
+    const std::vector<gpusim::TraceEvent>& events);
+
+/// Warp-transaction statistics against a device's banking parameters.
+struct WarpStats {
+  double max_bank_conflict_way = 1.0;  ///< worst max-way shared conflict
+  double avg_bank_conflict_way = 1.0;  ///< mean over shared transactions
+  double coalescing_ratio = 1.0;       ///< ideal/actual segments (<= 1)
+  std::int64_t shared_transactions = 0;
+  std::int64_t global_transactions = 0;
+  std::int64_t bulk_events = 0;  ///< whole-extent records excluded from banks
+};
+
+[[nodiscard]] WarpStats warp_transaction_stats(
+    const std::vector<gpusim::TraceEvent>& events,
+    const gpusim::DeviceSpec& dev);
+
+/// Workload for one traced verification launch: small on purpose -- the
+/// plan is geometry-determined, so a few tensors, starts and iterations
+/// exercise every distinct access pattern the kernel has.
+struct DeviceCheckOptions {
+  int num_tensors = 2;
+  int num_starts = 4;
+  int max_iterations = 3;
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::tesla_c2050();
+};
+
+/// Trace one batched SS-HOPM launch of `tier` (kGeneral, kBlocked or
+/// kUnrolled -- the device-side tiers) and verify race-freedom, publish
+/// ordering, global write disjointness and the cost-model assumptions.
+[[nodiscard]] CheckReport check_device_kernel(
+    int order, int dim, kernels::Tier tier,
+    const DeviceCheckOptions& opt = {});
+
+}  // namespace te::analysis

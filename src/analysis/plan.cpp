@@ -1,0 +1,64 @@
+#include "te/analysis/plan.hpp"
+
+#include <sstream>
+
+namespace te::analysis {
+
+std::string_view finding_kind_name(FindingKind k) {
+  switch (k) {
+    case FindingKind::kMissingClass:
+      return "missing_class";
+    case FindingKind::kCoefficientMismatch:
+      return "coefficient_mismatch";
+    case FindingKind::kWrongMonomial:
+      return "wrong_monomial";
+    case FindingKind::kWrongWriteTarget:
+      return "wrong_write_target";
+    case FindingKind::kUnexpectedTerm:
+      return "unexpected_term";
+    case FindingKind::kLaneMismatch:
+      return "lane_mismatch";
+    case FindingKind::kRace:
+      return "race";
+    case FindingKind::kReadBeforePublish:
+      return "read_before_publish";
+    case FindingKind::kCostModelMismatch:
+      return "cost_model_mismatch";
+  }
+  return "?";
+}
+
+std::string Finding::to_string() const {
+  std::ostringstream os;
+  os << (diagnostic ? "diagnostic " : "") << finding_kind_name(kind);
+  if (cls >= 0) os << " class=" << cls;
+  os << " out=" << out_index << " lane=" << lane;
+  if (expected != 0 || actual != 0) {
+    os << " expected=" << expected << " actual=" << actual;
+  }
+  if (!detail.empty()) os << " (" << detail << ")";
+  return os.str();
+}
+
+std::string CheckReport::summary() const {
+  std::ostringstream os;
+  os << (proven() ? "proven" : "FAILED") << " " << subject
+     << " order=" << order << " dim=" << dim << " tier="
+     << kernels::tier_name(tier) << " width=" << width;
+  std::int64_t blocking = suppressed;
+  std::int64_t diagnostics = 0;
+  for (const Finding& f : findings) {
+    if (f.diagnostic) {
+      ++diagnostics;
+    } else {
+      ++blocking;
+    }
+  }
+  os << " terms=" << terms_checked;
+  if (traced_events > 0) os << " events=" << traced_events;
+  if (blocking > 0) os << " findings=" << blocking;
+  if (diagnostics > 0) os << " diagnostics=" << diagnostics;
+  return os.str();
+}
+
+}  // namespace te::analysis

@@ -1,0 +1,122 @@
+#pragma once
+// Access-plan trace hook for the simulated GPU -- the recording half of the
+// te::analysis static verifier (the checking half lives in src/analysis).
+//
+// The MemSanitizer (mem_sanitizer.hpp) keeps a bounded shadow per shared
+// byte: enough to *detect* conflicts on the accesses a run happens to make,
+// not to reconstruct the kernel's full access plan. Because every shipped
+// kernel tier has data-independent control flow (fixed by m, n, tier and
+// the launch geometry), one traced execution *is* the complete access plan
+// of every execution -- so an AccessTracer simply records each access
+// verbatim:
+//
+//   (space, block, thread, barrier epoch, address, bytes, kind, seq)
+//
+// where `seq` is the access's ordinal among its thread's same-space
+// accesses within the epoch. Lockstep warps issue their lanes' seq-k
+// accesses as one transaction, so grouping events by (block, epoch, warp,
+// seq) reconstructs warp transactions -- the unit over which te::analysis
+// computes shared-memory bank conflicts and global coalescing ratios.
+//
+// Shared addresses are byte offsets into the block's shared arena; global
+// addresses are host pointers (the simulator's "device memory" is host
+// memory), which is sufficient for segment analysis because only relative
+// placement within a buffer matters.
+//
+// The hook sits next to the sanitizer: SharedArray forwards every checked
+// access, ThreadCtx::note_global covers the raw global-memory loads/stores
+// a kernel performs, and launch() advances the epoch alongside the
+// sanitizer's. When LaunchConfig::tracer is null (the default) every hook
+// degrades to a pointer test.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace te::gpusim {
+
+enum class AccessKind : std::uint8_t;  // defined in mem_sanitizer.hpp
+
+/// Address space of one traced access.
+enum class MemSpace : std::uint8_t { kShared, kGlobal };
+
+/// One recorded memory access.
+struct TraceEvent {
+  MemSpace space = MemSpace::kShared;
+  AccessKind kind{};
+  int block = 0;
+  int thread = 0;
+  int epoch = 0;
+  /// Arena byte offset (shared) or host address (global).
+  std::uint64_t addr = 0;
+  std::uint32_t bytes = 0;
+  /// Ordinal of this access among the thread's same-space accesses within
+  /// the epoch (warp-transaction grouping key).
+  std::int32_t seq = 0;
+};
+
+/// Records the complete access stream of one launch. Owned by the caller
+/// (it outlives the LaunchConfig pointing at it); events accumulate across
+/// blocks so the trace covers the whole grid.
+class AccessTracer {
+ public:
+  /// Reserve roughly `hint` events up front (optional).
+  explicit AccessTracer(std::size_t hint = 0) {
+    if (hint > 0) events_.reserve(hint);
+  }
+
+  /// Re-arm for a fresh block: epoch and per-thread sequence state reset,
+  /// recorded events are kept.
+  void begin_block(int block) {
+    block_ = block;
+    epoch_ = 0;
+    reset_seq();
+  }
+
+  /// Called by the launch scheduler after every barrier epoch.
+  void advance_epoch() {
+    ++epoch_;
+    reset_seq();
+  }
+
+  [[nodiscard]] int epoch() const { return epoch_; }
+
+  /// Record one access by `thread` to [addr, addr + bytes).
+  void record(MemSpace space, int thread, AccessKind kind, std::uint64_t addr,
+              std::uint32_t bytes) {
+    const auto t = static_cast<std::size_t>(thread);
+    auto& seq = space == MemSpace::kShared ? shared_seq_ : global_seq_;
+    if (t >= seq.size()) seq.resize(t + 1, 0);
+    events_.push_back(TraceEvent{space, kind, block_, thread, epoch_, addr,
+                                 bytes, seq[t]});
+    ++seq[t];
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::vector<TraceEvent> take_events() {
+    return std::move(events_);
+  }
+
+  void clear() {
+    events_.clear();
+    block_ = 0;
+    epoch_ = 0;
+    reset_seq();
+  }
+
+ private:
+  void reset_seq() {
+    shared_seq_.assign(shared_seq_.size(), 0);
+    global_seq_.assign(global_seq_.size(), 0);
+  }
+
+  std::vector<TraceEvent> events_;
+  std::vector<std::int32_t> shared_seq_;
+  std::vector<std::int32_t> global_seq_;
+  int block_ = 0;
+  int epoch_ = 0;
+};
+
+}  // namespace te::gpusim

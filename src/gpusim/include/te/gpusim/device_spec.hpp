@@ -48,6 +48,15 @@ struct DeviceSpec {
   /// Host-device interconnect (PCIe 2.0 x16 era) for transfer modeling.
   double pcie_gbps = 6.0;
 
+  /// Shared-memory banking (Fermi: 32 banks, 4-byte wide words) and the
+  /// global-memory transaction segment size. The timing model's cost_shmem
+  /// assumes conflict-free access and cost_gmem assumes coalesced segments;
+  /// te::analysis cross-checks traced access plans against exactly these
+  /// parameters and flags kernels that violate the assumption.
+  int shared_banks = 32;
+  int shared_bank_bytes = 4;
+  int gmem_segment_bytes = 128;
+
   /// Instructions that fit in an SM's instruction cache (~8 KiB / 8 B).
   /// Fully unrolled kernels whose straight-line body exceeds this stall on
   /// instruction fetch -- the mechanism behind the paper's observation

@@ -70,14 +70,15 @@ class ThreadCtx {
  public:
   ThreadCtx(int thread_idx, int block_idx, int block_dim, int grid_dim,
             std::byte* shared, std::size_t shared_bytes,
-            MemSanitizer* sanitizer = nullptr)
+            MemSanitizer* sanitizer = nullptr, AccessTracer* tracer = nullptr)
       : thread_idx_(thread_idx),
         block_idx_(block_idx),
         block_dim_(block_dim),
         grid_dim_(grid_dim),
         shared_(shared),
         shared_bytes_(shared_bytes),
-        sanitizer_(sanitizer) {}
+        sanitizer_(sanitizer),
+        tracer_(tracer) {}
 
   [[nodiscard]] int thread_idx() const { return thread_idx_; }
   [[nodiscard]] int block_idx() const { return block_idx_; }
@@ -110,16 +111,32 @@ class ThreadCtx {
       const CheckedExtent e = sanitizer_->check_view(
           thread_idx_, byte_offset, count, sizeof(U), alignof(U));
       return SharedArray<U>(reinterpret_cast<U*>(shared_ + e.byte_offset),
-                            e.count, e.byte_offset, sanitizer_, thread_idx_);
+                            e.count, e.byte_offset, sanitizer_, thread_idx_,
+                            tracer_);
     }
     TE_ASSERT(byte_offset % alignof(U) == 0);
     TE_ASSERT(byte_offset + count * sizeof(U) <= shared_bytes_);
     return SharedArray<U>(reinterpret_cast<U*>(shared_ + byte_offset), count,
-                          byte_offset, nullptr, thread_idx_);
+                          byte_offset, nullptr, thread_idx_, tracer_);
   }
 
   /// The attached sanitizer, or nullptr on unsanitized launches.
   [[nodiscard]] MemSanitizer* sanitizer() const { return sanitizer_; }
+
+  /// The attached access tracer, or nullptr on untraced launches.
+  [[nodiscard]] AccessTracer* tracer() const { return tracer_; }
+
+  /// Record a raw global-memory access (a load/store the kernel performs
+  /// against device buffers rather than the shared arena). No-op unless the
+  /// launch attached an AccessTracer; the timing model keeps using the
+  /// OpCounts gmem tally, so tracing never perturbs modeled time.
+  void note_global(const void* addr, std::size_t bytes, AccessKind kind) {
+    if (tracer_ != nullptr) {
+      tracer_->record(MemSpace::kGlobal, thread_idx_, kind,
+                      reinterpret_cast<std::uint64_t>(addr),
+                      static_cast<std::uint32_t>(bytes));
+    }
+  }
 
   /// Block-wide barrier: co_await ctx.sync().
   [[nodiscard]] Barrier sync() const { return {}; }
@@ -137,6 +154,7 @@ class ThreadCtx {
   std::byte* shared_;
   std::size_t shared_bytes_;
   MemSanitizer* sanitizer_;
+  AccessTracer* tracer_ = nullptr;
   OpCounts ops_;
 };
 
@@ -158,6 +176,10 @@ struct LaunchConfig {
   bool sanitizer_fail_fast = false;
   /// Name used in sanitizer diagnostics.
   std::string kernel_name;
+  /// Record every shared/global access into this tracer (see
+  /// access_trace.hpp); the te::analysis plan extractor attaches one here.
+  /// Caller-owned, optional, and orthogonal to `sanitize`.
+  AccessTracer* tracer = nullptr;
 };
 
 /// Everything launch() reports back.
@@ -239,12 +261,14 @@ LaunchResult launch(const DeviceSpec& dev, const LaunchConfig& cfg,
     // Fresh shared memory per block.
     std::fill(shared.begin(), shared.end(), std::byte{0});
     if (sanitizer) sanitizer->begin_block(b);
+    if (cfg.tracer != nullptr) cfg.tracer->begin_block(b);
 
     std::vector<ThreadCtx> ctxs;
     ctxs.reserve(static_cast<std::size_t>(cfg.block_dim));
     for (int t = 0; t < cfg.block_dim; ++t) {
       ctxs.emplace_back(t, b, cfg.block_dim, cfg.grid_dim, shared.data(),
-                        shared.size(), sanitizer ? &*sanitizer : nullptr);
+                        shared.size(), sanitizer ? &*sanitizer : nullptr,
+                        cfg.tracer);
     }
     std::vector<ThreadTask> tasks;
     tasks.reserve(static_cast<std::size_t>(cfg.block_dim));
@@ -262,6 +286,7 @@ LaunchResult launch(const DeviceSpec& dev, const LaunchConfig& cfg,
         if (task.step()) alive = true;
       }
       if (sanitizer) sanitizer->advance_epoch();
+      if (cfg.tracer != nullptr) cfg.tracer->advance_epoch();
     }
 
     // Warp cost = max lane cost within the warp (lockstep execution).

@@ -35,6 +35,7 @@
 #include <tuple>
 #include <vector>
 
+#include "te/gpusim/access_trace.hpp"
 #include "te/util/assert.hpp"
 
 namespace te::gpusim {
@@ -152,17 +153,20 @@ class MemSanitizer {
 /// replaces raw pointers from ThreadCtx::shared_as. Each thread builds its
 /// own view so accesses are attributed to the right lane. When no sanitizer
 /// is attached (unsanitized launch) every operation degrades to the raw
-/// pointer arithmetic it replaced.
+/// pointer arithmetic it replaced. An optional AccessTracer additionally
+/// receives every access verbatim (the te::analysis plan-extraction hook);
+/// both hooks are independent and either may be null.
 template <typename U>
 class SharedArray {
  public:
   SharedArray() = default;
   SharedArray(U* data, std::size_t count, std::size_t byte_offset,
-              MemSanitizer* san, int thread)
+              MemSanitizer* san, int thread, AccessTracer* tracer = nullptr)
       : data_(data),
         count_(count),
         byte_offset_(byte_offset),
         san_(san),
+        tracer_(tracer),
         thread_(thread) {}
 
   /// Read/write proxy: loads record a read, stores record a write.
@@ -210,6 +214,11 @@ class SharedArray {
       san_->record_access(thread_, byte_offset_, count_ * sizeof(U),
                           AccessKind::kRead);
     }
+    if (tracer_ != nullptr && count_ > 0) {
+      tracer_->record(MemSpace::kShared, thread_, AccessKind::kRead,
+                      byte_offset_,
+                      static_cast<std::uint32_t>(count_ * sizeof(U)));
+    }
     return data_;
   }
 
@@ -243,12 +252,18 @@ class SharedArray {
     if (san_ != nullptr && count_ > 0) {
       san_->record_access(thread_, byte_offset_ + i * sizeof(U), sizeof(U), k);
     }
+    if (tracer_ != nullptr && count_ > 0) {
+      tracer_->record(MemSpace::kShared, thread_, k,
+                      byte_offset_ + i * sizeof(U),
+                      static_cast<std::uint32_t>(sizeof(U)));
+    }
   }
 
   U* data_ = nullptr;
   std::size_t count_ = 0;
   std::size_t byte_offset_ = 0;
   MemSanitizer* san_ = nullptr;
+  AccessTracer* tracer_ = nullptr;
   int thread_ = 0;
 };
 

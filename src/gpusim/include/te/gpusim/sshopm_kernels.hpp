@@ -106,10 +106,11 @@ ThreadTask sshopm_device_thread(ThreadCtx& ctx, DeviceBatchView<T> view,
   {
     OpCounts load;
     for (offset_t i = v; i < u; i += ctx.block_dim()) {
-      sa[static_cast<std::size_t>(i)] =
-          view.tensors[static_cast<std::size_t>(b) *
-                           static_cast<std::size_t>(u) +
-                       static_cast<std::size_t>(i)];
+      const T* src = view.tensors + static_cast<std::size_t>(b) *
+                                        static_cast<std::size_t>(u) +
+                     static_cast<std::size_t>(i);
+      ctx.note_global(src, sizeof(T), AccessKind::kRead);
+      sa[static_cast<std::size_t>(i)] = *src;
       load.gmem += 1;
       load.shmem += 1;
       load.iop += 1;
@@ -137,7 +138,9 @@ ThreadTask sshopm_device_thread(ThreadCtx& ctx, DeviceBatchView<T> view,
   T x[kMaxDim];
   T y[kMaxDim];
   for (int i = 0; i < n; ++i) {
-    x[i] = view.starts[static_cast<std::size_t>(v) * n + i];
+    const T* src = view.starts + static_cast<std::size_t>(v) * n + i;
+    ctx.note_global(src, sizeof(T), AccessKind::kRead);
+    x[i] = *src;
   }
 
   // Device-side failure reporting: a degenerate start in one lane must not
@@ -151,15 +154,22 @@ ThreadTask sshopm_device_thread(ThreadCtx& ctx, DeviceBatchView<T> view,
     OpCounts store;
     const std::size_t slot = static_cast<std::size_t>(b) * view.num_starts + v;
     for (int i = 0; i < n; ++i) {
+      ctx.note_global(view.out_vectors + slot * n + i, sizeof(T),
+                      AccessKind::kWrite);
       view.out_vectors[slot * n + i] = x[i];
     }
+    ctx.note_global(view.out_values + slot, sizeof(T), AccessKind::kWrite);
     view.out_values[slot] = lam;
     store.gmem += n + 1;
     if (view.out_iters) {
+      ctx.note_global(view.out_iters + slot, sizeof(std::int32_t),
+                      AccessKind::kWrite);
       view.out_iters[slot] = converged ? it : -it;
       store.gmem += 1;
     }
     if (view.out_status) {
+      ctx.note_global(view.out_status + slot, sizeof(std::int32_t),
+                      AccessKind::kWrite);
       view.out_status[slot] =
           converged
               ? static_cast<std::int32_t>(sshopm::FailureReason::kNone)

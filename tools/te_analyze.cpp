@@ -1,0 +1,108 @@
+// te_analyze: static access-plan verifier for the ttsv kernel tiers.
+//
+//   $ ./te_analyze --all [--json FILE] [--no-gpu] [--no-multi] [--quiet]
+//   $ ./te_analyze --order 4 --dim 3 [--width W] [...]
+//
+// For each shape it extracts the access plan of every scalar tier and every
+// registered multi-lane width by exact algebraic probing of the shipped
+// binaries, proves the plans against the combinatorial reference (class
+// coverage, Eq. 4/6 coefficients, monomial exponents, write targets,
+// cross-lane agreement), and traces the batched device kernels through
+// gpusim to prove race-freedom and publish ordering and to score bank
+// conflicts / coalescing against the DeviceSpec banking parameters.
+//
+// Exit status is 0 only when every report is proven -- this is the ci.sh
+// analysis gate. --json writes a te-obs-v1 document with the
+// analysis.plans_* gauges for obs_json_check.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "te/analysis/analyze.hpp"
+#include "te/obs/export.hpp"
+#include "te/obs/obs.hpp"
+#include "te/util/cli.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cerr
+      << "usage: te_analyze [--all] [--order M --dim N] [--width W]\n"
+         "                  [--no-gpu] [--no-multi] [--json FILE] [--quiet]\n"
+         "  --all        verify every registered shape (default when no\n"
+         "               --order/--dim given)\n"
+         "  --order M    verify one shape (with --dim)\n"
+         "  --dim N\n"
+         "  --width W    restrict multi-lane checks to one width\n"
+         "  --no-gpu     skip traced device-kernel checks\n"
+         "  --no-multi   skip multi-lane widths\n"
+         "  --json FILE  write a te-obs-v1 metrics document\n"
+         "  --quiet      only print the final summary line\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const te::CliArgs args(argc, argv);
+  if (args.has("help")) {
+    print_usage();
+    return 2;
+  }
+
+  te::analysis::AnalyzeOptions opt;
+  opt.gpu = !args.has("no-gpu");
+  opt.multi = !args.has("no-multi");
+  if (const auto w = args.get("width")) {
+    opt.widths.push_back(static_cast<int>(std::stol(*w)));
+  }
+  const bool quiet = args.has("quiet");
+
+  const long order = args.get_or("order", 0L);
+  const long dim = args.get_or("dim", 0L);
+  if ((order > 0) != (dim > 0)) {
+    std::cerr << "te_analyze: --order and --dim must be given together\n";
+    print_usage();
+    return 2;
+  }
+
+  std::vector<te::analysis::ShapeAnalysis> all;
+  if (order > 0) {
+    all.push_back(te::analysis::analyze_shape(static_cast<int>(order),
+                                              static_cast<int>(dim), opt));
+  } else {
+    all = te::analysis::analyze_all(opt);
+  }
+
+  std::int64_t reports = 0;
+  std::int64_t proven = 0;
+  bool ok = true;
+  for (const auto& s : all) {
+    for (const auto& r : s.reports) {
+      ++reports;
+      if (r.proven()) ++proven;
+    }
+    if (!s.proven()) ok = false;
+    if (!quiet) std::cout << te::analysis::summarize(s);
+  }
+
+  if (const auto path = args.get("json")) {
+    const te::obs::ExportMeta meta = {
+        {"tool", "te_analyze"},
+        {"shapes", std::to_string(all.size())},
+        {"reports", std::to_string(reports)},
+    };
+    const std::string doc =
+        te::obs::to_json(te::obs::global().snapshot(), meta);
+    if (!te::obs::write_file(*path, doc)) {
+      std::cerr << "te_analyze: cannot write " << *path << '\n';
+      return 2;
+    }
+  }
+
+  std::cout << "te_analyze: " << proven << "/" << reports
+            << " kernel plans proven across " << all.size() << " shape"
+            << (all.size() == 1 ? "" : "s") << (ok ? "" : " -- FAILURES")
+            << '\n';
+  return ok ? 0 : 1;
+}
