@@ -15,12 +15,24 @@
 //                 64 starts) per tier across every registered lane width
 //                 against the per-vector baseline, asserting slot-for-slot
 //                 FailureReason parity and reporting the speedup table.
+//        --adaptive  rerun the workload with the GEAP adaptive shift
+//                 against the conservative suggest_shift baseline from
+//                 identical starts, reporting the kMaxIterations
+//                 failure-rate reduction (bench.sshopm.adaptive.* gauges);
+//                 exits nonzero if the adaptive scheme fails more often.
+//        --oracle  build the QRST all-eigenpairs spectrum of the golden
+//                 Kofidis-Regalia fixture and differentially verify a
+//                 fixed-shift SS-HOPM sweep against it (decomp.qrst.* and
+//                 bench.sshopm.oracle.* metrics); exits nonzero on any
+//                 unmatched converged pair.
 
 #include <array>
 #include <cinttypes>
 
 #include "bench_common.hpp"
 #include "te/batch/scheduler.hpp"
+#include "te/decomp/oracle.hpp"
+#include "te/sshopm/adaptive.hpp"
 #include "te/tensor/generators.hpp"
 #include "te/util/rng.hpp"
 
@@ -193,6 +205,175 @@ int main(int argc, char** argv) {
       (void)best_speedup;
     }
     bench::emit(mt, csv);
+  }
+
+  // Adaptive-shift study: the same voxel workload solved twice from
+  // identical starts -- once with the conservative fixed shift
+  // (m-1)||A||_F that guarantees convexity globally, once with the GEAP
+  // local-curvature shift. Under a tight iteration budget the fixed shift
+  // burns its iterations crawling and times out (kMaxIterations); the
+  // adaptive scheme must fail strictly less often, and the gap is the
+  // failure-rate-reduction gauge CI archives.
+  if (args.has("adaptive")) {
+    const double atol = 1e-8;
+    const int budget = 100;
+
+    bench::banner("Adaptive vs fixed shift (GEAP study)",
+                  "identical starts, tolerance 1e-8, budget " +
+                      std::to_string(budget) +
+                      " iterations; kMaxIterations accounting");
+
+    std::int64_t fixed_conv = 0, fixed_maxit = 0;
+    std::int64_t ad_conv = 0, ad_maxit = 0;
+    long long fixed_iters = 0, ad_iters = 0;
+
+    WallTimer fixed_timer;
+    for (const auto& a : p.tensors) {
+      kernels::BoundKernels<float> k(a, Tier::kGeneral);
+      sshopm::Options fopt;
+      fopt.alpha = sshopm::suggest_shift(a);
+      fopt.tolerance = atol;
+      fopt.max_iterations = budget;
+      for (const auto& x0 : p.starts) {
+        const auto r = sshopm::solve(k, {x0.data(), x0.size()}, fopt);
+        fixed_conv += r.converged ? 1 : 0;
+        fixed_maxit +=
+            r.failure == sshopm::FailureReason::kMaxIterations ? 1 : 0;
+        fixed_iters += r.iterations;
+      }
+    }
+    const double fixed_s = fixed_timer.seconds();
+
+    sshopm::AdaptiveOptions aopt;
+    aopt.tolerance = atol;
+    aopt.max_iterations = budget;
+    WallTimer ad_timer;
+    for (const auto& a : p.tensors) {
+      for (const auto& x0 : p.starts) {
+        const auto r =
+            sshopm::solve_adaptive(a, {x0.data(), x0.size()}, aopt);
+        ad_conv += r.converged ? 1 : 0;
+        ad_maxit +=
+            r.failure == sshopm::FailureReason::kMaxIterations ? 1 : 0;
+        ad_iters += r.iterations;
+      }
+    }
+    const double ad_s = ad_timer.seconds();
+
+    const double runs = static_cast<double>(p.tensors.size()) *
+                        static_cast<double>(p.starts.size());
+    const double fixed_rate = static_cast<double>(fixed_maxit) / runs;
+    const double ad_rate = static_cast<double>(ad_maxit) / runs;
+
+    TextTable at;
+    at.set_header(
+        {"scheme", "conv", "maxiter", "fail%", "iters", "wall ms"});
+    const auto scheme_row = [&](std::string name, std::int64_t conv,
+                                std::int64_t maxit, double rate,
+                                long long iters, double secs) {
+      char pct[32], ms_buf[32];
+      std::snprintf(pct, sizeof pct, "%.1f", 100.0 * rate);
+      std::snprintf(ms_buf, sizeof ms_buf, "%.2f", secs * 1e3);
+      at.add_row({std::move(name), std::to_string(conv),
+                  std::to_string(maxit), pct, std::to_string(iters),
+                  ms_buf});
+    };
+    scheme_row("fixed (suggest_shift)", fixed_conv, fixed_maxit, fixed_rate,
+               fixed_iters, fixed_s);
+    scheme_row("adaptive (GEAP)", ad_conv, ad_maxit, ad_rate, ad_iters,
+               ad_s);
+    bench::emit(at, csv);
+    std::printf(
+        "adaptive: kMaxIterations rate %.3f -> %.3f "
+        "(reduction %.3f over %.0f runs)\n",
+        fixed_rate, ad_rate, fixed_rate - ad_rate, runs);
+
+#if TE_OBS_ENABLED
+    auto& reg = obs::global();
+    reg.gauge("bench.sshopm.adaptive.runs").set(runs);
+    reg.gauge("bench.sshopm.adaptive.converged")
+        .set(static_cast<double>(ad_conv));
+    reg.gauge("bench.sshopm.adaptive.maxiter_failures")
+        .set(static_cast<double>(ad_maxit));
+    reg.gauge("bench.sshopm.adaptive.fixed_maxiter_failures")
+        .set(static_cast<double>(fixed_maxit));
+    reg.gauge("bench.sshopm.adaptive.failure_rate_reduction")
+        .set(fixed_rate - ad_rate);
+    reg.gauge("bench.sshopm.adaptive.iteration_ratio")
+        .set(ad_iters > 0 ? static_cast<double>(fixed_iters) /
+                                static_cast<double>(ad_iters)
+                          : 0.0);
+#endif  // TE_OBS_ENABLED
+
+    if (ad_maxit > fixed_maxit) {
+      std::fprintf(stderr,
+                   "bench_sshopm: adaptive shift regressed kMaxIterations "
+                   "failures (%" PRId64 " vs fixed %" PRId64 ")\n",
+                   ad_maxit, fixed_maxit);
+      return 1;
+    }
+  }
+
+  // Differential oracle: QRST enumerates the complete Z-spectrum of the
+  // golden Kofidis-Regalia fixture, then a fixed-shift SS-HOPM sweep is
+  // verified pair-by-pair against it. Any converged iterate that matches
+  // no QRST class fails the bench -- the same contract the oracle-labeled
+  // ctest suite enforces, here wired into the archived metrics artifact
+  // (decomp.qrst.* from the spectrum build, bench.sshopm.oracle.* from the
+  // differential pass).
+  if (args.has("oracle")) {
+    bench::banner("QRST differential oracle",
+                  "all-eigenpairs spectrum of the Kofidis-Regalia tensor; "
+                  "fixed-shift sweep verified against it");
+
+    const auto a = kofidis_regalia_example<double>();
+    WallTimer build_timer;
+    const decomp::Oracle<double> oracle(a);
+    const double build_s = build_timer.seconds();
+    const auto& spec = oracle.spectrum();
+
+    TextTable ot;
+    ot.set_header({"lambda", "mult", "residual"});
+    for (const auto& pr : spec.pairs) {
+      char lam[32], res[32];
+      std::snprintf(lam, sizeof lam, "%.10f", pr.lambda);
+      std::snprintf(res, sizeof res, "%.2e", pr.residual);
+      ot.add_row({lam, std::to_string(pr.multiplicity), res});
+    }
+    bench::emit(ot, csv);
+    std::printf("qrst: %zu pairs in %d sweeps (%.2f ms)%s\n",
+                spec.pairs.size(), spec.sweeps, build_s * 1e3,
+                spec.has_zero_class ? ", zero class" : "");
+
+    kernels::BoundKernels<double> k(a, Tier::kGeneral);
+    sshopm::Options sopt;
+    sopt.alpha = 1.0;
+    sopt.tolerance = 1e-10;
+    sopt.max_iterations = 1000;
+    std::vector<sshopm::Result<double>> sweep;
+    for (const auto& x0 : fibonacci_sphere<double>(16)) {
+      sweep.push_back(sshopm::solve(k, {x0.data(), x0.size()}, sopt));
+    }
+    const auto rep = decomp::verify_results(oracle, sweep);
+    std::printf("oracle: %d checked, %d matched, %d mismatched, %d skipped\n",
+                rep.checked, rep.matched, rep.mismatched, rep.skipped);
+
+#if TE_OBS_ENABLED
+    auto& reg = obs::global();
+    reg.gauge("bench.sshopm.oracle.checked")
+        .set(static_cast<double>(rep.checked));
+    reg.gauge("bench.sshopm.oracle.matched")
+        .set(static_cast<double>(rep.matched));
+    reg.gauge("bench.sshopm.oracle.mismatched")
+        .set(static_cast<double>(rep.mismatched));
+#endif  // TE_OBS_ENABLED
+
+    if (!rep.clean()) {
+      std::fprintf(stderr,
+                   "bench_sshopm: differential oracle rejected the "
+                   "fixed-shift sweep\n");
+      return 1;
+    }
   }
 
   return bench::maybe_write_metrics(args, "bench_sshopm",

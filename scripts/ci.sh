@@ -57,7 +57,7 @@ run_pass build -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@"
 
 # Labeled subsets (same build tree; cheap, and verifies the label wiring).
-for label in tier1 slow stress analysis; do
+for label in tier1 slow stress analysis oracle; do
   echo "=== build: ctest -L ${label} ==="
   ctest --test-dir build -L "${label}" --output-on-failure -j "${JOBS}"
 done
@@ -66,16 +66,23 @@ done
 # must produce a schema-valid te-obs-v1 artifact (this is what perf-tracking
 # jobs archive), checked by the bundled validator. --multi additionally runs
 # the lane-blocked sweep, which exits nonzero if any width breaks
-# slot-for-slot FailureReason parity with the per-vector baseline, and the
-# validator asserts the multi-vector gauges actually landed in the dump.
+# slot-for-slot FailureReason parity with the per-vector baseline;
+# --adaptive runs the GEAP-vs-fixed-shift study (nonzero exit if the
+# adaptive scheme regresses kMaxIterations failures); --oracle builds the
+# QRST all-eigenpairs spectrum and differentially verifies a fixed-shift
+# sweep against it (nonzero exit on any unmatched pair). The validator then
+# asserts the multi-vector, adaptive, and QRST gauges actually landed.
 echo "=== build: bench smoke (BENCH_sshopm.json + BENCH_kernels.json) ==="
 cmake --build build -j "${JOBS}" --target bench_sshopm bench_kernels \
   obs_json_check
-./build/bench/bench_sshopm --tensors 16 --starts 4 --multi \
-  --metrics-json build/BENCH_sshopm.json
+./build/bench/bench_sshopm --tensors 16 --starts 4 --multi --adaptive \
+  --oracle --metrics-json build/BENCH_sshopm.json
 ./build/tools/obs_json_check build/BENCH_sshopm.json \
   --require-gauge sshopm.multi.width 1 \
-  --require-gauge bench.sshopm.multi_speedup.general 1
+  --require-gauge bench.sshopm.multi_speedup.general 1 \
+  --require-gauge bench.sshopm.adaptive.runs 1 \
+  --require-gauge bench.sshopm.oracle.checked 1 \
+  --require-gauge decomp.qrst.pairs 1
 ./build/bench/bench_kernels --multi --benchmark_filter=Multi \
   --benchmark_min_time=0.01 --metrics-json build/BENCH_kernels.json
 ./build/tools/obs_json_check build/BENCH_kernels.json \

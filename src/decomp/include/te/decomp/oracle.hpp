@@ -1,0 +1,189 @@
+#pragma once
+// Differential oracle: QRST as the ground truth for every other solver.
+//
+// qrst_spectrum() recovers the *complete* Z-spectrum of a small symmetric
+// tensor, so any converged eigenpair claimed by SS-HOPM (fixed shift,
+// adaptive, multi-lane, any execution backend, any kernel tier) must match
+// one of its pairs -- an independent end-to-end check that needs no
+// hand-curated fixtures. The Oracle builds the spectrum once per tensor and
+// then answers membership queries:
+//
+//   * a claimed pair matches when it is pairs_equivalent() to a QRST pair
+//     under the oracle tolerances (both sign forms checked);
+//   * a claimed pair in the zero band |lambda| <= zero_tol * max(1,||A||_F)
+//     matches when the spectrum reported a zero class AND the claim's own
+//     residual ||A x^{m-1} - lambda x|| passes -- zero-band pairs form a
+//     continuum on degenerate tensors, so identity-based matching is the
+//     wrong test there;
+//   * anything else is a mismatch, counted through decomp.oracle.* so CI
+//     can require that mismatches stayed at zero.
+//
+// Tolerance policy: the oracle intentionally matches *looser* than QRST's
+// own acceptance residual (1e-10), because the claims under test are raw
+// solver iterates (SS-HOPM stops on a lambda-increment test, leaving ~1e-6
+// residuals at default settings). Defaults are lambda_tol = 1e-5 /
+// vector_tol = 1e-4, wide enough for unpolished double-precision SS-HOPM
+// output and narrow enough that distinct pairs of every shipped fixture are
+// separated by >= 4 orders of magnitude more than the tolerance. Float
+// claims should widen the tolerances by ~sqrt(eps_f/eps_d); the tests do.
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "te/decomp/qrst.hpp"
+
+namespace te::decomp {
+
+/// Controls for oracle matching (see the tolerance policy above).
+struct OracleOptions {
+  QrstOptions qrst;          ///< spectrum construction controls
+  double lambda_tol = 1e-5;  ///< eigenvalue matching tolerance
+  double vector_tol = 1e-4;  ///< eigenvector matching tolerance (2-norm)
+  /// Direct-residual bound for zero-band claims (scaled by max(1,||A||_F)).
+  double claim_residual_tol = 1e-6;
+};
+
+/// Outcome of one membership query.
+struct OracleMatch {
+  bool matched = false;
+  /// True when the claim matched through the zero-class residual path
+  /// rather than an enumerated pair; `index` is meaningless then.
+  bool zero_class = false;
+  std::size_t index = 0;  ///< matching entry in spectrum().pairs
+  double residual = 0;    ///< the claim's own ||A x^{m-1} - lambda x||
+};
+
+#if TE_OBS_ENABLED
+namespace detail {
+struct OracleMetrics {
+  obs::Counter& checks;
+  obs::Counter& matches;
+  obs::Counter& mismatches;
+
+  static OracleMetrics& get() {
+    static OracleMetrics m{
+        obs::global().counter("decomp.oracle.checks"),
+        obs::global().counter("decomp.oracle.matches"),
+        obs::global().counter("decomp.oracle.mismatches"),
+    };
+    return m;
+  }
+};
+}  // namespace detail
+#endif  // TE_OBS_ENABLED
+
+/// Ground-truth membership oracle for the Z-spectrum of one tensor. Owns a
+/// copy of the tensor (claims' residuals are evaluated against it) and the
+/// QRST spectrum built at construction.
+template <Real T>
+class Oracle {
+ public:
+  explicit Oracle(SymmetricTensor<T> a, OracleOptions opt = {})
+      : a_(std::move(a)),
+        opt_(opt),
+        spectrum_(qrst_spectrum(a_, opt.qrst)),
+        scale_(std::max(1.0, static_cast<double>(a_.frobenius_norm()))) {}
+
+  [[nodiscard]] const QrstSpectrum<T>& spectrum() const { return spectrum_; }
+  [[nodiscard]] const OracleOptions& options() const { return opt_; }
+  [[nodiscard]] const SymmetricTensor<T>& tensor() const { return a_; }
+
+  /// Membership query without metrics side effects.
+  [[nodiscard]] OracleMatch match(T lambda, std::span<const T> x) const {
+    OracleMatch out;
+    out.residual = claim_residual(lambda, x);
+    for (std::size_t i = 0; i < spectrum_.pairs.size(); ++i) {
+      const auto& p = spectrum_.pairs[i];
+      if (pairs_equivalent(a_.order(), p.lambda,
+                           std::span<const T>(p.x.data(), p.x.size()),
+                           lambda, x, opt_.lambda_tol, opt_.vector_tol)) {
+        out.matched = true;
+        out.index = i;
+        return out;
+      }
+    }
+    if (spectrum_.has_zero_class &&
+        std::abs(static_cast<double>(lambda)) <=
+            opt_.qrst.zero_tol * scale_ &&
+        out.residual <= opt_.claim_residual_tol * scale_) {
+      out.matched = true;
+      out.zero_class = true;
+    }
+    return out;
+  }
+
+  /// Membership query, counted through decomp.oracle.*.
+  [[nodiscard]] bool check(T lambda, std::span<const T> x) const {
+    const OracleMatch m = match(lambda, x);
+#if TE_OBS_ENABLED
+    auto& metrics = detail::OracleMetrics::get();
+    metrics.checks.inc();
+    (m.matched ? metrics.matches : metrics.mismatches).inc();
+#endif
+    return m.matched;
+  }
+
+  /// Convenience for solver result types carrying lambda/x/converged
+  /// (sshopm::Result, sshopm::AdaptiveResult, sshopm::NewtonResult).
+  template <typename R>
+  [[nodiscard]] bool check_result(const R& r) const {
+    return check(r.lambda, std::span<const T>(r.x.data(), r.x.size()));
+  }
+
+ private:
+  [[nodiscard]] double claim_residual(T lambda, std::span<const T> x) const {
+    std::vector<T> y(x.size());
+    kernels::ttsv1_general(a_, x, std::span<T>(y.data(), y.size()));
+    double r2 = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = static_cast<double>(y[i]) -
+                       static_cast<double>(lambda) *
+                           static_cast<double>(x[i]);
+      r2 += e * e;
+    }
+    return std::sqrt(r2);
+  }
+
+  SymmetricTensor<T> a_;
+  OracleOptions opt_;
+  QrstSpectrum<T> spectrum_;
+  double scale_;
+};
+
+/// Tally of a batch of membership checks.
+struct OracleReport {
+  int checked = 0;
+  int matched = 0;
+  int mismatched = 0;
+  int skipped = 0;  ///< unconverged claims, not checked
+
+  /// Every converged claim matched (and at least one was checked).
+  [[nodiscard]] bool clean() const {
+    return checked > 0 && mismatched == 0 && matched == checked;
+  }
+};
+
+/// Check every converged result in a range of solver outputs (elements need
+/// lambda / x / converged members).
+template <Real T, typename Results>
+[[nodiscard]] OracleReport verify_results(const Oracle<T>& oracle,
+                                          const Results& results) {
+  OracleReport rep;
+  for (const auto& r : results) {
+    if (!r.converged) {
+      ++rep.skipped;
+      continue;
+    }
+    ++rep.checked;
+    if (oracle.check_result(r)) {
+      ++rep.matched;
+    } else {
+      ++rep.mismatched;
+    }
+  }
+  return rep;
+}
+
+}  // namespace te::decomp

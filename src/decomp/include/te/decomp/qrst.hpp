@@ -1,0 +1,460 @@
+#pragma once
+// QRST: the QR algorithm for symmetric tensors (Batselier & Wong,
+// arXiv:1411.1926) -- an all-eigenpairs backend for small shapes.
+//
+// The matrix QR iteration A = QR, A' = RQ = Q^T A Q generalizes to a
+// symmetric order-m tensor S through its mode-1 unfolding S_(1) (n x
+// n^{m-1}):
+//
+//     S_(1) = Q R            (Householder QR, Q n x n orthogonal)
+//     S'    = S x_1 Q^T x_2 Q^T ... x_m Q^T
+//
+// which reduces to exactly RQ for m = 2. The first column of the unfolding
+// is S e_1^{m-1}, so the first column of the accumulated orthogonal basis
+// obeys q_1 <- normalize(A q_1^{m-1}): QRST runs the symmetric higher-order
+// power method on its leading basis vector while the QR factorization keeps
+// the remaining columns an orthonormal complement. Adding alpha times the
+// diagonal identity tensor D (d_{i...i} = 1) before factorizing turns that
+// into the *shifted* iteration q_1 <- +-normalize(A q_1^{m-1} + alpha q_1)
+// of Kolda & Mayo -- monotone convergence to a constrained extremum for
+// alpha past the curvature bound, with the sign convention of the QR
+// (diag(R) >= 0, or <= 0 on the concave branch) selecting maxima or minima.
+//
+// One converged sweep therefore pins at least one eigenpair (the leading
+// basis column) and leaves the remaining columns as structured candidates:
+// every column, and every normalized two-column combination, is polished by
+// Newton's method on F(x, lambda) = [A x^{m-1} - lambda x; (x^T x - 1)/2]
+// and accepted only if the residual ||A x^{m-1} - lambda x|| passes the
+// acceptance bound. Sweeping from seeded random orthogonal starting bases
+// until no sweep discovers a new pair (saturation) recovers the complete
+// real Z-spectrum for the small (m, n) this backend targets -- the test
+// suite proves completeness against analytically known spectra (odeco
+// tensors have 2^n - 1 closed-form pairs; rank-one fixtures exactly one
+// nonzero pair) and against the Kofidis-Regalia fixture.
+//
+// Eigenvalues inside the zero band |lambda| <= zero_tol * max(1, ||A||_F)
+// form a single "zero class" (for degenerate tensors they are a continuum,
+// e.g. every direction orthogonal to a rank-one term), reported as a flag
+// rather than as enumerated pairs so the pair count stays stable.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "te/kernels/general.hpp"
+#include "te/obs/obs.hpp"
+#include "te/sshopm/newton.hpp"
+#include "te/tensor/dense_ops.hpp"
+#include "te/tensor/symmetric_tensor.hpp"
+#include "te/util/linalg.hpp"
+#include "te/util/rng.hpp"
+
+namespace te::decomp {
+
+/// Controls for the QRST spectrum search.
+struct QrstOptions {
+  /// Shift magnitude; < 0 selects the Kolda-Mayo convexity bound
+  /// (m - 1) * ||A||_F that guarantees monotone sweeps.
+  double shift = -1.0;
+  int max_iterations = 300;  ///< QR iterations per sweep
+  double tolerance = 1e-11;  ///< |d lambda| sweep convergence bound
+  int max_sweeps = 24;       ///< random-basis sweeps (per shift direction)
+  int saturation = 5;        ///< stop after this many sweeps with no new pair
+  std::uint64_t seed = 0x9157;  ///< seeds the random orthogonal start bases
+  /// Acceptance bound on ||A x^{m-1} - lambda x|| for a polished pair
+  /// (scaled up to working precision for float instantiations).
+  double residual_tol = 1e-10;
+  /// |lambda| <= zero_tol * max(1, ||A||_F) collapses into the zero class.
+  double zero_tol = 1e-7;
+  double cluster_lambda_tol = 1e-6;  ///< eigenvalues within this merge...
+  double cluster_vector_tol = 1e-5;  ///< ...when vectors are also this close
+  int newton_iterations = 30;        ///< polish budget per candidate
+};
+
+/// One recovered Z-eigenpair in canonical form (see canonicalize_pair).
+template <Real T>
+struct QrstPair {
+  T lambda = T(0);
+  std::vector<T> x;
+  T residual = T(0);     ///< ||A x^{m-1} - lambda x|| of the polished pair
+  int multiplicity = 1;  ///< harvested candidates that merged into this pair
+};
+
+/// The recovered spectrum, sorted by descending eigenvalue.
+template <Real T>
+struct QrstSpectrum {
+  std::vector<QrstPair<T>> pairs;
+  /// True when a pair inside the zero band was recovered. Degenerate
+  /// tensors (e.g. rank-one) carry a *continuum* of zero-eigenvalue
+  /// directions, which would make the enumerated pair count meaningless;
+  /// they are collapsed into this flag instead.
+  bool has_zero_class = false;
+  int sweeps = 0;              ///< QRST sweeps actually run
+  std::int64_t iterations = 0; ///< total QR iterations across sweeps
+  int rejected = 0;            ///< candidates that failed polish/acceptance
+};
+
+/// Canonical representative of an eigenpair's sign class, making pairs
+/// comparable across solvers: odd order identifies (lambda, x) with
+/// (-lambda, -x), so the representative has lambda >= 0; even order
+/// identifies (lambda, x) with (lambda, -x), so the representative makes
+/// the first component of x with |x_i| > 1e-8 positive (the same rule
+/// breaks the tie for odd-order pairs in the zero band).
+template <Real T>
+void canonicalize_pair(int order, T& lambda, std::span<T> x) {
+  bool flip = false;
+  if (order % 2 != 0 && std::abs(static_cast<double>(lambda)) > 1e-12) {
+    flip = lambda < T(0);
+  } else {
+    for (const T v : x) {
+      if (std::abs(static_cast<double>(v)) > 1e-8) {
+        flip = v < T(0);
+        break;
+      }
+    }
+  }
+  if (flip) {
+    if (order % 2 != 0) lambda = -lambda;
+    for (auto& v : x) v = -v;
+  }
+}
+
+/// True when (la, xa) and (lb, xb) represent the same eigenpair class of an
+/// order-`order` tensor within the given tolerances, checking both sign
+/// forms explicitly so callers need not pre-canonicalize.
+template <Real T>
+[[nodiscard]] bool pairs_equivalent(int order, T la, std::span<const T> xa,
+                                    T lb, std::span<const T> xb,
+                                    double lambda_tol, double vector_tol) {
+  if (xa.size() != xb.size()) return false;
+  const bool odd = order % 2 != 0;
+  const auto close = [&](double sgn, double lam) {
+    if (std::abs(static_cast<double>(la) - lam) > lambda_tol) return false;
+    double d = 0;
+    for (std::size_t i = 0; i < xa.size(); ++i) {
+      const double e =
+          static_cast<double>(xa[i]) - sgn * static_cast<double>(xb[i]);
+      d += e * e;
+    }
+    return std::sqrt(d) <= vector_tol;
+  };
+  return close(1.0, static_cast<double>(lb)) ||
+         close(-1.0, odd ? -static_cast<double>(lb)
+                         : static_cast<double>(lb));
+}
+
+#if TE_OBS_ENABLED
+namespace detail {
+/// Name-resolved-once metric handles (same pattern as sshopm's).
+struct QrstMetrics {
+  obs::Counter& sweeps;
+  obs::Counter& iterations;
+  obs::Counter& pairs_found;
+  obs::Counter& harvest_rejects;
+  obs::Histogram& residual;
+  obs::Gauge& pairs;
+  obs::Gauge& max_residual;
+
+  static QrstMetrics& get() {
+    static QrstMetrics m{
+        obs::global().counter("decomp.qrst.sweeps"),
+        obs::global().counter("decomp.qrst.iterations"),
+        obs::global().counter("decomp.qrst.pairs_found"),
+        obs::global().counter("decomp.qrst.harvest_rejects"),
+        obs::global().histogram("decomp.qrst.residual"),
+        obs::global().gauge("decomp.qrst.pairs"),
+        obs::global().gauge("decomp.qrst.max_residual"),
+    };
+    return m;
+  }
+};
+}  // namespace detail
+#endif  // TE_OBS_ENABLED
+
+namespace detail {
+
+/// Column of the mode-1 unfolding holding entry (i, i, ..., i): row-major
+/// over the trailing m-1 indices, i.e. i * (n^{m-2} + ... + n + 1).
+[[nodiscard]] inline int diagonal_column(int i, int order, int dim) {
+  std::int64_t col = 0;
+  for (int t = 0; t < order - 1; ++t) col = col * dim + i;
+  return static_cast<int>(col);
+}
+
+/// One QRST sweep from the orthogonal start basis `q0`: iterate the shifted
+/// QR step until the leading Rayleigh quotient stabilizes (or the budget
+/// runs out) and return the accumulated orthogonal basis. `iterations` is
+/// incremented by the number of QR steps taken.
+template <Real T>
+[[nodiscard]] Matrix<T> qrst_sweep(const DenseTensor<T>& dense,
+                                   const Matrix<T>& q0, double alpha,
+                                   const QrstOptions& opt, double tol,
+                                   std::int64_t& iterations) {
+  const int n = dense.dim();
+  const int m = dense.order();
+  Matrix<T> qbar = q0;
+  double prev = std::numeric_limits<double>::quiet_NaN();
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    // B = A x_1 Qbar^T ... x_m Qbar^T, recomputed from the original tensor
+    // every step so orthogonality drift in Qbar cannot accumulate into B.
+    const Matrix<T> qt = transpose(qbar);
+    DenseTensor<T> b = dense;
+    for (int mode = 0; mode < m; ++mode) b = ttm_mode(b, qt, mode);
+
+    // Leading diagonal entry of B = Rayleigh quotient of the first basis
+    // column -- the SS-HOPM lambda sequence; its stabilization is the
+    // sweep's convergence signal.
+    const std::vector<index_t> lead_idx(static_cast<std::size_t>(m),
+                                        index_t(0));
+    const double lead = static_cast<double>(
+        b(std::span<const index_t>(lead_idx.data(), lead_idx.size())));
+
+    Matrix<T> u = matricize(b, 0);
+    for (int i = 0; i < n; ++i) {
+      u(i, diagonal_column(i, m, n)) += static_cast<T>(alpha);
+    }
+    const auto qr = qr_decompose(u, /*negate=*/alpha < 0);
+    qbar = matmul(qbar, qr.q);
+    ++iterations;
+
+    if (!std::isfinite(lead)) break;
+    if (it > 0 && std::abs(lead - prev) <= tol) break;
+    prev = lead;
+  }
+  return qbar;
+}
+
+/// Polish a candidate direction into an exact eigenpair and, if it passes
+/// the acceptance residual, merge it into `out`. Returns true when the
+/// candidate produced a *new* pair.
+template <Real T>
+bool harvest_candidate(const SymmetricTensor<T>& a, std::span<const T> x,
+                       const QrstOptions& opt, double residual_tol,
+                       double zero_band, QrstSpectrum<T>& out) {
+  std::vector<T> cand(x.begin(), x.end());
+  if (try_normalize(std::span<T>(cand.data(), cand.size())) == T(0)) {
+    ++out.rejected;
+    return false;
+  }
+  const T lambda0 = kernels::ttsv0_general(
+      a, std::span<const T>(cand.data(), cand.size()));
+  if (!std::isfinite(static_cast<double>(lambda0))) {
+    ++out.rejected;
+    return false;
+  }
+  sshopm::NewtonOptions nopt;
+  nopt.max_iterations = opt.newton_iterations;
+  auto refined = sshopm::refine_eigenpair(
+      a, lambda0, std::span<const T>(cand.data(), cand.size()), nopt);
+  const double norm = static_cast<double>(
+      nrm2(std::span<const T>(refined.x.data(), refined.x.size())));
+  if (!refined.converged || refined.residual > residual_tol ||
+      !std::isfinite(norm) || std::abs(norm - 1.0) > 1e-6) {
+    ++out.rejected;
+    return false;
+  }
+  for (auto& v : refined.x) v /= static_cast<T>(norm);
+
+  TE_OBS_ONLY(detail::QrstMetrics::get().residual.record(refined.residual));
+  if (std::abs(static_cast<double>(refined.lambda)) <= zero_band) {
+    // Zero-band pair: collapse into the zero class (see QrstSpectrum).
+    out.has_zero_class = true;
+    return false;
+  }
+
+  canonicalize_pair(a.order(), refined.lambda,
+                    std::span<T>(refined.x.data(), refined.x.size()));
+  for (auto& p : out.pairs) {
+    if (pairs_equivalent(a.order(), p.lambda,
+                         std::span<const T>(p.x.data(), p.x.size()),
+                         refined.lambda,
+                         std::span<const T>(refined.x.data(),
+                                            refined.x.size()),
+                         opt.cluster_lambda_tol, opt.cluster_vector_tol)) {
+      ++p.multiplicity;
+      if (static_cast<double>(refined.residual) <
+          static_cast<double>(p.residual)) {
+        p.lambda = refined.lambda;
+        p.x = std::move(refined.x);
+        p.residual = static_cast<T>(refined.residual);
+      }
+      return false;
+    }
+  }
+  QrstPair<T> pair;
+  pair.lambda = refined.lambda;
+  pair.x = std::move(refined.x);
+  pair.residual = static_cast<T>(refined.residual);
+  out.pairs.push_back(std::move(pair));
+  TE_OBS_ONLY(detail::QrstMetrics::get().pairs_found.inc());
+  return true;
+}
+
+/// Random orthogonal matrix: QR of an i.i.d. uniform matrix, deterministic
+/// in (rng, stream).
+template <Real T>
+[[nodiscard]] Matrix<T> random_orthogonal(const CounterRng& rng,
+                                          std::uint64_t stream, int n) {
+  Matrix<T> g(n, n);
+  std::uint64_t c = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      g(i, j) = static_cast<T>(rng.in(stream, c++, -1.0, 1.0));
+    }
+  }
+  return qr_decompose(g).q;
+}
+
+}  // namespace detail
+
+/// Recover the complete real Z-spectrum of a small symmetric tensor by
+/// saturating shifted-QRST sweeps (see the header comment for the model).
+/// Deterministic in QrstOptions::seed: repeated runs with equal options
+/// produce the same spectrum.
+template <Real T>
+[[nodiscard]] QrstSpectrum<T> qrst_spectrum(const SymmetricTensor<T>& a,
+                                            const QrstOptions& opt = {}) {
+  const int n = a.dim();
+  const int m = a.order();
+  TE_REQUIRE(m >= 2, "QRST needs order >= 2");
+  TE_REQUIRE(opt.max_iterations >= 1 && opt.max_sweeps >= 1,
+             "iteration and sweep budgets must be positive");
+
+  const double fnorm = static_cast<double>(a.frobenius_norm());
+  const double eps = static_cast<double>(std::numeric_limits<T>::epsilon());
+  const double scale = std::max(1.0, fnorm);
+  // Working-precision floors: the double-precision defaults are unreachable
+  // for float instantiations, so every tolerance scales up with epsilon.
+  const double tol = std::max(opt.tolerance, 64.0 * eps * scale);
+  const double residual_tol =
+      std::max(opt.residual_tol, 256.0 * eps * scale);
+  const double zero_band = std::max(opt.zero_tol, 1e3 * eps) * scale;
+  QrstOptions eff = opt;
+  eff.cluster_lambda_tol =
+      std::max(opt.cluster_lambda_tol, 1e4 * eps * scale);
+  eff.cluster_vector_tol = std::max(opt.cluster_vector_tol, 1e5 * eps);
+
+  QrstSpectrum<T> out;
+  if (n == 1) {
+    // The unit sphere in R^1 is {+-1}; the single class is (a_{1...1}, 1).
+    QrstPair<T> p;
+    p.lambda = a.value(0);
+    p.x = {T(1)};
+    canonicalize_pair(m, p.lambda, std::span<T>(p.x.data(), p.x.size()));
+    if (std::abs(static_cast<double>(p.lambda)) <= zero_band) {
+      out.has_zero_class = true;
+    } else {
+      out.pairs.push_back(std::move(p));
+    }
+    TE_OBS_ONLY(detail::QrstMetrics::get().pairs.set(
+        static_cast<double>(out.pairs.size())));
+    return out;
+  }
+
+  const double alpha0 =
+      opt.shift >= 0 ? opt.shift : static_cast<double>(m - 1) * fnorm;
+  // Odd order pairs (lambda, x) with (-lambda, -x): the convex branch
+  // already covers both signs. Even order needs the concave branch too.
+  std::vector<double> shifts = {alpha0};
+  if (m % 2 == 0) shifts.push_back(-alpha0);
+
+  const DenseTensor<T> dense = to_dense(a);
+  const CounterRng rng(opt.seed);
+  int dry = 0;
+  for (int s = 0; s < opt.max_sweeps && dry < opt.saturation; ++s) {
+    // Sweep 0 starts from the identity basis (catches axis-aligned fixture
+    // spectra exactly); later sweeps randomize the starting basis.
+    const Matrix<T> q0 =
+        s == 0 ? Matrix<T>::identity(n)
+               : detail::random_orthogonal<T>(
+                     rng, static_cast<std::uint64_t>(s), n);
+    bool found_new = false;
+    for (const double alpha : shifts) {
+      const Matrix<T> qbar =
+          detail::qrst_sweep(dense, q0, alpha, opt, tol, out.iterations);
+      ++out.sweeps;
+      TE_OBS_ONLY(detail::QrstMetrics::get().sweeps.inc());
+
+      // Harvest candidates, polished by Newton and residual-gated:
+      //   * every basis column (the converged extrema live here);
+      //   * every two- and three-column sign combination -- interior
+      //     eigenpairs are spanned by several converged columns (an odeco
+      //     tensor's subset-S pair is a combination of |S| axis columns),
+      //     and Newton from the combination converges to them even though
+      //     no power-type iteration does;
+      //   * a few seeded random directions per sweep, covering basins the
+      //     structured candidates miss.
+      std::vector<std::vector<T>> cands;
+      std::vector<T> cand(static_cast<std::size_t>(n));
+      const auto col = [&](int j, T sgn) {
+        for (int r = 0; r < n; ++r) {
+          cand[static_cast<std::size_t>(r)] += sgn * qbar(r, j);
+        }
+      };
+      for (int i = 0; i < n; ++i) {
+        cand.assign(static_cast<std::size_t>(n), T(0));
+        col(i, T(1));
+        cands.push_back(cand);
+      }
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          for (const T sj : {T(1), T(-1)}) {
+            cand.assign(static_cast<std::size_t>(n), T(0));
+            col(i, T(1));
+            col(j, sj);
+            cands.push_back(cand);
+          }
+          for (int k = j + 1; k < n; ++k) {
+            for (const T sj : {T(1), T(-1)}) {
+              for (const T sk : {T(1), T(-1)}) {
+                cand.assign(static_cast<std::size_t>(n), T(0));
+                col(i, T(1));
+                col(j, sj);
+                col(k, sk);
+                cands.push_back(cand);
+              }
+            }
+          }
+        }
+      }
+      const std::uint64_t rstream =
+          0x1000u + 2u * static_cast<std::uint64_t>(s) +
+          (alpha < 0 ? 1u : 0u);
+      std::uint64_t rc = 0;
+      for (int r0 = 0; r0 < 4 * n; ++r0) {
+        cand.clear();
+        for (int r = 0; r < n; ++r) {
+          cand.push_back(static_cast<T>(rng.in(rstream, rc++, -1.0, 1.0)));
+        }
+        cands.push_back(cand);
+      }
+      for (const auto& c : cands) {
+        found_new |= detail::harvest_candidate(
+            a, std::span<const T>(c.data(), c.size()), eff, residual_tol,
+            zero_band, out);
+      }
+    }
+    dry = found_new ? 0 : dry + 1;
+  }
+
+  std::sort(out.pairs.begin(), out.pairs.end(),
+            [](const QrstPair<T>& l, const QrstPair<T>& r) {
+              return l.lambda > r.lambda;
+            });
+#if TE_OBS_ENABLED
+  auto& metrics = detail::QrstMetrics::get();
+  metrics.iterations.add(out.iterations);
+  metrics.harvest_rejects.add(out.rejected);
+  metrics.pairs.set(static_cast<double>(out.pairs.size()));
+  double worst = 0;
+  for (const auto& p : out.pairs) {
+    worst = std::max(worst, static_cast<double>(p.residual));
+  }
+  metrics.max_residual.set(worst);
+#endif
+  return out;
+}
+
+}  // namespace te::decomp

@@ -1,12 +1,27 @@
 // Explicit instantiations for the decomposition templates.
 
 #include "te/decomp/greedy_cp.hpp"
+#include "te/decomp/oracle.hpp"
+#include "te/decomp/qrst.hpp"
 #include "te/decomp/rank_one.hpp"
 
 namespace te::decomp {
 
 template struct RankOneTerm<float>;
 template struct RankOneTerm<double>;
+
+template struct QrstPair<float>;
+template struct QrstPair<double>;
+template struct QrstSpectrum<float>;
+template struct QrstSpectrum<double>;
+
+template QrstSpectrum<float> qrst_spectrum(const SymmetricTensor<float>&,
+                                           const QrstOptions&);
+template QrstSpectrum<double> qrst_spectrum(const SymmetricTensor<double>&,
+                                            const QrstOptions&);
+
+template class Oracle<float>;
+template class Oracle<double>;
 
 template RankOneTerm<float> best_rank_one(const SymmetricTensor<float>&,
                                           const RankOneOptions&);

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "te/decomp/qrst.hpp"
 #include "te/kernels/general.hpp"
 #include "te/sshopm/multi.hpp"
 #include "te/sshopm/newton.hpp"
@@ -135,6 +136,14 @@ struct MultiStartOptions {
   /// registered power of two (see kernels::multi_widths()). Widths > 1 run
   /// the sweep lane-blocked through solve_multi.
   int simd_width = 1;
+  /// Solver engine. kSshopm runs the multi-start power iteration above;
+  /// kQrst runs the all-eigenpairs QRST backend (te::decomp) instead --
+  /// it ignores `starts`, `inner`, and `simd_width`, recovers the complete
+  /// spectrum of small shapes, and reports QRST harvest multiplicities as
+  /// basin counts.
+  enum class Engine { kSshopm, kQrst };
+  Engine engine = Engine::kSshopm;
+  decomp::QrstOptions qrst;  ///< controls for the kQrst engine
 };
 
 /// Deduplicate finished SS-HOPM runs (from any backend) into distinct
@@ -230,6 +239,27 @@ template <Real T>
     std::span<const std::vector<T>> starts, const MultiStartOptions& opt,
     const kernels::KernelTables<T>* tables = nullptr,
     OpCounts* ops = nullptr) {
+  if (opt.engine == MultiStartOptions::Engine::kQrst) {
+    // All-pairs mode: the QRST backend enumerates the spectrum directly;
+    // only classification is shared with the SS-HOPM path. Already sorted
+    // by descending eigenvalue.
+    const decomp::QrstSpectrum<T> spec = decomp::qrst_spectrum(a, opt.qrst);
+    std::vector<Eigenpair<T>> pairs;
+    pairs.reserve(spec.pairs.size());
+    for (const auto& qp : spec.pairs) {
+      Eigenpair<T> p;
+      p.lambda = qp.lambda;
+      p.x = qp.x;
+      p.basin_count = qp.multiplicity;
+      p.worst_residual = qp.residual;
+      if (opt.classify_pairs) {
+        p.type = classify(a, p.lambda,
+                          std::span<const T>(p.x.data(), p.x.size()));
+      }
+      pairs.push_back(std::move(p));
+    }
+    return pairs;
+  }
   std::vector<Result<T>> runs;
   if (opt.simd_width != 1) {
     kernels::MultiKernels<T> k(a, tier, tables, opt.simd_width);

@@ -83,6 +83,15 @@ template <Real T>
   return out;
 }
 
+/// Mode-1 unfolding of a symmetric tensor: the dim x dim^{m-1} matrix the
+/// QRST iteration QR-factorizes each step. For a symmetric tensor every
+/// mode-k unfolding is the same matrix up to a column permutation, so only
+/// mode 1 is provided. Column (i_2, ..., i_m) in row-major order.
+template <Real T>
+[[nodiscard]] Matrix<T> unfold_mode1(const SymmetricTensor<T>& a) {
+  return matricize(to_dense(a), 0);
+}
+
 /// Frobenius inner product <A, B>.
 template <Real T>
 [[nodiscard]] T inner(const DenseTensor<T>& a, const DenseTensor<T>& b) {

@@ -159,9 +159,102 @@ class Matrix {
   std::vector<T> data_;
 };
 
+/// B = A^T.
+template <Real T>
+[[nodiscard]] Matrix<T> transpose(const Matrix<T>& a) {
+  Matrix<T> b(a.cols(), a.rows());
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < a.cols(); ++j) b(j, i) = a(i, j);
+  return b;
+}
+
+/// C = A B.
+template <Real T>
+[[nodiscard]] Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
+  TE_REQUIRE(a.cols() == b.rows(), "shape mismatch in matmul");
+  Matrix<T> c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const T aik = a(i, k);
+      if (aik == T(0)) continue;
+      for (int j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
 // ---------------------------------------------------------------------------
 // Factorizations / solvers.
 // ---------------------------------------------------------------------------
+
+/// QR factorization A = Q R with Q square orthogonal (rows x rows) and R
+/// upper trapezoidal (rows x cols).
+template <Real T>
+struct QrFactors {
+  Matrix<T> q;
+  Matrix<T> r;
+};
+
+/// Householder QR of an arbitrary rows x cols matrix (cols >= rows is the
+/// shape the QRST unfolding produces; tall matrices work too). The column
+/// signs of Q are fixed by the convention diag(R) >= 0 -- or <= 0 when
+/// `negate` is set, which is how the shifted-QRST iteration realizes the
+/// concave branch x <- -normalize(A x^{m-1} + alpha x) of SS-HOPM.
+template <Real T>
+[[nodiscard]] QrFactors<T> qr_decompose(const Matrix<T>& a,
+                                        bool negate = false) {
+  const int rows = a.rows();
+  const int cols = a.cols();
+  TE_REQUIRE(rows >= 1 && cols >= 1, "qr_decompose needs a nonempty matrix");
+  QrFactors<T> out;
+  out.r = a;
+  out.q = Matrix<T>::identity(rows);
+  Matrix<T>& r = out.r;
+  Matrix<T>& q = out.q;
+
+  std::vector<T> v(static_cast<std::size_t>(rows));
+  const int steps = std::min(rows - 1, cols);
+  for (int k = 0; k < steps; ++k) {
+    // Householder vector annihilating r(k+1..rows-1, k).
+    T norm2 = T(0);
+    for (int i = k; i < rows; ++i) norm2 += r(i, k) * r(i, k);
+    const T norm = std::sqrt(norm2);
+    if (!(norm > T(0))) continue;  // column already zero below the diagonal
+    const T sgn = r(k, k) >= T(0) ? T(1) : T(-1);
+    for (int i = k; i < rows; ++i) v[static_cast<std::size_t>(i)] = r(i, k);
+    v[static_cast<std::size_t>(k)] += sgn * norm;
+    T vtv = T(0);
+    for (int i = k; i < rows; ++i) {
+      vtv += v[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+    }
+    if (!(vtv > T(0))) continue;
+    // R <- H R with H = I - 2 v v^T / (v^T v).
+    for (int j = k; j < cols; ++j) {
+      T s = T(0);
+      for (int i = k; i < rows; ++i) s += v[static_cast<std::size_t>(i)] * r(i, j);
+      const T f = T(2) * s / vtv;
+      for (int i = k; i < rows; ++i) r(i, j) -= f * v[static_cast<std::size_t>(i)];
+    }
+    // Q <- Q H (accumulating Q = H_0 H_1 ... from the right).
+    for (int i = 0; i < rows; ++i) {
+      T s = T(0);
+      for (int j = k; j < rows; ++j) s += q(i, j) * v[static_cast<std::size_t>(j)];
+      const T f = T(2) * s / vtv;
+      for (int j = k; j < rows; ++j) q(i, j) -= f * v[static_cast<std::size_t>(j)];
+    }
+  }
+
+  // Sign convention: diag(R) >= 0 (or <= 0 under `negate`). Flipping row j
+  // of R together with column j of Q preserves A = Q R and orthogonality.
+  const int diag = std::min(rows, cols);
+  for (int j = 0; j < diag; ++j) {
+    const bool flip = negate ? r(j, j) > T(0) : r(j, j) < T(0);
+    if (!flip) continue;
+    for (int c = j; c < cols; ++c) r(j, c) = -r(j, c);
+    for (int i = 0; i < rows; ++i) q(i, j) = -q(i, j);
+  }
+  return out;
+}
 
 /// In-place Cholesky factorization of a symmetric positive-definite matrix
 /// (lower triangle). Returns false if the matrix is not numerically SPD.

@@ -1,0 +1,216 @@
+// solve_adaptive coverage: convergence parity with the fixed-shift
+// solve() on the golden fixtures, shift-statistics sanity, FailureReason
+// classification parity on degenerate inputs, and the iteration-count
+// regression against the conservative suggest_shift() bound -- the
+// adaptive scheme's whole reason to exist.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "golden_eigenpairs.hpp"
+#include "te/sshopm/adaptive.hpp"
+#include "te/sshopm/newton.hpp"
+#include "te/sshopm/sshopm.hpp"
+#include "te/util/sphere.hpp"
+
+namespace te::sshopm {
+namespace {
+
+using golden::kKofidisRegaliaSpectrum;
+using golden::kRankOneFixtures;
+
+TEST(Adaptive, ConvergenceParityWithFixedShiftOnGoldenFixtures) {
+  // From identical starts, adaptive must converge at least as often as the
+  // fixed convex shift, and every converged adaptive pair must satisfy the
+  // eigenpair definition to golden precision.
+  const auto a = kofidis_regalia_example<double>();
+  kernels::BoundKernels<double> k(a, kernels::Tier::kGeneral);
+  const auto starts = fibonacci_sphere<double>(24);
+
+  Options fopt;
+  fopt.alpha = 1.0;
+  fopt.tolerance = 1e-10;
+  fopt.max_iterations = 1000;
+  AdaptiveOptions aopt;
+  aopt.tolerance = 1e-10;
+
+  int fixed_conv = 0, adaptive_conv = 0;
+  for (const auto& x0 : starts) {
+    const auto rf = solve(k, {x0.data(), x0.size()}, fopt);
+    const auto ra = solve_adaptive(a, {x0.data(), x0.size()}, aopt);
+    fixed_conv += rf.converged ? 1 : 0;
+    adaptive_conv += ra.converged ? 1 : 0;
+    if (ra.converged) {
+      // Raw iterates converge linearly: a 1e-10 lambda-increment stop
+      // leaves ~1e-6 residual; one Newton polish reaches golden precision
+      // (the same two-stage contract the fixed-shift pipeline uses).
+      EXPECT_LE(eigen_residual(k, ra.lambda, {ra.x.data(), ra.x.size()}),
+                1e-5);
+      const auto polished = refine_eigenpair(
+          a, ra.lambda, std::span<const double>(ra.x.data(), ra.x.size()));
+      ASSERT_TRUE(polished.converged);
+      EXPECT_LE(polished.residual, golden::kGoldenResidual);
+      // The converged eigenvalue is one of the golden classes (its own or
+      // the negated odd-order form).
+      bool known = false;
+      for (const auto& g : kKofidisRegaliaSpectrum) {
+        if (std::abs(std::abs(static_cast<double>(ra.lambda)) - g.lambda) <
+            1e-6) {
+          known = true;
+        }
+      }
+      EXPECT_TRUE(known) << "lambda=" << ra.lambda;
+    }
+  }
+  EXPECT_GE(adaptive_conv, fixed_conv);
+  EXPECT_GT(adaptive_conv, 0);
+}
+
+TEST(Adaptive, RankOneFixturesConvergeToAnalyticPair) {
+  for (const auto& f : kRankOneFixtures) {
+    const auto a = golden::make_rank_one<double>(f);
+    // Start near (not at) the eigenvector so the iteration does real work.
+    std::vector<double> x0(f.x.begin(), f.x.end());
+    x0[0] += 0.3;
+    normalize(std::span<double>(x0.data(), x0.size()));
+    const auto r = solve_adaptive(a, {x0.data(), x0.size()},
+                                  AdaptiveOptions{});
+    ASSERT_TRUE(r.converged) << "order " << f.order;
+    EXPECT_NEAR(static_cast<double>(r.lambda), f.lambda, 1e-8)
+        << "order " << f.order;
+  }
+}
+
+TEST(Adaptive, ShiftStatisticsAreSane) {
+  const auto a = kofidis_regalia_example<double>();
+  const auto starts = fibonacci_sphere<double>(12);
+  const double bound = suggest_shift(a);
+  for (const auto& x0 : starts) {
+    const auto r = solve_adaptive(a, {x0.data(), x0.size()},
+                                  AdaptiveOptions{});
+    if (!r.converged) continue;
+    // Maxima mode: every shift is >= 0, the max dominates the final one,
+    // and the local-curvature shift never exceeds the global worst-case
+    // bound (m-1)||A||_F plus the tau margin.
+    EXPECT_TRUE(std::isfinite(r.final_alpha));
+    EXPECT_GE(r.final_alpha, 0.0);
+    EXPECT_GE(r.max_alpha, r.final_alpha);
+    EXPECT_LE(r.max_alpha, bound + 1e-2);
+  }
+
+  // Minima mode mirrors the signs (final_alpha <= 0; max_alpha tracks
+  // magnitude).
+  const auto& x0 = starts[0];
+  AdaptiveOptions mopt;
+  mopt.find_minima = true;
+  const auto rmin = solve_adaptive(a, {x0.data(), x0.size()}, mopt);
+  if (rmin.converged) {
+    EXPECT_LE(rmin.final_alpha, 0.0);
+    EXPECT_GE(rmin.max_alpha, std::abs(rmin.final_alpha) - 1e-15);
+  }
+}
+
+TEST(Adaptive, FailureClassificationParityWithFixedShift) {
+  // Degenerate inputs must be *reported* with the same FailureReason enum
+  // as solve(), never thrown (both run on scheduler worker threads).
+  const int n = 3;
+
+  // Zero starting vector: kDegenerateIterate on both paths.
+  {
+    const auto a = kofidis_regalia_example<double>();
+    kernels::BoundKernels<double> k(a, kernels::Tier::kGeneral);
+    const std::vector<double> zero(static_cast<std::size_t>(n), 0.0);
+    const auto rf = solve(k, {zero.data(), zero.size()}, Options{});
+    const auto ra =
+        solve_adaptive(a, {zero.data(), zero.size()}, AdaptiveOptions{});
+    EXPECT_FALSE(rf.converged);
+    EXPECT_FALSE(ra.converged);
+    EXPECT_EQ(rf.failure, FailureReason::kDegenerateIterate);
+    EXPECT_EQ(ra.failure, rf.failure);
+  }
+
+  // Non-finite tensor entries: kNonFiniteLambda on both paths.
+  {
+    SymmetricTensor<double> nan_tensor(3, n);
+    nan_tensor.value(0) = std::numeric_limits<double>::quiet_NaN();
+    kernels::BoundKernels<double> k(nan_tensor, kernels::Tier::kGeneral);
+    const std::vector<double> x0 = {1.0, 0.0, 0.0};
+    const auto rf = solve(k, {x0.data(), x0.size()}, Options{});
+    const auto ra =
+        solve_adaptive(nan_tensor, {x0.data(), x0.size()}, AdaptiveOptions{});
+    EXPECT_EQ(rf.failure, FailureReason::kNonFiniteLambda);
+    EXPECT_EQ(ra.failure, rf.failure);
+  }
+
+  // Exhausted budget: kMaxIterations on both paths (one iteration cannot
+  // reach a 1e-10 increment bound from a generic start).
+  {
+    const auto a = kofidis_regalia_example<double>();
+    kernels::BoundKernels<double> k(a, kernels::Tier::kGeneral);
+    const auto starts = fibonacci_sphere<double>(4);
+    Options fopt;
+    fopt.alpha = 1.0;
+    fopt.tolerance = 1e-10;
+    fopt.max_iterations = 1;
+    AdaptiveOptions aopt;
+    aopt.tolerance = 1e-10;
+    aopt.max_iterations = 1;
+    const auto rf = solve(k, {starts[0].data(), starts[0].size()}, fopt);
+    const auto ra =
+        solve_adaptive(a, {starts[0].data(), starts[0].size()}, aopt);
+    EXPECT_EQ(rf.failure, FailureReason::kMaxIterations);
+    EXPECT_EQ(ra.failure, rf.failure);
+  }
+
+  // Success: kNone iff converged, on both paths.
+  {
+    const auto a = kofidis_regalia_example<double>();
+    kernels::BoundKernels<double> k(a, kernels::Tier::kGeneral);
+    const auto starts = fibonacci_sphere<double>(1);
+    Options fopt;
+    fopt.alpha = 1.0;
+    fopt.max_iterations = 2000;
+    const auto rf = solve(k, {starts[0].data(), starts[0].size()}, fopt);
+    const auto ra = solve_adaptive(a, {starts[0].data(), starts[0].size()},
+                                   AdaptiveOptions{});
+    ASSERT_TRUE(rf.converged);
+    ASSERT_TRUE(ra.converged);
+    EXPECT_EQ(rf.failure, FailureReason::kNone);
+    EXPECT_EQ(ra.failure, FailureReason::kNone);
+  }
+}
+
+TEST(Adaptive, StrictlyFewerIterationsThanSuggestShiftOnKofidisRegalia) {
+  // The regression the GEAP scheme is sold on: against the conservative
+  // convexity bound (m-1)||A||_F, the adaptive shift must win the total
+  // iteration count from identical starts -- strictly.
+  const auto a = kofidis_regalia_example<double>();
+  kernels::BoundKernels<double> k(a, kernels::Tier::kGeneral);
+  const auto starts = fibonacci_sphere<double>(24);
+
+  Options fopt;
+  fopt.alpha = suggest_shift(a);
+  fopt.tolerance = 1e-10;
+  fopt.max_iterations = 100000;
+  AdaptiveOptions aopt;
+  aopt.tolerance = 1e-10;
+  aopt.max_iterations = 100000;
+
+  long long fixed_total = 0, adaptive_total = 0;
+  for (const auto& x0 : starts) {
+    const auto rf = solve(k, {x0.data(), x0.size()}, fopt);
+    const auto ra = solve_adaptive(a, {x0.data(), x0.size()}, aopt);
+    ASSERT_TRUE(rf.converged);
+    ASSERT_TRUE(ra.converged);
+    fixed_total += rf.iterations;
+    adaptive_total += ra.iterations;
+  }
+  EXPECT_LT(adaptive_total, fixed_total)
+      << "adaptive " << adaptive_total << " vs fixed " << fixed_total;
+}
+
+}  // namespace
+}  // namespace te::sshopm

@@ -9,10 +9,12 @@
 #include <filesystem>
 
 #include "te/batch/scheduler.hpp"
+#include "te/decomp/oracle.hpp"
 #include "te/io/container.hpp"
 #include "te/kernels/dense.hpp"
 #include "te/kernels/general.hpp"
 #include "te/kernels/ttsv.hpp"
+#include "te/sshopm/spectrum.hpp"
 #include "te/sshopm/sshopm.hpp"
 #include "te/tensor/generators.hpp"
 #include "te/util/rng.hpp"
@@ -294,6 +296,79 @@ TEST_P(SeedSweep, ContainerRoundTripIsBitwiseOnBothReadPaths) {
     EXPECT_EQ(ra.iterations, rb.iterations) << "tensor " << i;
   }
   std::filesystem::remove(path);
+}
+
+TEST_P(SeedSweep, ConvergedSshopmPairsBelongToQrstSpectrum) {
+  // Differential completeness property on random tensors (odd and even
+  // order, n <= 6): every pair SS-HOPM converges to must be a member of
+  // the QRST spectrum, and after Newton refinement its residual must reach
+  // golden precision (1e-8). Everything is seeded, so this is a
+  // deterministic gate, not a flaky sample.
+  const std::uint64_t seed = GetParam();
+  CounterRng rng(seed + 900);
+  for (const auto& [m, n] : {std::pair{3, 5}, {4, 4}, {3, 3}, {4, 6}}) {
+    const auto a = random_symmetric_tensor<double>(
+        rng, static_cast<std::uint64_t>(m * 16 + n), m, n);
+    const decomp::Oracle<double> oracle(a);
+
+    std::vector<std::vector<double>> starts;
+    for (int i = 0; i < 12; ++i) {
+      starts.push_back(random_sphere_vector<double>(
+          rng, 1000 + static_cast<std::uint64_t>(i), n));
+    }
+
+    // Raw fixed-shift runs against the oracle.
+    kernels::BoundKernels<double> k(a, kernels::Tier::kGeneral);
+    sshopm::Options opt;
+    opt.alpha = sshopm::suggest_shift(a);
+    opt.tolerance = 1e-12;
+    opt.max_iterations = 100000;
+    std::vector<sshopm::Result<double>> runs;
+    for (const auto& x0 : starts) {
+      runs.push_back(sshopm::solve(k, {x0.data(), x0.size()}, opt));
+    }
+    const auto rep = decomp::verify_results(oracle, runs);
+    EXPECT_EQ(rep.mismatched, 0)
+        << "m=" << m << " n=" << n << ": " << rep.mismatched << " of "
+        << rep.checked << " converged pairs missing from QRST spectrum";
+    EXPECT_GT(rep.checked, 0) << "m=" << m << " n=" << n;
+
+    // Refined multi-start pairs reach golden precision and stay members.
+    sshopm::MultiStartOptions mopt;
+    mopt.inner = opt;
+    mopt.refine_newton = true;
+    mopt.classify_pairs = false;
+    const auto pairs = sshopm::find_eigenpairs(
+        a, kernels::Tier::kGeneral,
+        std::span<const std::vector<double>>(starts.data(), starts.size()),
+        mopt);
+    for (const auto& p : pairs) {
+      EXPECT_LE(static_cast<double>(p.worst_residual), 1e-8)
+          << "m=" << m << " n=" << n << " lambda=" << p.lambda;
+      EXPECT_TRUE(oracle.check(
+          p.lambda, std::span<const double>(p.x.data(), p.x.size())))
+          << "m=" << m << " n=" << n << " lambda=" << p.lambda;
+    }
+  }
+}
+
+TEST_P(SeedSweep, QrstPairCountStableAcrossRepeatedRuns) {
+  // The QRST spectrum of a random tensor is a pure function of (tensor,
+  // options): pair count, eigenvalues and vectors repeat bitwise.
+  const std::uint64_t seed = GetParam();
+  CounterRng rng(seed + 950);
+  for (const int m : {3, 4}) {
+    const auto a = random_symmetric_tensor<double>(
+        rng, static_cast<std::uint64_t>(m), m, 4);
+    const auto s1 = decomp::qrst_spectrum(a);
+    const auto s2 = decomp::qrst_spectrum(a);
+    ASSERT_EQ(s1.pairs.size(), s2.pairs.size()) << "m=" << m;
+    EXPECT_EQ(s1.has_zero_class, s2.has_zero_class) << "m=" << m;
+    for (std::size_t i = 0; i < s1.pairs.size(); ++i) {
+      EXPECT_EQ(s1.pairs[i].lambda, s2.pairs[i].lambda) << "m=" << m;
+      EXPECT_EQ(s1.pairs[i].x, s2.pairs[i].x) << "m=" << m;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,

@@ -1,0 +1,235 @@
+// QRST backend validation: the all-eigenpairs solver must recover the
+// *complete* Z-spectrum of every fixture whose spectrum is known -- the
+// Kofidis-Regalia tensor (golden), analytic rank-one tensors, the
+// closed-form odeco spectrum, and the matrix case (order 2), where QRST
+// must agree with the classic Jacobi eigendecomposition.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "golden_eigenpairs.hpp"
+#include "te/decomp/qrst.hpp"
+#include "te/sshopm/spectrum.hpp"
+#include "te/util/rng.hpp"
+
+namespace te::decomp {
+namespace {
+
+using golden::GoldenPair;
+using golden::kKofidisRegaliaSpectrum;
+using golden::kRankOneFixtures;
+
+/// The spectrum contains the golden pair (either sign form) to tolerance.
+template <Real T>
+[[nodiscard]] bool spectrum_contains(const QrstSpectrum<T>& s,
+                                     const GoldenPair& g, int order,
+                                     double lambda_tol, double x_tol) {
+  const std::vector<T> gx(g.x.begin(), g.x.end());
+  for (const auto& p : s.pairs) {
+    if (pairs_equivalent(order, p.lambda,
+                         std::span<const T>(p.x.data(), p.x.size()),
+                         static_cast<T>(g.lambda),
+                         std::span<const T>(gx.data(), gx.size()),
+                         lambda_tol, x_tol)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(QrstSpectrum, KofidisRegaliaCompleteToGoldenPrecision) {
+  const auto a = kofidis_regalia_example<double>();
+  const auto s = qrst_spectrum(a);
+  // Exactly the three golden classes: the two published local maxima plus
+  // the saddle -- nothing extra, nothing missing.
+  ASSERT_EQ(s.pairs.size(), kKofidisRegaliaSpectrum.size());
+  EXPECT_FALSE(s.has_zero_class);
+  for (const auto& g : kKofidisRegaliaSpectrum) {
+    EXPECT_TRUE(spectrum_contains(s, g, 3, 1e-8, 1e-8))
+        << "missing lambda=" << g.lambda;
+  }
+  for (const auto& p : s.pairs) {
+    EXPECT_LE(static_cast<double>(p.residual), golden::kGoldenResidual);
+    EXPECT_GE(p.multiplicity, 1);
+    EXPECT_NEAR(nrm2(std::span<const double>(p.x.data(), p.x.size())), 1.0,
+                1e-12);
+  }
+  // Sorted by descending eigenvalue.
+  for (std::size_t i = 1; i < s.pairs.size(); ++i) {
+    EXPECT_GE(s.pairs[i - 1].lambda, s.pairs[i].lambda);
+  }
+}
+
+TEST(QrstSpectrum, KofidisRegaliaFloat) {
+  const auto a = kofidis_regalia_example<float>();
+  const auto s = qrst_spectrum(a);
+  ASSERT_EQ(s.pairs.size(), kKofidisRegaliaSpectrum.size());
+  for (const auto& g : kKofidisRegaliaSpectrum) {
+    EXPECT_TRUE(spectrum_contains(s, g, 3, 1e-4f, 1e-4f))
+        << "missing lambda=" << g.lambda;
+  }
+}
+
+TEST(QrstSpectrum, RankOneFixturesExactPairPlusZeroClass) {
+  // lambda x^(tensor m) has exactly one nonzero eigenpair class -- the
+  // construction pair -- plus a continuum of zero-eigenvalue directions
+  // orthogonal to x, which must collapse into the zero-class flag instead
+  // of polluting the enumerated count.
+  for (const auto& f : kRankOneFixtures) {
+    const auto a = golden::make_rank_one<double>(f);
+    const auto s = qrst_spectrum(a);
+    ASSERT_EQ(s.pairs.size(), 1u) << "order " << f.order;
+    EXPECT_TRUE(s.has_zero_class) << "order " << f.order;
+    const GoldenPair g{f.lambda, f.x};
+    EXPECT_TRUE(spectrum_contains(s, g, f.order, 1e-8, 1e-8))
+        << "order " << f.order;
+    EXPECT_LE(static_cast<double>(s.pairs[0].residual),
+              golden::kGoldenResidual);
+  }
+}
+
+TEST(QrstSpectrum, OdecoClosedFormSpectrumIsComplete) {
+  // 2^3 - 1 = 7 closed-form classes (subset formula); every one must be
+  // found and no spurious pair may appear.
+  const auto a = golden::make_odeco<double>();
+  const auto s = qrst_spectrum(a);
+  const auto expected = golden::odeco_spectrum();
+  ASSERT_EQ(s.pairs.size(), expected.size());
+  EXPECT_FALSE(s.has_zero_class);
+  for (const auto& g : expected) {
+    EXPECT_TRUE(spectrum_contains(s, g, 3, 1e-8, 1e-8))
+        << "missing subset pair lambda=" << g.lambda;
+  }
+}
+
+TEST(QrstSpectrum, MatrixCaseMatchesJacobiEigendecomposition) {
+  // Order 2: tensor Z-eigenpairs are exactly matrix eigenpairs, so QRST
+  // must reproduce jacobi_eigen (all n of them, eigenvalues signed).
+  CounterRng rng(77);
+  const int n = 4;
+  Matrix<double> g(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      g(i, j) = rng.in(0, static_cast<std::uint64_t>(i * 7 + j), -1, 1);
+      g(j, i) = g(i, j);
+    }
+  }
+  const auto a = from_matrix(g);
+  const auto s = qrst_spectrum(a);
+  const auto eig = jacobi_eigen(g);
+  ASSERT_EQ(s.pairs.size(), static_cast<std::size_t>(n));
+  // QRST sorts descending, Jacobi ascending.
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(s.pairs[static_cast<std::size_t>(i)].lambda,
+                eig.values[static_cast<std::size_t>(n - 1 - i)], 1e-10)
+        << "pair " << i;
+  }
+}
+
+TEST(QrstSpectrum, DeterministicAcrossRepeatedRuns) {
+  // Same options => bitwise-identical spectrum (CounterRng seeding; no
+  // global state). This is what makes the pair count a stable test gate.
+  const auto a = kofidis_regalia_example<double>();
+  const auto s1 = qrst_spectrum(a);
+  const auto s2 = qrst_spectrum(a);
+  ASSERT_EQ(s1.pairs.size(), s2.pairs.size());
+  EXPECT_EQ(s1.has_zero_class, s2.has_zero_class);
+  EXPECT_EQ(s1.sweeps, s2.sweeps);
+  EXPECT_EQ(s1.iterations, s2.iterations);
+  for (std::size_t i = 0; i < s1.pairs.size(); ++i) {
+    EXPECT_EQ(s1.pairs[i].lambda, s2.pairs[i].lambda);
+    EXPECT_EQ(s1.pairs[i].x, s2.pairs[i].x);
+    EXPECT_EQ(s1.pairs[i].multiplicity, s2.pairs[i].multiplicity);
+  }
+}
+
+TEST(QrstSpectrum, DimensionOneAndZeroTensorEdgeCases) {
+  SymmetricTensor<double> a1(3, 1);
+  a1.value(0) = -2.0;
+  const auto s1 = qrst_spectrum(a1);
+  ASSERT_EQ(s1.pairs.size(), 1u);
+  // Odd order: canonical class has lambda >= 0 ((-2, 1) ~ (2, -1)).
+  EXPECT_DOUBLE_EQ(s1.pairs[0].lambda, 2.0);
+  EXPECT_DOUBLE_EQ(s1.pairs[0].x[0], -1.0);
+
+  SymmetricTensor<double> a0(3, 3);  // all zeros
+  const auto s0 = qrst_spectrum(a0);
+  EXPECT_TRUE(s0.pairs.empty());
+  EXPECT_TRUE(s0.has_zero_class);
+}
+
+TEST(QrstSpectrum, CanonicalizationAndEquivalenceRules) {
+  std::vector<double> x = {-0.6, 0.8, 0.0};
+  double lam = -1.5;
+  canonicalize_pair(3, lam, std::span<double>(x.data(), x.size()));
+  EXPECT_DOUBLE_EQ(lam, 1.5);  // odd order: flip to lambda >= 0
+  EXPECT_DOUBLE_EQ(x[0], 0.6);
+
+  // Even order: lambda keeps its sign; first significant component > 0.
+  std::vector<double> y = {-0.6, 0.8, 0.0};
+  double lam2 = -1.5;
+  canonicalize_pair(4, lam2, std::span<double>(y.data(), y.size()));
+  EXPECT_DOUBLE_EQ(lam2, -1.5);
+  EXPECT_DOUBLE_EQ(y[0], 0.6);
+  EXPECT_DOUBLE_EQ(y[1], -0.8);
+
+  // pairs_equivalent accepts both sign forms without pre-canonicalization.
+  const std::vector<double> a = {0.6, -0.8, 0.0};
+  const std::vector<double> b = {-0.6, 0.8, 0.0};
+  EXPECT_TRUE(pairs_equivalent(3, 1.5, std::span<const double>(a.data(), 3),
+                               -1.5, std::span<const double>(b.data(), 3),
+                               1e-12, 1e-12));
+  EXPECT_TRUE(pairs_equivalent(4, 1.5, std::span<const double>(a.data(), 3),
+                               1.5, std::span<const double>(b.data(), 3),
+                               1e-12, 1e-12));
+  EXPECT_FALSE(pairs_equivalent(4, 1.5, std::span<const double>(a.data(), 3),
+                                -1.5, std::span<const double>(b.data(), 3),
+                                1e-12, 1e-12));
+}
+
+TEST(QrstSpectrum, FindEigenpairsQrstEngineIgnoresStarts) {
+  // The fourth engine in spectrum::find_eigenpairs: all-pairs mode needs
+  // no starts and returns the classified QRST spectrum.
+  const auto a = kofidis_regalia_example<double>();
+  sshopm::MultiStartOptions mopt;
+  mopt.engine = sshopm::MultiStartOptions::Engine::kQrst;
+  const std::vector<std::vector<double>> no_starts;
+  const auto pairs = sshopm::find_eigenpairs(
+      a, kernels::Tier::kGeneral,
+      std::span<const std::vector<double>>(no_starts.data(),
+                                           no_starts.size()),
+      mopt);
+  ASSERT_EQ(pairs.size(), kKofidisRegaliaSpectrum.size());
+  // Descending order; the leading pair is the global max, the last is the
+  // saddle (golden knowledge of this fixture).
+  EXPECT_NEAR(pairs[0].lambda, kKofidisRegaliaSpectrum[0].lambda, 1e-8);
+  EXPECT_EQ(pairs[0].type, sshopm::SpectralType::kLocalMax);
+  EXPECT_EQ(pairs[2].type, sshopm::SpectralType::kSaddle);
+  for (const auto& p : pairs) {
+    EXPECT_GE(p.basin_count, 1);
+    EXPECT_LE(static_cast<double>(p.worst_residual),
+              golden::kGoldenResidual);
+  }
+}
+
+#if TE_OBS_ENABLED
+TEST(QrstSpectrum, ExportsObsMetrics) {
+  const auto a = kofidis_regalia_example<double>();
+  auto& reg = obs::global();
+  const auto sweeps_before = reg.counter("decomp.qrst.sweeps").value();
+  const auto s = qrst_spectrum(a);
+  EXPECT_GT(reg.counter("decomp.qrst.sweeps").value(), sweeps_before);
+  EXPECT_GT(reg.counter("decomp.qrst.iterations").value(), 0);
+  EXPECT_GT(reg.counter("decomp.qrst.pairs_found").value(), 0);
+  EXPECT_DOUBLE_EQ(reg.gauge("decomp.qrst.pairs").value(),
+                   static_cast<double>(s.pairs.size()));
+  EXPECT_LE(reg.gauge("decomp.qrst.max_residual").value(),
+            golden::kGoldenResidual);
+  EXPECT_GT(reg.histogram("decomp.qrst.residual").count(), 0);
+}
+#endif  // TE_OBS_ENABLED
+
+}  // namespace
+}  // namespace te::decomp
