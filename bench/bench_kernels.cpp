@@ -19,23 +19,41 @@
 //                         runs the width autotuner per tier so the
 //                         kernels.multi.autotune_width.* gauges land in
 //                         the metrics dump
+//   --blocked             run the large-n blocked_par smoke: ttsv0/ttsv1
+//                         over the blocked compact layout at m=3,
+//                         n in {64, 128, 256} with 1/2/4-thread pools,
+//                         bitwise parity-gated against the general tier on
+//                         exact-integer inputs (nonzero exit on mismatch);
+//                         publishes kernels.blocked.parity and
+//                         kernels.blocked.speedup.t{2,4} gauges, and on
+//                         hosts with >= 4 hardware threads additionally
+//                         fails unless the 4-thread speedup at n = 256
+//                         reaches 2x
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "te/io/container.hpp"
 #include "te/kernels/autotune.hpp"
+#include "te/kernels/blocked_par.hpp"
 #include "te/kernels/dense.hpp"
 #include "te/kernels/dispatch.hpp"
+#include "te/kernels/general.hpp"
 #include "te/kernels/multi_dispatch.hpp"
 #include "te/kernels/precomputed.hpp"
 #include "te/obs/obs.hpp"
+#include "te/parallel/executor.hpp"
+#include "te/parallel/thread_pool.hpp"
 #include "te/sshopm/sshopm.hpp"
+#include "te/tensor/blocked_symmetric_tensor.hpp"
 #include "te/tensor/generators.hpp"
 #include "te/util/rng.hpp"
 
@@ -282,17 +300,137 @@ void register_multi_benchmarks() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// --blocked: the large-n blocked_par smoke (parity gate + speedup gauges).
+// ---------------------------------------------------------------------------
+
+// Exact-integer tensor/vector: every ttsv term and partial sum is an
+// integer well inside double exactness, so the result is independent of
+// summation order and the parity check can be BITWISE across task counts.
+SymmetricTensor<double> integer_tensor(int m, int n) {
+  CounterRng rng(4242);
+  SymmetricTensor<double> a(m, n);
+  auto vals = a.values();
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    vals[i] = static_cast<double>(static_cast<int>(rng.in(1, i, -4.0, 4.0)));
+  }
+  return a;
+}
+
+template <class F>
+double min_time_ms(F&& f, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+int run_blocked_smoke() {
+  const int m = 3;
+  const unsigned hw = std::thread::hardware_concurrency();
+  bool parity_ok = true;
+  double speedup_t2 = 0.0;
+  double speedup_t4 = 0.0;
+
+  for (const int n : {64, 128, 256}) {
+    const auto a = integer_tensor(m, n);
+    std::vector<double> x(static_cast<std::size_t>(n));
+    CounterRng rng(9);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = static_cast<double>(static_cast<int>(rng.in(2, i, -2.0, 3.0)));
+    }
+    const std::span<const double> xs{x.data(), x.size()};
+    const BlockedSymmetricTensor<double> blocked(
+        a, kernels::default_block_dim(n));
+    kernels::BlockedParWorkspace<double> ws;
+
+    std::vector<double> y_ref(static_cast<std::size_t>(n));
+    kernels::ttsv1_general(a, xs, {y_ref.data(), y_ref.size()});
+    const double y0_ref = kernels::ttsv0_general(a, xs);
+    const double t_general = min_time_ms(
+        [&] {
+          kernels::ttsv1_general(a, xs, {y_ref.data(), y_ref.size()});
+          benchmark::DoNotOptimize(y_ref.data());
+        },
+        3);
+
+    std::cout << "blocked smoke m=" << m << " n=" << n << ": general "
+              << t_general << " ms";
+    for (const int threads : {1, 2, 4}) {
+      ThreadPool pool(threads);
+      const auto ex = te::parallel::executor_for(pool);
+      std::vector<double> y(static_cast<std::size_t>(n));
+      kernels::ttsv1_blocked_par(blocked, xs, {y.data(), y.size()}, ex, ws);
+      const double y0 = kernels::ttsv0_blocked_par(blocked, xs, ex, ws);
+      // Bitwise parity: exact-integer inputs make order irrelevant.
+      bool ok = y0 == y0_ref;
+      for (int i = 0; i < n; ++i) {
+        ok = ok && y[static_cast<std::size_t>(i)] ==
+                       y_ref[static_cast<std::size_t>(i)];
+      }
+      if (!ok) {
+        parity_ok = false;
+        std::cerr << "\nblocked smoke: PARITY FAILURE at n=" << n
+                  << " threads=" << threads << "\n";
+      }
+      const double t = min_time_ms(
+          [&] {
+            kernels::ttsv1_blocked_par(blocked, xs, {y.data(), y.size()}, ex,
+                                       ws);
+            benchmark::DoNotOptimize(y.data());
+          },
+          3);
+      const double speedup = t > 0.0 ? t_general / t : 0.0;
+      std::cout << ", t" << threads << " " << t << " ms (" << speedup << "x"
+                << (ok ? "" : ", PARITY FAIL") << ")";
+      if (n == 256 && threads == 2) speedup_t2 = speedup;
+      if (n == 256 && threads == 4) speedup_t4 = speedup;
+    }
+    std::cout << "\n";
+  }
+
+  auto& reg = te::obs::global();
+  reg.gauge("kernels.blocked.parity").set(parity_ok ? 1.0 : 0.0);
+  reg.gauge("kernels.blocked.speedup.t2").set(speedup_t2);
+  reg.gauge("kernels.blocked.speedup.t4").set(speedup_t4);
+  reg.gauge("kernels.blocked.hw_threads").set(static_cast<double>(hw));
+
+  if (!parity_ok) {
+    std::cerr << "bench_kernels: --blocked parity gate failed\n";
+    return 1;
+  }
+  if (hw >= 4 && speedup_t4 < 2.0) {
+    std::cerr << "bench_kernels: --blocked speedup gate failed (t4 "
+              << speedup_t4 << "x < 2x at n=256 on " << hw
+              << " hardware threads)\n";
+    return 1;
+  }
+  if (hw < 4) {
+    std::cout << "blocked smoke: only " << hw
+              << " hardware thread(s); speedup gate skipped (parity gated)\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   te::CliArgs cli(argc, argv);
   g_tables_path = cli.get_or("tables", std::string());
   const bool multi = cli.has("multi");
+  const bool blocked = cli.has("blocked");
   // Strip the local flags before google-benchmark validates argv.
   std::vector<char*> filtered;
   for (int i = 0; i < argc; ++i) {
     const std::string_view a(argv[i]);
-    if (a == "--require-warm-start" || a == "--multi") continue;
+    if (a == "--require-warm-start" || a == "--multi" || a == "--blocked") {
+      continue;
+    }
     if (a.rfind("--metrics-json", 0) == 0 ||
         a.rfind("--metrics-csv", 0) == 0 || a.rfind("--tables", 0) == 0) {
       if (a.find('=') == std::string_view::npos && i + 1 < argc) ++i;
@@ -319,6 +457,10 @@ int main(int argc, char** argv) {
                 << ": best width " << rep.best_width << "\n";
     }
   }
+  int blocked_rc = 0;
+  if (blocked) {
+    blocked_rc = run_blocked_smoke();
+  }
   if (!te::bench::maybe_write_metrics(cli, "bench_kernels",
                                       {{"workload", "ttsv microbench"}})) {
     return 1;
@@ -336,5 +478,5 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return 0;
+  return blocked_rc;
 }

@@ -39,6 +39,7 @@ te::kernels::Tier parse_tier(const std::string& s) {
   if (s == "precomputed") return Tier::kPrecomputed;
   if (s == "cse") return Tier::kCse;
   if (s == "unrolled") return Tier::kUnrolled;
+  if (s == "blocked_par") return Tier::kBlockedPar;
   TE_REQUIRE(false, "unknown tier '" << s << "'");
   return Tier::kGeneral;
 }

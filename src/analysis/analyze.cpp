@@ -17,8 +17,9 @@ namespace te::analysis {
 namespace {
 
 constexpr kernels::Tier kScalarTiers[] = {
-    kernels::Tier::kGeneral, kernels::Tier::kPrecomputed,
-    kernels::Tier::kCse, kernels::Tier::kBlocked, kernels::Tier::kUnrolled,
+    kernels::Tier::kGeneral,  kernels::Tier::kPrecomputed,
+    kernels::Tier::kCse,      kernels::Tier::kBlocked,
+    kernels::Tier::kUnrolled, kernels::Tier::kBlockedPar,
 };
 
 // Device-side tiers: the ones sshopm_device_thread dispatches on.

@@ -70,8 +70,11 @@ struct SchedulerOptions {
   /// Upper bound on tensors per sub-batch. Small chunks pipeline better
   /// (more transfer/compute overlap) but pay more kernel-launch overhead.
   int chunk_tensors = 32;
-  /// Capacity of the shared (order, dim, tier) precompute cache.
+  /// Capacity (entries) of the shared (order, dim, tier) precompute cache.
   std::size_t cache_capacity = 8;
+  /// Byte budget of the precompute cache -- the binding bound at large n,
+  /// where one KernelTables entry can dwarf the whole paper-scale set.
+  std::size_t cache_max_bytes = kDefaultTableCacheBytes;
   /// Worker count for the kCpuParallel backend's owned pool (ignored when
   /// an external pool is lent).
   int cpu_threads = 4;
@@ -121,6 +124,7 @@ struct SchedulerMetrics {
   obs::Gauge& cache_evictions;
   obs::Gauge& cache_size;
   obs::Gauge& cache_disk_hits;
+  obs::Gauge& cache_bytes_resident;
   obs::Gauge& pipe_serialized;
   obs::Gauge& pipe_overlapped;
   obs::Gauge& pipe_hidden;
@@ -139,6 +143,7 @@ struct SchedulerMetrics {
         obs::global().gauge("batch.table_cache.evictions"),
         obs::global().gauge("batch.table_cache.size"),
         obs::global().gauge("batch.table_cache.disk_hits"),
+        obs::global().gauge("batch.table_cache.bytes_resident"),
         obs::global().gauge("batch.pipeline.serialized_seconds"),
         obs::global().gauge("batch.pipeline.overlapped_seconds"),
         obs::global().gauge("batch.pipeline.hidden_seconds"),
@@ -177,7 +182,7 @@ class Scheduler {
                      ThreadPool* external_pool = nullptr)
       : backend_(backend),
         opt_(opt),
-        cache_(opt.cache_capacity),
+        cache_(opt.cache_capacity, opt.cache_max_bytes),
         external_pool_(external_pool),
         pipeline_(opt.pipeline_buffers) {
     TE_REQUIRE(opt_.chunk_tensors >= 1, "chunk size must be positive");
@@ -263,6 +268,7 @@ class Scheduler {
       m.cache_evictions.set(static_cast<double>(cs.evictions));
       m.cache_size.set(static_cast<double>(cache_.size()));
       m.cache_disk_hits.set(static_cast<double>(cs.disk_hits));
+      m.cache_bytes_resident.set(static_cast<double>(cs.bytes_resident));
       const PipelineReport pr = report(pipeline_);
       m.pipe_serialized.set(pr.serialized_seconds);
       m.pipe_overlapped.set(pr.overlapped_seconds);

@@ -33,6 +33,10 @@ struct TableCacheStats {
   /// In-memory misses satisfied by rehydrating a spill file instead of a
   /// combinatorial rebuild (each also counts as a miss).
   std::int64_t disk_hits = 0;
+  /// Bytes of table storage currently resident (gauge, not a counter):
+  /// eviction is budgeted on this, not on entry count, because one
+  /// large-n KernelTables entry can outweigh dozens of paper-scale ones.
+  std::int64_t bytes_resident = 0;
 
   [[nodiscard]] double hit_rate() const {
     const std::int64_t total = hits + misses;
@@ -41,13 +45,29 @@ struct TableCacheStats {
   }
 };
 
+/// Default table-byte budget: generous for paper-scale shapes (a (4, 6)
+/// table set is ~100 KiB) while stopping a handful of large-n entries from
+/// silently holding gigabytes.
+inline constexpr std::size_t kDefaultTableCacheBytes = 256u << 20;
+
 /// Thread-safe LRU cache of KernelTables keyed by (order, dim, tier).
+///
+/// Cost accounting is in BYTES (KernelTables::table_bytes), not entries:
+/// table size varies by orders of magnitude across shapes, so an
+/// entry-count LRU let one large-n entry blow the real memory budget while
+/// the hit/miss counters looked healthy. `capacity` (max entries) is kept
+/// as a secondary bound for compatibility; `max_bytes` is the budget that
+/// matters. The most recently used entry is never evicted, so a single
+/// over-budget entry still works (callers hold shared_ptrs; eviction only
+/// drops the cache's reference).
 template <Real T>
 class TableCache {
  public:
-  /// Keep at most `capacity` table sets; least-recently-used is evicted.
-  explicit TableCache(std::size_t capacity = 8) : capacity_(capacity) {
+  explicit TableCache(std::size_t capacity = 8,
+                      std::size_t max_bytes = kDefaultTableCacheBytes)
+      : capacity_(capacity), max_bytes_(max_bytes) {
     TE_REQUIRE(capacity >= 1, "cache needs capacity >= 1");
+    TE_REQUIRE(max_bytes >= 1, "cache needs a positive byte budget");
   }
 
   /// Enable the disk warm-start tier: misses first try
@@ -108,8 +128,17 @@ class TableCache {
         }
       }
     }
-    entries_.push_front({order, dim, tier, std::move(tables)});
-    if (entries_.size() > capacity_) {
+    const std::size_t bytes = tables->table_bytes();
+    entries_.push_front({order, dim, tier, bytes, std::move(tables)});
+    stats_.bytes_resident += static_cast<std::int64_t>(bytes);
+    // Evict LRU-first until both budgets hold, always keeping the entry
+    // just inserted.
+    while (entries_.size() > 1 &&
+           (entries_.size() > capacity_ ||
+            stats_.bytes_resident >
+                static_cast<std::int64_t>(max_bytes_))) {
+      stats_.bytes_resident -=
+          static_cast<std::int64_t>(entries_.back().bytes);
       entries_.pop_back();
       ++stats_.evictions;
     }
@@ -127,10 +156,18 @@ class TableCache {
   }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t max_bytes() const { return max_bytes_; }
+
+  /// Bytes of table storage currently held by the cache.
+  [[nodiscard]] std::int64_t bytes_resident() const {
+    std::lock_guard lock(mutex_);
+    return stats_.bytes_resident;
+  }
 
   void clear() {
     std::lock_guard lock(mutex_);
     entries_.clear();
+    stats_.bytes_resident = 0;
   }
 
  private:
@@ -138,6 +175,7 @@ class TableCache {
     int order;
     int dim;
     kernels::Tier tier;
+    std::size_t bytes;
     std::shared_ptr<const kernels::KernelTables<T>> tables;
   };
 
@@ -151,6 +189,7 @@ class TableCache {
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
+  std::size_t max_bytes_;
   std::list<Entry> entries_;  ///< front = most recently used
   TableCacheStats stats_;
   std::string spill_dir_;

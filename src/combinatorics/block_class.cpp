@@ -1,0 +1,106 @@
+#include "te/comb/block_class.hpp"
+
+namespace te::comb {
+
+std::vector<index_t> block_class_of(std::span<const index_t> index_rep,
+                                    const BlockPartition& part) {
+  TE_REQUIRE(is_index_rep(index_rep, part.dim),
+             "invalid index representation");
+  std::vector<index_t> bc(index_rep.size());
+  for (std::size_t k = 0; k < index_rep.size(); ++k) {
+    bc[k] = part.block_of(index_rep[k]);
+  }
+  return bc;
+}
+
+offset_t block_class_entry_count(std::span<const index_t> block_class,
+                                 const BlockPartition& part) {
+  TE_REQUIRE(is_index_rep(block_class, part.num_blocks()),
+             "invalid block-class representation");
+  offset_t count = 1;
+  std::size_t k = 0;
+  while (k < block_class.size()) {
+    const index_t b = block_class[k];
+    int run = 0;
+    while (k < block_class.size() && block_class[k] == b) {
+      ++run;
+      ++k;
+    }
+    count *= binomial(part.block_size(b) + run - 1, run);
+  }
+  return count;
+}
+
+offset_t block_class_local_rank(std::span<const index_t> index_rep,
+                                const BlockPartition& part) {
+  TE_REQUIRE(is_index_rep(index_rep, part.dim),
+             "invalid index representation");
+  // Run-major mixed radix: walk runs most significant first, each run's
+  // digit being the local (shifted-to-block-origin) class rank of its
+  // nondecreasing sub-tuple, each radix the run's brick size.
+  offset_t rank = 0;
+  std::array<index_t, kMaxFactorialArg> local{};
+  std::size_t k = 0;
+  while (k < index_rep.size()) {
+    const index_t b = part.block_of(index_rep[k]);
+    const index_t start = part.block_start(b);
+    int run = 0;
+    while (k < index_rep.size() && part.block_of(index_rep[k]) == b) {
+      local[static_cast<std::size_t>(run)] =
+          static_cast<index_t>(index_rep[k] - start);
+      ++run;
+      ++k;
+    }
+    const int sb = part.block_size(b);
+    rank = rank * binomial(sb + run - 1, run) +
+           index_class_rank({local.data(), static_cast<std::size_t>(run)}, sb);
+  }
+  return rank;
+}
+
+BlockEntryIterator::BlockEntryIterator(std::span<const index_t> block_class,
+                                       const BlockPartition& part)
+    : part_(part), order_(static_cast<int>(block_class.size())) {
+  TE_REQUIRE(order_ >= 1 && order_ <= kMaxFactorialArg,
+             "block-class order out of range");
+  TE_REQUIRE(is_index_rep(block_class, part.num_blocks()),
+             "invalid block-class representation");
+  for (int k = 0; k < order_; ++k) {
+    const index_t b = block_class[static_cast<std::size_t>(k)];
+    block_[static_cast<std::size_t>(k)] = b;
+    high_[static_cast<std::size_t>(k)] =
+        static_cast<index_t>(part.block_start(b) + part.block_size(b));
+  }
+  reset();
+}
+
+void BlockEntryIterator::next() {
+  TE_ASSERT(!done_);
+  // Least significant position with headroom inside its block; everything
+  // after it resets to its (prefix-dependent) lower bound.
+  int j = order_ - 1;
+  while (j >= 0 &&
+         index_[static_cast<std::size_t>(j)] + 1 ==
+             high_[static_cast<std::size_t>(j)]) {
+    --j;
+  }
+  if (j < 0) {
+    done_ = true;  // was the class's last entry
+    return;
+  }
+  ++index_[static_cast<std::size_t>(j)];
+  for (int k = j + 1; k < order_; ++k) {
+    index_[static_cast<std::size_t>(k)] = low_bound(k);
+  }
+  ++local_rank_;
+}
+
+void BlockEntryIterator::reset() {
+  for (int k = 0; k < order_; ++k) {
+    index_[static_cast<std::size_t>(k)] = low_bound(k);
+  }
+  local_rank_ = 0;
+  done_ = false;
+}
+
+}  // namespace te::comb

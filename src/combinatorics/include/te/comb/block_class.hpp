@@ -1,0 +1,130 @@
+#pragma once
+// Block-level index classes for the blocked compact symmetric layout
+// (Schatz/Low/van de Geijn/Kolda, arXiv:1301.7744).
+//
+// The dimension n is partitioned into nb = ceil(n / block_dim) contiguous
+// index blocks. Applying the index-class construction *at the block level*
+// partitions the unique entries of an order-m symmetric tensor into
+// *block-classes*: nondecreasing m-tuples of block ids, enumerated by the
+// existing IndexClassIterator over [m, nb]. Each block-class owns a compact
+// sub-tensor -- the set of global index classes whose sorted indices fall
+// into those blocks -- stored contiguously:
+//
+//   * a block-class is a nondecreasing m-tuple (b_0, ..., b_{m-1}) of block
+//     ids; equal adjacent ids form *runs* (block b with multiplicity r);
+//   * its entry count is the product over runs of C(s_b + r - 1, r) where
+//     s_b is the block's size -- each run contributes a small compact
+//     symmetric "brick" over one block's index range;
+//   * within a block-class, entries are ordered lexicographically by global
+//     index representation. Because runs cover disjoint increasing index
+//     ranges, that order is exactly run-major mixed radix: the tuple of
+//     per-run local class ranks, most significant run first.
+//
+// This keeps each work item's reads inside a few blocks (the communication
+// pattern of Al Daas/Ballard et al., arXiv:2506.15488) while every class
+// keeps its exact multinomial weight from the global index representation.
+
+#include <span>
+#include <vector>
+
+#include "te/comb/index_class.hpp"
+#include "te/util/assert.hpp"
+#include "te/util/types.hpp"
+
+namespace te::comb {
+
+/// Uniform partition of [0, dim) into contiguous blocks of `block_dim`
+/// indices (the last block may be smaller).
+struct BlockPartition {
+  int dim = 0;
+  int block_dim = 0;
+
+  BlockPartition() = default;
+  BlockPartition(int dim_, int block_dim_) : dim(dim_), block_dim(block_dim_) {
+    TE_REQUIRE(dim >= 1 && block_dim >= 1 && block_dim <= dim,
+               "invalid block partition: dim=" << dim_
+                                               << " block_dim=" << block_dim_);
+  }
+
+  [[nodiscard]] int num_blocks() const {
+    return (dim + block_dim - 1) / block_dim;
+  }
+  [[nodiscard]] index_t block_of(index_t i) const { return i / block_dim; }
+  [[nodiscard]] index_t block_start(index_t b) const { return b * block_dim; }
+  [[nodiscard]] int block_size(index_t b) const {
+    const int start = b * block_dim;
+    return (dim - start < block_dim) ? dim - start : block_dim;
+  }
+};
+
+/// The block-class (nondecreasing m-tuple of block ids) containing a global
+/// index representation.
+[[nodiscard]] std::vector<index_t> block_class_of(
+    std::span<const index_t> index_rep, const BlockPartition& part);
+
+/// Number of global index classes inside a block-class: the product over
+/// runs (block b, multiplicity r) of C(block_size(b) + r - 1, r).
+[[nodiscard]] offset_t block_class_entry_count(
+    std::span<const index_t> block_class, const BlockPartition& part);
+
+/// Rank of a global index representation *within* its block-class under the
+/// class's lexicographic entry order (run-major mixed radix over per-run
+/// local class ranks). O(m * block_dim).
+[[nodiscard]] offset_t block_class_local_rank(
+    std::span<const index_t> index_rep, const BlockPartition& part);
+
+/// Iterates the global index representations of one block-class in
+/// lexicographic order, O(m) per step and allocation-free after
+/// construction -- the blocked analogue of IndexClassIterator (paper
+/// Fig. 4), with per-position bounds taken from the owning blocks:
+///
+///   for (BlockEntryIterator it(bc, part); !it.done(); it.next()) {
+///     use(it.index());     // global nondecreasing m-tuple
+///   }
+class BlockEntryIterator {
+ public:
+  BlockEntryIterator(std::span<const index_t> block_class,
+                     const BlockPartition& part);
+
+  /// Current global index representation (valid while !done()).
+  [[nodiscard]] std::span<const index_t> index() const {
+    return {index_.data(), static_cast<std::size_t>(order_)};
+  }
+
+  /// Local rank within the block-class == number of next() calls so far.
+  [[nodiscard]] offset_t local_rank() const { return local_rank_; }
+
+  [[nodiscard]] bool done() const { return done_; }
+
+  /// Advance to the successor entry: increment the least significant
+  /// position that has headroom inside its block, then reset every later
+  /// position to its lower bound (the previous position's value when both
+  /// share a block, the block's first index otherwise).
+  void next();
+
+  /// Restart at the class's first entry.
+  void reset();
+
+  [[nodiscard]] int order() const { return order_; }
+
+ private:
+  [[nodiscard]] index_t low_bound(int k) const {
+    const index_t b = block_[static_cast<std::size_t>(k)];
+    if (k > 0 && block_[static_cast<std::size_t>(k - 1)] == b) {
+      return index_[static_cast<std::size_t>(k - 1)];
+    }
+    return part_.block_start(b);
+  }
+
+  BlockPartition part_;
+  int order_;
+  // Inline storage: sits on the blocked kernels' hot path, must not
+  // allocate per step. kMaxFactorialArg caps the order at 20.
+  std::array<index_t, kMaxFactorialArg> block_{};
+  std::array<index_t, kMaxFactorialArg> index_{};
+  std::array<index_t, kMaxFactorialArg> high_{};  // block end per position
+  offset_t local_rank_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace te::comb

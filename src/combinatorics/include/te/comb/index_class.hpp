@@ -54,6 +54,31 @@ namespace te::comb {
   return binomial((dim - lo) + len - 1, len);
 }
 
+/// Capacity precheck for the [order, dim] shape: true iff every offset the
+/// rank/unrank arithmetic can produce -- the class count C(dim+order-1,
+/// order), every count_suffixes() block, and every partial sum of blocks
+/// (all bounded by the class count) -- is exactly representable in the
+/// 64-bit offset_t, including the intermediates of the multiplicative
+/// binomial formula. Without this check, index_class_rank's running sum can
+/// silently wrap int64 mid-computation at large (order, dim) *before* any
+/// individual binomial() guard fires: the per-suffix blocks each fit while
+/// their sum does not (first seen at order=6, dim=10^4). Never throws;
+/// callers that need storage (SymmetricTensor, KernelTables, the blocked
+/// layout) TE_REQUIRE it at construction with a shape-level error instead
+/// of surfacing a generic binomial overflow from deep inside rank().
+[[nodiscard]] inline bool shape_fits_offset(int order, int dim) {
+  if (order < 1 || dim < 1 || order > kMaxFactorialArg) return false;
+  // count_suffixes(len, lo, dim) is maximal at lo = 0 and shrinks with lo,
+  // as do the intermediates of its multiplicative formula, so checking the
+  // lo = 0 column for every suffix length covers every block rank/unrank
+  // evaluates. Partial sums are bounded by the total class count (len ==
+  // order), which is checked as part of the same sweep.
+  for (int len = 1; len <= order; ++len) {
+    if (!checked_binomial(dim + len - 1, len).has_value()) return false;
+  }
+  return true;
+}
+
 /// Lexicographic rank (0-based) of an index class among all classes of
 /// shape [m, n], m = index_rep.size(). This is the storage offset of the
 /// class's unique value in a SymmetricTensor. O(m * n).
@@ -123,5 +148,45 @@ class IndexClassIterator {
 /// precomputed index table the paper shares across all threads
 /// (Section V-C). Size: num_unique_entries(order, dim) * order.
 [[nodiscard]] std::vector<index_t> all_index_classes(int order, int dim);
+
+/// Prefix-summed suffix counts making index_class_rank O(order) instead of
+/// O(order * dim) per class. The rank decomposes as
+///
+///   rank = sum_j ( F[j][idx_j] - F[j][lo_j] ),   lo_j = idx_{j-1}, lo_0 = 0
+///
+/// where F[j][w] = sum_{v < w} count_suffixes(order-j-1, v, dim) -- an
+/// (order x dim+1) table built once per shape in O(order * dim). The
+/// blocked<->flat layout conversions rank every one of the U classes, so
+/// the amortized table turns an O(U * m * n) conversion into O(U * m).
+class ClassRankTable {
+ public:
+  ClassRankTable(int order, int dim);
+
+  [[nodiscard]] int order() const { return order_; }
+  [[nodiscard]] int dim() const { return dim_; }
+
+  /// Lexicographic rank of a (nondecreasing, in-range) index rep; equal to
+  /// index_class_rank(index_rep, dim()) but O(order).
+  [[nodiscard]] offset_t rank(std::span<const index_t> index_rep) const {
+    TE_ASSERT(static_cast<int>(index_rep.size()) == order_);
+    offset_t r = 0;
+    index_t lo = 0;
+    for (int j = 0; j < order_; ++j) {
+      const index_t v = index_rep[static_cast<std::size_t>(j)];
+      const offset_t* row =
+          prefix_.data() + static_cast<std::size_t>(j) *
+                               (static_cast<std::size_t>(dim_) + 1);
+      r += row[v] - row[lo];
+      lo = v;
+    }
+    return r;
+  }
+
+ private:
+  int order_;
+  int dim_;
+  /// Row j holds F[j][0..dim], flattened; row stride dim + 1.
+  std::vector<offset_t> prefix_;
+};
 
 }  // namespace te::comb

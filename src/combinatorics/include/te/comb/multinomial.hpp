@@ -9,6 +9,7 @@
 // intermediates stay bounded by the result.
 
 #include <cstdint>
+#include <optional>
 #include <span>
 
 #include "te/util/assert.hpp"
@@ -26,6 +27,23 @@ inline constexpr int kMaxFactorialArg = 20;
   std::int64_t f = 1;
   for (int i = 2; i <= m; ++i) f *= i;
   return f;
+}
+
+/// Binomial coefficient C(n, k) if it -- and every intermediate of the
+/// multiplicative formula -- fits in int64; nullopt otherwise. This is the
+/// overflow-probing variant behind shape_fits_offset(): it never throws, so
+/// capacity prechecks can ask "would this shape's rank arithmetic be exact?"
+/// without tripping the TE_REQUIRE deep inside binomial().
+[[nodiscard]] constexpr std::optional<std::int64_t> checked_binomial(
+    std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::int64_t r = 1;
+  for (std::int64_t i = 1; i <= k; ++i) {
+    if (r > INT64_MAX / (n - k + i)) return std::nullopt;
+    r = r * (n - k + i) / i;
+  }
+  return r;
 }
 
 /// Binomial coefficient C(n, k), exact, with interleaved division so the

@@ -32,6 +32,10 @@ bool is_index_rep(std::span<const index_t> index_rep, int dim) {
 offset_t index_class_rank(std::span<const index_t> index_rep, int dim) {
   TE_REQUIRE(is_index_rep(index_rep, dim), "invalid index representation");
   const int m = static_cast<int>(index_rep.size());
+  TE_REQUIRE(shape_fits_offset(m, dim),
+             "index_class_rank: shape [order=" << m << ", dim=" << dim
+                 << "] exceeds 64-bit offset capacity (rank arithmetic "
+                    "would overflow); reduce order or dim");
   // Count classes strictly preceding index_rep: for each position j, classes
   // sharing the prefix index_rep[0..j) whose j-th index v is smaller. The
   // remaining m-j-1 positions may then be any nondecreasing sequence over
@@ -49,6 +53,10 @@ offset_t index_class_rank(std::span<const index_t> index_rep, int dim) {
 
 std::vector<index_t> index_class_unrank(offset_t rank, int order, int dim) {
   TE_REQUIRE(order >= 1 && dim >= 1, "order and dim must be positive");
+  TE_REQUIRE(shape_fits_offset(order, dim),
+             "index_class_unrank: shape [order=" << order << ", dim=" << dim
+                 << "] exceeds 64-bit offset capacity (rank arithmetic "
+                    "would overflow); reduce order or dim");
   TE_REQUIRE(rank >= 0 && rank < num_unique_entries(order, dim),
              "rank " << rank << " out of range");
   std::vector<index_t> idx(static_cast<std::size_t>(order));
@@ -97,6 +105,25 @@ void IndexClassIterator::reset() {
   rank_ = 0;
   last_changed_ = 0;
   done_ = false;
+}
+
+ClassRankTable::ClassRankTable(int order, int dim)
+    : order_(order), dim_(dim) {
+  TE_REQUIRE(order >= 1 && dim >= 1, "order and dim must be positive");
+  TE_REQUIRE(shape_fits_offset(order, dim),
+             "ClassRankTable: shape [order=" << order << ", dim=" << dim
+                 << "] exceeds 64-bit offset capacity");
+  const std::size_t stride = static_cast<std::size_t>(dim) + 1;
+  prefix_.assign(static_cast<std::size_t>(order) * stride, 0);
+  for (int j = 0; j < order; ++j) {
+    offset_t* row = prefix_.data() + static_cast<std::size_t>(j) * stride;
+    offset_t acc = 0;
+    for (index_t v = 0; v < dim; ++v) {
+      row[v] = acc;
+      acc += count_suffixes(order - j - 1, v, dim);
+    }
+    row[dim] = acc;
+  }
 }
 
 std::vector<index_t> all_index_classes(int order, int dim) {

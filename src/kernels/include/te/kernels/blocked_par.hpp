@@ -1,0 +1,277 @@
+#pragma once
+// blocked_par tier: communication-aware parallel ttsv over the blocked
+// compact symmetric layout (Al Daas/Ballard et al., arXiv:2506.15488,
+// mapped onto the library's ThreadPool).
+//
+// Every other CPU tier walks ONE global index-class enumeration -- cheap
+// per class but impossible to partition across threads without replaying
+// the walk, and cache-hostile at large n. Here the unit of work is a
+// *block-class* of the BlockedSymmetricTensor: its value slice is
+// contiguous, its x-reads stay inside at most m index blocks, and its
+// output writes touch at most m blocks of y. Work items are distributed
+// as P contiguous block-class ranges balanced by entry count; each task
+// accumulates into a private cache-line-padded output row (no sharing, no
+// atomics -- the "per-processor accumulator + one reduction" communication
+// pattern of the paper), and the rows are reduced once at the end in
+// ascending task order, making every run with a fixed task count
+// deterministic. With one task the kernel is a plain sequential walk.
+//
+// Term arithmetic is kept identical in form to the general tier (same
+// multinomial coefficients, same skip-one prefix/suffix products, double
+// accumulation), so the te::analysis prover extracts the exact same term
+// multiset, and on exact-integer inputs (every term and partial sum
+// representable) results are bitwise equal to the general tier.
+//
+// Layering: te_parallel links te_kernels, not vice versa, so this header
+// cannot see ThreadPool. The ParallelExecutor adapter below is the seam --
+// callers wrap ThreadPool::submit_range (or anything else) in it.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "te/comb/block_class.hpp"
+#include "te/comb/multinomial.hpp"
+#include "te/tensor/blocked_symmetric_tensor.hpp"
+#include "te/util/assert.hpp"
+#include "te/util/op_counter.hpp"
+
+namespace te::kernels {
+
+/// Execution seam between the blocked_par kernels and whatever runs them.
+/// `run(ntasks, fn)` must invoke fn(t) exactly once for every t in
+/// [0, ntasks) -- possibly concurrently -- and not return until all calls
+/// completed. `workers` sizes the partition (tasks created = min(workers,
+/// block-classes)); it is a hint, not a contract.
+struct ParallelExecutor {
+  int workers = 1;
+  std::function<void(std::int64_t,
+                     const std::function<void(std::int64_t)>&)>
+      run;
+};
+
+/// Sequential executor: one task, run inline. The default when no pool is
+/// supplied; also the reference the determinism tests compare against.
+[[nodiscard]] inline const ParallelExecutor& seq_executor() {
+  static const ParallelExecutor ex{
+      1, [](std::int64_t ntasks, const std::function<void(std::int64_t)>& fn) {
+        for (std::int64_t t = 0; t < ntasks; ++t) fn(t);
+      }};
+  return ex;
+}
+
+/// Reusable scratch for the blocked_par kernels: the task partition (which
+/// depends only on the tensor layout and task count) and the padded
+/// per-task accumulator rows. prepare() is idempotent per (layout, ntasks);
+/// the accumulators are re-zeroed on every kernel call.
+template <Real T>
+class BlockedParWorkspace {
+ public:
+  /// Doubles per accumulator row, padded to a 64-byte line boundary so
+  /// tasks never false-share.
+  [[nodiscard]] static std::size_t row_stride(int dim) {
+    const std::size_t d = static_cast<std::size_t>(dim);
+    return (d + 7) / 8 * 8;
+  }
+
+  void prepare(const BlockedSymmetricTensor<T>& a, int ntasks) {
+    TE_REQUIRE(ntasks >= 1, "need at least one task");
+    const auto offsets = a.class_offsets();
+    const auto nc = static_cast<std::int64_t>(offsets.size()) - 1;
+    const std::int64_t p = ntasks < nc ? ntasks : nc;
+    if (prepared_ && dim_ == a.dim() && num_classes_ == nc &&
+        total_ == offsets.back() && ntasks_ == p) {
+      return;
+    }
+    dim_ = a.dim();
+    num_classes_ = nc;
+    total_ = offsets.back();
+    ntasks_ = p;
+    // Entry-count-balanced contiguous class ranges: boundary t is the first
+    // class whose slice starts at or after t/p of the total entries
+    // (lower_bound over the class-offset prefix sums). Boundaries are
+    // nondecreasing by construction; empty ranges only occur when a single
+    // class holds more than 1/p of the entries.
+    task_begin_.assign(static_cast<std::size_t>(p) + 1, 0);
+    for (std::int64_t t = 1; t < p; ++t) {
+      const offset_t target =
+          static_cast<offset_t>(static_cast<std::int64_t>(
+              (static_cast<double>(total_) * static_cast<double>(t)) /
+              static_cast<double>(p)));
+      const auto* it =
+          std::lower_bound(offsets.data(), offsets.data() + nc, target);
+      task_begin_[static_cast<std::size_t>(t)] =
+          static_cast<std::int64_t>(it - offsets.data());
+    }
+    task_begin_[static_cast<std::size_t>(p)] = nc;
+    acc_.assign(static_cast<std::size_t>(p) * row_stride(dim_), 0.0);
+    partial_.assign(static_cast<std::size_t>(p) * 8, 0.0);  // padded slots
+    task_ops_.assign(static_cast<std::size_t>(p), OpCounts{});
+    prepared_ = true;
+  }
+
+  [[nodiscard]] std::int64_t ntasks() const { return ntasks_; }
+
+  /// Block-class range [begin, end) owned by task t.
+  [[nodiscard]] std::int64_t task_begin(std::int64_t t) const {
+    return task_begin_[static_cast<std::size_t>(t)];
+  }
+
+  [[nodiscard]] double* acc_row(std::int64_t t) {
+    return acc_.data() + static_cast<std::size_t>(t) * row_stride(dim_);
+  }
+  [[nodiscard]] double& partial(std::int64_t t) {
+    return partial_[static_cast<std::size_t>(t) * 8];
+  }
+  [[nodiscard]] OpCounts& task_ops(std::int64_t t) {
+    return task_ops_[static_cast<std::size_t>(t)];
+  }
+
+  void zero_acc() {
+    std::fill(acc_.begin(), acc_.end(), 0.0);
+    std::fill(partial_.begin(), partial_.end(), 0.0);
+    std::fill(task_ops_.begin(), task_ops_.end(), OpCounts{});
+  }
+
+ private:
+  bool prepared_ = false;
+  int dim_ = 0;
+  std::int64_t num_classes_ = 0;
+  offset_t total_ = 0;
+  std::int64_t ntasks_ = 0;
+  std::vector<std::int64_t> task_begin_;
+  std::vector<double> acc_;       ///< ntasks x row_stride(dim), padded rows
+  std::vector<double> partial_;   ///< ntasks ttsv0 partial sums, padded
+  std::vector<OpCounts> task_ops_;
+};
+
+/// Scalar A x^m over the blocked layout: tasks sum their block-class
+/// ranges independently, partial sums reduced in ascending task order.
+template <Real T>
+[[nodiscard]] T ttsv0_blocked_par(const BlockedSymmetricTensor<T>& a,
+                                  std::span<const T> x,
+                                  const ParallelExecutor& ex,
+                                  BlockedParWorkspace<T>& ws,
+                                  OpCounts* ops = nullptr) {
+  TE_REQUIRE(static_cast<int>(x.size()) == a.dim(),
+             "vector length must equal tensor dimension");
+  const int m = a.order();
+  const auto vals = a.values();
+  const auto offsets = a.class_offsets();
+  const auto& part = a.partition();
+  ws.prepare(a, ex.workers);
+  ws.zero_acc();
+
+  ex.run(ws.ntasks(), [&](std::int64_t t) {
+    double y = 0;
+    OpCounts* tops = ops ? &ws.task_ops(t) : nullptr;
+    const std::int64_t c_end = ws.task_begin(t + 1);
+    for (std::int64_t c = ws.task_begin(t); c < c_end; ++c) {
+      offset_t off = offsets[static_cast<std::size_t>(c)];
+      for (comb::BlockEntryIterator it(a.block_class(c), part); !it.done();
+           it.next()) {
+        const auto idx = it.index();
+        T xhat = x[static_cast<std::size_t>(idx[0])];
+        for (int q = 1; q < m; ++q) {
+          xhat *= x[static_cast<std::size_t>(idx[q])];
+        }
+        const auto coef = comb::multinomial_from_index(idx);
+        y += static_cast<double>(static_cast<T>(coef) *
+                                 vals[static_cast<std::size_t>(off)] * xhat);
+        ++off;
+        if (tops) {
+          tops->fmul += m - 1 + 2;
+          tops->fadd += 1;
+          tops->iop += 3 * m;
+        }
+      }
+    }
+    ws.partial(t) = y;
+  });
+
+  double y = 0;
+  for (std::int64_t t = 0; t < ws.ntasks(); ++t) y += ws.partial(t);
+  if (ops) {
+    for (std::int64_t t = 0; t < ws.ntasks(); ++t) *ops += ws.task_ops(t);
+  }
+  return static_cast<T>(y);
+}
+
+/// Vector y = A x^{m-1} over the blocked layout: tasks scatter into
+/// private padded rows, reduced once in ascending task order.
+template <Real T>
+void ttsv1_blocked_par(const BlockedSymmetricTensor<T>& a,
+                       std::span<const T> x, std::span<T> y,
+                       const ParallelExecutor& ex, BlockedParWorkspace<T>& ws,
+                       OpCounts* ops = nullptr) {
+  TE_REQUIRE(static_cast<int>(x.size()) == a.dim() &&
+                 static_cast<int>(y.size()) == a.dim(),
+             "vector length must equal tensor dimension");
+  const int m = a.order();
+  const int n = a.dim();
+  TE_REQUIRE(m <= comb::kMaxFactorialArg,
+             "order too large for exact multinomials");
+  const auto vals = a.values();
+  const auto offsets = a.class_offsets();
+  const auto& part = a.partition();
+  ws.prepare(a, ex.workers);
+  ws.zero_acc();
+
+  ex.run(ws.ntasks(), [&](std::int64_t t) {
+    double* acc = ws.acc_row(t);
+    OpCounts* tops = ops ? &ws.task_ops(t) : nullptr;
+    T pre[comb::kMaxFactorialArg + 1];
+    T suf[comb::kMaxFactorialArg + 1];
+    const std::int64_t c_end = ws.task_begin(t + 1);
+    for (std::int64_t c = ws.task_begin(t); c < c_end; ++c) {
+      offset_t off = offsets[static_cast<std::size_t>(c)];
+      for (comb::BlockEntryIterator it(a.block_class(c), part); !it.done();
+           it.next()) {
+        const auto idx = it.index();
+        pre[0] = T(1);
+        for (int q = 0; q < m; ++q) {
+          pre[q + 1] = pre[q] * x[static_cast<std::size_t>(idx[q])];
+        }
+        suf[m] = T(1);
+        for (int q = m - 1; q >= 0; --q) {
+          suf[q] = suf[q + 1] * x[static_cast<std::size_t>(idx[q])];
+        }
+        const T av = vals[static_cast<std::size_t>(off)];
+        ++off;
+        for (int q = 0; q < m;) {
+          const index_t i = idx[q];
+          const auto sigma = comb::multinomial_drop_one(idx, i);
+          const T xhat = pre[q] * suf[q + 1];
+          acc[static_cast<std::size_t>(i)] +=
+              static_cast<double>(static_cast<T>(sigma) * av * xhat);
+          while (q < m && idx[q] == i) ++q;
+          if (tops) {
+            tops->fmul += 3;
+            tops->fadd += 1;
+            tops->iop += m + 2;
+          }
+        }
+        if (tops) {
+          tops->fmul += 2 * m;
+          tops->iop += 3 * m;
+        }
+      }
+    }
+  });
+
+  // Deterministic reduction: ascending task order, one pass over y.
+  for (int i = 0; i < n; ++i) {
+    double s = 0;
+    for (std::int64_t t = 0; t < ws.ntasks(); ++t) {
+      s += ws.acc_row(t)[static_cast<std::size_t>(i)];
+    }
+    y[static_cast<std::size_t>(i)] = static_cast<T>(s);
+  }
+  if (ops) {
+    for (std::int64_t t = 0; t < ws.ntasks(); ++t) *ops += ws.task_ops(t);
+  }
+}
+
+}  // namespace te::kernels

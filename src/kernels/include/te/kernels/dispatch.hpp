@@ -7,11 +7,13 @@
 // and the batch backends pick a tier with a runtime enum while the kernels
 // themselves stay fully typed.
 
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 
 #include "te/kernels/blocked.hpp"
+#include "te/kernels/blocked_par.hpp"
 #include "te/kernels/cse.hpp"
 #include "te/kernels/general.hpp"
 #include "te/kernels/precomputed.hpp"
@@ -30,7 +32,11 @@ enum class Tier {
   kCse,
   kBlocked,
   kUnrolled,
+  kBlockedPar,
 };
+
+/// Number of tiers (metrics arrays and tier sweeps size off this).
+inline constexpr int kNumTiers = 6;
 
 [[nodiscard]] constexpr std::string_view tier_name(Tier t) {
   switch (t) {
@@ -44,6 +50,8 @@ enum class Tier {
       return "blocked";
     case Tier::kUnrolled:
       return "unrolled";
+    case Tier::kBlockedPar:
+      return "blocked_par";
   }
   return "?";
 }
@@ -53,16 +61,16 @@ namespace detail {
 /// Per-tier dispatch counters, name-resolved once: the per-call cost in the
 /// iteration hot loop is one relaxed atomic increment.
 struct DispatchMetrics {
-  obs::Counter* ttsv0_calls[5];
-  obs::Counter* ttsv1_calls[5];
+  obs::Counter* ttsv0_calls[kNumTiers];
+  obs::Counter* ttsv1_calls[kNumTiers];
 
   static DispatchMetrics& get() {
     static DispatchMetrics m = [] {
       DispatchMetrics d;
-      constexpr Tier kTiers[5] = {Tier::kGeneral, Tier::kPrecomputed,
-                                  Tier::kCse, Tier::kBlocked,
-                                  Tier::kUnrolled};
-      for (int i = 0; i < 5; ++i) {
+      constexpr Tier kTiers[kNumTiers] = {Tier::kGeneral, Tier::kPrecomputed,
+                                          Tier::kCse, Tier::kBlocked,
+                                          Tier::kUnrolled, Tier::kBlockedPar};
+      for (int i = 0; i < kNumTiers; ++i) {
         const std::string base(tier_name(kTiers[i]));
         d.ttsv0_calls[i] =
             &obs::global().counter("kernels.ttsv0.calls." + base);
@@ -98,17 +106,30 @@ template <Real T>
 template <Real T>
 [[nodiscard]] const UnrolledEntry<T>* find_unrolled(int order, int dim);
 
+/// Default block size for the blocked_par tier's internal repack: one
+/// block for paper-scale dims (the layout degenerates to the flat walk),
+/// 32-index blocks at large n so each block-class's x/y footprint stays
+/// cache-sized.
+[[nodiscard]] constexpr int default_block_dim(int dim) {
+  return dim < 32 ? dim : 32;
+}
+
 /// Tensor + tier bound together behind a uniform call interface.
 ///
 /// The bound tensor and (for kPrecomputed) tables must outlive the facade.
 /// kUnrolled requires the shape to be present in the registry; callers that
-/// want graceful fallback should check find_unrolled first.
+/// want graceful fallback should check find_unrolled first. kBlockedPar
+/// repacks the tensor into the blocked layout at bind time and runs on the
+/// supplied ParallelExecutor (sequential when none given); its reusable
+/// workspace makes ttsv0/ttsv1 non-reentrant on one facade instance --
+/// share tensors across threads, not BoundKernels.
 template <Real T>
 class BoundKernels {
  public:
   BoundKernels(const SymmetricTensor<T>& a, Tier tier,
-               const KernelTables<T>* tables = nullptr)
-      : a_(&a), tier_(tier), tables_(tables) {
+               const KernelTables<T>* tables = nullptr,
+               const ParallelExecutor* par = nullptr)
+      : a_(&a), tier_(tier), tables_(tables), par_(par) {
     if (tier == Tier::kPrecomputed || tier == Tier::kBlocked) {
       TE_REQUIRE(tables != nullptr &&
                      tables->order() == a.order() && tables->dim() == a.dim(),
@@ -118,6 +139,10 @@ class BoundKernels {
       TE_REQUIRE(unrolled_ != nullptr,
                  "no unrolled instantiation for order "
                      << a.order() << ", dim " << a.dim());
+    } else if (tier == Tier::kBlockedPar) {
+      blocked_ = std::make_shared<BlockedSymmetricTensor<T>>(
+          a, default_block_dim(a.dim()));
+      blocked_ws_ = std::make_shared<BlockedParWorkspace<T>>();
     }
   }
 
@@ -142,6 +167,9 @@ class BoundKernels {
         if (ops) *ops += unrolled_->ops0;
         return unrolled_->ttsv0(a_->values().data(), x.data());
       }
+      case Tier::kBlockedPar:
+        return ttsv0_blocked_par(*blocked_, x, par_ ? *par_ : seq_executor(),
+                                 *blocked_ws_, ops);
     }
     TE_REQUIRE(false, "unreachable");
     return T(0);
@@ -170,8 +198,17 @@ class BoundKernels {
         if (ops) *ops += unrolled_->ops1;
         unrolled_->ttsv1(a_->values().data(), x.data(), y.data());
         return;
+      case Tier::kBlockedPar:
+        ttsv1_blocked_par(*blocked_, x, y, par_ ? *par_ : seq_executor(),
+                          *blocked_ws_, ops);
+        return;
     }
     TE_REQUIRE(false, "unreachable");
+  }
+
+  /// kBlockedPar only: the internal blocked repack of the bound tensor.
+  [[nodiscard]] const BlockedSymmetricTensor<T>* blocked() const {
+    return blocked_.get();
   }
 
  private:
@@ -179,6 +216,9 @@ class BoundKernels {
   Tier tier_;
   const KernelTables<T>* tables_ = nullptr;
   const UnrolledEntry<T>* unrolled_ = nullptr;
+  const ParallelExecutor* par_ = nullptr;
+  std::shared_ptr<BlockedSymmetricTensor<T>> blocked_;
+  std::shared_ptr<BlockedParWorkspace<T>> blocked_ws_;
 };
 
 }  // namespace te::kernels

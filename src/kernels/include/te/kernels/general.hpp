@@ -17,6 +17,7 @@
 // the uninstrumented fast path.
 
 #include <span>
+#include <vector>
 
 #include "te/comb/index_class.hpp"
 #include "te/comb/multinomial.hpp"
@@ -76,11 +77,18 @@ void ttsv1_general_raw(int order, int dim, const T* values,
                        OpCounts* ops = nullptr) {
   const int m = order;
 
-  // Accumulate in double for the same reason as ttsv0.
+  // Accumulate in double for the same reason as ttsv0. Paper-scale dims fit
+  // the stack accumulator; the large-n regime (blocked layout, n >= 256)
+  // falls back to a heap accumulator instead of hitting a capacity wall.
   constexpr int kMaxOrder = comb::kMaxFactorialArg;
   TE_REQUIRE(m <= kMaxOrder, "order too large for exact multinomials");
-  double acc[64] = {};  // dim <= 64 is far beyond any use here
-  TE_REQUIRE(dim <= 64, "general kernel supports dim <= 64");
+  double acc_stack[64] = {};
+  std::vector<double> acc_heap;
+  double* acc = acc_stack;
+  if (dim > 64) {
+    acc_heap.assign(static_cast<std::size_t>(dim), 0.0);
+    acc = acc_heap.data();
+  }
 
   // Scratch for prefix/suffix products of x over the current class.
   T pre[kMaxOrder + 1];

@@ -79,18 +79,18 @@ template <Real T>
 namespace detail {
 /// Multi-dispatch counters/gauges, name-resolved once (cf. DispatchMetrics).
 struct MultiDispatchMetrics {
-  obs::Counter* ttsv0_calls[5];
-  obs::Counter* ttsv1_calls[5];
-  obs::Gauge* width_by_tier[5];
+  obs::Counter* ttsv0_calls[kNumTiers];
+  obs::Counter* ttsv1_calls[kNumTiers];
+  obs::Gauge* width_by_tier[kNumTiers];
   obs::Gauge* simd_width;
 
   static MultiDispatchMetrics& get() {
     static MultiDispatchMetrics m = [] {
       MultiDispatchMetrics d;
-      constexpr Tier kTiers[5] = {Tier::kGeneral, Tier::kPrecomputed,
-                                  Tier::kCse, Tier::kBlocked,
-                                  Tier::kUnrolled};
-      for (int i = 0; i < 5; ++i) {
+      constexpr Tier kTiers[kNumTiers] = {Tier::kGeneral, Tier::kPrecomputed,
+                                          Tier::kCse, Tier::kBlocked,
+                                          Tier::kUnrolled, Tier::kBlockedPar};
+      for (int i = 0; i < kNumTiers; ++i) {
         const std::string base(tier_name(kTiers[i]));
         d.ttsv0_calls[i] =
             &obs::global().counter("kernels.ttsv0_multi.calls." + base);
@@ -139,6 +139,7 @@ class MultiKernels {
           break;
         case Tier::kCse:
         case Tier::kBlocked:
+        case Tier::kBlockedPar:
           // No bit-compatible vectorized route; per-lane scalar fallback.
           break;
       }

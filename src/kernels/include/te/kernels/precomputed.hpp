@@ -203,8 +203,15 @@ void ttsv1_precomputed(const SymmetricTensor<T>& a, const KernelTables<T>& tab,
              "vector length mismatch");
   const int m = a.order();
   const auto vals = a.values();
-  double acc[64] = {};
-  TE_REQUIRE(a.dim() <= 64, "precomputed kernel supports dim <= 64");
+  // Stack accumulator for paper-scale dims, heap fallback for large n --
+  // same capacity fix as ttsv1_general_raw.
+  double acc_stack[64] = {};
+  std::vector<double> acc_heap;
+  double* acc = acc_stack;
+  if (a.dim() > 64) {
+    acc_heap.assign(static_cast<std::size_t>(a.dim()), 0.0);
+    acc = acc_heap.data();
+  }
 
   for (const auto& c : tab.contributions()) {
     const auto idx = tab.class_index(c.cls);

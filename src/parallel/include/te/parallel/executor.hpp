@@ -1,0 +1,28 @@
+#pragma once
+// ThreadPool -> ParallelExecutor adapter for the blocked_par kernel tier.
+//
+// te_kernels sits below te_parallel in the link order, so the kernels
+// express their parallelism through the abstract kernels::ParallelExecutor
+// seam; this header is where a real ThreadPool plugs into it. The adapter
+// dispatches the kernel's task range through ThreadPool::submit_range (one
+// lock acquisition, chunk-count-bounded wakeups) and blocks until every
+// task finished, which is exactly the executor contract.
+
+#include "te/kernels/blocked_par.hpp"
+#include "te/parallel/thread_pool.hpp"
+
+namespace te::parallel {
+
+/// Executor running kernel tasks on `pool`. The pool must outlive the
+/// returned executor and every kernel call made through it.
+[[nodiscard]] inline kernels::ParallelExecutor executor_for(ThreadPool& pool) {
+  kernels::ParallelExecutor ex;
+  ex.workers = pool.num_threads();
+  ex.run = [&pool](std::int64_t ntasks,
+                   const std::function<void(std::int64_t)>& fn) {
+    pool.parallel_for(ntasks, fn);
+  };
+  return ex;
+}
+
+}  // namespace te::parallel

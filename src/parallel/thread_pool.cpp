@@ -67,6 +67,8 @@ void ThreadPool::wait_idle() {
 void ThreadPool::submit_range(
     std::int64_t first, std::int64_t last,
     const std::function<void(std::int64_t, std::int64_t, int)>& f) {
+  // Empty range: a complete no-op -- no zero-length chunks enqueued, no
+  // lock taken, no wakeup broadcast, f never called.
   if (last <= first) return;
   const std::int64_t count = last - first;
   const int p = num_threads();
@@ -80,7 +82,13 @@ void ThreadPool::submit_range(
       queue_.push_back([&f, begin, end, worker] { f(begin, end, worker); });
     }
   }
-  cv_job_.notify_all();
+  // Wake exactly as many workers as there are chunks; a full broadcast is
+  // only worth it when every worker has one.
+  if (launched >= p) {
+    cv_job_.notify_all();
+  } else {
+    for (int i = 0; i < launched; ++i) cv_job_.notify_one();
+  }
   wait_idle();
 }
 

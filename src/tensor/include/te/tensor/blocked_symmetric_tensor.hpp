@@ -1,0 +1,186 @@
+#pragma once
+// Blocked compact symmetric storage (Schatz/Low/van de Geijn/Kolda,
+// arXiv:1301.7744) -- the large-n layout behind the blocked_par kernel
+// tier.
+//
+// The flat SymmetricTensor stores one value per index class in global
+// lexicographic order: a single enumeration that thrashes caches at large n
+// and cannot be partitioned across threads without replaying the walk. The
+// blocked layout partitions the dimension into nb = ceil(n / block_dim)
+// index blocks and groups the same unique values by *block-class* (the
+// nondecreasing m-tuple of block ids their sorted indices fall into,
+// enumerated by IndexClassIterator over [m, nb]). Each block-class owns a
+// contiguous slice of the value array -- a compact sub-tensor whose reads
+// stay inside at most m blocks of x -- making every block-class an
+// independent, cache-sized work item (the communication structure of
+// Al Daas/Ballard et al., arXiv:2506.15488).
+//
+// Entry count is identical to the flat form (C(m + n - 1, m)); the layout
+// is a pure permutation: block-class-major, and inside a block-class the
+// global lexicographic order (= run-major mixed radix, see
+// te/comb/block_class.hpp). Conversions to/from the flat layout are exact
+// value moves (bitwise round-trip) in O(U * m) via ClassRankTable.
+
+#include <span>
+#include <vector>
+
+#include "te/comb/block_class.hpp"
+#include "te/comb/index_class.hpp"
+#include "te/tensor/symmetric_tensor.hpp"
+#include "te/util/assert.hpp"
+#include "te/util/types.hpp"
+
+namespace te {
+
+/// Symmetric order-m, dimension-n tensor in blocked packed storage.
+template <Real T>
+class BlockedSymmetricTensor {
+ public:
+  /// Zero tensor of the given shape and block size.
+  BlockedSymmetricTensor(int order, int dim, int block_dim)
+      : order_(order), dim_(dim), part_(dim, block_dim) {
+    init_layout();
+    values_.assign(static_cast<std::size_t>(num_unique()), T(0));
+  }
+
+  /// Repack a flat tensor into the blocked layout (exact value moves).
+  BlockedSymmetricTensor(const SymmetricTensor<T>& flat, int block_dim)
+      : order_(flat.order()), dim_(flat.dim()), part_(flat.dim(), block_dim) {
+    init_layout();
+    values_.resize(static_cast<std::size_t>(num_unique()));
+    const auto src = flat.values();
+    const comb::ClassRankTable ranks(order_, dim_);
+    for_each_entry([&](offset_t blocked_off, std::span<const index_t> idx) {
+      values_[static_cast<std::size_t>(blocked_off)] =
+          src[static_cast<std::size_t>(ranks.rank(idx))];
+    });
+  }
+
+  /// Unpack into the flat lexicographic layout (exact value moves; the
+  /// inverse permutation of the repacking constructor, so
+  /// BlockedSymmetricTensor(a, b).to_flat() == a bitwise).
+  [[nodiscard]] SymmetricTensor<T> to_flat() const {
+    SymmetricTensor<T> flat(order_, dim_);
+    const auto dst = flat.values();
+    const comb::ClassRankTable ranks(order_, dim_);
+    for_each_entry([&](offset_t blocked_off, std::span<const index_t> idx) {
+      dst[static_cast<std::size_t>(ranks.rank(idx))] =
+          values_[static_cast<std::size_t>(blocked_off)];
+    });
+    return flat;
+  }
+
+  [[nodiscard]] int order() const { return order_; }
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] int block_dim() const { return part_.block_dim; }
+  [[nodiscard]] const comb::BlockPartition& partition() const { return part_; }
+
+  [[nodiscard]] offset_t num_block_classes() const {
+    return static_cast<offset_t>(class_offsets_.size()) - 1;
+  }
+
+  /// Total stored values: C(m + n - 1, m), same as the flat layout.
+  [[nodiscard]] offset_t num_unique() const { return class_offsets_.back(); }
+
+  /// Start offset of each block-class's value slice, plus the total as the
+  /// final sentinel (size num_block_classes() + 1). Prefix sums of entry
+  /// counts in block-class lexicographic order -- the load-balancing input
+  /// for the blocked_par partitioner.
+  [[nodiscard]] std::span<const offset_t> class_offsets() const {
+    return class_offsets_;
+  }
+
+  /// Block-class index representations, flattened row-major: class c's
+  /// block ids at [c * order, (c + 1) * order).
+  [[nodiscard]] std::span<const index_t> block_classes() const {
+    return block_classes_;
+  }
+
+  /// Block ids of block-class `c`.
+  [[nodiscard]] std::span<const index_t> block_class(offset_t c) const {
+    TE_ASSERT(c >= 0 && c < num_block_classes());
+    return {block_classes_.data() + static_cast<std::size_t>(c) * order_,
+            static_cast<std::size_t>(order_)};
+  }
+
+  /// Value slice owned by block-class `c`.
+  [[nodiscard]] std::span<const T> class_values(offset_t c) const {
+    TE_ASSERT(c >= 0 && c < num_block_classes());
+    const auto lo = static_cast<std::size_t>(class_offsets_[c]);
+    const auto hi = static_cast<std::size_t>(class_offsets_[c + 1]);
+    return {values_.data() + lo, hi - lo};
+  }
+
+  /// Packed values, block-class-major.
+  [[nodiscard]] std::span<const T> values() const { return values_; }
+  [[nodiscard]] std::span<T> values() { return values_; }
+
+  /// Storage offset of an arbitrary (not necessarily sorted) tensor index:
+  /// the owning block-class's slice start plus the local mixed-radix rank.
+  [[nodiscard]] offset_t offset_of(
+      std::span<const index_t> tensor_index) const {
+    TE_REQUIRE(static_cast<int>(tensor_index.size()) == order_,
+               "tensor index must have exactly " << order_ << " entries");
+    std::vector<index_t> sorted(tensor_index.begin(), tensor_index.end());
+    std::sort(sorted.begin(), sorted.end());
+    const std::span<const index_t> s{sorted.data(), sorted.size()};
+    std::vector<index_t> bc = comb::block_class_of(s, part_);
+    const offset_t c =
+        comb::index_class_rank({bc.data(), bc.size()}, part_.num_blocks());
+    return class_offsets_[static_cast<std::size_t>(c)] +
+           comb::block_class_local_rank(s, part_);
+  }
+
+  /// Entry by arbitrary tensor index.
+  [[nodiscard]] T operator()(std::span<const index_t> tensor_index) const {
+    return values_[static_cast<std::size_t>(offset_of(tensor_index))];
+  }
+  T& operator()(std::span<const index_t> tensor_index) {
+    return values_[static_cast<std::size_t>(offset_of(tensor_index))];
+  }
+
+ private:
+  void init_layout() {
+    TE_REQUIRE(order_ >= 1 && order_ <= comb::kMaxFactorialArg,
+               "order out of range");
+    // Same capacity gate as the flat layout: the conversions and offset_of
+    // rank against the global lexicographic order.
+    (void)checked_unique_count(order_, dim_);
+    const int nb = part_.num_blocks();
+    const offset_t nc = comb::num_unique_entries(order_, nb);
+    block_classes_.reserve(static_cast<std::size_t>(nc) * order_);
+    class_offsets_.reserve(static_cast<std::size_t>(nc) + 1);
+    class_offsets_.push_back(0);
+    for (comb::IndexClassIterator it(order_, nb); !it.done(); it.next()) {
+      const auto bc = it.index();
+      block_classes_.insert(block_classes_.end(), bc.begin(), bc.end());
+      class_offsets_.push_back(class_offsets_.back() +
+                               comb::block_class_entry_count(bc, part_));
+    }
+    TE_ASSERT(num_block_classes() == nc);
+  }
+
+  /// Visit every entry as (blocked offset, global index rep), block-class
+  /// by block-class. O(U * m) total.
+  template <class Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (offset_t c = 0; c < num_block_classes(); ++c) {
+      offset_t off = class_offsets_[static_cast<std::size_t>(c)];
+      for (comb::BlockEntryIterator it(block_class(c), part_); !it.done();
+           it.next()) {
+        fn(off + it.local_rank(), it.index());
+      }
+      TE_ASSERT(off + comb::block_class_entry_count(block_class(c), part_) ==
+                class_offsets_[static_cast<std::size_t>(c) + 1]);
+    }
+  }
+
+  int order_;
+  int dim_;
+  comb::BlockPartition part_;
+  std::vector<index_t> block_classes_;
+  std::vector<offset_t> class_offsets_;
+  std::vector<T> values_;
+};
+
+}  // namespace te

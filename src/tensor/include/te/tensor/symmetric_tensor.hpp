@@ -25,6 +25,22 @@
 
 namespace te {
 
+/// Capacity gate shared by every packed-symmetric container: the number of
+/// unique values for [order, dim] -- after proving via shape_fits_offset
+/// that *all* rank/unrank arithmetic for the shape is exact in 64 bits.
+/// Without the precheck, index_class_rank's running sum silently wraps
+/// int64 for large shapes (e.g. order=6, dim=10^4) before any binomial
+/// guard fires; here the failure becomes a clear shape-level error at
+/// construction.
+[[nodiscard]] inline offset_t checked_unique_count(int order, int dim) {
+  TE_REQUIRE(order >= 1 && dim >= 1, "order and dim must be positive");
+  TE_REQUIRE(comb::shape_fits_offset(order, dim),
+             "symmetric tensor shape [order=" << order << ", dim=" << dim
+                 << "] exceeds 64-bit offset capacity (index-class rank "
+                    "arithmetic would overflow); reduce order or dim");
+  return comb::num_unique_entries(order, dim);
+}
+
 /// Symmetric order-m, dimension-n tensor in packed unique-value storage.
 template <Real T>
 class SymmetricTensor {
@@ -33,7 +49,7 @@ class SymmetricTensor {
   SymmetricTensor(int order, int dim)
       : order_(order),
         dim_(dim),
-        values_(static_cast<std::size_t>(comb::num_unique_entries(order, dim)),
+        values_(static_cast<std::size_t>(checked_unique_count(order, dim)),
                 T(0)) {}
 
   /// Wrap existing packed values (must be in lexicographic class order and
@@ -41,7 +57,7 @@ class SymmetricTensor {
   SymmetricTensor(int order, int dim, std::vector<T> packed_values)
       : order_(order), dim_(dim), values_(std::move(packed_values)) {
     TE_REQUIRE(static_cast<offset_t>(values_.size()) ==
-                   comb::num_unique_entries(order, dim),
+                   checked_unique_count(order, dim),
                "packed value count mismatch: got "
                    << values_.size() << ", expected "
                    << comb::num_unique_entries(order, dim));
@@ -56,7 +72,7 @@ class SymmetricTensor {
                   std::span<const T> packed_values)
       : order_(order), dim_(dim), borrowed_(packed_values) {
     TE_REQUIRE(static_cast<offset_t>(packed_values.size()) ==
-                   comb::num_unique_entries(order, dim),
+                   checked_unique_count(order, dim),
                "packed value count mismatch: got "
                    << packed_values.size() << ", expected "
                    << comb::num_unique_entries(order, dim));

@@ -90,6 +90,7 @@ TEST(CheckPlan, AllScalarTiersProveCleanOnApplicationShape) {
   const kernels::Tier tiers[] = {
       kernels::Tier::kGeneral, kernels::Tier::kPrecomputed,
       kernels::Tier::kCse, kernels::Tier::kBlocked, kernels::Tier::kUnrolled,
+      kernels::Tier::kBlockedPar,
   };
   for (const kernels::Tier tier : tiers) {
     const AccessPlan plan = extract_plan(bind_tier(4, 3, tier));
@@ -392,8 +393,8 @@ TEST(Analyze, ShapeSweepCoversAllTiersAndWidths) {
   opt.widths = {2};
   const ShapeAnalysis s = analyze_shape(2, 2, opt);
   EXPECT_TRUE(s.proven());
-  // 5 scalar tiers x (scalar + one width) + 3 device tiers.
-  EXPECT_EQ(s.reports.size(), 13u);
+  // 6 scalar tiers x (scalar + one width) + 3 device tiers.
+  EXPECT_EQ(s.reports.size(), 15u);
 }
 
 TEST(Analyze, RegisteredShapesAreSortedUniqueAndIncludeApplicationSize) {
