@@ -1,0 +1,308 @@
+// Service soak/load harness for te::serve (DESIGN.md section 15).
+//
+// Three phases, each against its own Server instance:
+//
+//   fairness -- a flooding tenant (many multi-chunk requests) and a light
+//     tenant (single-chunk requests) share the shards. Latency is measured
+//     in chunk-steps, the service's deterministic clock, and summarized as
+//     p50/p95/p99 per tenant. Under deficit round-robin the light tenant's
+//     p99 must stay far below the flooding tenant's (a FIFO queue would
+//     make them equal), which the serve.fairness.p99_ratio gauge captures
+//     and ci.sh gates.
+//   admission -- a burst tenant submits past its queue capacity; the
+//     overflow must be rejected with a reason, not queued without bound.
+//   chaos (--chaos) -- the same request stream runs once uninterrupted
+//     (reference) and once against a WAL-backed server whose shards are
+//     killed and restarted mid-drain. The harness proves exactly-once
+//     execution: zero lost requests, zero duplicated chunk executions
+//     (everything the WAL held is restored, not re-run), and a result
+//     stream bitwise-identical to the reference. The lost/duplicated/
+//     mismatch counts are published as gauges ci.sh pins to zero.
+//
+// Usage: bench_serve [--shards N] [--chaos] [--wal-dir PATH]
+//                    [--flood N] [--light N] [--quantum Q]
+//                    [--metrics-json PATH] [--metrics-csv PATH] [--csv]
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "te/serve/server.hpp"
+
+namespace {
+
+using te::bench::banner;
+using te::bench::emit;
+
+struct Shape {
+  int tensors;
+  int seed;
+};
+
+/// The deterministic request stream both chaos runs replay: tenant +
+/// generator spec, submitted in this order.
+struct Stream {
+  std::vector<std::pair<std::string, Shape>> entries;
+};
+
+Stream make_stream(int flood, int light) {
+  Stream s;
+  for (int i = 0; i < flood; ++i) {
+    s.entries.emplace_back("flood", Shape{16, 100 + i});
+  }
+  for (int i = 0; i < light; ++i) {
+    s.entries.emplace_back("light", Shape{2, 200 + i});
+  }
+  return s;
+}
+
+te::serve::ServeOptions base_options(int shards, int quantum) {
+  te::serve::ServeOptions opt;
+  opt.shards = shards;
+  opt.backend = te::batch::Backend::kCpuSequential;
+  opt.scheduler.chunk_tensors = 2;  // small chunks: fine-grained fairness
+  opt.tenant_queue_capacity = 64;
+  opt.drr_quantum = quantum;
+  return opt;
+}
+
+std::vector<te::serve::Ticket> submit_stream(
+    te::serve::Server<float>& server, const Stream& stream) {
+  std::vector<te::serve::Ticket> tickets;
+  for (const auto& [tenant, shape] : stream.entries) {
+    auto p = te::batch::BatchProblem<float>::random(
+        static_cast<std::uint64_t>(shape.seed), shape.tensors,
+        /*num_starts=*/2, /*order=*/3, /*dim=*/4);
+    const auto out =
+        server.submit(tenant, std::move(p), te::kernels::Tier::kGeneral);
+    TE_REQUIRE(out.accepted, "stream submission rejected: " << out.reason);
+    tickets.push_back(out.ticket);
+  }
+  return tickets;
+}
+
+/// Exact upper-quantile of a sample (ceil-rank convention, matching
+/// te::obs::quantile_from_buckets).
+std::int64_t quantile_steps(std::vector<std::int64_t> v, double q) {
+  TE_REQUIRE(!v.empty(), "empty sample");
+  std::sort(v.begin(), v.end());
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(q * static_cast<double>(v.size()))));
+  return v[static_cast<std::size_t>(rank - 1)];
+}
+
+bool bitwise_equal(const te::sshopm::Result<float>& a,
+                   const te::sshopm::Result<float>& b) {
+  if (std::bit_cast<std::uint32_t>(a.lambda) !=
+      std::bit_cast<std::uint32_t>(b.lambda)) {
+    return false;
+  }
+  if (a.x.size() != b.x.size() || a.iterations != b.iterations ||
+      a.converged != b.converged || a.failure != b.failure) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.x.size(); ++i) {
+    if (std::bit_cast<std::uint32_t>(a.x[i]) !=
+        std::bit_cast<std::uint32_t>(b.x[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_fairness(int shards, int quantum, int flood, int light, bool csv) {
+  te::serve::Server<float> server(base_options(shards, quantum));
+  const Stream stream = make_stream(flood, light);
+  const auto tickets = submit_stream(server, stream);
+  server.pump();
+
+  std::map<std::string, std::vector<std::int64_t>> latencies;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const auto st = server.poll(tickets[i]);
+    TE_REQUIRE(st.state == te::serve::RequestState::kDone,
+               "request " << tickets[i] << " did not complete");
+    latencies[stream.entries[i].first].push_back(st.complete_step -
+                                                 st.submit_step);
+  }
+
+  te::TextTable t;
+  t.set_header({"tenant", "requests", "p50_steps", "p95_steps",
+                "p99_steps"});
+  std::map<std::string, std::int64_t> p99;
+  for (const auto& [tenant, lats] : latencies) {
+    p99[tenant] = quantile_steps(lats, 0.99);
+    t.add_row({tenant, std::to_string(lats.size()),
+               std::to_string(quantile_steps(lats, 0.50)),
+               std::to_string(quantile_steps(lats, 0.95)),
+               std::to_string(p99[tenant])});
+  }
+  emit(t, csv);
+
+  const double ratio = p99["light"] > 0 ? static_cast<double>(p99["flood"]) /
+                                              static_cast<double>(p99["light"])
+                                        : 0.0;
+  std::printf("fairness: light p99 = %lld steps, flood p99 = %lld steps, "
+              "ratio = %.2f\n",
+              static_cast<long long>(p99["light"]),
+              static_cast<long long>(p99["flood"]), ratio);
+  TE_OBS_ONLY({
+    te::obs::global().gauge("serve.fairness.light_p99_steps")
+        .set(static_cast<double>(p99["light"]));
+    te::obs::global().gauge("serve.fairness.flood_p99_steps")
+        .set(static_cast<double>(p99["flood"]));
+    te::obs::global().gauge("serve.fairness.p99_ratio").set(ratio);
+  });
+  // A FIFO drain would give both tenants the same p99 (the stream drains
+  // flood first); DRR must keep the light tenant well ahead.
+  if (ratio < 2.0) {
+    std::fprintf(stderr, "FAIL: flood/light p99 ratio %.2f < 2 -- the DRR "
+                         "pump is not isolating tenants\n",
+                 ratio);
+    return 1;
+  }
+  return 0;
+}
+
+int run_admission(int shards) {
+  auto opt = base_options(shards, 4);
+  opt.tenant_queue_capacity = 8;
+  te::serve::Server<float> server(opt);
+  int rejected = 0;
+  std::string sample_reason;
+  for (int i = 0; i < 12; ++i) {
+    auto p = te::batch::BatchProblem<float>::random(
+        static_cast<std::uint64_t>(300 + i), 2, 2, 3, 4);
+    const auto out =
+        server.submit("burst", std::move(p), te::kernels::Tier::kGeneral);
+    if (!out.accepted) {
+      ++rejected;
+      sample_reason = out.reason;
+    }
+  }
+  std::printf("admission: 12 submissions at capacity 8 -> %d rejected "
+              "(\"%s\")\n",
+              rejected, sample_reason.c_str());
+  TE_OBS_ONLY(te::obs::global().gauge("serve.admission.rejected")
+                  .set(static_cast<double>(rejected)));
+  server.pump();
+  if (rejected != 4) {
+    std::fprintf(stderr,
+                 "FAIL: expected 4 rejections at capacity 8, got %d\n",
+                 rejected);
+    return 1;
+  }
+  return 0;
+}
+
+int run_chaos(int shards, int quantum, int flood, int light,
+              const std::string& wal_dir) {
+  TE_REQUIRE(!wal_dir.empty(), "--chaos needs --wal-dir");
+  std::filesystem::remove_all(wal_dir);
+  const Stream stream = make_stream(flood, light);
+
+  // Reference: the same stream, drained uninterrupted, no WAL.
+  te::serve::Server<float> ref(base_options(shards, quantum));
+  const auto ref_tickets = submit_stream(ref, stream);
+  ref.pump();
+
+  // Chaos run: WAL-backed, every shard killed and restarted mid-drain.
+  auto opt = base_options(shards, quantum);
+  opt.wal_dir = wal_dir;
+  te::serve::Server<float> server(opt);
+  const auto tickets = submit_stream(server, stream);
+
+  std::int64_t duplicated = 0;
+  int kills = 0;
+  const int total_chunks = server.stats().pending_chunks;
+  for (int victim = 0; victim < shards; ++victim) {
+    server.pump(total_chunks / (2 * shards) + 1);
+    // Snapshot per-request progress, then crash the shard.
+    std::map<te::serve::Ticket, int> done_before;
+    for (const auto t : tickets) {
+      const auto st = server.poll(t);
+      if (st.shard == victim) done_before[t] = st.chunks_done;
+    }
+    server.kill_shard(victim);
+    server.restart_shard(victim);
+    ++kills;
+    // Exactly-once accounting: every chunk the WAL saw must come back as
+    // restored, so nothing executed before the crash runs twice.
+    for (const auto& [t, before] : done_before) {
+      const auto st = server.poll(t);
+      duplicated += std::max(0, before - st.chunks_restored);
+    }
+  }
+  server.pump();  // drain the rest
+
+  const auto stats = server.stats();
+  const std::int64_t lost =
+      stats.submitted - stats.completed - stats.cancelled;
+  int mismatched = 0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const auto& got = server.result(tickets[i]).results;
+    const auto& want = ref.result(ref_tickets[i]).results;
+    bool same = got.size() == want.size();
+    for (std::size_t s = 0; same && s < got.size(); ++s) {
+      same = bitwise_equal(got[s], want[s]);
+    }
+    if (!same) ++mismatched;
+  }
+
+  std::printf("chaos: %d shard kills, %lld lost, %lld duplicated, "
+              "%d/%zu mismatched vs uninterrupted reference\n",
+              kills, static_cast<long long>(lost),
+              static_cast<long long>(duplicated), mismatched,
+              tickets.size());
+  TE_OBS_ONLY({
+    te::obs::global().gauge("serve.requests.lost")
+        .set(static_cast<double>(lost));
+    te::obs::global().gauge("serve.requests.duplicated")
+        .set(static_cast<double>(duplicated));
+    te::obs::global().gauge("serve.chaos.mismatched_requests")
+        .set(static_cast<double>(mismatched));
+    te::obs::global().gauge("serve.chaos.shard_kills")
+        .set(static_cast<double>(kills));
+  });
+  if (lost != 0 || duplicated != 0 || mismatched != 0) {
+    std::fprintf(stderr, "FAIL: chaos run is not exactly-once/bitwise "
+                         "(lost=%lld duplicated=%lld mismatched=%d)\n",
+                 static_cast<long long>(lost),
+                 static_cast<long long>(duplicated), mismatched);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const te::CliArgs args(argc, argv);
+  const int shards = static_cast<int>(args.get_or("shards", 2L));
+  const int quantum = static_cast<int>(args.get_or("quantum", 4L));
+  const int flood = static_cast<int>(args.get_or("flood", 12L));
+  const int light = static_cast<int>(args.get_or("light", 12L));
+  const bool csv = args.has("csv");
+
+  banner("DESIGN.md section 15 (service soak)",
+         "te::serve fairness, admission control and crash recovery");
+  std::printf("config: shards=%d quantum=%d flood=%dx16 light=%dx2 "
+              "(chunk_tensors=2)\n\n",
+              shards, quantum, flood, light);
+
+  int rc = 0;
+  rc |= run_fairness(shards, quantum, flood, light, csv);
+  rc |= run_admission(shards);
+  if (args.has("chaos")) {
+    rc |= run_chaos(shards, quantum, flood, light,
+                    args.get_or("wal-dir", std::string("serve_wal")));
+  }
+  if (!te::bench::maybe_write_metrics(args, "serve")) rc = 1;
+  std::printf("\n%s\n", rc == 0 ? "OK" : "FAILED");
+  return rc;
+}

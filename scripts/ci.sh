@@ -10,9 +10,9 @@
 #      the simulator's own MemSanitizer tests run instrumented.
 #   3. TSan (-DTE_SANITIZE=thread) over the concurrency surface only --
 #      the thread pool, the batch backends, the streaming scheduler (shared
-#      table cache + lent pools) and the stress suite. Only those test
-#      binaries are built; `ctest -L` skips the label-less NOT_BUILT
-#      placeholders of the rest.
+#      table cache + lent pools), the stress suite, and the te::serve
+#      layer. Only those test binaries are built; `ctest -L` skips the
+#      label-less NOT_BUILT placeholders of the rest.
 #   4. observability gate: a bench_sshopm smoke run must emit a
 #      BENCH_sshopm.json that passes the te-obs-v1 schema validator, and a
 #      -DTE_OBS=OFF build must stay green (tier1) with bench_obs_overhead
@@ -33,6 +33,13 @@
 #   7. clang-tidy (when installed): the bugprone/performance profile from
 #      .clang-tidy over src/ and tools/, using the compile database of the
 #      pass-1 tree. Skipped with a notice on hosts without clang-tidy.
+#
+# Pass 1 additionally runs the te::serve soak smoke: bench_serve with chaos
+# mode (every shard killed and restarted mid-drain) must report zero
+# lost/duplicated requests and a bitwise match against an uninterrupted
+# reference run, and its metrics artifact is gated on the fairness ratio,
+# admission counts, chaos gauges, and the p99 of the request-latency
+# histogram (the obs quantile path end to end).
 #
 # Usage: scripts/ci.sh [extra cmake args...]
 set -euo pipefail
@@ -57,7 +64,7 @@ run_pass build -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@"
 
 # Labeled subsets (same build tree; cheap, and verifies the label wiring).
-for label in tier1 slow stress analysis oracle; do
+for label in tier1 slow stress analysis oracle serve; do
   echo "=== build: ctest -L ${label} ==="
   ctest --test-dir build -L "${label}" --output-on-failure -j "${JOBS}"
 done
@@ -107,6 +114,29 @@ else
     --require-gauge kernels.blocked.parity 1
 fi
 
+# Serve soak smoke: the service layer end to end. bench_serve runs the
+# fairness phase (DRR must keep the light tenant's p99 at least 2x below
+# the flooding tenant's), the admission phase (exact reject counts at a
+# bounded tenant queue), and the chaos phase (--chaos: every shard killed
+# and restarted mid-drain, replayed from its per-shard WAL; the bench exits
+# nonzero on any lost, duplicated, or bitwise-mismatched request vs an
+# uninterrupted reference run). The validator then gates the published
+# gauges plus the p99 of the request-latency histogram -- the obs quantile
+# export path is part of the gate.
+echo "=== build: serve soak smoke (bench_serve --chaos) ==="
+cmake --build build -j "${JOBS}" --target bench_serve serve_cli obs_json_check
+rm -rf build/ci_serve_wal
+mkdir -p build/ci_serve_wal
+./build/bench/bench_serve --shards 2 --chaos --wal-dir build/ci_serve_wal \
+  --metrics-json build/BENCH_serve.json
+./build/tools/obs_json_check build/BENCH_serve.json \
+  --require-gauge serve.fairness.p99_ratio 2 \
+  --require-gauge-max serve.requests.lost 0 \
+  --require-gauge-max serve.requests.duplicated 0 \
+  --require-gauge-max serve.chaos.mismatched_requests 0 \
+  --require-gauge serve.admission.rejected 1 \
+  --require-quantile serve.request.latency_seconds 99 60
+
 # Pass 2: host-sanitized. RelWithDebInfo keeps stacks symbolized; native
 # arch off so the instrumented binaries stay portable across CI hosts.
 run_pass build-asan \
@@ -116,9 +146,10 @@ run_pass build-asan \
   "$@"
 
 # Pass 3: TSan over the concurrency surface (thread pool, batch backends,
-# streaming scheduler, stress suite). Building only these binaries keeps
-# the pass affordable.
-TSAN_TARGETS=(parallel_test batch_test scheduler_test stress_test)
+# streaming scheduler, stress suite, and the serve layer -- background pump
+# thread, shared cross-shard cache, socket front-end). Building only these
+# binaries keeps the pass affordable.
+TSAN_TARGETS=(parallel_test batch_test scheduler_test stress_test serve_test)
 echo "=== build-tsan: configure ==="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -127,8 +158,9 @@ cmake -B build-tsan -S . \
   "$@"
 echo "=== build-tsan: build ${TSAN_TARGETS[*]} ==="
 cmake --build build-tsan -j "${JOBS}" --target "${TSAN_TARGETS[@]}"
-echo "=== build-tsan: ctest (tier1 + stress labels) ==="
-ctest --test-dir build-tsan -L 'tier1|stress' --output-on-failure -j "${JOBS}"
+echo "=== build-tsan: ctest (tier1 + stress + serve labels) ==="
+ctest --test-dir build-tsan -L 'tier1|stress|serve' --output-on-failure \
+  -j "${JOBS}"
 
 # Pass 4: TE_OBS=OFF. The disabled mode must build, pass tier1, and the
 # overhead bench's built-in assertion must see an empty registry (it exits

@@ -31,6 +31,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <utility>
@@ -178,11 +179,20 @@ class Scheduler {
   /// `external_pool`, when given, is used (not owned) by the kCpuParallel
   /// backend, letting several schedulers share one set of workers instead
   /// of oversubscribing the host; it must outlive the scheduler.
+  /// `shared_cache`, when given, replaces the scheduler-owned TableCache so
+  /// several shards share one table budget (te::serve passes one cache to
+  /// every shard); its capacity/byte/spill configuration is the owner's
+  /// business and the per-scheduler cache knobs are ignored.
   explicit Scheduler(Backend backend, SchedulerOptions opt = {},
-                     ThreadPool* external_pool = nullptr)
+                     ThreadPool* external_pool = nullptr,
+                     std::shared_ptr<TableCache<T>> shared_cache = nullptr)
       : backend_(backend),
         opt_(opt),
-        cache_(opt.cache_capacity, opt.cache_max_bytes),
+        owns_cache_(shared_cache == nullptr),
+        cache_(shared_cache != nullptr
+                   ? std::move(shared_cache)
+                   : std::make_shared<TableCache<T>>(opt.cache_capacity,
+                                                     opt.cache_max_bytes)),
         external_pool_(external_pool),
         pipeline_(opt.pipeline_buffers) {
     TE_REQUIRE(opt_.chunk_tensors >= 1, "chunk size must be positive");
@@ -191,8 +201,8 @@ class Scheduler {
     TE_REQUIRE(opt_.cpu_threads >= 1, "cpu_threads must be positive");
     TE_REQUIRE(opt_.simd_width == 0 || kernels::is_multi_width(opt_.simd_width),
                "unsupported simd_width " << opt_.simd_width);
-    if (!opt_.table_spill_dir.empty()) {
-      cache_.set_spill_dir(opt_.table_spill_dir);
+    if (owns_cache_ && !opt_.table_spill_dir.empty()) {
+      cache_->set_spill_dir(opt_.table_spill_dir);
     }
     if (!opt_.checkpoint_path.empty()) {
       // Replay an existing log, drop any torn tail, then reopen for append
@@ -258,15 +268,17 @@ class Scheduler {
           static_cast<double>(queue_.size())));
     }
     for (auto& job : jobs_) {
-      if (!job.done && job.chunks_done == job.chunks_total) finalize(job);
+      if (!job.done && !job.cancelled && job.chunks_done == job.chunks_total) {
+        finalize(job);
+      }
     }
     TE_OBS_ONLY({
       auto& m = detail::SchedulerMetrics::get();
-      const TableCacheStats cs = cache_.stats();
+      const TableCacheStats cs = cache_->stats();
       m.cache_hits.set(static_cast<double>(cs.hits));
       m.cache_misses.set(static_cast<double>(cs.misses));
       m.cache_evictions.set(static_cast<double>(cs.evictions));
-      m.cache_size.set(static_cast<double>(cache_.size()));
+      m.cache_size.set(static_cast<double>(cache_->size()));
       m.cache_disk_hits.set(static_cast<double>(cs.disk_hits));
       m.cache_bytes_resident.set(static_cast<double>(cs.bytes_resident));
       const PipelineReport pr = report(pipeline_);
@@ -282,9 +294,85 @@ class Scheduler {
     return static_cast<int>(queue_.size());
   }
 
+  /// Execute queued chunks of ONE job (in submit order within the job),
+  /// leaving every other job's chunks queued. This is the fairness unit of
+  /// te::serve: a deficit round-robin pump spends each tenant's quantum in
+  /// run_job(id, 1) steps, so a flooding tenant's deep queue cannot starve
+  /// a light tenant sharing the shard. Finalizes the job when its last
+  /// chunk completes. Returns the number of chunks executed.
+  int run_job(JobId id, int max_chunks = -1) {
+    TE_OBS_SPAN("batch.run_job");
+    (void)at(id);  // validate the handle
+    Job& job = jobs_[static_cast<std::size_t>(id)];
+    TE_REQUIRE(!job.cancelled, "job " << id << " was cancelled");
+    int executed = 0;
+    while (max_chunks < 0 || executed < max_chunks) {
+      const auto it =
+          std::find_if(queue_.begin(), queue_.end(),
+                       [&](const Chunk& c) { return c.job == id; });
+      if (it == queue_.end()) break;
+      const Chunk c = *it;
+      queue_.erase(it);
+      execute(c);
+      ++executed;
+      TE_OBS_ONLY(detail::SchedulerMetrics::get().queue_depth.set(
+          static_cast<double>(queue_.size())));
+    }
+    if (!job.done && job.chunks_done == job.chunks_total) finalize(job);
+    return executed;
+  }
+
+  /// Drop a job's queued chunks and mark it cancelled. Chunks already
+  /// executed stay in the checkpoint log (a restart that resubmits the job
+  /// may still finish it), but result() refuses a cancelled job and the
+  /// run() finalize sweep skips it. Cancelling a finished job is an error
+  /// -- poll is_done() first. Returns the number of chunks dropped.
+  int cancel_job(JobId id) {
+    (void)at(id);
+    Job& job = jobs_[static_cast<std::size_t>(id)];
+    TE_REQUIRE(!job.done,
+               "job " << id << " already finished; nothing to cancel");
+    int dropped = 0;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->job == id) {
+        it = queue_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    job.cancelled = true;
+    TE_OBS_ONLY(detail::SchedulerMetrics::get().queue_depth.set(
+        static_cast<double>(queue_.size())));
+    return dropped;
+  }
+
+  /// Per-job progress, exposed for service-layer polling.
+  [[nodiscard]] int chunks_total(JobId id) const { return at(id).chunks_total; }
+  [[nodiscard]] int chunks_done(JobId id) const { return at(id).chunks_done; }
+  [[nodiscard]] bool is_done(JobId id) const { return at(id).done; }
+  [[nodiscard]] bool is_cancelled(JobId id) const { return at(id).cancelled; }
+
+  /// True when the checkpoint log replayed at construction already pins a
+  /// job with this id -- i.e. submitting under this id is a recovery
+  /// resubmission, not new work. te::serve lets those bypass admission
+  /// control so a restart can never be refused by its own backpressure.
+  [[nodiscard]] bool is_replay_job(JobId id) const {
+    return std::any_of(replay_.jobs.begin(), replay_.jobs.end(),
+                       [&](const io::CheckpointJob& j) {
+                         return j.job == static_cast<std::uint32_t>(id);
+                       });
+  }
+
+  /// The id the next submit() will hand out.
+  [[nodiscard]] JobId next_job_id() const {
+    return static_cast<JobId>(jobs_.size());
+  }
+
   /// Result of a finished job (run() must have drained its chunks).
   [[nodiscard]] const BatchResult<T>& result(JobId id) const {
     const Job& job = at(id);
+    TE_REQUIRE(!job.cancelled, "job " << id << " was cancelled");
     TE_REQUIRE(job.done, "job " << id << " has pending chunks; call run()");
     return job.result;
   }
@@ -300,7 +388,13 @@ class Scheduler {
   [[nodiscard]] PipelineReport pipeline() const { return report(pipeline_); }
 
   /// Counters of the shared precompute cache.
-  [[nodiscard]] TableCacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] TableCacheStats cache_stats() const { return cache_->stats(); }
+
+  /// The precompute cache itself (the instance shared across shards when a
+  /// shared cache was lent at construction).
+  [[nodiscard]] const std::shared_ptr<TableCache<T>>& cache() const {
+    return cache_;
+  }
 
   /// The submitted problem backing a job (eigenpair extraction needs the
   /// tensors alongside the results).
@@ -334,6 +428,7 @@ class Scheduler {
     int chunks_restored = 0;  ///< subset of chunks_done replayed from disk
     bool gpu_merged = false;  ///< a GPU chunk has seeded result.gpu
     bool done = false;
+    bool cancelled = false;  ///< queued chunks dropped; result() refuses
   };
 
   struct Chunk {
@@ -392,7 +487,7 @@ class Scheduler {
     Job& job = jobs_[static_cast<std::size_t>(c.job)];
     const BatchProblem<T>& p = job.problem;
     const int nv = p.num_starts();
-    const auto tables = cache_.get(p.order, p.dim, job.tier);
+    const auto tables = cache_->get(p.order, p.dim, job.tier);
     sshopm::Result<T>* out_base =
         job.result.results.data() +
         static_cast<std::size_t>(c.begin) * nv;
@@ -603,7 +698,8 @@ class Scheduler {
 
   Backend backend_;
   SchedulerOptions opt_;
-  TableCache<T> cache_;
+  bool owns_cache_;  ///< declared before cache_: reads shared_cache pre-move
+  std::shared_ptr<TableCache<T>> cache_;
   ThreadPool* external_pool_;
   std::optional<ThreadPool> owned_pool_;
   std::deque<Job> jobs_;

@@ -12,12 +12,15 @@
 // instance. Hit/miss/eviction counters make the amortization measurable
 // (bench_scheduler prints them; the tests assert hits on multi-job runs).
 
+#include <algorithm>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "te/io/container.hpp"
 #include "te/kernels/dispatch.hpp"
@@ -89,45 +92,74 @@ class TableCache {
   /// Tables for one shape/tier. Tiers that never read tables (general, cse,
   /// unrolled) return nullptr without touching the cache or its counters.
   /// The returned pointer remains valid after eviction (shared ownership).
+  ///
+  /// Safe for cross-shard sharing: the combinatorial build (and the spill
+  /// read) happens OUTSIDE the lock -- a large-n table build takes orders of
+  /// magnitude longer than any other cache operation, and an under-lock
+  /// build would stall every shard sharing the cache, including ones asking
+  /// for unrelated keys that are already resident. Concurrent misses on the
+  /// same key are still collapsed into one build: the first requester marks
+  /// the key in flight and later ones wait on it (their satisfied waits
+  /// count as hits -- they never paid for a build). Eviction runs under the
+  /// lock at insert time, on the coherent bytes_resident ledger.
   [[nodiscard]] std::shared_ptr<const kernels::KernelTables<T>> get(
       int order, int dim, kernels::Tier tier) {
     if (tier != kernels::Tier::kPrecomputed &&
         tier != kernels::Tier::kBlocked) {
       return nullptr;
     }
-    std::lock_guard lock(mutex_);
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->order == order && it->dim == dim && it->tier == tier) {
-        ++stats_.hits;
-        entries_.splice(entries_.begin(), entries_, it);  // mark recent
-        return entries_.front().tables;
-      }
-    }
-    ++stats_.misses;
-    // Building under the lock serializes concurrent misses on the same key
-    // into one build + (n - 1) hits; table construction is cheap relative
-    // to the solves it amortizes. With a spill directory configured, a
-    // miss first tries the disk copy (no rebuild), and a cold build is
-    // written back for the next process.
-    std::shared_ptr<const kernels::KernelTables<T>> tables;
-    const std::string spill = spill_path_locked(order, dim);
-    if (!spill.empty()) {
-      if (auto loaded = io::try_load_kernel_tables<T>(spill, order, dim)) {
-        ++stats_.disk_hits;
-        tables = std::make_shared<const kernels::KernelTables<T>>(
-            std::move(*loaded));
-      }
-    }
-    if (!tables) {
-      tables = std::make_shared<const kernels::KernelTables<T>>(order, dim);
-      if (!spill.empty()) {
-        try {
-          io::save_kernel_tables(spill, *tables);
-        } catch (const InvalidArgument&) {
-          // unwritable spill dir: stay purely in-memory
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->order == order && it->dim == dim && it->tier == tier) {
+          ++stats_.hits;
+          entries_.splice(entries_.begin(), entries_, it);  // mark recent
+          return entries_.front().tables;
         }
       }
+      if (!is_building(order, dim, tier)) break;
+      // Another shard is building exactly this key: wait for its insert
+      // instead of building a duplicate. If the builder fails, its key is
+      // withdrawn and the first waiter to wake becomes the new builder.
+      cv_.wait(lock);
     }
+    ++stats_.misses;
+    building_.push_back({order, dim, tier});
+    const std::string spill = spill_path_locked(order, dim);
+    lock.unlock();
+
+    std::shared_ptr<const kernels::KernelTables<T>> tables;
+    bool from_disk = false;
+    try {
+      // With a spill directory configured, a miss first tries the disk copy
+      // (no rebuild), and a cold build is written back for the next process.
+      if (!spill.empty()) {
+        if (auto loaded = io::try_load_kernel_tables<T>(spill, order, dim)) {
+          from_disk = true;
+          tables = std::make_shared<const kernels::KernelTables<T>>(
+              std::move(*loaded));
+        }
+      }
+      if (!tables) {
+        tables = std::make_shared<const kernels::KernelTables<T>>(order, dim);
+        if (!spill.empty()) {
+          try {
+            io::save_kernel_tables(spill, *tables);
+          } catch (const InvalidArgument&) {
+            // unwritable spill dir: stay purely in-memory
+          }
+        }
+      }
+    } catch (...) {
+      lock.lock();
+      erase_building(order, dim, tier);
+      cv_.notify_all();
+      throw;
+    }
+
+    lock.lock();
+    erase_building(order, dim, tier);
+    if (from_disk) ++stats_.disk_hits;
     const std::size_t bytes = tables->table_bytes();
     entries_.push_front({order, dim, tier, bytes, std::move(tables)});
     stats_.bytes_resident += static_cast<std::int64_t>(bytes);
@@ -142,7 +174,9 @@ class TableCache {
       entries_.pop_back();
       ++stats_.evictions;
     }
-    return entries_.front().tables;
+    auto result = entries_.front().tables;
+    cv_.notify_all();
+    return result;
   }
 
   [[nodiscard]] TableCacheStats stats() const {
@@ -179,6 +213,31 @@ class TableCache {
     std::shared_ptr<const kernels::KernelTables<T>> tables;
   };
 
+  /// Key of a build currently running outside the lock.
+  struct BuildKey {
+    int order;
+    int dim;
+    kernels::Tier tier;
+  };
+
+  [[nodiscard]] bool is_building(int order, int dim,
+                                 kernels::Tier tier) const {
+    return std::any_of(building_.begin(), building_.end(),
+                       [&](const BuildKey& k) {
+                         return k.order == order && k.dim == dim &&
+                                k.tier == tier;
+                       });
+  }
+
+  void erase_building(int order, int dim, kernels::Tier tier) {
+    const auto it = std::find_if(building_.begin(), building_.end(),
+                                 [&](const BuildKey& k) {
+                                   return k.order == order && k.dim == dim &&
+                                          k.tier == tier;
+                                 });
+    if (it != building_.end()) building_.erase(it);
+  }
+
   [[nodiscard]] std::string spill_path_locked(int order, int dim) const {
     if (spill_dir_.empty()) return {};
     std::ostringstream os;
@@ -188,9 +247,11 @@ class TableCache {
   }
 
   mutable std::mutex mutex_;
+  std::condition_variable cv_;  ///< signaled when a build finishes/fails
   std::size_t capacity_;
   std::size_t max_bytes_;
   std::list<Entry> entries_;  ///< front = most recently used
+  std::vector<BuildKey> building_;  ///< keys being built outside the lock
   TableCacheStats stats_;
   std::string spill_dir_;
 };

@@ -334,6 +334,18 @@ bool check_histogram(const std::string& name, const JsonValue& h,
       return false;
     }
   }
+  // Quantile fields are optional (artifacts written before they existed
+  // stay valid) but must be numeric when present.
+  for (const char* field : {"p50", "p95", "p99"}) {
+    const JsonValue* v = h.find(field);
+    if (v != nullptr &&
+        !expect(v->kind == JsonValue::Kind::kNumber,
+                "histogram '" + name + "' field '" + field +
+                    "' is not a number",
+                error)) {
+      return false;
+    }
+  }
   const JsonValue* b = h.find("buckets");
   if (!expect(b != nullptr && b->kind == JsonValue::Kind::kArray,
               "histogram '" + name + "' missing buckets array", error)) {
@@ -393,6 +405,9 @@ std::string to_json(const Snapshot& snap, const ExportMeta& meta) {
     out += ", \"min\": " + format_double(h.min);
     out += ", \"max\": " + format_double(h.max);
     out += ", \"mean\": " + format_double(h.mean());
+    out += ", \"p50\": " + format_double(h.quantile(0.50));
+    out += ", \"p95\": " + format_double(h.quantile(0.95));
+    out += ", \"p99\": " + format_double(h.quantile(0.99));
     out += ", \"buckets\": [";
     for (int b = 0; b < kHistogramBuckets; ++b) {
       if (b > 0) out += ", ";
@@ -423,21 +438,25 @@ std::string to_csv(const Snapshot& snap, const ExportMeta& meta) {
   for (const auto& [k, v] : meta) {
     out << "# " << k << "=" << v << "\n";
   }
-  out << "kind,name,count,value,min,max,mean\n";
+  out << "kind,name,count,value,min,max,mean,p50,p95,p99\n";
   for (const auto& c : snap.counters) {
-    out << "counter," << c.name << ",1," << c.value << ",,,\n";
+    out << "counter," << c.name << ",1," << c.value << ",,,,,,\n";
   }
   for (const auto& g : snap.gauges) {
-    out << "gauge," << g.name << ",1," << format_double(g.value) << ",,,\n";
+    out << "gauge," << g.name << ",1," << format_double(g.value)
+        << ",,,,,,\n";
   }
   for (const auto& h : snap.histograms) {
     out << "histogram," << h.name << "," << h.count << ","
         << format_double(h.total) << "," << format_double(h.min) << ","
-        << format_double(h.max) << "," << format_double(h.mean()) << "\n";
+        << format_double(h.max) << "," << format_double(h.mean()) << ","
+        << format_double(h.quantile(0.50)) << ","
+        << format_double(h.quantile(0.95)) << ","
+        << format_double(h.quantile(0.99)) << "\n";
   }
   for (const auto& s : snap.spans) {
     out << "span," << s.path << "," << s.depth << ","
-        << format_double(s.duration_seconds) << ",,,\n";
+        << format_double(s.duration_seconds) << ",,,,,,\n";
   }
   return out.str();
 }
@@ -542,6 +561,31 @@ ValidationResult validate_export_json(const std::string& json) {
   res.ok = true;
   res.error.clear();
   return res;
+}
+
+std::optional<double> read_export_histogram_quantile(
+    const std::string& json, const std::string& name, int percentile) {
+  if (percentile != 50 && percentile != 95 && percentile != 99) {
+    return std::nullopt;
+  }
+  JsonValue doc;
+  std::string error;
+  JsonParser parser(json);
+  if (!parser.parse(doc, error)) return std::nullopt;
+  if (doc.kind != JsonValue::Kind::kObject) return std::nullopt;
+  const JsonValue* hists = doc.find("histograms");
+  if (hists == nullptr || hists->kind != JsonValue::Kind::kObject) {
+    return std::nullopt;
+  }
+  const JsonValue* h = hists->find(name);
+  if (h == nullptr || h->kind != JsonValue::Kind::kObject) {
+    return std::nullopt;
+  }
+  const JsonValue* q = h->find("p" + std::to_string(percentile));
+  if (q == nullptr || q->kind != JsonValue::Kind::kNumber) {
+    return std::nullopt;
+  }
+  return q->number;
 }
 
 std::optional<double> read_export_gauge(const std::string& json,

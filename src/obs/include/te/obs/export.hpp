@@ -65,4 +65,12 @@ struct ValidationResult {
 [[nodiscard]] std::optional<double> read_export_gauge(
     const std::string& json, const std::string& name);
 
+/// Read one histogram quantile (percentile must be 50, 95 or 99 -- the
+/// exported fields) out of a te-obs-v1 document by metric name. Returns
+/// nullopt when the document does not parse, the histogram is absent, or
+/// it predates the quantile fields. CI uses this via obs_json_check
+/// --require-quantile to gate on tail latency.
+[[nodiscard]] std::optional<double> read_export_histogram_quantile(
+    const std::string& json, const std::string& name, int percentile);
+
 }  // namespace te::obs

@@ -73,7 +73,23 @@ struct HistogramSample {
   [[nodiscard]] double mean() const {
     return count > 0 ? total / static_cast<double>(count) : 0.0;
   }
+  /// Estimated q-quantile (q in [0, 1]); see quantile_from_buckets.
+  [[nodiscard]] double quantile(double q) const;
 };
+
+/// Estimate the q-quantile of a bucketed observation stream. Buckets follow
+/// Histogram::bucket_index (bucket 0 = values below 1e-6, bucket i >= 1 =
+/// [2^(i-1), 2^i) microseconds-equivalent); the estimate interpolates
+/// linearly inside the bucket that crosses rank q * count and is clamped to
+/// the exact recorded [min, max], so single-observation streams and the
+/// extreme quantiles are exact. Returns 0 for an empty stream.
+[[nodiscard]] double quantile_from_buckets(
+    const std::array<std::int64_t, kHistogramBuckets>& buckets,
+    std::int64_t count, double min, double max, double q);
+
+inline double HistogramSample::quantile(double q) const {
+  return quantile_from_buckets(buckets, count, min, max, q);
+}
 
 struct SpanSample {
   std::string path;   ///< dotted parent.child chain, e.g. "batch.run.chunk"
@@ -153,6 +169,14 @@ class Histogram {
     return c > 0 ? total() / static_cast<double>(c) : 0.0;
   }
   [[nodiscard]] std::array<std::int64_t, kHistogramBuckets> buckets() const;
+
+  /// Estimated q-quantile of everything recorded so far (q in [0, 1]):
+  /// p50 = quantile(0.5), p99 = quantile(0.99). Log2-bucket resolution --
+  /// the estimate is exact at the recorded min/max and within one bucket
+  /// (a factor of 2) elsewhere, which is the right grain for latency SLOs.
+  [[nodiscard]] double quantile(double q) const {
+    return quantile_from_buckets(buckets(), count(), min(), max(), q);
+  }
 
   /// Bucket for one observation: log2 of the value in microsecond-scale
   /// units (values below 1e-6 land in bucket 0; huge values clamp to the
@@ -246,6 +270,7 @@ class Histogram {
   [[nodiscard]] std::array<std::int64_t, kHistogramBuckets> buckets() const {
     return {};
   }
+  [[nodiscard]] double quantile(double) const { return 0; }
   [[nodiscard]] static int bucket_index(double) { return 0; }
 };
 

@@ -1,9 +1,45 @@
 #include "te/obs/obs.hpp"
 
+#include <algorithm>
+#include <cmath>
+
+namespace te::obs {
+
+// Defined outside the TE_OBS gate: HistogramSample (and therefore snapshot
+// post-processing in exporters and tools) exists in both build modes.
+double quantile_from_buckets(
+    const std::array<std::int64_t, kHistogramBuckets>& buckets,
+    std::int64_t count, double min, double max, double q) {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the wanted observation, 1-based: ceil(q * count), at least 1.
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count))));
+  std::int64_t cum = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    const std::int64_t in_bucket = buckets[static_cast<std::size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (cum + in_bucket < rank) {
+      cum += in_bucket;
+      continue;
+    }
+    // Bucket i spans [lo, hi) in seconds (bucket 0 absorbs [0, 1e-6)).
+    const double lo = i == 0 ? 0.0 : std::ldexp(1e-6, i - 1);
+    const double hi = std::ldexp(1e-6, i);
+    const double frac = (static_cast<double>(rank - cum) - 0.5) /
+                        static_cast<double>(in_bucket);
+    const double est = lo + (hi - lo) * frac;
+    // The exact extremes are known; never report outside them.
+    return std::clamp(est, min, max);
+  }
+  return max;  // all mass below rank (defensive; cannot happen)
+}
+
+}  // namespace te::obs
+
 #if TE_OBS_ENABLED
 
 #include <chrono>
-#include <cmath>
 #include <map>
 #include <mutex>
 

@@ -1,0 +1,54 @@
+#pragma once
+// AF_UNIX socket front-end for te::serve (POSIX only; no protocol deps).
+//
+// A thin transport over wire.hpp's line protocol: the front-end listens on
+// a filesystem socket path, reads newline-terminated requests, and writes
+// one newline-terminated response per request. Connections are handled one
+// at a time (the server itself is the concurrency layer -- requests from
+// any number of sequential connections interleave through its mutex), and
+// the accept loop polls with a short timeout so stop() is prompt. A client
+// helper sends one line and returns the response, which is all the CLI and
+// the tests need.
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "te/serve/server.hpp"
+
+namespace te::serve {
+
+/// Listening front-end bound to `path` (an AF_UNIX socket path, unlinked
+/// first if stale). The accept loop runs on its own thread from
+/// construction until stop()/destruction.
+class SocketFrontEnd {
+ public:
+  SocketFrontEnd(Server<float>& server, std::string path);
+  ~SocketFrontEnd();
+
+  SocketFrontEnd(const SocketFrontEnd&) = delete;
+  SocketFrontEnd& operator=(const SocketFrontEnd&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Shut the accept loop down and unlink the socket (idempotent).
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Server<float>& server_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+/// Client side: connect to `path`, send `line` (newline appended), return
+/// the single response line (newline stripped). Throws InvalidArgument on
+/// connection or framing failure.
+[[nodiscard]] std::string request_over_socket(const std::string& path,
+                                              const std::string& line);
+
+}  // namespace te::serve

@@ -1,0 +1,10 @@
+// Explicit instantiations of the service for float and double.
+
+#include "te/serve/server.hpp"
+
+namespace te::serve {
+
+template class Server<float>;
+template class Server<double>;
+
+}  // namespace te::serve

@@ -1,0 +1,196 @@
+#include "te/serve/wire.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace te::serve {
+
+namespace {
+
+/// Position just past `"key":` in a flat object, or npos.
+std::size_t value_pos(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t at = 0;
+  while ((at = json.find(needle, at)) != std::string::npos) {
+    std::size_t p = at + needle.size();
+    while (p < json.size() &&
+           std::isspace(static_cast<unsigned char>(json[p]))) {
+      ++p;
+    }
+    if (p < json.size() && json[p] == ':') {
+      ++p;
+      while (p < json.size() &&
+             std::isspace(static_cast<unsigned char>(json[p]))) {
+        ++p;
+      }
+      return p;
+    }
+    at += needle.size();  // matched a value, not a key; keep scanning
+  }
+  return std::string::npos;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string error_line(const std::string& message) {
+  return "{\"ok\":false,\"error\":\"" + json_escape(message) + "\"}";
+}
+
+/// Required integer field, throwing InvalidArgument with a protocol-level
+/// message when absent.
+int required_int(const std::string& json, const std::string& key) {
+  const auto v = wire_number(json, key);
+  TE_REQUIRE(v.has_value(), "missing numeric field '" << key << "'");
+  return static_cast<int>(*v);
+}
+
+std::string handle_submit(Server<float>& server, const std::string& line) {
+  const auto tenant = wire_string(line, "tenant");
+  TE_REQUIRE(tenant.has_value(), "missing string field 'tenant'");
+  const auto tier_name = wire_string(line, "tier");
+  const auto tier = wire_tier(tier_name.value_or("general"));
+  TE_REQUIRE(tier.has_value(),
+             "unknown tier '" << tier_name.value_or("general") << "'");
+  auto problem = batch::BatchProblem<float>::random(
+      static_cast<std::uint64_t>(required_int(line, "seed")),
+      required_int(line, "tensors"), required_int(line, "starts"),
+      required_int(line, "order"), required_int(line, "dim"));
+  const SubmitOutcome out =
+      server.submit(*tenant, std::move(problem), *tier);
+  if (!out.accepted) return error_line(out.reason);
+  return "{\"ok\":true,\"ticket\":" + std::to_string(out.ticket) + "}";
+}
+
+std::string status_line(const Server<float>& server, Ticket t) {
+  const RequestStatus st = server.poll(t);
+  std::ostringstream os;
+  os << "{\"ok\":true,\"state\":\"" << request_state_name(st.state)
+     << "\",\"tenant\":\"" << json_escape(st.tenant)
+     << "\",\"shard\":" << st.shard
+     << ",\"chunks_total\":" << st.chunks_total
+     << ",\"chunks_done\":" << st.chunks_done
+     << ",\"chunks_restored\":" << st.chunks_restored;
+  if (st.state == RequestState::kDone) {
+    // First result slot's eigenvalue: enough for a client to check it got
+    // real numbers back (full results stay in-process).
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g",
+                  static_cast<double>(server.result(t).results.front().lambda));
+    os << ",\"lambda00\":" << buf;
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string handle_stats(const Server<float>& server) {
+  const ServerStats st = server.stats();
+  std::ostringstream os;
+  os << "{\"ok\":true,\"submitted\":" << st.submitted
+     << ",\"rejected\":" << st.rejected << ",\"completed\":" << st.completed
+     << ",\"cancelled\":" << st.cancelled << ",\"steps\":" << st.steps
+     << ",\"pending_chunks\":" << st.pending_chunks
+     << ",\"cache_hits\":" << st.cache.hits
+     << ",\"cache_misses\":" << st.cache.misses
+     << ",\"cache_bytes_resident\":" << st.cache.bytes_resident << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<std::string> wire_string(const std::string& json,
+                                       const std::string& key) {
+  std::size_t p = value_pos(json, key);
+  if (p == std::string::npos || p >= json.size() || json[p] != '"') {
+    return std::nullopt;
+  }
+  std::string out;
+  for (++p; p < json.size(); ++p) {
+    if (json[p] == '\\' && p + 1 < json.size()) {
+      const char c = json[++p];
+      out += c == 'n' ? '\n' : (c == 't' ? '\t' : c);
+    } else if (json[p] == '"') {
+      return out;
+    } else {
+      out += json[p];
+    }
+  }
+  return std::nullopt;  // unterminated string
+}
+
+std::optional<double> wire_number(const std::string& json,
+                                  const std::string& key) {
+  const std::size_t p = value_pos(json, key);
+  if (p == std::string::npos) return std::nullopt;
+  const char* begin = json.c_str() + p;
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;
+  return v;
+}
+
+std::optional<kernels::Tier> wire_tier(const std::string& name) {
+  constexpr kernels::Tier kAll[] = {
+      kernels::Tier::kGeneral,  kernels::Tier::kPrecomputed,
+      kernels::Tier::kCse,      kernels::Tier::kBlocked,
+      kernels::Tier::kUnrolled, kernels::Tier::kBlockedPar,
+  };
+  for (const auto t : kAll) {
+    if (name == kernels::tier_name(t)) return t;
+  }
+  return std::nullopt;
+}
+
+std::string handle_line(Server<float>& server, const std::string& line) {
+  try {
+    const auto op = wire_string(line, "op");
+    TE_REQUIRE(op.has_value(), "missing string field 'op'");
+    if (*op == "submit") return handle_submit(server, line);
+    if (*op == "stats") return handle_stats(server);
+    if (*op == "poll" || *op == "wait" || *op == "cancel") {
+      const Ticket t = required_int(line, "ticket");
+      if (*op == "wait") server.wait(t);
+      if (*op == "cancel") {
+        const bool did = server.cancel(t);
+        return std::string("{\"ok\":true,\"cancelled\":") +
+               (did ? "true" : "false") + "}";
+      }
+      return status_line(server, t);
+    }
+    TE_REQUIRE(false, "unknown op '" << *op << "'");
+  } catch (const std::exception& e) {
+    return error_line(e.what());
+  }
+  return error_line("unreachable");
+}
+
+}  // namespace te::serve

@@ -284,5 +284,93 @@ TEST(TableSpill, UnwritableSpillDirIsSilentlyIgnored) {
                  s.result(id).results, "unwritable spill");
 }
 
+// ---------------------------------------------------------------------------
+// Multiple WALs in one directory (the te::serve per-shard layout): each
+// scheduler owns its own log file, kill points differ per shard, one shard
+// may have a torn tail, and replay order across shards must not matter.
+// ---------------------------------------------------------------------------
+
+TEST(MultiWal, TwoSchedulersInOneDirResumeIndependently) {
+  TmpDir dir("multi_wal");
+  auto p0 = BatchProblem<float>::random(75, 8, 3, 3, 4);
+  auto p1 = BatchProblem<float>::random(76, 8, 3, 3, 5);
+  SchedulerOptions base;
+  base.chunk_tensors = 2;  // 4 chunks per job
+
+  Scheduler<float> ref0(Backend::kCpuSequential, base);
+  Scheduler<float> ref1(Backend::kCpuSequential, base);
+  const JobId r0 = ref0.submit(p0, Tier::kGeneral);
+  const JobId r1 = ref1.submit(p1, Tier::kGeneral);
+  ref0.run();
+  ref1.run();
+
+  SchedulerOptions o0 = base, o1 = base;
+  o0.checkpoint_path = dir.path + "/shard_0.tetc";
+  o1.checkpoint_path = dir.path + "/shard_1.tetc";
+  {
+    Scheduler<float> s0(Backend::kCpuSequential, o0);
+    Scheduler<float> s1(Backend::kCpuSequential, o1);
+    s0.submit(p0, Tier::kGeneral);
+    s1.submit(p1, Tier::kGeneral);
+    s0.run(1);  // different kill points per shard
+    s1.run(3);
+    // Both schedulers die here; their logs share the directory but not
+    // a single byte of state.
+  }
+  ASSERT_TRUE(std::filesystem::exists(o0.checkpoint_path));
+  ASSERT_TRUE(std::filesystem::exists(o1.checkpoint_path));
+
+  // Replay in the OPPOSITE construction order: shard WALs are independent,
+  // so recovery order across shards is irrelevant.
+  Scheduler<float> n1(Backend::kCpuSequential, o1);
+  Scheduler<float> n0(Backend::kCpuSequential, o0);
+  const JobId id1 = n1.submit(p1, Tier::kGeneral);
+  const JobId id0 = n0.submit(p0, Tier::kGeneral);
+  EXPECT_EQ(n0.restored_chunks(id0), 1);
+  EXPECT_EQ(n1.restored_chunks(id1), 3);
+  n0.run();
+  n1.run();
+  expect_bitwise(ref0.result(r0).results, n0.result(id0).results, "shard 0");
+  expect_bitwise(ref1.result(r1).results, n1.result(id1).results, "shard 1");
+}
+
+TEST(MultiWal, TornTailOnOneShardDoesNotTouchTheOther) {
+  TmpDir dir("multi_wal_torn");
+  auto p0 = BatchProblem<float>::random(77, 6, 3, 3, 4);
+  auto p1 = BatchProblem<float>::random(78, 6, 3, 3, 4);
+  SchedulerOptions base;
+  base.chunk_tensors = 2;  // 3 chunks per job
+  SchedulerOptions o0 = base, o1 = base;
+  o0.checkpoint_path = dir.path + "/shard_0.tetc";
+  o1.checkpoint_path = dir.path + "/shard_1.tetc";
+  {
+    Scheduler<float> s0(Backend::kCpuSequential, o0);
+    Scheduler<float> s1(Backend::kCpuSequential, o1);
+    s0.submit(p0, Tier::kGeneral);
+    s1.submit(p1, Tier::kGeneral);
+    s0.run(2);
+    s1.run(2);
+  }
+  // Shard 0 crashed mid-append: its second chunk record is torn. Shard 1's
+  // file is untouched.
+  const auto full = std::filesystem::file_size(o0.checkpoint_path);
+  std::filesystem::resize_file(o0.checkpoint_path, full - 11);
+  const auto intact_size = std::filesystem::file_size(o1.checkpoint_path);
+
+  Scheduler<float> n0(Backend::kCpuSequential, o0);
+  Scheduler<float> n1(Backend::kCpuSequential, o1);
+  const JobId id0 = n0.submit(p0, Tier::kGeneral);
+  const JobId id1 = n1.submit(p1, Tier::kGeneral);
+  EXPECT_EQ(n0.restored_chunks(id0), 1);  // torn second chunk dropped
+  EXPECT_EQ(n1.restored_chunks(id1), 2);  // fully intact
+  EXPECT_EQ(std::filesystem::file_size(o1.checkpoint_path), intact_size);
+  n0.run();
+  n1.run();
+  expect_bitwise(solve_cpu_sequential(p0, Tier::kGeneral).results,
+                 n0.result(id0).results, "torn shard");
+  expect_bitwise(solve_cpu_sequential(p1, Tier::kGeneral).results,
+                 n1.result(id1).results, "intact shard");
+}
+
 }  // namespace
 }  // namespace te::batch

@@ -78,6 +78,53 @@ TEST(ObsHistogram, BucketIndexIsMonotoneAndClamped) {
             obs::kHistogramBuckets - 1);
 }
 
+TEST(ObsHistogram, QuantilesFromKnownDistribution) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("lat");
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty stream reports 0
+  // 100 samples spread across decades: 90 fast (~2us), 9 medium (~100us),
+  // 1 slow (~5ms). The log2 buckets must place the tail correctly.
+  for (int i = 0; i < 90; ++i) h.record(2e-6);
+  for (int i = 0; i < 9; ++i) h.record(100e-6);
+  h.record(5e-3);
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  // p50 lands in the [2us, 4us) bucket, p95 in [64us, 128us), and p99 is
+  // the single slow sample's bucket -- clamped to the observed max.
+  EXPECT_GE(p50, 2e-6);
+  EXPECT_LT(p50, 4e-6);
+  EXPECT_GE(p95, 64e-6);
+  EXPECT_LT(p95, 128e-6);
+  EXPECT_GE(p99, 100e-6);
+  EXPECT_LE(p99, 5e-3);
+  // Quantiles are monotone and clamped to the observed range.
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(h.quantile(0.0), h.min());
+  EXPECT_LT(h.quantile(0.0), 4e-6);  // stays inside the min's bucket
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max());
+}
+
+TEST(ObsHistogram, QuantileSingleSampleIsExact) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("one");
+  h.record(7e-6);
+  // One sample: every quantile collapses to it (clamping to [min, max]).
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 7e-6);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 7e-6);
+}
+
+TEST(ObsHistogram, SnapshotSampleCarriesSameQuantiles) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("lat");
+  for (int i = 0; i < 32; ++i) h.record(static_cast<double>(i + 1) * 1e-6);
+  const obs::Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.histograms[0].quantile(0.5), h.quantile(0.5));
+  EXPECT_DOUBLE_EQ(s.histograms[0].quantile(0.99), h.quantile(0.99));
+}
+
 TEST(ObsRegistry, SnapshotIsNameOrdered) {
   obs::Registry reg;
   reg.counter("zulu").inc();
@@ -194,6 +241,7 @@ TEST(ObsDisabled, StubsRecordNothing) {
   EXPECT_EQ(reg.counter("c").value(), 0);
   EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
   EXPECT_EQ(reg.histogram("h").count(), 0);
+  EXPECT_DOUBLE_EQ(reg.histogram("h").quantile(0.99), 0.0);
   EXPECT_TRUE(reg.snapshot().empty());
 }
 
@@ -256,11 +304,57 @@ TEST(ObsExport, CsvHasHeaderAndRows) {
   obs::Registry reg;
   reg.counter("c1").inc();
   const std::string csv = obs::to_csv(reg.snapshot(), {{"k", "v"}});
-  EXPECT_NE(csv.find("kind,name,count,value,min,max,mean"),
+  EXPECT_NE(csv.find("kind,name,count,value,min,max,mean,p50,p95,p99"),
             std::string::npos);
 #if TE_OBS_ENABLED
   EXPECT_NE(csv.find("counter,c1,"), std::string::npos);
 #endif
+}
+
+TEST(ObsExport, HistogramQuantilesRoundTripThroughJson) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("lat");
+  for (int i = 0; i < 99; ++i) h.record(3e-6);
+  h.record(1e-3);
+  const std::string json = obs::to_json(reg.snapshot(), {});
+  const auto v = obs::validate_export_json(json);
+  EXPECT_TRUE(v.ok) << v.error;
+#if TE_OBS_ENABLED
+  const auto p50 = obs::read_export_histogram_quantile(json, "lat", 50);
+  const auto p99 = obs::read_export_histogram_quantile(json, "lat", 99);
+  ASSERT_TRUE(p50.has_value());
+  ASSERT_TRUE(p99.has_value());
+  EXPECT_DOUBLE_EQ(*p50, h.quantile(0.50));
+  EXPECT_DOUBLE_EQ(*p99, h.quantile(0.99));
+  // CSV carries the same three quantile columns for the histogram row.
+  const std::string csv = obs::to_csv(reg.snapshot(), {});
+  EXPECT_NE(csv.find("histogram,lat,"), std::string::npos);
+#endif
+  // Absent histogram or unsupported percentile -> nullopt, not a throw.
+  EXPECT_FALSE(
+      obs::read_export_histogram_quantile(json, "nope", 50).has_value());
+  EXPECT_FALSE(
+      obs::read_export_histogram_quantile(json, "lat", 42).has_value());
+}
+
+TEST(ObsExport, PreQuantileDocumentsStillValidate) {
+  // Documents written before the quantile fields existed must keep
+  // validating (the fields are optional) and report nullopt quantiles.
+  std::string buckets = "[1, 1";
+  for (int i = 2; i < obs::kHistogramBuckets; ++i) buckets += ", 0";
+  buckets += "]";
+  const std::string legacy =
+      R"({"schema": "te-obs-v1", "meta": {}, "counters": {},
+          "gauges": {},
+          "histograms": {"lat": {"count": 2, "total": 3e-06, "min": 1e-06,
+                                 "max": 2e-06, "mean": 1.5e-06,
+                                 "buckets": )" +
+      buckets + R"(}},
+          "spans": []})";
+  const auto v = obs::validate_export_json(legacy);
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_FALSE(
+      obs::read_export_histogram_quantile(legacy, "lat", 95).has_value());
 }
 
 }  // namespace

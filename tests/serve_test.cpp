@@ -1,0 +1,450 @@
+// te::serve service-layer tests (DESIGN.md section 15): results bitwise
+// against the one-shot backends, admission control, DRR fairness in
+// deterministic chunk-steps, the cross-shard shared TableCache, per-shard
+// WAL crash recovery (shard restart, whole-server restart, torn tails), and
+// the wire protocol / socket front-end.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "te/serve/server.hpp"
+#include "te/serve/socket.hpp"
+#include "te/serve/wire.hpp"
+
+namespace te::serve {
+namespace {
+
+using batch::BatchProblem;
+using batch::Backend;
+using kernels::Tier;
+
+std::string tmp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("te_serve_test_") + name))
+      .string();
+}
+
+struct TmpDir {
+  explicit TmpDir(const char* name) : path(tmp_path(name)) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TmpDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+template <Real T>
+void expect_bitwise(const std::vector<sshopm::Result<T>>& a,
+                    const std::vector<sshopm::Result<T>>& b,
+                    const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].lambda, b[i].lambda) << what << " slot " << i;
+    EXPECT_EQ(a[i].x, b[i].x) << what << " slot " << i;
+    EXPECT_EQ(a[i].iterations, b[i].iterations) << what << " slot " << i;
+    EXPECT_EQ(a[i].converged, b[i].converged) << what << " slot " << i;
+  }
+}
+
+ServeOptions small_options(int shards = 2, int chunk_tensors = 2) {
+  ServeOptions opt;
+  opt.shards = shards;
+  opt.backend = Backend::kCpuSequential;
+  opt.scheduler.chunk_tensors = chunk_tensors;
+  return opt;
+}
+
+BatchProblem<float> problem(int seed, int tensors = 4) {
+  return BatchProblem<float>::random(static_cast<std::uint64_t>(seed),
+                                     tensors, /*num_starts=*/2, /*order=*/3,
+                                     /*dim=*/4);
+}
+
+// ---------------------------------------------------------------------------
+// Core client API.
+// ---------------------------------------------------------------------------
+
+TEST(Serve, ResultsMatchOneShotBackendBitwise) {
+  Server<float> server(small_options());
+  const auto p0 = problem(1);
+  const auto p1 = problem(2, 6);
+  const auto t0 = server.submit("a", problem(1), Tier::kGeneral);
+  const auto t1 = server.submit("a", problem(2, 6), Tier::kPrecomputed);
+  ASSERT_TRUE(t0.accepted);
+  ASSERT_TRUE(t1.accepted);
+  EXPECT_EQ(server.wait(t0.ticket), RequestState::kDone);
+  EXPECT_EQ(server.wait(t1.ticket), RequestState::kDone);
+  expect_bitwise(server.result(t0.ticket).results,
+                 batch::solve_cpu_sequential(p0, Tier::kGeneral).results,
+                 "general");
+  expect_bitwise(server.result(t1.ticket).results,
+                 batch::solve_cpu_sequential(p1, Tier::kPrecomputed).results,
+                 "precomputed");
+}
+
+TEST(Serve, PollReportsProgressAndRoundRobinSharding) {
+  Server<float> server(small_options());
+  const auto t0 = server.submit("a", problem(3, 4), Tier::kGeneral);
+  const auto t1 = server.submit("a", problem(4, 4), Tier::kGeneral);
+  auto st0 = server.poll(t0.ticket);
+  auto st1 = server.poll(t1.ticket);
+  EXPECT_EQ(st0.shard, 0);
+  EXPECT_EQ(st1.shard, 1);  // accepted submissions alternate shards
+  EXPECT_EQ(st0.chunks_total, 2);
+  EXPECT_EQ(st0.chunks_done, 0);
+  EXPECT_EQ(st0.state, RequestState::kQueued);
+  server.pump(1);
+  st0 = server.poll(t0.ticket);
+  EXPECT_EQ(st0.chunks_done, 1);
+  server.pump();
+  EXPECT_EQ(server.poll(t0.ticket).state, RequestState::kDone);
+  EXPECT_EQ(server.poll(t1.ticket).state, RequestState::kDone);
+}
+
+TEST(Serve, CancelDropsQueuedChunksAndFreesAdmissionSlot) {
+  auto opt = small_options(/*shards=*/1);
+  opt.tenant_queue_capacity = 1;
+  Server<float> server(opt);
+  const auto t0 = server.submit("a", problem(5, 6), Tier::kGeneral);
+  ASSERT_TRUE(t0.accepted);
+  EXPECT_FALSE(server.submit("a", problem(6), Tier::kGeneral).accepted);
+  EXPECT_TRUE(server.cancel(t0.ticket));
+  EXPECT_FALSE(server.cancel(t0.ticket));  // already cancelled
+  EXPECT_EQ(server.poll(t0.ticket).state, RequestState::kCancelled);
+  EXPECT_THROW((void)server.result(t0.ticket), InvalidArgument);
+  // The slot freed: the tenant can submit again, and the pump has nothing
+  // left of the cancelled request.
+  const auto t2 = server.submit("a", problem(6), Tier::kGeneral);
+  ASSERT_TRUE(t2.accepted);
+  EXPECT_EQ(server.wait(t2.ticket), RequestState::kDone);
+}
+
+TEST(Serve, AdmissionRejectsWithReasonAndRecoversAfterDrain) {
+  auto opt = small_options(/*shards=*/1);
+  opt.tenant_queue_capacity = 2;
+  Server<float> server(opt);
+  const auto a = server.submit("t", problem(7), Tier::kGeneral);
+  const auto b = server.submit("t", problem(8), Tier::kGeneral);
+  ASSERT_TRUE(a.accepted && b.accepted);
+  const auto rejected = server.submit("t", problem(9), Tier::kGeneral);
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_NE(rejected.reason.find("capacity"), std::string::npos);
+  EXPECT_EQ(server.stats().rejected, 1);
+  // Other tenants are unaffected by t's backpressure.
+  EXPECT_TRUE(server.submit("u", problem(9), Tier::kGeneral).accepted);
+  server.pump();
+  EXPECT_TRUE(server.submit("t", problem(9), Tier::kGeneral).accepted);
+}
+
+TEST(Serve, BackgroundPumpThreadCompletesRequests) {
+  Server<float> server(small_options());
+  server.start();
+  const auto t0 = server.submit("a", problem(10, 8), Tier::kGeneral);
+  const auto t1 = server.submit("b", problem(11, 8), Tier::kGeneral);
+  EXPECT_EQ(server.wait(t0.ticket), RequestState::kDone);
+  EXPECT_EQ(server.wait(t1.ticket), RequestState::kDone);
+  server.stop();
+  const auto p0 = problem(10, 8);
+  expect_bitwise(server.result(t0.ticket).results,
+                 batch::solve_cpu_sequential(p0, Tier::kGeneral).results,
+                 "threaded pump");
+}
+
+// ---------------------------------------------------------------------------
+// Fair queueing.
+// ---------------------------------------------------------------------------
+
+TEST(Serve, DrrKeepsLightTenantLatencyBounded) {
+  auto opt = small_options(/*shards=*/1);
+  opt.drr_quantum = 2;
+  Server<float> server(opt);
+  // Flood: 4 requests x 8 chunks, submitted first.
+  std::vector<Ticket> flood;
+  for (int i = 0; i < 4; ++i) {
+    flood.push_back(
+        server.submit("flood", problem(20 + i, 16), Tier::kGeneral).ticket);
+  }
+  // Light: 4 single-chunk requests, submitted after the flood.
+  std::vector<Ticket> light;
+  for (int i = 0; i < 4; ++i) {
+    light.push_back(
+        server.submit("light", problem(30 + i, 2), Tier::kGeneral).ticket);
+  }
+  server.pump();
+  // With quantum 2, light request k completes within (k/2 + 1) full rounds
+  // of the two-tenant ring: at most 4 flood steps may precede each pair of
+  // light completions. Bound: latency <= 2 * (k + 2) + 2.
+  for (std::size_t k = 0; k < light.size(); ++k) {
+    const auto st = server.poll(light[k]);
+    ASSERT_EQ(st.state, RequestState::kDone);
+    const auto latency = st.complete_step - st.submit_step;
+    EXPECT_LE(latency, static_cast<std::int64_t>(2 * (k + 2) + 2))
+        << "light request " << k << " starved";
+  }
+  // The flood tenant still finishes everything.
+  for (const auto t : flood) {
+    EXPECT_EQ(server.poll(t).state, RequestState::kDone);
+  }
+}
+
+TEST(Serve, PumpStepSequenceIsDeterministic) {
+  // The same accepted-submission sequence pumped twice gives identical
+  // per-request completion steps, regardless of pump granularity.
+  auto run = [](int pump_granularity) {
+    Server<float> server(small_options());
+    std::vector<Ticket> tickets;
+    tickets.push_back(
+        server.submit("a", problem(40, 6), Tier::kGeneral).ticket);
+    tickets.push_back(
+        server.submit("b", problem(41, 4), Tier::kGeneral).ticket);
+    tickets.push_back(
+        server.submit("a", problem(42, 2), Tier::kGeneral).ticket);
+    while (server.pump(pump_granularity) > 0) {
+    }
+    std::vector<std::int64_t> steps;
+    for (const auto t : tickets) {
+      steps.push_back(server.poll(t).complete_step);
+    }
+    return steps;
+  };
+  EXPECT_EQ(run(1), run(-1));
+  EXPECT_EQ(run(3), run(-1));
+}
+
+// ---------------------------------------------------------------------------
+// Shared cross-shard cache.
+// ---------------------------------------------------------------------------
+
+TEST(Serve, ShardsShareOneTableCache) {
+  Server<float> server(small_options(/*shards=*/4));
+  // Four same-shape precomputed-tier requests land on four distinct shards;
+  // the first materializes the tables, the rest hit the shared cache.
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back(
+        server.submit("a", problem(50 + i), Tier::kPrecomputed).ticket);
+  }
+  server.pump();
+  for (const auto t : tickets) {
+    EXPECT_EQ(server.poll(t).state, RequestState::kDone);
+  }
+  const auto cs = server.stats().cache;
+  EXPECT_EQ(cs.misses, 1);  // one build total, not one per shard
+  EXPECT_GE(cs.hits, 3);
+  EXPECT_GT(cs.bytes_resident, 0);
+}
+
+TEST(Serve, SharedCacheByteBudgetIsGlobal) {
+  auto opt = small_options(/*shards=*/2);
+  opt.cache_max_bytes = 1;  // evict after every insert, across all shards
+  Server<float> server(opt);
+  auto p0 = BatchProblem<float>::random(60, 2, 2, 3, 4);
+  auto p1 = BatchProblem<float>::random(61, 2, 2, 3, 5);
+  server.submit("a", std::move(p0), Tier::kPrecomputed);
+  server.submit("a", std::move(p1), Tier::kPrecomputed);
+  server.pump();
+  const auto cs = server.stats().cache;
+  EXPECT_EQ(cs.misses, 2);  // distinct shapes
+  EXPECT_GE(cs.evictions, 1);  // the 1-byte budget cannot hold both
+  EXPECT_EQ(server.cache()->size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery.
+// ---------------------------------------------------------------------------
+
+TEST(Serve, ShardWalFilesAreNamedPerShard) {
+  TmpDir dir("wal_naming");
+  auto opt = small_options(/*shards=*/3);
+  opt.wal_dir = dir.path;
+  Server<float> server(opt);
+  server.submit("a", problem(70), Tier::kGeneral);
+  server.submit("a", problem(71), Tier::kGeneral);
+  server.submit("a", problem(72), Tier::kGeneral);
+  server.pump();
+  for (int s = 0; s < 3; ++s) {
+    const auto path = server.shard_wal_path(s);
+    EXPECT_EQ(path, dir.path + "/shard_" + std::to_string(s) + ".tetc");
+    EXPECT_TRUE(std::filesystem::exists(path)) << path;
+  }
+}
+
+TEST(Serve, KillAndRestartShardResumesBitwise) {
+  TmpDir dir("kill_restart");
+  const auto p_ref0 = problem(80, 8);
+  const auto p_ref1 = problem(81, 8);
+  const auto ref0 = batch::solve_cpu_sequential(p_ref0, Tier::kGeneral);
+  const auto ref1 = batch::solve_cpu_sequential(p_ref1, Tier::kGeneral);
+
+  auto opt = small_options(/*shards=*/2);
+  opt.wal_dir = dir.path;
+  Server<float> server(opt);
+  const auto t0 = server.submit("a", problem(80, 8), Tier::kGeneral);
+  const auto t1 = server.submit("a", problem(81, 8), Tier::kGeneral);
+  server.pump(5);  // partial progress on both shards
+
+  const int done_before = server.poll(t0.ticket).chunks_done;
+  server.kill_shard(0);
+  EXPECT_FALSE(server.shard_alive(0));
+  server.restart_shard(0);
+  EXPECT_TRUE(server.shard_alive(0));
+  // Everything executed before the kill came back from the WAL.
+  EXPECT_EQ(server.poll(t0.ticket).chunks_restored, done_before);
+
+  server.pump();
+  expect_bitwise(server.result(t0.ticket).results, ref0.results,
+                 "shard-0 restart");
+  expect_bitwise(server.result(t1.ticket).results, ref1.results,
+                 "untouched shard 1");
+}
+
+TEST(Serve, WholeServerRestartResumesFromWalsBitwise) {
+  TmpDir dir("full_restart");
+  const auto p_ref0 = problem(90, 6);
+  const auto p_ref1 = problem(91, 6);
+  const auto ref0 = batch::solve_cpu_sequential(p_ref0, Tier::kGeneral);
+  const auto ref1 = batch::solve_cpu_sequential(p_ref1, Tier::kGeneral);
+
+  auto opt = small_options(/*shards=*/2);
+  opt.wal_dir = dir.path;
+  int executed_before;
+  {
+    Server<float> first(opt);
+    first.submit("a", problem(90, 6), Tier::kGeneral);
+    first.submit("a", problem(91, 6), Tier::kGeneral);
+    executed_before = first.pump(3);
+    // Destructor = process death; the WALs hold 3 chunks.
+  }
+  Server<float> second(opt);
+  // The client resubmits accepted requests in the original order.
+  const auto t0 = second.submit("a", problem(90, 6), Tier::kGeneral);
+  const auto t1 = second.submit("a", problem(91, 6), Tier::kGeneral);
+  ASSERT_TRUE(t0.accepted && t1.accepted);
+  const int restored = second.poll(t0.ticket).chunks_restored +
+                       second.poll(t1.ticket).chunks_restored;
+  EXPECT_EQ(restored, executed_before);
+  second.pump();
+  expect_bitwise(second.result(t0.ticket).results, ref0.results,
+                 "restarted job 0");
+  expect_bitwise(second.result(t1.ticket).results, ref1.results,
+                 "restarted job 1");
+}
+
+TEST(Serve, RecoveryResubmissionBypassesAdmission) {
+  TmpDir dir("replay_admission");
+  auto opt = small_options(/*shards=*/1);
+  opt.wal_dir = dir.path;
+  opt.tenant_queue_capacity = 2;
+  {
+    Server<float> first(opt);
+    first.submit("t", problem(95), Tier::kGeneral);
+    first.submit("t", problem(96), Tier::kGeneral);
+    first.pump(2);
+  }
+  Server<float> second(opt);
+  // Both resubmissions are replay jobs pinned in the WAL: they must be
+  // accepted even though the tenant is at capacity after the first.
+  EXPECT_TRUE(second.submit("t", problem(95), Tier::kGeneral).accepted);
+  EXPECT_TRUE(second.submit("t", problem(96), Tier::kGeneral).accepted);
+  // A genuinely new request still honors admission.
+  EXPECT_FALSE(second.submit("t", problem(97), Tier::kGeneral).accepted);
+  second.pump();
+}
+
+TEST(Serve, TornTailOnOneShardIsDroppedOthersUnaffected) {
+  TmpDir dir("torn_tail");
+  const auto p_ref0 = problem(100, 6);
+  const auto ref0 = batch::solve_cpu_sequential(p_ref0, Tier::kGeneral);
+
+  auto opt = small_options(/*shards=*/2);
+  opt.wal_dir = dir.path;
+  std::string wal0;
+  {
+    Server<float> first(opt);
+    first.submit("a", problem(100, 6), Tier::kGeneral);
+    first.submit("a", problem(101, 6), Tier::kGeneral);
+    first.pump(6);
+    wal0 = first.shard_wal_path(0);
+  }
+  // Tear shard 0's WAL mid-record (a crash during the last append).
+  const auto full = std::filesystem::file_size(wal0);
+  std::filesystem::resize_file(wal0, full - 13);
+
+  Server<float> second(opt);
+  const auto t0 = second.submit("a", problem(100, 6), Tier::kGeneral);
+  const auto t1 = second.submit("a", problem(101, 6), Tier::kGeneral);
+  // Shard 0 lost its torn last chunk (restored < done-before) but shard
+  // 1's WAL is intact; both finish bitwise regardless.
+  second.pump();
+  expect_bitwise(second.result(t0.ticket).results, ref0.results,
+                 "torn shard 0");
+  const auto p_ref1 = problem(101, 6);
+  expect_bitwise(second.result(t1.ticket).results,
+                 batch::solve_cpu_sequential(p_ref1, Tier::kGeneral).results,
+                 "intact shard 1");
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol and socket front-end.
+// ---------------------------------------------------------------------------
+
+TEST(ServeWire, ParsesFlatFields) {
+  const std::string line =
+      "{\"op\":\"submit\",\"tenant\":\"a b\",\"seed\":7,\"dim\":4}";
+  EXPECT_EQ(wire_string(line, "op").value(), "submit");
+  EXPECT_EQ(wire_string(line, "tenant").value(), "a b");
+  EXPECT_EQ(wire_number(line, "seed").value(), 7.0);
+  EXPECT_FALSE(wire_string(line, "missing").has_value());
+  EXPECT_FALSE(wire_number(line, "tenant").has_value());
+  EXPECT_EQ(wire_tier("blocked_par").value(), Tier::kBlockedPar);
+  EXPECT_FALSE(wire_tier("warp9").has_value());
+}
+
+TEST(ServeWire, SubmitWaitStatsCancelRoundTrip) {
+  Server<float> server(small_options());
+  const auto submit = handle_line(
+      server,
+      "{\"op\":\"submit\",\"tenant\":\"w\",\"seed\":7,\"tensors\":4,"
+      "\"starts\":2,\"order\":3,\"dim\":4,\"tier\":\"general\"}");
+  EXPECT_EQ(wire_number(submit, "ticket").value(), 0.0);
+  const auto wait = handle_line(server, "{\"op\":\"wait\",\"ticket\":0}");
+  EXPECT_EQ(wire_string(wait, "state").value(), "done");
+  ASSERT_TRUE(wire_number(wait, "lambda00").has_value());
+  // The reported eigenvalue is the one-shot backend's, bit for bit (within
+  // the %.9g float round-trip, which is exact for float).
+  const auto ref = batch::solve_cpu_sequential(problem(7), Tier::kGeneral);
+  EXPECT_FLOAT_EQ(static_cast<float>(*wire_number(wait, "lambda00")),
+                  ref.results.front().lambda);
+  const auto stats = handle_line(server, "{\"op\":\"stats\"}");
+  EXPECT_EQ(wire_number(stats, "completed").value(), 1.0);
+
+  const auto bad = handle_line(server, "{\"op\":\"warp\"}");
+  EXPECT_TRUE(wire_string(bad, "error").has_value());
+  const auto reject = handle_line(server, "{\"op\":\"poll\",\"ticket\":99}");
+  EXPECT_TRUE(wire_string(reject, "error").has_value());
+}
+
+TEST(ServeSocket, LineProtocolOverAfUnix) {
+  Server<float> server(small_options());
+  server.start();
+  const std::string path = tmp_path("sock");
+  SocketFrontEnd front(server, path);
+  const auto submit = request_over_socket(
+      path,
+      "{\"op\":\"submit\",\"tenant\":\"s\",\"seed\":8,\"tensors\":2,"
+      "\"starts\":2,\"order\":3,\"dim\":4}");
+  ASSERT_TRUE(wire_number(submit, "ticket").has_value()) << submit;
+  const auto wait = request_over_socket(path, "{\"op\":\"wait\",\"ticket\":0}");
+  EXPECT_EQ(wire_string(wait, "state").value(), "done") << wait;
+  front.stop();
+  server.stop();
+  EXPECT_FALSE(std::filesystem::exists(path));  // socket unlinked on stop
+}
+
+}  // namespace
+}  // namespace te::serve

@@ -202,5 +202,64 @@ TEST(TableCacheStress, ConcurrentGettersSeeOneBuildPerKey) {
   EXPECT_EQ(stats.evictions, 0);
 }
 
+TEST(TableCacheStress, SchedulerShardsShareOneCacheUnderContention) {
+  // The te::serve topology: several Scheduler shards on separate host
+  // threads, all resolving tables through ONE shared cache with a byte
+  // budget tight enough to force eviction churn. Builds happen outside the
+  // cache lock, so shards asking for different shapes must not serialize
+  // behind each other, and every shard must still see correct tables
+  // (results bitwise-identical to the one-shot backend).
+  constexpr int kShards = 6;
+  const auto cache = std::make_shared<batch::TableCache<float>>(
+      /*capacity=*/2, /*max_bytes=*/1);  // thrash: evict on every insert
+  std::vector<batch::BatchProblem<float>> problems;
+  problems.reserve(kShards);
+  for (int s = 0; s < kShards; ++s) {
+    problems.push_back(batch::BatchProblem<float>::random(
+        900 + static_cast<std::uint64_t>(s), 4, 2, 3, 3 + (s % 3)));
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> shards;
+  shards.reserve(kShards);
+  for (int s = 0; s < kShards; ++s) {
+    shards.emplace_back([&, s] {
+      batch::SchedulerOptions opt;
+      opt.chunk_tensors = 1;  // 4 chunks: repeated cache round-trips
+      batch::Scheduler<float> shard(batch::Backend::kCpuSequential, opt,
+                                    nullptr, cache);
+      const batch::JobId id =
+          shard.submit(problems[static_cast<std::size_t>(s)],
+                       kernels::Tier::kPrecomputed);
+      shard.run();
+      const auto& got = shard.result(id).results;
+      const auto want = batch::solve_cpu_sequential(
+          problems[static_cast<std::size_t>(s)], kernels::Tier::kPrecomputed);
+      if (got.size() != want.results.size()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        if (got[i].lambda != want.results[i].lambda ||
+            got[i].x != want.results[i].x) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : shards) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = cache->stats();
+  // 3 distinct shapes across 6 shards x 4 chunks = 24 gets. Concurrent
+  // same-key misses may each rebuild after eviction churn, but the ledger
+  // must balance: every get was a hit or a miss, and the thrashing budget
+  // forced evictions.
+  EXPECT_EQ(stats.hits + stats.misses, kShards * 4);
+  EXPECT_GE(stats.misses, 3);
+  EXPECT_GE(stats.evictions, 1);
+  EXPECT_LE(cache->size(), 2u);
+}
+
 }  // namespace
 }  // namespace te

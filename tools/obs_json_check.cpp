@@ -1,15 +1,20 @@
 // Schema gate for te::obs JSON exports (scripts/ci.sh bench smoke pass).
 //
 // Usage: obs_json_check FILE [FILE...] [--require-gauge NAME MIN]...
+//                       [--require-gauge-max NAME MAX]...
+//                       [--require-quantile NAME PCT MAX]...
 //
 // Each FILE must parse as a te-obs-v1 document (schema tag, meta, counters,
 // gauges, histograms with full bucket arrays, spans). Every --require-gauge
 // NAME MIN pair additionally demands that each FILE carries gauge NAME with
 // value >= MIN -- CI uses this to assert bench artifacts really exercised a
-// feature (e.g. kernels.multi.simd_width >= 1). Exit status 0 iff all files
-// validate and satisfy every requirement; every failure is reported on
-// stderr with the offending path so CI logs point at the broken artifact
-// directly.
+// feature (e.g. kernels.multi.simd_width >= 1). --require-gauge-max is the
+// ceiling-side twin (value <= MAX), used for never-events like
+// serve.requests.lost. --require-quantile NAME PCT MAX demands histogram
+// NAME carries the pPCT quantile field (PCT in {50, 95, 99}) with value
+// <= MAX -- the CI tail-latency gate. Exit status 0 iff all files validate
+// and satisfy every requirement; every failure is reported on stderr with
+// the offending path so CI logs point at the broken artifact directly.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,11 +29,19 @@ namespace {
 
 struct GaugeRequirement {
   std::string name;
-  double min = 0;
+  double bound = 0;
+  bool is_max = false;  ///< false: value >= bound; true: value <= bound
+};
+
+struct QuantileRequirement {
+  std::string name;
+  int percentile = 99;
+  double max = 0;
 };
 
 bool check_file(const char* path,
-                const std::vector<GaugeRequirement>& required) {
+                const std::vector<GaugeRequirement>& gauges,
+                const std::vector<QuantileRequirement>& quantiles) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "obs_json_check: cannot open %s\n", path);
@@ -43,16 +56,38 @@ bool check_file(const char* path,
     return false;
   }
   bool ok = true;
-  for (const auto& req : required) {
+  for (const auto& req : gauges) {
     const auto g = te::obs::read_export_gauge(json, req.name);
     if (!g.has_value()) {
       std::fprintf(stderr, "obs_json_check: %s: missing gauge '%s'\n", path,
                    req.name.c_str());
       ok = false;
-    } else if (*g < req.min) {
+    } else if (!req.is_max && *g < req.bound) {
       std::fprintf(stderr,
                    "obs_json_check: %s: gauge '%s' = %g below minimum %g\n",
-                   path, req.name.c_str(), *g, req.min);
+                   path, req.name.c_str(), *g, req.bound);
+      ok = false;
+    } else if (req.is_max && *g > req.bound) {
+      std::fprintf(stderr,
+                   "obs_json_check: %s: gauge '%s' = %g above maximum %g\n",
+                   path, req.name.c_str(), *g, req.bound);
+      ok = false;
+    }
+  }
+  for (const auto& req : quantiles) {
+    const auto q = te::obs::read_export_histogram_quantile(json, req.name,
+                                                           req.percentile);
+    if (!q.has_value()) {
+      std::fprintf(stderr,
+                   "obs_json_check: %s: missing histogram quantile "
+                   "'%s' p%d\n",
+                   path, req.name.c_str(), req.percentile);
+      ok = false;
+    } else if (*q > req.max) {
+      std::fprintf(stderr,
+                   "obs_json_check: %s: histogram '%s' p%d = %g above "
+                   "maximum %g\n",
+                   path, req.name.c_str(), req.percentile, *q, req.max);
       ok = false;
     }
   }
@@ -64,20 +99,43 @@ bool check_file(const char* path,
 
 int main(int argc, char** argv) {
   std::vector<const char*> files;
-  std::vector<GaugeRequirement> required;
+  std::vector<GaugeRequirement> gauges;
+  std::vector<QuantileRequirement> quantiles;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--require-gauge") {
+    if (arg == "--require-gauge" || arg == "--require-gauge-max") {
       if (i + 2 >= argc) {
-        std::fprintf(stderr,
-                     "obs_json_check: --require-gauge needs NAME MIN\n");
+        std::fprintf(stderr, "obs_json_check: %s needs NAME BOUND\n",
+                     arg.c_str());
         return 2;
       }
       GaugeRequirement req;
       req.name = argv[i + 1];
-      req.min = std::strtod(argv[i + 2], nullptr);
-      required.push_back(std::move(req));
+      req.bound = std::strtod(argv[i + 2], nullptr);
+      req.is_max = arg == "--require-gauge-max";
+      gauges.push_back(std::move(req));
       i += 2;
+    } else if (arg == "--require-quantile") {
+      if (i + 3 >= argc) {
+        std::fprintf(stderr,
+                     "obs_json_check: --require-quantile needs NAME PCT "
+                     "MAX\n");
+        return 2;
+      }
+      QuantileRequirement req;
+      req.name = argv[i + 1];
+      req.percentile = static_cast<int>(std::strtol(argv[i + 2], nullptr, 10));
+      req.max = std::strtod(argv[i + 3], nullptr);
+      if (req.percentile != 50 && req.percentile != 95 &&
+          req.percentile != 99) {
+        std::fprintf(stderr,
+                     "obs_json_check: --require-quantile PCT must be 50, 95 "
+                     "or 99 (got %d)\n",
+                     req.percentile);
+        return 2;
+      }
+      quantiles.push_back(std::move(req));
+      i += 3;
     } else {
       files.push_back(argv[i]);
     }
@@ -85,10 +143,12 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     std::fprintf(stderr,
                  "usage: obs_json_check FILE [FILE...] "
-                 "[--require-gauge NAME MIN]...\n");
+                 "[--require-gauge NAME MIN]... "
+                 "[--require-gauge-max NAME MAX]... "
+                 "[--require-quantile NAME PCT MAX]...\n");
     return 2;
   }
   bool ok = true;
-  for (const char* f : files) ok = check_file(f, required) && ok;
+  for (const char* f : files) ok = check_file(f, gauges, quantiles) && ok;
   return ok ? 0 : 1;
 }
