@@ -322,6 +322,34 @@ class Scheduler {
     return executed;
   }
 
+  /// Free a retired job's problem and result storage, keeping the job id
+  /// occupied and the progress counters intact. The service layer's
+  /// retention policy calls this for requests past its completed-request
+  /// window so a long-running server does not hold every result ever
+  /// produced; result() and problem() refuse a released job.
+  void release_job(JobId id) {
+    (void)at(id);
+    Job& job = jobs_[static_cast<std::size_t>(id)];
+    TE_REQUIRE(job.done || job.cancelled,
+               "job " << id << " still has pending chunks; cannot release");
+    job.released = true;
+    job.problem = BatchProblem<T>{};
+    job.result = BatchResult<T>{};
+  }
+
+  /// Occupy the next job id with an already-released placeholder. Used by
+  /// te::serve shard restart: a request evicted by the retention policy no
+  /// longer has a problem to resubmit, but its id slot must stay consumed
+  /// so every later job keeps the id the shard WAL manifest pinned.
+  JobId submit_released() {
+    const JobId id = static_cast<JobId>(jobs_.size());
+    jobs_.emplace_back();
+    Job& job = jobs_.back();
+    job.done = true;
+    job.released = true;
+    return id;
+  }
+
   /// Drop a job's queued chunks and mark it cancelled. Chunks already
   /// executed stay in the checkpoint log (a restart that resubmits the job
   /// may still finish it), but result() refuses a cancelled job and the
@@ -373,6 +401,7 @@ class Scheduler {
   [[nodiscard]] const BatchResult<T>& result(JobId id) const {
     const Job& job = at(id);
     TE_REQUIRE(!job.cancelled, "job " << id << " was cancelled");
+    TE_REQUIRE(!job.released, "job " << id << " was released");
     TE_REQUIRE(job.done, "job " << id << " has pending chunks; call run()");
     return job.result;
   }
@@ -399,7 +428,9 @@ class Scheduler {
   /// The submitted problem backing a job (eigenpair extraction needs the
   /// tensors alongside the results).
   [[nodiscard]] const BatchProblem<T>& problem(JobId id) const {
-    return at(id).problem;
+    const Job& job = at(id);
+    TE_REQUIRE(!job.released, "job " << id << " was released");
+    return job.problem;
   }
 
   /// Chunks of a job already satisfied from the checkpoint log (restored
@@ -429,6 +460,7 @@ class Scheduler {
     bool gpu_merged = false;  ///< a GPU chunk has seeded result.gpu
     bool done = false;
     bool cancelled = false;  ///< queued chunks dropped; result() refuses
+    bool released = false;   ///< problem/result storage freed (retention)
   };
 
   struct Chunk {

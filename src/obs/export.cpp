@@ -433,21 +433,52 @@ std::string to_json(const Snapshot& snap, const ExportMeta& meta) {
   return out;
 }
 
+namespace {
+
+/// RFC-4180-style field quoting. Metric names and span paths are caller-
+/// controlled strings (service-layer labels can derive from wire input),
+/// so a field holding a comma, quote or newline is quoted with inner
+/// quotes doubled instead of corrupting the row structure.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Meta entries are emitted as one-line '#' comments; embedded newlines
+/// would otherwise fabricate rows.
+std::string comment_safe(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+}  // namespace
+
 std::string to_csv(const Snapshot& snap, const ExportMeta& meta) {
   std::ostringstream out;
   for (const auto& [k, v] : meta) {
-    out << "# " << k << "=" << v << "\n";
+    out << "# " << comment_safe(k) << "=" << comment_safe(v) << "\n";
   }
   out << "kind,name,count,value,min,max,mean,p50,p95,p99\n";
   for (const auto& c : snap.counters) {
-    out << "counter," << c.name << ",1," << c.value << ",,,,,,\n";
+    out << "counter," << csv_field(c.name) << ",1," << c.value
+        << ",,,,,,\n";
   }
   for (const auto& g : snap.gauges) {
-    out << "gauge," << g.name << ",1," << format_double(g.value)
+    out << "gauge," << csv_field(g.name) << ",1," << format_double(g.value)
         << ",,,,,,\n";
   }
   for (const auto& h : snap.histograms) {
-    out << "histogram," << h.name << "," << h.count << ","
+    out << "histogram," << csv_field(h.name) << "," << h.count << ","
         << format_double(h.total) << "," << format_double(h.min) << ","
         << format_double(h.max) << "," << format_double(h.mean()) << ","
         << format_double(h.quantile(0.50)) << ","
@@ -455,7 +486,7 @@ std::string to_csv(const Snapshot& snap, const ExportMeta& meta) {
         << format_double(h.quantile(0.99)) << "\n";
   }
   for (const auto& s : snap.spans) {
-    out << "span," << s.path << "," << s.depth << ","
+    out << "span," << csv_field(s.path) << "," << s.depth << ","
         << format_double(s.duration_seconds) << ",,,,,,\n";
   }
   return out.str();

@@ -25,12 +25,23 @@
 //     per visit, so a tenant flooding one shard cannot starve a light
 //     tenant sharing it. Latency is measured in chunk-steps (deterministic,
 //     what the fairness tests and bench gates assert) and in wall seconds
-//     (what the obs histograms export for p50/p95/p99).
+//     (what the obs histograms export for p50/p95/p99);
+//   * bounded state: a tenant with nothing unfinished leaves the DRR ring
+//     and tenant map (it re-joins at the back on its next submit), and
+//     completed/cancelled requests past the `completed_retention` window
+//     are evicted -- their problem/result storage in the shard scheduler
+//     is freed, poll() keeps answering but result() refuses the ticket --
+//     so a long-running server's memory tracks its live load, not its
+//     whole history.
 //
 // The pump is explicit: pump(k) executes up to k chunk-steps under the DRR
 // policy, which keeps tests and the chaos bench deterministic. start()
-// spawns an optional background pump thread for the socket front-end.
+// spawns an optional background pump thread for the socket front-end; it
+// drains in bounded slices and drops the state mutex between slices, so
+// submit/poll/stats/cancel and stop() stay responsive under any backlog.
 
+#include <algorithm>
+#include <cctype>
 #include <condition_variable>
 #include <deque>
 #include <filesystem>
@@ -38,6 +49,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -65,6 +77,12 @@ struct ServeOptions {
   int tenant_queue_capacity = 64;
   /// DRR quantum: chunk-steps granted per tenant per ring visit.
   int drr_quantum = 4;
+  /// Retention: the number of most-recently retired (completed or
+  /// cancelled) requests whose results stay fetchable. Older retired
+  /// requests are evicted -- their problem/result storage in the shard
+  /// scheduler is released, poll() still reports their final state but
+  /// result()/problem() refuse the ticket. <= 0 keeps everything.
+  int completed_retention = 1024;
   /// Entry capacity of the cross-shard table cache.
   std::size_t cache_capacity = 8;
   /// GLOBAL byte budget of the cross-shard table cache.
@@ -122,6 +140,7 @@ struct ServerStats {
   std::int64_t cancelled = 0;
   std::int64_t steps = 0;  ///< chunk-steps pumped so far
   int pending_chunks = 0;  ///< queued across live shards
+  int active_tenants = 0;  ///< tenants with unfinished requests (DRR ring)
   batch::TableCacheStats cache;  ///< the shared cross-shard cache
 };
 
@@ -205,13 +224,16 @@ class Server {
     auto& sched = live_shard(shard);
     const batch::JobId id = sched.next_job_id();
     const bool replay = sched.is_replay_job(id);
-    TenantState& ts = tenants_[tenant];
-    if (!replay && ts.inflight >= opt_.tenant_queue_capacity) {
+    // Admission check via find(): a rejected submission must not mint a
+    // tenant map entry (idle tenants are not tracked at all).
+    const auto existing = tenants_.find(tenant);
+    const int inflight =
+        existing == tenants_.end() ? 0 : existing->second.inflight;
+    if (!replay && inflight >= opt_.tenant_queue_capacity) {
       TE_OBS_ONLY(detail::ServeMetrics::get().rejected.inc());
       ++rejected_;
       SubmitOutcome out;
-      out.reason = "tenant '" + tenant + "' has " +
-                   std::to_string(ts.inflight) +
+      out.reason = "tenant '" + tenant + "' has " + std::to_string(inflight) +
                    " unfinished requests (capacity " +
                    std::to_string(opt_.tenant_queue_capacity) +
                    "); retry after completions drain";
@@ -219,6 +241,7 @@ class Server {
     }
     const batch::JobId got = sched.submit(std::move(p), tier);
     TE_REQUIRE(got == id, "job id drifted from next_job_id()");
+    TenantState& ts = tenants_[tenant];  // after submit: it may throw
 
     const Ticket ticket = static_cast<Ticket>(requests_.size());
     requests_.emplace_back();
@@ -292,12 +315,16 @@ class Server {
     }
   }
 
-  /// Result of a completed request (wait() or poll() first).
+  /// Result of a completed request (wait() or poll() first). Refuses a
+  /// ticket the retention policy already evicted.
   [[nodiscard]] const batch::BatchResult<T>& result(Ticket t) const {
     std::unique_lock lock(mutex_);
     const Request& r = at(t);
     TE_REQUIRE(r.state == RequestState::kDone,
                "request " << t << " is " << request_state_name(r.state));
+    TE_REQUIRE(!r.evicted, "request " << t
+                               << " was evicted (completed_retention="
+                               << opt_.completed_retention << ")");
     return live_shard(r.shard).result(r.job);
   }
 
@@ -305,6 +332,9 @@ class Server {
   [[nodiscard]] const batch::BatchProblem<T>& problem(Ticket t) const {
     std::unique_lock lock(mutex_);
     const Request& r = at(t);
+    TE_REQUIRE(!r.evicted, "request " << t
+                               << " was evicted (completed_retention="
+                               << opt_.completed_retention << ")");
     return live_shard(r.shard).problem(r.job);
   }
 
@@ -330,7 +360,7 @@ class Server {
     std::unique_lock lock(mutex_);
     auto& sched = live_shard(shard);
     for (auto& r : requests_) {
-      if (r.shard != shard) continue;
+      if (r.shard != shard || r.evicted) continue;
       r.saved_problem = sched.problem(r.job);  // copy before the crash
     }
     shards_[static_cast<std::size_t>(shard)].reset();
@@ -351,6 +381,14 @@ class Server {
     auto sched = make_shard(shard);
     for (auto& r : requests_) {
       if (r.shard != shard) continue;
+      if (r.evicted) {
+        // Nothing to resubmit (the retention policy freed the problem),
+        // but the id slot must stay consumed so later jobs keep the ids
+        // the WAL manifest pinned.
+        const batch::JobId id = sched->submit_released();
+        TE_REQUIRE(id == r.job, "job id changed across restart");
+        continue;
+      }
       TE_REQUIRE(r.saved_problem.has_value(),
                  "request has no saved problem to resubmit");
       const batch::JobId id =
@@ -387,6 +425,7 @@ class Server {
     st.completed = completed_;
     st.cancelled = cancelled_;
     st.steps = steps_;
+    st.active_tenants = static_cast<int>(tenants_.size());
     for (const auto& s : shards_) {
       if (s) st.pending_chunks += s->pending_chunks();
     }
@@ -426,6 +465,7 @@ class Server {
     batch::JobId job = -1;
     kernels::Tier tier = kernels::Tier::kGeneral;
     RequestState state = RequestState::kQueued;
+    bool evicted = false;  ///< retention freed the shard-side storage
     std::int64_t submit_step = 0;
     std::int64_t complete_step = 0;
     WallTimer timer;  ///< wall latency (observability only; steps are the
@@ -468,7 +508,10 @@ class Server {
     return *s;
   }
 
-  /// Remove a request from fairness/admission bookkeeping.
+  /// Remove a request from fairness/admission bookkeeping. A tenant whose
+  /// last unfinished request retires leaves the ring and the tenant map
+  /// (it re-joins at the back of the ring on its next submit), and retired
+  /// requests past the retention window are evicted.
   void retire(Ticket t, RequestState state) {
     Request& r = at(t);
     r.state = state;
@@ -481,7 +524,72 @@ class Server {
     }
     --ts.inflight;
     --total_inflight_;
+    if (ts.inflight == 0) drop_idle_tenant(r.tenant);
+    retired_.push_back(t);
+    if (opt_.completed_retention > 0) {
+      while (static_cast<int>(retired_.size()) > opt_.completed_retention) {
+        evict(retired_.front());
+        retired_.pop_front();
+      }
+    }
     done_cv_.notify_all();
+  }
+
+  /// Remove an idle tenant from the DRR ring and tenant map, keeping
+  /// ring_pos_ aimed at the same next tenant.
+  void drop_idle_tenant(const std::string& tenant) {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      if (ring_[i] != tenant) continue;
+      ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(i));
+      if (static_cast<int>(i) < ring_pos_) {
+        --ring_pos_;
+      } else if (static_cast<int>(i) == ring_pos_) {
+        mid_visit_ = false;  // the visited tenant is gone; its deficit dies
+      }
+      if (ring_.empty()) {
+        ring_pos_ = 0;
+      } else {
+        ring_pos_ %= static_cast<int>(ring_.size());
+      }
+      break;
+    }
+    tenants_.erase(tenant);
+  }
+
+  /// Release an old retired request's shard-side storage (problem and
+  /// result vectors -- the heavy allocations; the Request record itself
+  /// stays so poll() keeps answering and restarts keep job ids aligned).
+  void evict(Ticket t) {
+    Request& r = at(t);
+    if (r.evicted) return;
+    r.evicted = true;
+    r.saved_problem.reset();
+    const auto& s = shards_[static_cast<std::size_t>(r.shard)];
+    if (s) s->release_job(r.job);  // a down shard's memory is already gone
+  }
+
+  /// Metric-safe label for a wire-supplied tenant name: characters outside
+  /// [A-Za-z0-9_.-] become '_', long names are truncated, and at most
+  /// kMaxTenantMetricLabels distinct labels are ever minted (later tenants
+  /// share "other") -- an untrusted client cannot grow the metric registry
+  /// without bound or smuggle CSV/JSON metacharacters into metric names.
+  [[nodiscard]] std::string metric_tenant_label(const std::string& tenant) {
+    static constexpr std::size_t kMaxLabelLength = 48;
+    static constexpr std::size_t kMaxTenantMetricLabels = 64;
+    std::string label;
+    label.reserve(std::min(tenant.size(), kMaxLabelLength));
+    for (const char c : tenant) {
+      if (label.size() == kMaxLabelLength) break;
+      const bool safe = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                        c == '_' || c == '-' || c == '.';
+      label += safe ? c : '_';
+    }
+    if (label.empty()) label = "_";
+    if (metric_labels_.count(label) == 0) {
+      if (metric_labels_.size() >= kMaxTenantMetricLabels) return "other";
+      metric_labels_.insert(label);
+    }
+    return label;
   }
 
   void complete(Ticket t) {
@@ -496,7 +604,8 @@ class Server {
       // Per-tenant chunk-step latency, recorded on the histogram microsecond
       // scale (1 step == 1us) so the log2 buckets resolve step counts.
       obs::global()
-          .histogram("serve.tenant." + r.tenant + ".latency_steps")
+          .histogram("serve.tenant." + metric_tenant_label(r.tenant) +
+                     ".latency_steps")
           .record(static_cast<double>(r.complete_step - r.submit_step) *
                   1e-6);
     });
@@ -507,8 +616,10 @@ class Server {
     while (total_inflight_ > 0 &&
            (max_steps < 0 || executed < max_steps)) {
       TE_REQUIRE(!ring_.empty(), "inflight requests but empty tenant ring");
-      TenantState& ts = tenants_[ring_[ring_pos_]];
+      const std::string tenant = ring_[static_cast<std::size_t>(ring_pos_)];
+      TenantState& ts = tenants_[tenant];
       if (ts.fifo.empty()) {
+        // Defensive: idle tenants normally leave the ring in retire().
         ts.deficit = 0;
         mid_visit_ = false;
         advance_ring();
@@ -529,12 +640,17 @@ class Server {
         TE_OBS_ONLY(detail::ServeMetrics::get().steps.inc());
       }
       if (sched.is_done(r.job)) {
-        complete(front);  // pops it from ts.fifo
+        complete(front);  // pops it from the fifo; `ts` may dangle after
       } else {
         TE_REQUIRE(ran > 0, "request cannot progress");
       }
-      if (ts.deficit <= 0 || ts.fifo.empty()) {
-        if (ts.fifo.empty()) ts.deficit = 0;
+      // complete() may have retired the tenant (erasing it from the ring
+      // and the map, with ring_pos_ already aimed at the next tenant).
+      const auto it = tenants_.find(tenant);
+      if (it == tenants_.end()) continue;
+      TenantState& now = it->second;
+      if (now.deficit <= 0 || now.fifo.empty()) {
+        if (now.fifo.empty()) now.deficit = 0;
         mid_visit_ = false;
         advance_ring();
       }
@@ -550,7 +666,13 @@ class Server {
     std::unique_lock lock(mutex_);
     while (!stopping_) {
       if (total_inflight_ > 0) {
-        pump_locked(8);  // bounded slice: submits/cancels interleave fairly
+        pump_locked(8);  // bounded slice, stopping_ re-checked per slice
+        // Drop the mutex between slices: submit/poll/stats/cancel and
+        // stop() must be able to interleave while a backlog drains, and
+        // the destructor must never wait for a full drain.
+        lock.unlock();
+        std::this_thread::yield();
+        lock.lock();
       } else {
         work_cv_.wait(lock);
       }
@@ -564,6 +686,8 @@ class Server {
   std::condition_variable work_cv_;  ///< work arrived / stopping
   std::vector<std::unique_ptr<batch::Scheduler<T>>> shards_;
   std::deque<Request> requests_;  ///< ticket-indexed (deque: stable refs)
+  std::deque<Ticket> retired_;    ///< retirement order (retention window)
+  std::set<std::string> metric_labels_;  ///< minted per-tenant labels
   std::map<std::string, TenantState> tenants_;
   std::vector<std::string> ring_;  ///< DRR visit order (join order)
   int ring_pos_ = 0;

@@ -5,10 +5,13 @@
 // a filesystem socket path, reads newline-terminated requests, and writes
 // one newline-terminated response per request. Connections are handled one
 // at a time (the server itself is the concurrency layer -- requests from
-// any number of sequential connections interleave through its mutex), and
-// the accept loop polls with a short timeout so stop() is prompt. A client
-// helper sends one line and returns the response, which is all the CLI and
-// the tests need.
+// any number of sequential connections interleave through its mutex).
+// Both the accept loop and the per-connection read loop poll with a short
+// timeout and re-check the stop flag, so stop() is prompt even mid-
+// connection, and a client that connects and goes silent is hung up on
+// after an idle timeout instead of wedging the front-end. A client helper
+// sends one line and returns the response, which is all the CLI and the
+// tests need.
 
 #include <atomic>
 #include <string>

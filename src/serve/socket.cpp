@@ -82,12 +82,34 @@ void SocketFrontEnd::accept_loop() {
 }
 
 void SocketFrontEnd::serve_connection(int fd) {
+  // Never block indefinitely in read(): connections are served one at a
+  // time, so a client that connects and goes silent would otherwise wedge
+  // the whole front-end and make stop() hang in thread_.join(). Poll with
+  // a short timeout (re-checking stopping_ like the accept loop does) and
+  // hang up on clients idle past kIdleTimeoutMs.
+  constexpr int kPollMs = 100;
+  constexpr int kIdleTimeoutMs = 10'000;
   std::string pending;
   char buf[4096];
+  int idle_ms = 0;
   while (!stopping_.load()) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (ready == 0) {
+      idle_ms += kPollMs;
+      if (idle_ms >= kIdleTimeoutMs) return;  // idle client: free the line
+      continue;
+    }
     const ssize_t n = ::read(fd, buf, sizeof buf);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return;  // client hung up
+    idle_ms = 0;
     pending.append(buf, static_cast<std::size_t>(n));
     std::size_t nl;
     while ((nl = pending.find('\n')) != std::string::npos) {

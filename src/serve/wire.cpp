@@ -1,8 +1,11 @@
 #include "te/serve/wire.hpp"
 
 #include <cctype>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 namespace te::serve {
@@ -66,12 +69,35 @@ std::string error_line(const std::string& message) {
   return "{\"ok\":false,\"error\":\"" + json_escape(message) + "\"}";
 }
 
-/// Required integer field, throwing InvalidArgument with a protocol-level
-/// message when absent.
-int required_int(const std::string& json, const std::string& key) {
+/// Required integer field in [lo, hi], throwing InvalidArgument with a
+/// protocol-level message when absent, non-finite, fractional or out of
+/// range. The range check MUST precede the cast: static_cast<int> of a
+/// double outside int's range (1e300, NaN, inf) is undefined behavior, not
+/// an exception the handle_line try/catch could turn into an error line.
+int required_int(const std::string& json, const std::string& key, int lo,
+                 int hi) {
   const auto v = wire_number(json, key);
   TE_REQUIRE(v.has_value(), "missing numeric field '" << key << "'");
+  TE_REQUIRE(std::isfinite(*v) && *v == std::floor(*v),
+             "field '" << key << "' is not a finite integer");
+  TE_REQUIRE(*v >= static_cast<double>(lo) && *v <= static_cast<double>(hi),
+             "field '" << key << "' must be in [" << lo << ", " << hi
+                       << "]");
   return static_cast<int>(*v);
+}
+
+/// Unique entry count of a symmetric (order, dim) tensor -- the blocked
+/// storage allocation unit -- C(dim + order - 1, order), saturated at
+/// `cap` so the multiplication cannot overflow.
+std::uint64_t symmetric_entries_capped(int order, int dim,
+                                       std::uint64_t cap) {
+  std::uint64_t n = 1;
+  for (int k = 1; k <= order; ++k) {
+    n = n * static_cast<std::uint64_t>(dim - 1 + k) /
+        static_cast<std::uint64_t>(k);
+    if (n > cap) return cap + 1;
+  }
+  return n;
 }
 
 std::string handle_submit(Server<float>& server, const std::string& line) {
@@ -81,10 +107,26 @@ std::string handle_submit(Server<float>& server, const std::string& line) {
   const auto tier = wire_tier(tier_name.value_or("general"));
   TE_REQUIRE(tier.has_value(),
              "unknown tier '" << tier_name.value_or("general") << "'");
+  // Protocol-level bounds: the wire is untrusted, so every generator knob
+  // is range-checked before BatchProblem::random allocates anything, and
+  // the combined per-request tensor footprint is capped so huge-but-
+  // individually-plausible (order, dim, tensors) combinations cannot
+  // trigger unbounded allocations either.
+  const int tensors = required_int(line, "tensors", 1, 4096);
+  const int starts = required_int(line, "starts", 1, 1024);
+  const int order = required_int(line, "order", 3, 8);
+  const int dim = required_int(line, "dim", 2, 64);
+  constexpr std::uint64_t kMaxRequestValues = std::uint64_t{1} << 24;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(tensors) *
+      symmetric_entries_capped(order, dim, kMaxRequestValues);
+  TE_REQUIRE(total <= kMaxRequestValues,
+             "request exceeds the wire size budget: " << tensors
+                 << " tensors of order " << order << ", dim " << dim);
   auto problem = batch::BatchProblem<float>::random(
-      static_cast<std::uint64_t>(required_int(line, "seed")),
-      required_int(line, "tensors"), required_int(line, "starts"),
-      required_int(line, "order"), required_int(line, "dim"));
+      static_cast<std::uint64_t>(required_int(
+          line, "seed", 0, std::numeric_limits<int>::max())),
+      tensors, starts, order, dim);
   const SubmitOutcome out =
       server.submit(*tenant, std::move(problem), *tier);
   if (!out.accepted) return error_line(out.reason);
@@ -119,6 +161,7 @@ std::string handle_stats(const Server<float>& server) {
      << ",\"rejected\":" << st.rejected << ",\"completed\":" << st.completed
      << ",\"cancelled\":" << st.cancelled << ",\"steps\":" << st.steps
      << ",\"pending_chunks\":" << st.pending_chunks
+     << ",\"active_tenants\":" << st.active_tenants
      << ",\"cache_hits\":" << st.cache.hits
      << ",\"cache_misses\":" << st.cache.misses
      << ",\"cache_bytes_resident\":" << st.cache.bytes_resident << "}";
@@ -177,7 +220,8 @@ std::string handle_line(Server<float>& server, const std::string& line) {
     if (*op == "submit") return handle_submit(server, line);
     if (*op == "stats") return handle_stats(server);
     if (*op == "poll" || *op == "wait" || *op == "cancel") {
-      const Ticket t = required_int(line, "ticket");
+      const Ticket t = required_int(line, "ticket", 0,
+                                    std::numeric_limits<int>::max());
       if (*op == "wait") server.wait(t);
       if (*op == "cancel") {
         const bool did = server.cancel(t);

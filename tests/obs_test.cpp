@@ -311,6 +311,22 @@ TEST(ObsExport, CsvHasHeaderAndRows) {
 #endif
 }
 
+TEST(ObsExport, CsvQuotesNamesWithMetacharacters) {
+  obs::Registry reg;
+  reg.counter("evil,na\"me").inc();
+  const std::string csv = obs::to_csv(reg.snapshot(), {{"k", "v\nw"}});
+#if TE_OBS_ENABLED
+  // RFC-4180 quoting: the whole field quoted, inner quotes doubled, so the
+  // embedded comma cannot fabricate a column.
+  EXPECT_NE(csv.find("counter,\"evil,na\"\"me\",1,"), std::string::npos)
+      << csv;
+#endif
+  // Meta comment lines flatten embedded newlines instead of emitting a
+  // line that is not a '#' comment, a header or a row.
+  EXPECT_EQ(csv.find("v\nw"), std::string::npos);
+  EXPECT_NE(csv.find("# k=v w"), std::string::npos);
+}
+
 TEST(ObsExport, HistogramQuantilesRoundTripThroughJson) {
   obs::Registry reg;
   obs::Histogram& h = reg.histogram("lat");

@@ -6,11 +6,18 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "te/serve/server.hpp"
 #include "te/serve/socket.hpp"
@@ -215,6 +222,95 @@ TEST(Serve, PumpStepSequenceIsDeterministic) {
   EXPECT_EQ(run(1), run(-1));
   EXPECT_EQ(run(3), run(-1));
 }
+
+// ---------------------------------------------------------------------------
+// Bounded state: retention eviction and idle-tenant cleanup.
+// ---------------------------------------------------------------------------
+
+TEST(Serve, RetentionEvictsOldRetiredRequestsAndIdleTenants) {
+  auto opt = small_options(/*shards=*/1);
+  opt.completed_retention = 2;
+  Server<float> server(opt);
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back(
+        server.submit("a", problem(110 + i, 2), Tier::kGeneral).ticket);
+  }
+  EXPECT_EQ(server.stats().active_tenants, 1);
+  server.pump();
+  // Only the two most recently retired results survive; older tickets are
+  // evicted (their problem/result storage in the shard was released).
+  EXPECT_THROW((void)server.result(tickets[0]), InvalidArgument);
+  EXPECT_THROW((void)server.result(tickets[1]), InvalidArgument);
+  EXPECT_EQ(server.result(tickets[2]).results.size(), 4u);
+  EXPECT_EQ(server.result(tickets[3]).results.size(), 4u);
+  // poll() keeps answering for evicted tickets.
+  EXPECT_EQ(server.poll(tickets[0]).state, RequestState::kDone);
+  // The drained tenant left the DRR ring and the tenant map...
+  EXPECT_EQ(server.stats().active_tenants, 0);
+  // ...and re-joins cleanly on its next submit.
+  const auto t = server.submit("a", problem(120, 2), Tier::kGeneral);
+  ASSERT_TRUE(t.accepted);
+  EXPECT_EQ(server.wait(t.ticket), RequestState::kDone);
+}
+
+TEST(Serve, RetentionSurvivesShardKillAndRestart) {
+  TmpDir dir("retention_restart");
+  auto opt = small_options(/*shards=*/1);
+  opt.wal_dir = dir.path;
+  opt.completed_retention = 1;
+  Server<float> server(opt);
+  const auto t0 = server.submit("a", problem(130, 2), Tier::kGeneral);
+  const auto t1 = server.submit("a", problem(131, 2), Tier::kGeneral);
+  const auto t2 = server.submit("a", problem(132, 4), Tier::kGeneral);
+  server.pump();
+  EXPECT_THROW((void)server.result(t0.ticket), InvalidArgument);
+  server.kill_shard(0);
+  server.restart_shard(0);
+  // Evicted jobs came back as released placeholders, so the retained
+  // request keeps its job id and restores bitwise from the WAL.
+  const auto p2 = problem(132, 4);
+  expect_bitwise(server.result(t2.ticket).results,
+                 batch::solve_cpu_sequential(p2, Tier::kGeneral).results,
+                 "retained after restart");
+  EXPECT_THROW((void)server.result(t0.ticket), InvalidArgument);
+  // New work still lands on the restarted shard with aligned ids.
+  const auto t3 = server.submit("a", problem(133, 2), Tier::kGeneral);
+  ASSERT_TRUE(t3.accepted);
+  EXPECT_EQ(server.wait(t3.ticket), RequestState::kDone);
+}
+
+TEST(Serve, StopReturnsWithoutDrainingTheBacklog) {
+  Server<float> server(small_options(/*shards=*/1));
+  // A backlog far larger than one background-pump slice. Before the pump
+  // loop released the mutex between slices, stop() (and the destructor)
+  // blocked until the whole backlog drained.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        server.submit("a", problem(150 + i, 16), Tier::kGeneral).accepted);
+  }
+  server.start();
+  server.stop();  // must return promptly, pending work intact
+  server.pump();  // the explicit pump finishes the rest
+  EXPECT_EQ(server.stats().completed, 6);
+}
+
+#if TE_OBS_ENABLED
+TEST(Serve, TenantMetricLabelsAreSanitized) {
+  Server<float> server(small_options(/*shards=*/1));
+  // A hostile wire-supplied tenant name must not leak CSV/JSON
+  // metacharacters into the global metric registry.
+  const auto t = server.submit("e,v\nil", problem(140, 2), Tier::kGeneral);
+  ASSERT_TRUE(t.accepted);
+  EXPECT_EQ(server.wait(t.ticket), RequestState::kDone);
+  bool sanitized = false;
+  for (const auto& h : obs::global().snapshot().histograms) {
+    EXPECT_EQ(h.name.find_first_of(",\n\""), std::string::npos) << h.name;
+    if (h.name == "serve.tenant.e_v_il.latency_steps") sanitized = true;
+  }
+  EXPECT_TRUE(sanitized);
+}
+#endif  // TE_OBS_ENABLED
 
 // ---------------------------------------------------------------------------
 // Shared cross-shard cache.
@@ -444,6 +540,59 @@ TEST(ServeSocket, LineProtocolOverAfUnix) {
   front.stop();
   server.stop();
   EXPECT_FALSE(std::filesystem::exists(path));  // socket unlinked on stop
+}
+
+TEST(ServeSocket, StopIsPromptWithAnIdleClientConnected) {
+  Server<float> server(small_options());
+  server.start();
+  const std::string path = tmp_path("idle_sock");
+  SocketFrontEnd front(server, path);
+  // A client that connects and never sends a byte: before the connection
+  // loop polled with a timeout, stop() hung forever in thread_.join().
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(path.size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  // Let the accept loop pick the connection up, then stop mid-connection.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  front.stop();
+  ::close(fd);
+  server.stop();
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(ServeWire, RejectsNonFiniteOversizedAndOutOfRangeNumbers) {
+  Server<float> server(small_options());
+  // 1e300 and NaN would be undefined behavior to cast to int; both must
+  // come back as protocol error lines, not crashes.
+  for (const char* line :
+       {"{\"op\":\"submit\",\"tenant\":\"w\",\"seed\":1e300,\"tensors\":1,"
+        "\"starts\":1,\"order\":3,\"dim\":4}",
+        "{\"op\":\"submit\",\"tenant\":\"w\",\"seed\":nan,\"tensors\":1,"
+        "\"starts\":1,\"order\":3,\"dim\":4}",
+        "{\"op\":\"submit\",\"tenant\":\"w\",\"seed\":1,\"tensors\":1,"
+        "\"starts\":1,\"order\":3,\"dim\":1000000}",
+        "{\"op\":\"submit\",\"tenant\":\"w\",\"seed\":1,\"tensors\":0,"
+        "\"starts\":1,\"order\":3,\"dim\":4}",
+        "{\"op\":\"poll\",\"ticket\":0.5}"}) {
+    const auto resp = handle_line(server, line);
+    EXPECT_TRUE(wire_string(resp, "error").has_value()) << resp;
+  }
+  // Individually in-range knobs whose combined footprint blows the
+  // per-request size budget are rejected before anything allocates.
+  const auto budget = handle_line(
+      server,
+      "{\"op\":\"submit\",\"tenant\":\"w\",\"seed\":1,\"tensors\":4096,"
+      "\"starts\":1,\"order\":8,\"dim\":64}");
+  ASSERT_TRUE(wire_string(budget, "error").has_value()) << budget;
+  EXPECT_NE(wire_string(budget, "error")->find("budget"), std::string::npos);
+  // None of the rejects was admitted.
+  EXPECT_EQ(server.stats().submitted, 0);
 }
 
 }  // namespace
