@@ -33,6 +33,20 @@
 //                         analytic multicore model (te/parallel/cpu_model)
 //                         and the worst relative error is published as the
 //                         kernels.blocked.model_error gauge
+//   --jit                 run the runtime-codegen smoke: acquire JIT kernels
+//                         for three registry-miss shapes (m=3 n=7, m=4 n=9,
+//                         m=5 n=4), gate BITWISE parity against the general
+//                         tier on exact-integer inputs (scalar and every
+//                         admitted lane width; nonzero exit on mismatch),
+//                         time the single-thread ttsv pair against the
+//                         precomputed tier, and publish the
+//                         kernels.jit.parity / kernels.jit.speedup.* /
+//                         kernels.jit.compile_ms / kernels.jit.cache_hits
+//                         gauges; also runs the multi-width autotuner on
+//                         the jit tier so its refusal predicate (genuine
+//                         per-lane fallback, not registry membership) is
+//                         exercised. Skips cleanly (exit 0) when TE_JIT_CC
+//                         is unset.
 
 #include <benchmark/benchmark.h>
 
@@ -45,8 +59,11 @@
 #include <thread>
 #include <vector>
 
+#include <cstdlib>
+
 #include "bench_common.hpp"
 #include "te/io/container.hpp"
+#include "te/jit/engine.hpp"
 #include "te/kernels/autotune.hpp"
 #include "te/kernels/blocked_par.hpp"
 #include "te/kernels/dense.hpp"
@@ -458,6 +475,151 @@ int run_blocked_smoke() {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --jit: runtime-codegen smoke over registry-miss shapes (parity gate +
+// speedup gauges against the precomputed tier).
+// ---------------------------------------------------------------------------
+
+// None of these shapes is in the compile-time unrolled registry: the only
+// way Tier::kJit can serve them is through the runtime code generator.
+constexpr std::pair<int, int> kJitShapes[] = {{3, 7}, {4, 9}, {5, 4}};
+
+int run_jit_smoke() {
+  const char* cc = std::getenv(jit::kCompilerEnv);
+  if (cc == nullptr || *cc == '\0') {
+    std::cout << "jit smoke: " << jit::kCompilerEnv
+              << " unset; skipping (runtime codegen needs a host compiler)\n";
+    return 0;
+  }
+
+  auto& reg = te::obs::global();
+  bool parity_ok = true;
+  double min_speedup = 1e300;
+
+  for (const auto& [m, n] : kJitShapes) {
+    if (kernels::find_unrolled<double>(m, n) != nullptr) {
+      std::cerr << "jit smoke: shape m=" << m << " n=" << n
+                << " is in the compile-time registry; pick a miss shape\n";
+      return 1;
+    }
+    const jit::AcquireReport rep = jit::acquire<double>(m, n);
+    if (!rep.available) {
+      std::cerr << "jit smoke: acquire failed at m=" << m << " n=" << n
+                << ": " << rep.error << "\n";
+      return 1;
+    }
+
+    // Exact-integer tensor and vectors: every partial product and sum is an
+    // integer far inside double exactness, so the generated kernel's term
+    // grouping is irrelevant and parity can be gated BITWISE.
+    const auto a = integer_tensor(m, n);
+    std::vector<double> x(static_cast<std::size_t>(n));
+    CounterRng rng(9);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = static_cast<double>(static_cast<int>(rng.in(2, i, -2.0, 3.0)));
+    }
+    const std::span<const double> xs{x.data(), x.size()};
+
+    std::vector<double> y_ref(static_cast<std::size_t>(n));
+    kernels::ttsv1_general(a, xs, {y_ref.data(), y_ref.size()});
+    const double y0_ref = kernels::ttsv0_general(a, xs);
+
+    kernels::BoundKernels<double> jitk(a, kernels::Tier::kJit);
+    std::vector<double> y(static_cast<std::size_t>(n));
+    jitk.ttsv1(xs, {y.data(), y.size()});
+    bool ok = jitk.ttsv0(xs) == y0_ref;
+    for (std::size_t i = 0; i < y.size(); ++i) ok = ok && y[i] == y_ref[i];
+
+    // Every admitted lane width, each lane against a scalar general call.
+    for (const int w : {2, 4, 8}) {
+      kernels::MultiKernels<double> mk(a, kernels::Tier::kJit, nullptr, w);
+      kernels::VectorBatch<double> xb(n, w);
+      kernels::VectorBatch<double> yb(n, w);
+      for (int i = 0; i < n; ++i) {
+        for (int lane = 0; lane < w; ++lane) {
+          xb.at(i, lane) = static_cast<double>(static_cast<int>(rng.in(
+              3, static_cast<std::uint64_t>(i * w + lane), -2.0, 3.0)));
+        }
+      }
+      std::vector<double> out(static_cast<std::size_t>(w));
+      mk.ttsv0(xb, {out.data(), out.size()});
+      mk.ttsv1(xb, yb);
+      std::vector<double> lane_x(static_cast<std::size_t>(n));
+      std::vector<double> lane_y(static_cast<std::size_t>(n));
+      for (int lane = 0; lane < w; ++lane) {
+        for (int i = 0; i < n; ++i) lane_x[static_cast<std::size_t>(i)] =
+            xb.at(i, lane);
+        const std::span<const double> lxs{lane_x.data(), lane_x.size()};
+        kernels::ttsv1_general(a, lxs, {lane_y.data(), lane_y.size()});
+        ok = ok && out[static_cast<std::size_t>(lane)] ==
+                       kernels::ttsv0_general(a, lxs);
+        for (int i = 0; i < n; ++i) {
+          ok = ok && yb.at(i, lane) == lane_y[static_cast<std::size_t>(i)];
+        }
+      }
+    }
+    if (!ok) {
+      parity_ok = false;
+      std::cerr << "jit smoke: PARITY FAILURE at m=" << m << " n=" << n
+                << "\n";
+    }
+
+    // Single-thread ttsv pair: jit vs the precomputed (table-walk) tier.
+    // These shapes are sub-microsecond per pair, so time a batch.
+    kernels::KernelTables<double> tables(m, n);
+    kernels::BoundKernels<double> pre(a, kernels::Tier::kPrecomputed,
+                                      &tables);
+    constexpr int kInner = 20000;
+    const auto time_pair = [&](kernels::BoundKernels<double>& k) {
+      return min_time_ms(
+          [&] {
+            for (int it = 0; it < kInner; ++it) {
+              benchmark::DoNotOptimize(k.ttsv0(xs));
+              k.ttsv1(xs, {y.data(), y.size()});
+              benchmark::DoNotOptimize(y.data());
+            }
+          },
+          5);
+    };
+    const double t_pre = time_pair(pre);
+    const double t_jit = time_pair(jitk);
+    const double speedup = t_jit > 0.0 ? t_pre / t_jit : 0.0;
+    min_speedup = std::min(min_speedup, speedup);
+    reg.gauge("kernels.jit.speedup.m" + std::to_string(m) + "n" +
+              std::to_string(n))
+        .set(speedup);
+    std::cout << "jit smoke m=" << m << " n=" << n << ": "
+              << (rep.compiled > 0 ? "compiled" : "cache hit") << " in "
+              << rep.compile_ms << " ms, precomputed "
+              << t_pre * 1e6 / kInner << " ns/pair, jit "
+              << t_jit * 1e6 / kInner << " ns/pair (" << speedup << "x"
+              << (ok ? "" : ", PARITY FAIL") << ")\n";
+  }
+
+  // The autotuner must time the jit tier's admitted widths like any other
+  // registered width (its refusal predicate is genuine per-lane fallback,
+  // not compile-time registry membership). The tuner runs in float.
+  const auto& [am, an] = kJitShapes[0];
+  if (jit::acquire<float>(am, an).available) {
+    const auto at =
+        kernels::autotune_multi_width(am, an, kernels::Tier::kJit, 200);
+    std::cout << "autotune jit m=" << am << " n=" << an << ": best width "
+              << at.best_width << "\n";
+  }
+
+  reg.gauge("kernels.jit.parity").set(parity_ok ? 1.0 : 0.0);
+  reg.gauge("kernels.jit.speedup.min").set(min_speedup);
+  if (!parity_ok) {
+    std::cerr << "bench_kernels: --jit parity gate failed\n";
+    return 1;
+  }
+  if (min_speedup < 3.0) {
+    std::cout << "jit smoke: note: min speedup " << min_speedup
+              << "x below the 3x target on this host\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -465,11 +627,13 @@ int main(int argc, char** argv) {
   g_tables_path = cli.get_or("tables", std::string());
   const bool multi = cli.has("multi");
   const bool blocked = cli.has("blocked");
+  const bool jit_smoke = cli.has("jit");
   // Strip the local flags before google-benchmark validates argv.
   std::vector<char*> filtered;
   for (int i = 0; i < argc; ++i) {
     const std::string_view a(argv[i]);
-    if (a == "--require-warm-start" || a == "--multi" || a == "--blocked") {
+    if (a == "--require-warm-start" || a == "--multi" || a == "--blocked" ||
+        a == "--jit") {
       continue;
     }
     if (a.rfind("--metrics-json", 0) == 0 ||
@@ -501,6 +665,10 @@ int main(int argc, char** argv) {
   int blocked_rc = 0;
   if (blocked) {
     blocked_rc = run_blocked_smoke();
+  }
+  if (jit_smoke) {
+    const int rc = run_jit_smoke();
+    if (rc != 0) blocked_rc = rc;
   }
   if (!te::bench::maybe_write_metrics(cli, "bench_kernels",
                                       {{"workload", "ttsv microbench"}})) {

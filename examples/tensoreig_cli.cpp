@@ -1,7 +1,7 @@
 // tensoreig_cli: end-user command-line driver for the batched eigensolver.
 //
 //   $ ./tensoreig_cli --input voxels.tesymb [--backend gpu|cpu|cpu-parallel]
-//                     [--tier general|precomputed|cse|unrolled]
+//                     [--tier general|precomputed|cse|unrolled|jit|auto]
 //                     [--starts 128] [--alpha 0] [--threads 4]
 //                     [--chunk 32] [--checkpoint run.tetc [--resume]]
 //                     [--spill-dir DIR] [--refine] [--max-peaks 4]
@@ -24,6 +24,7 @@
 
 #include "te/batch/scheduler.hpp"
 #include "te/io/batch_codec.hpp"
+#include "te/jit/engine.hpp"
 #include "te/io/container.hpp"
 #include "te/kernels/autotune.hpp"
 #include "te/tensor/io_binary.hpp"
@@ -94,7 +95,10 @@ int main(int argc, char** argv) {
     std::cerr
         << "usage: tensoreig_cli --input batch.{tesymb|tetc} [options]\n"
            "  --backend gpu|cpu|cpu-parallel   execution backend (gpu)\n"
-           "  --tier general|precomputed|cse|unrolled   kernel tier (unrolled)\n"
+           "  --tier general|precomputed|cse|unrolled|jit|auto\n"
+           "                 kernel tier (unrolled); 'jit' compiles a\n"
+           "                 shape-specialized kernel via $TE_JIT_CC and\n"
+           "                 falls back to precomputed when unavailable\n"
            "  --starts N     starting vectors per tensor (128)\n"
            "  --alpha A      SS-HOPM shift; 'auto' = (m-1)||A||_F (0)\n"
            "  --threads P    cpu-parallel worker count (4)\n"
@@ -136,6 +140,14 @@ int main(int argc, char** argv) {
     std::cerr << "autotune picked tier '" << kernels::tier_name(tier)
               << "' (" << fmt_fixed(report.best_us(), 2)
               << " us per iteration-pair)\n";
+  } else if (tier_str == "jit") {
+    // Compile-or-cache-load with graceful degradation: an unset $TE_JIT_CC,
+    // a failed compile or a failed admission proof all mean precomputed.
+    tier = jit::acquire_tier<float>(p.order, p.dim);
+    if (tier != kernels::Tier::kJit) {
+      std::cerr << "jit tier unavailable for this shape; using '"
+                << kernels::tier_name(tier) << "'\n";
+    }
   } else {
     tier = parse_tier(tier_str);
   }

@@ -30,7 +30,17 @@
 #      device kernels) and its metrics artifact must carry the analysis.*
 #      gauges; the analysis-labeled ctest sweep runs the same domain through
 #      the library API.
-#   7. clang-tidy (when installed): the bugprone/performance profile from
+#   7. JIT codegen gate (te::jit): with a host compiler available, a cold
+#      bench_kernels --jit run must compile, prove and bitwise-parity-gate
+#      runtime kernels for three registry-miss shapes, and a warm second
+#      run against the same artifact dir must perform ZERO recompiles
+#      (kernels.jit.compiles gauge capped at 0, cache_hits floored at 1);
+#      te_analyze --jit and the --all sweep then re-prove the cached
+#      artifacts through the admission oracle. Skipped with a notice on
+#      hosts without a usable compiler. The dlopen/admission path itself is
+#      additionally exercised under ASan/UBSan by jit_test in the pass-2
+#      ctest run (it self-skips only if the build compiler vanished).
+#   8. clang-tidy (when installed): the bugprone/performance profile from
 #      .clang-tidy over src/ and tools/, using the compile database of the
 #      pass-1 tree. Skipped with a notice on hosts without clang-tidy.
 #
@@ -232,7 +242,49 @@ cmake --build build -j "${JOBS}" --target te_analyze obs_json_check
   --require-gauge analysis.shapes_analyzed 1 \
   --require-gauge analysis.bank_conflict.max_way 1
 
-# Pass 7: clang-tidy over src/ and tools/ with the pass-1 compile database.
+# Pass 7: runtime codegen (te::jit). Resolve a host compiler -- an explicit
+# $TE_JIT_CC wins, else the c++ on PATH -- and skip with a notice when there
+# is none (the container contract: no compiler means the jit tier must have
+# degraded gracefully everywhere above, which jit_test already asserted).
+JIT_CC="${TE_JIT_CC:-$(command -v c++ || true)}"
+if [ -n "${JIT_CC}" ] && [ -x "${JIT_CC}" ]; then
+  echo "=== build: jit codegen leg (bench_kernels --jit, ${JIT_CC}) ==="
+  cmake --build build -j "${JOBS}" --target bench_kernels te_analyze \
+    obs_json_check
+  rm -rf build/ci_jit_cache
+  mkdir -p build/ci_jit_cache
+  # Cold run: compile + prove + bitwise parity gate (nonzero exit inside
+  # the bench on any mismatch), speedup gauges vs the precomputed tier.
+  TE_JIT_CC="${JIT_CC}" TE_JIT_CACHE_DIR=build/ci_jit_cache \
+    ./build/bench/bench_kernels --jit --benchmark_filter=NoSuchBench \
+    --benchmark_min_time=0.01 --metrics-json build/BENCH_jit_cold.json
+  ./build/tools/obs_json_check build/BENCH_jit_cold.json \
+    --require-gauge kernels.jit.parity 1 \
+    --require-gauge kernels.jit.compiles 1 \
+    --require-gauge kernels.jit.speedup.min 1
+  # Warm run: same artifact dir, zero recompiles allowed.
+  TE_JIT_CC="${JIT_CC}" TE_JIT_CACHE_DIR=build/ci_jit_cache \
+    ./build/bench/bench_kernels --jit --benchmark_filter=NoSuchBench \
+    --benchmark_min_time=0.01 --metrics-json build/BENCH_jit_warm.json
+  ./build/tools/obs_json_check build/BENCH_jit_warm.json \
+    --require-gauge kernels.jit.parity 1 \
+    --require-gauge kernels.jit.cache_hits 1 \
+    --require-gauge-max kernels.jit.compiles 0
+  # The committed BENCH_kernels.json carries the warm-run jit gauges.
+  # Admission oracle over the cached artifacts: one shape on demand, then
+  # the --all sweep picks every cached shape out of the spill dir (without
+  # a compiler in the environment -- warm loads must be provable alone).
+  TE_JIT_CC="${JIT_CC}" ./build/tools/te_analyze --jit 3 7 \
+    --jit-dir build/ci_jit_cache --no-gpu --quiet
+  env -u TE_JIT_CC ./build/tools/te_analyze --all \
+    --jit-dir build/ci_jit_cache --quiet --json build/ANALYSIS_jit.json
+  ./build/tools/obs_json_check build/ANALYSIS_jit.json \
+    --require-gauge analysis.plans_proven 1
+else
+  echo "=== jit codegen leg: no host compiler, skipped ==="
+fi
+
+# Pass 8: clang-tidy over src/ and tools/ with the pass-1 compile database.
 # Gated on availability: CI images without LLVM skip with a notice instead
 # of silently passing (the leg prints which binary it used when it runs).
 if command -v run-clang-tidy >/dev/null 2>&1; then

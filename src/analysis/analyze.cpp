@@ -20,6 +20,7 @@ constexpr kernels::Tier kScalarTiers[] = {
     kernels::Tier::kGeneral,  kernels::Tier::kPrecomputed,
     kernels::Tier::kCse,      kernels::Tier::kBlocked,
     kernels::Tier::kUnrolled, kernels::Tier::kBlockedPar,
+    kernels::Tier::kJit,
 };
 
 // Device-side tiers: the ones sshopm_device_thread dispatches on.
@@ -29,8 +30,15 @@ constexpr kernels::Tier kDeviceTiers[] = {
 };
 
 bool tier_available(int order, int dim, kernels::Tier tier) {
-  if (tier != kernels::Tier::kUnrolled) return true;
-  return kernels::find_unrolled<double>(order, dim) != nullptr;
+  if (tier == kernels::Tier::kUnrolled) {
+    return kernels::find_unrolled<double>(order, dim) != nullptr;
+  }
+  if (tier == kernels::Tier::kJit) {
+    // Proved only when an admitted runtime kernel exists in this process
+    // (te::jit acquires and registers them; te_analyze --jit drives this).
+    return kernels::find_jit<double>(order, dim) != nullptr;
+  }
+  return true;
 }
 
 void count_findings(const CheckReport& r) {
@@ -100,7 +108,13 @@ std::vector<ShapeAnalysis> analyze_all(const AnalyzeOptions& opt) {
   double max_way = 1.0;
   double min_ratio = 1.0;
 
-  for (const auto& [order, dim] : registered_shapes()) {
+  std::vector<std::pair<int, int>> shapes = registered_shapes();
+  shapes.insert(shapes.end(), opt.extra_shapes.begin(),
+                opt.extra_shapes.end());
+  std::sort(shapes.begin(), shapes.end());
+  shapes.erase(std::unique(shapes.begin(), shapes.end()), shapes.end());
+
+  for (const auto& [order, dim] : shapes) {
     ShapeAnalysis s = analyze_shape(order, dim, opt);
     for (const CheckReport& r : s.reports) {
       ++extracted;

@@ -34,6 +34,10 @@ struct AnalyzeOptions {
   bool multi = true;  ///< include the multi-lane widths
   /// Lane widths to verify; empty = every registered multi width.
   std::vector<int> widths;
+  /// Extra (order, dim) shapes to sweep beyond the compile-time registry
+  /// -- te_analyze --all feeds the JIT spill dir's cached shapes through
+  /// here so cached artifacts stay continuously verified.
+  std::vector<std::pair<int, int>> extra_shapes;
   DeviceCheckOptions device_opt;
 };
 

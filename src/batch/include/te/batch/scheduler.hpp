@@ -495,6 +495,15 @@ class Scheduler {
                  "no unrolled instantiation for order " << p.order << ", dim "
                                                         << p.dim);
     }
+    if (tier == kernels::Tier::kJit) {
+      // Admission happens before submission (te::jit::acquire); the
+      // scheduler only refuses jobs no admitted kernel exists for, so a
+      // mid-run chunk can never hit the BoundKernels bind error.
+      TE_REQUIRE(kernels::find_jit<T>(p.order, p.dim) != nullptr,
+                 "no admitted JIT kernel for order "
+                     << p.order << ", dim " << p.dim
+                     << " (acquire via te::jit before submitting)");
+    }
   }
 
   [[nodiscard]] const Job& at(JobId id) const {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "te/io/container.hpp"
+#include "te/jit/cache_dir.hpp"
 #include "te/kernels/dispatch.hpp"
 #include "te/kernels/precomputed.hpp"
 
@@ -76,9 +77,14 @@ class TableCache {
   /// Enable the disk warm-start tier: misses first try
   /// `<dir>/tables_m<order>_n<dim>_<dtype>.tetc` before rebuilding, and
   /// fresh builds are spilled there (best effort -- a persistence failure
-  /// never fails a solve). Empty string disables.
+  /// never fails a solve). Empty string disables. The same directory is
+  /// offered to the JIT engine as its default artifact cache (weak: an
+  /// explicit te::jit override or $TE_JIT_CACHE_DIR wins), so compiled
+  /// kernels spill alongside the `.tetc` tables and every shard sharing
+  /// this cache shares the codegen cost fleet-wide.
   void set_spill_dir(std::string dir) {
     std::lock_guard lock(mutex_);
+    if (!dir.empty()) jit::set_default_cache_dir_if_unset(dir);
     spill_dir_ = std::move(dir);
   }
 

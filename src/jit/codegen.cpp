@@ -1,0 +1,278 @@
+#include "te/jit/codegen.hpp"
+
+#include <sstream>
+
+#include "te/util/assert.hpp"
+
+namespace te::jit {
+
+namespace {
+
+// Runtime twins of unrolled.hpp's constexpr class enumeration helpers
+// (paper Fig. 2 / Fig. 4). The generator walks the classes once and
+// serializes what the unrolled tier would have baked into constexpr tables.
+
+bool next_class(std::vector<int>& idx, int n) {
+  const int m = static_cast<int>(idx.size());
+  int j = m - 1;
+  while (j >= 0 && idx[static_cast<std::size_t>(j)] == n - 1) --j;
+  if (j < 0) return false;
+  ++idx[static_cast<std::size_t>(j)];
+  for (int k = j + 1; k < m; ++k) {
+    idx[static_cast<std::size_t>(k)] = idx[static_cast<std::size_t>(j)];
+  }
+  return true;
+}
+
+std::int64_t factorial(int m) {
+  std::int64_t f = 1;
+  for (int i = 2; i <= m; ++i) f *= i;
+  return f;
+}
+
+std::int64_t multinomial0(const std::vector<int>& idx) {
+  std::int64_t div = 1;
+  int curr = -1;
+  std::int64_t mult = 0;
+  for (const int i : idx) {
+    if (i != curr) {
+      mult = 1;
+      curr = i;
+    } else {
+      ++mult;
+      div *= mult;
+    }
+  }
+  return factorial(static_cast<int>(idx.size())) / div;
+}
+
+std::int64_t multinomial_drop(const std::vector<int>& idx, int drop) {
+  std::int64_t div = 1;
+  int curr = -1;
+  std::int64_t mult = 0;
+  bool skipped = false;
+  for (const int i : idx) {
+    if (i == drop && !skipped) {
+      skipped = true;
+      continue;
+    }
+    if (i != curr) {
+      mult = 1;
+      curr = i;
+    } else {
+      ++mult;
+      div *= mult;
+    }
+  }
+  return factorial(static_cast<int>(idx.size()) - 1) / div;
+}
+
+std::int64_t binomial(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::int64_t r = 1;
+  for (std::int64_t i = 1; i <= k; ++i) r = r * (n - k + i) / i;
+  return r;
+}
+
+/// One Eq. 6 contribution: class `cls` adds sigma * a[cls] * (monomial
+/// with one occurrence of index `out` removed) to output `out`.
+struct Contribution {
+  std::int64_t cls = 0;
+  int out = 0;
+  int skip = 0;  ///< position within the class tuple to drop
+  std::int64_t sigma = 1;
+};
+
+struct Enumeration {
+  std::vector<std::vector<int>> classes;
+  std::vector<std::int64_t> coeff0;
+  std::vector<Contribution> contributions;
+};
+
+Enumeration enumerate(int order, int dim) {
+  Enumeration e;
+  std::vector<int> cur(static_cast<std::size_t>(order), 0);
+  std::int64_t r = 0;
+  do {
+    e.classes.push_back(cur);
+    e.coeff0.push_back(multinomial0(cur));
+    for (int t = 0; t < order;) {
+      const int i = cur[static_cast<std::size_t>(t)];
+      e.contributions.push_back({r, i, t, multinomial_drop(cur, i)});
+      while (t < order && cur[static_cast<std::size_t>(t)] == i) ++t;
+    }
+    ++r;
+  } while (next_class(cur, dim));
+  return e;
+}
+
+/// "x[0]*x[0]*x[2]" (scalar, prefix "x[", suffix "]") or "x0*x0*x2"
+/// (vector rows). `skip` drops that tuple position (-1 keeps all).
+std::string product_expr(const std::vector<int>& idx, int skip, bool rows) {
+  std::string s;
+  for (int t = 0; t < static_cast<int>(idx.size()); ++t) {
+    if (t == skip) continue;
+    if (!s.empty()) s += '*';
+    if (rows) {
+      s += 'x';
+      s += std::to_string(idx[static_cast<std::size_t>(t)]);
+    } else {
+      s += "x[";
+      s += std::to_string(idx[static_cast<std::size_t>(t)]);
+      s += ']';
+    }
+  }
+  return s;
+}
+
+/// "(R)3 * a[5] * " with the coefficient factor omitted when it is 1.
+std::string scale_expr(std::int64_t coeff, std::int64_t cls) {
+  std::string s;
+  if (coeff != 1) {
+    s += "(R)";
+    s += std::to_string(coeff);
+    s += " * ";
+  }
+  s += "a[";
+  s += std::to_string(cls);
+  s += "] * ";
+  return s;
+}
+
+void emit_scalar(std::ostringstream& os, const Enumeration& e, int dim) {
+  os << "extern \"C\" R te_jit_ttsv0(const R* a, const R* x) {\n"
+     << "  R y = (R)0;\n";
+  for (std::size_t j = 0; j < e.classes.size(); ++j) {
+    os << "  y += " << scale_expr(e.coeff0[j], static_cast<std::int64_t>(j))
+       << '(' << product_expr(e.classes[j], -1, false) << "); /*z cls=" << j
+       << "*/\n";
+  }
+  os << "  return y;\n}\n\n";
+
+  os << "extern \"C\" void te_jit_ttsv1(const R* a, const R* x, R* y) {\n";
+  for (int i = 0; i < dim; ++i) {
+    os << "  R acc" << i << " = (R)0;\n";
+  }
+  for (const Contribution& c : e.contributions) {
+    os << "  acc" << c.out << " += "
+       << scale_expr(c.sigma, c.cls) << '('
+       << product_expr(e.classes[static_cast<std::size_t>(c.cls)], c.skip,
+                       false)
+       << "); /*c cls=" << c.cls << " out=" << c.out << "*/\n";
+  }
+  for (int i = 0; i < dim; ++i) {
+    os << "  y[" << i << "] = acc" << i << ";\n";
+  }
+  os << "}\n";
+}
+
+void emit_width(std::ostringstream& os, const Enumeration& e, int dim,
+                int w) {
+  os << "\ntypedef R V" << w << " __attribute__((vector_size(sizeof(R) * "
+     << w << ")));\n"
+     << "static inline V" << w << " te_ld" << w << "(const R* p) {\n"
+     << "  V" << w << " v;\n"
+     << "  __builtin_memcpy(&v, p, sizeof(v));\n"
+     << "  return v;\n}\n\n";
+
+  // SoA batch layout (VectorBatch): component i of all W lanes is the
+  // contiguous row at x + i*W.
+  os << "extern \"C\" void te_jit_ttsv0_w" << w
+     << "(const R* a, const R* x, R* out) {\n";
+  for (int i = 0; i < dim; ++i) {
+    os << "  const V" << w << " x" << i << " = te_ld" << w << "(x + "
+       << i * w << ");\n";
+  }
+  os << "  V" << w << " y = {};\n";
+  for (std::size_t j = 0; j < e.classes.size(); ++j) {
+    os << "  y += " << scale_expr(e.coeff0[j], static_cast<std::int64_t>(j))
+       << '(' << product_expr(e.classes[j], -1, true) << "); /*z cls=" << j
+       << "*/\n";
+  }
+  os << "  __builtin_memcpy(out, &y, sizeof(y));\n}\n\n";
+
+  os << "extern \"C\" void te_jit_ttsv1_w" << w
+     << "(const R* a, const R* x, R* y) {\n";
+  for (int i = 0; i < dim; ++i) {
+    os << "  const V" << w << " x" << i << " = te_ld" << w << "(x + "
+       << i * w << ");\n";
+  }
+  for (int i = 0; i < dim; ++i) {
+    os << "  V" << w << " acc" << i << " = {};\n";
+  }
+  for (const Contribution& c : e.contributions) {
+    os << "  acc" << c.out << " += "
+       << scale_expr(c.sigma, c.cls) << '('
+       << product_expr(e.classes[static_cast<std::size_t>(c.cls)], c.skip,
+                       true)
+       << "); /*c cls=" << c.cls << " out=" << c.out << "*/\n";
+  }
+  for (int i = 0; i < dim; ++i) {
+    os << "  __builtin_memcpy(y + " << i * w << ", &acc" << i
+       << ", sizeof(acc" << i << "));\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace
+
+bool jit_supported(int order, int dim) {
+  if (order < 2 || order > kMaxJitOrder) return false;
+  if (dim < 1 || dim > kMaxJitDim) return false;
+  return binomial(order + dim - 1, order) <= kMaxJitClasses;
+}
+
+void compute_op_counts(int order, int dim, OpCounts* ops0, OpCounts* ops1) {
+  TE_REQUIRE(jit_supported(order, dim),
+             "shape (" << order << ", " << dim
+                       << ") outside the JIT generator envelope");
+  const Enumeration e = enumerate(order, dim);
+  if (ops0 != nullptr) {
+    *ops0 = OpCounts{};
+    for (const std::int64_t c : e.coeff0) {
+      // M-factor product, times a[cls], times the coefficient unless 1.
+      ops0->fmul += (order - 1) + (c == 1 ? 1 : 2);
+      ops0->fadd += 1;
+    }
+  }
+  if (ops1 != nullptr) {
+    *ops1 = OpCounts{};
+    for (const Contribution& c : e.contributions) {
+      // (M-1)-factor product, times a[cls], times sigma unless 1.
+      ops1->fmul += (order - 2) + (c.sigma == 1 ? 1 : 2);
+      ops1->fadd += 1;
+    }
+  }
+}
+
+GeneratedSource generate_source(const CodegenRequest& req) {
+  TE_REQUIRE(jit_supported(req.order, req.dim),
+             "shape (" << req.order << ", " << req.dim
+                       << ") outside the JIT generator envelope");
+  for (const int w : req.widths) {
+    TE_REQUIRE(w >= 2 && w <= 16 && (w & (w - 1)) == 0,
+               "JIT lane width must be a power of two in [2, 16], got "
+                   << w);
+  }
+
+  const Enumeration e = enumerate(req.order, req.dim);
+
+  std::ostringstream os;
+  os << "// te_jit generated kernel (generator v" << kGeneratorVersion
+     << "): order=" << req.order << " dim=" << req.dim << " dtype="
+     << (req.float32 ? "float32" : "float64") << " widths=1";
+  for (const int w : req.widths) os << ',' << w;
+  os << "\ntypedef " << (req.float32 ? "float" : "double") << " R;\n\n";
+
+  emit_scalar(os, e, req.dim);
+  for (const int w : req.widths) emit_width(os, e, req.dim, w);
+
+  GeneratedSource g;
+  g.source = os.str();
+  g.num_classes = static_cast<std::int64_t>(e.classes.size());
+  compute_op_counts(req.order, req.dim, &g.ops0, &g.ops1);
+  return g;
+}
+
+}  // namespace te::jit

@@ -1,0 +1,826 @@
+#include "te/jit/engine.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "te/analysis/checker.hpp"
+#include "te/analysis/extract.hpp"
+#include "te/io/format.hpp"
+#include "te/kernels/jit_registry.hpp"
+#include "te/kernels/multi.hpp"
+#include "te/obs/obs.hpp"
+#include "te/util/assert.hpp"
+#include "te/util/timer.hpp"
+
+namespace fs = std::filesystem;
+
+namespace te::jit {
+
+namespace {
+
+constexpr const char* kManifestFormat = "te-jit-1";
+
+// -------------------------------------------------------------------------
+// Engine singleton: cache dir state, obs totals, and the dlopen handles
+// (held forever -- registered function pointers must outlive everything).
+// -------------------------------------------------------------------------
+
+enum class DirSource { kNone, kTemp, kHook, kEnv, kExplicit };
+
+struct Engine {
+  std::mutex mutex;
+  std::string dir;
+  DirSource source = DirSource::kNone;
+  std::vector<void*> handles;
+  std::int64_t mutant_counter = 0;
+
+  // Process-cumulative totals mirrored into obs gauges.
+  std::int64_t compiles = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t rejected = 0;
+  double compile_ms = 0;
+
+  static Engine& get() {
+    static Engine e;
+    return e;
+  }
+};
+
+std::string resolve_dir_locked(Engine& e) {
+  if (e.source == DirSource::kNone) {
+    if (const char* env = std::getenv(kCacheDirEnv); env != nullptr &&
+                                                     *env != '\0') {
+      e.dir = env;
+      e.source = DirSource::kEnv;
+    } else {
+      e.dir = (fs::temp_directory_path() / "te_jit_cache").string();
+      e.source = DirSource::kTemp;
+    }
+  }
+  std::error_code ec;
+  fs::create_directories(e.dir, ec);
+  return e.dir;
+}
+
+void publish_obs_locked(const Engine& e) {
+  TE_OBS_ONLY({
+    auto& reg = obs::global();
+    reg.gauge("kernels.jit.compiles").set(static_cast<double>(e.compiles));
+    reg.gauge("kernels.jit.cache_hits")
+        .set(static_cast<double>(e.cache_hits));
+    reg.gauge("kernels.jit.rejected").set(static_cast<double>(e.rejected));
+    reg.gauge("kernels.jit.compile_ms").set(e.compile_ms);
+  });
+  (void)e;
+}
+
+// -------------------------------------------------------------------------
+// Compiler discovery and cache fingerprint.
+// -------------------------------------------------------------------------
+
+std::uint32_t str_crc(const std::string& s) {
+  return io::crc32(std::as_bytes(std::span(s.data(), s.size())));
+}
+
+struct CompilerInfo {
+  std::string cc;
+  std::string flags;
+  std::string version_line;
+  bool default_flags = true;
+  std::uint32_t fingerprint = 0;
+};
+
+std::string cc_version_line(const std::string& cc) {
+  static std::mutex m;
+  static std::map<std::string, std::string> memo;
+  std::lock_guard lock(m);
+  if (auto it = memo.find(cc); it != memo.end()) return it->second;
+  std::string line;
+  const std::string cmd = "\"" + cc + "\" --version 2>/dev/null";
+  if (FILE* p = popen(cmd.c_str(), "r")) {
+    char buf[512];
+    if (fgets(buf, sizeof buf, p) != nullptr) {
+      line = buf;
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+    }
+    pclose(p);
+  }
+  memo[cc] = line;
+  return line;
+}
+
+/// The compiler comes only from $TE_JIT_CC, re-read on every call (the
+/// graceful-fallback contract: unset means no compile capability, not a
+/// PATH guess). nullopt when unset/empty.
+std::optional<CompilerInfo> compiler_info() {
+  const char* cc = std::getenv(kCompilerEnv);
+  if (cc == nullptr || *cc == '\0') return std::nullopt;
+  CompilerInfo ci;
+  ci.cc = cc;
+  ci.flags = "-O3 -march=native";
+  if (const char* f = std::getenv(kFlagsEnv); f != nullptr && *f != '\0') {
+    ci.flags = f;
+    ci.default_flags = false;
+  }
+  ci.version_line = cc_version_line(ci.cc);
+  ci.fingerprint = str_crc("v" + std::to_string(kGeneratorVersion) + "\n" +
+                           ci.cc + "\n" + ci.version_line + "\n" + ci.flags);
+  return ci;
+}
+
+// -------------------------------------------------------------------------
+// Artifact naming, manifest write/parse/validate.
+// -------------------------------------------------------------------------
+
+std::string widths_str(std::span<const int> widths, char sep) {
+  std::string s = "1";
+  for (const int w : widths) {
+    s += sep;
+    s += std::to_string(w);
+  }
+  return s;
+}
+
+std::string hex8(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", v);
+  return buf;
+}
+
+/// "jit_m3_n7_float64_w1-2-4-8" -- everything but the fingerprint.
+std::string artifact_base(int order, int dim, const char* dtype,
+                          std::span<const int> widths) {
+  return "jit_m" + std::to_string(order) + "_n" + std::to_string(dim) + "_" +
+         dtype + "_w" + widths_str(widths, '-');
+}
+
+template <Real T>
+constexpr const char* dtype_str() {
+  return sizeof(T) == 4 ? "float32" : "float64";
+}
+
+std::map<std::string, std::string> parse_manifest(const fs::path& p) {
+  std::map<std::string, std::string> kv;
+  std::ifstream in(p);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto eq = line.find(" = ");
+    if (eq == std::string::npos) continue;
+    kv[line.substr(0, eq)] = line.substr(eq + 3);
+  }
+  return kv;
+}
+
+bool read_file_bytes(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return in.good() || in.eof();
+}
+
+/// Validate a manifest against the expected key; on success fill the .so
+/// path (CRC already re-verified against the bytes on disk). A null
+/// `expect_fp` accepts any fingerprint -- the compiler-less warm-load
+/// path, where self-consistency (fields + CRC) is all that can be checked
+/// cheaply; the probing admission still re-proves the loaded binary.
+bool validate_manifest(const fs::path& manifest, int order, int dim,
+                       const char* dtype, const std::string& widths_csv,
+                       const std::uint32_t* expect_fp, fs::path* so_out) {
+  const auto kv = parse_manifest(manifest);
+  const auto want = [&](const char* key, const std::string& v) {
+    const auto it = kv.find(key);
+    return it != kv.end() && it->second == v;
+  };
+  if (!want("format", kManifestFormat)) return false;
+  if (!want("generator", std::to_string(kGeneratorVersion))) return false;
+  if (!want("order", std::to_string(order))) return false;
+  if (!want("dim", std::to_string(dim))) return false;
+  if (!want("dtype", dtype)) return false;
+  if (!want("widths", widths_csv)) return false;
+  if (expect_fp != nullptr && !want("fingerprint", hex8(*expect_fp))) {
+    return false;
+  }
+  const auto so_it = kv.find("so");
+  const auto bytes_it = kv.find("so_bytes");
+  const auto crc_it = kv.find("so_crc32");
+  if (so_it == kv.end() || bytes_it == kv.end() || crc_it == kv.end()) {
+    return false;
+  }
+  const fs::path so = manifest.parent_path() / so_it->second;
+  std::string bytes;
+  if (!read_file_bytes(so, &bytes)) return false;
+  if (std::to_string(bytes.size()) != bytes_it->second) return false;
+  if (hex8(str_crc(bytes)) != crc_it->second) return false;
+  *so_out = so;
+  return true;
+}
+
+void write_manifest(const fs::path& manifest, int order, int dim,
+                    const char* dtype, const std::string& widths_csv,
+                    const CompilerInfo& ci, const fs::path& so) {
+  std::string bytes;
+  TE_REQUIRE(read_file_bytes(so, &bytes),
+             "cannot read freshly compiled " << so.string());
+  std::ostringstream os;
+  os << "format = " << kManifestFormat << '\n'
+     << "generator = " << kGeneratorVersion << '\n'
+     << "order = " << order << '\n'
+     << "dim = " << dim << '\n'
+     << "dtype = " << dtype << '\n'
+     << "widths = " << widths_csv << '\n'
+     << "cc = " << ci.cc << '\n'
+     << "ccver = " << ci.version_line << '\n'
+     << "flags = " << ci.flags << '\n'
+     << "fingerprint = " << hex8(ci.fingerprint) << '\n'
+     << "so = " << so.filename().string() << '\n'
+     << "so_bytes = " << bytes.size() << '\n'
+     << "so_crc32 = " << hex8(str_crc(bytes)) << '\n';
+  // Manifest is published last (and atomically): a crash between the .so
+  // rename and this rename just looks like a cold cache.
+  const fs::path tmp = manifest.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << os.str();
+  }
+  std::error_code ec;
+  fs::rename(tmp, manifest, ec);
+  TE_REQUIRE(!ec, "cannot publish manifest " << manifest.string());
+}
+
+void remove_artifact(const fs::path& so) {
+  std::error_code ec;
+  fs::remove(so, ec);
+  fs::remove(fs::path(so.string() + ".manifest"), ec);
+  fs::remove(fs::path(so).replace_extension(".cpp"), ec);
+  fs::remove(fs::path(so).replace_extension(".log"), ec);
+}
+
+// -------------------------------------------------------------------------
+// Compilation.
+// -------------------------------------------------------------------------
+
+std::string log_tail(const fs::path& log, std::size_t max_bytes = 512) {
+  std::string bytes;
+  if (!read_file_bytes(log, &bytes)) return {};
+  if (bytes.size() > max_bytes) {
+    bytes = "..." + bytes.substr(bytes.size() - max_bytes);
+  }
+  return bytes;
+}
+
+/// Compile `source` into `so` (temp + rename). Retries once without
+/// -march=native when the default flag set fails (older toolchains or
+/// cross environments). Returns false with a diagnostic in *err.
+bool compile_source(const CompilerInfo& ci, const std::string& source,
+                    const fs::path& so, double* ms, std::string* err) {
+  const fs::path cpp = fs::path(so).replace_extension(".cpp");
+  const fs::path log = fs::path(so).replace_extension(".log");
+  const fs::path tmp = so.string() + ".tmp" + std::to_string(::getpid());
+  {
+    std::ofstream out(cpp, std::ios::trunc);
+    out << source;
+    if (!out) {
+      *err = "cannot write " + cpp.string();
+      return false;
+    }
+  }
+  const auto run = [&](const std::string& flags) {
+    const std::string cmd = "\"" + ci.cc + "\" " + flags +
+                            " -fPIC -shared -o \"" + tmp.string() + "\" \"" +
+                            cpp.string() + "\" 2> \"" + log.string() + "\"";
+    return std::system(cmd.c_str());
+  };
+  WallTimer timer;
+  int rc = run(ci.flags);
+  if (rc != 0 && ci.default_flags) rc = run("-O3");
+  *ms = timer.millis();
+  if (rc != 0) {
+    *err = "compile failed (" + ci.cc + "): " + log_tail(log);
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, so, ec);
+  if (ec) {
+    *err = "cannot publish " + so.string();
+    fs::remove(tmp, ec);
+    return false;
+  }
+  fs::remove(log, ec);  // keep logs only for failures
+  return true;
+}
+
+// -------------------------------------------------------------------------
+// Load + probing admission.
+// -------------------------------------------------------------------------
+
+template <Real T>
+struct RawFns {
+  T (*s0)(const T*, const T*) = nullptr;
+  void (*s1)(const T*, const T*, T*) = nullptr;
+  struct WidthFns {
+    int width = 0;
+    void (*m0)(const T*, const T*, T*) = nullptr;
+    void (*m1)(const T*, const T*, T*) = nullptr;
+  };
+  std::vector<WidthFns> multi;
+};
+
+template <Real T>
+bool resolve_symbols(void* handle, std::span<const int> widths,
+                     RawFns<T>* fns, std::string* err) {
+  const auto sym = [&](const std::string& name) {
+    return dlsym(handle, name.c_str());
+  };
+  fns->s0 = reinterpret_cast<T (*)(const T*, const T*)>(sym("te_jit_ttsv0"));
+  fns->s1 = reinterpret_cast<void (*)(const T*, const T*, T*)>(
+      sym("te_jit_ttsv1"));
+  if (fns->s0 == nullptr || fns->s1 == nullptr) {
+    *err = "missing te_jit_ttsv0/te_jit_ttsv1 symbols";
+    return false;
+  }
+  for (const int w : widths) {
+    typename RawFns<T>::WidthFns wf;
+    wf.width = w;
+    wf.m0 = reinterpret_cast<void (*)(const T*, const T*, T*)>(
+        sym("te_jit_ttsv0_w" + std::to_string(w)));
+    wf.m1 = reinterpret_cast<void (*)(const T*, const T*, T*)>(
+        sym("te_jit_ttsv1_w" + std::to_string(w)));
+    if (wf.m0 == nullptr || wf.m1 == nullptr) {
+      *err = "missing width-" + std::to_string(w) + " symbols";
+      return false;
+    }
+    fns->multi.push_back(wf);
+  }
+  return true;
+}
+
+/// Probe shims: te::analysis extracts in double; the loaded kernel runs in
+/// T. Probe inputs are one-hot tensors and x entries in {1, 2}, so every
+/// intermediate is an integer bounded by m! * 2^m -- exact in float up to
+/// the m <= 8 generator cap (codegen.hpp), making the round-trip through T
+/// lossless and the extraction exact.
+template <Real T>
+analysis::ProbeKernel make_scalar_probe(int order, int dim,
+                                        const RawFns<T>& fns) {
+  analysis::ProbeKernel pk;
+  pk.order = order;
+  pk.dim = dim;
+  pk.tier = kernels::Tier::kJit;
+  pk.ttsv0 = [fn = fns.s0](std::span<const double> values,
+                           std::span<const double> x) -> double {
+    const std::vector<T> va(values.begin(), values.end());
+    const std::vector<T> xa(x.begin(), x.end());
+    return static_cast<double>(fn(va.data(), xa.data()));
+  };
+  pk.ttsv1 = [fn = fns.s1](std::span<const double> values,
+                           std::span<const double> x, std::span<double> y) {
+    const std::vector<T> va(values.begin(), values.end());
+    const std::vector<T> xa(x.begin(), x.end());
+    std::vector<T> ya(y.size(), T(0));
+    fn(va.data(), xa.data(), ya.data());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      y[i] = static_cast<double>(ya[i]);
+    }
+  };
+  return pk;
+}
+
+template <Real T>
+analysis::MultiProbeKernel make_multi_probe(
+    int order, int dim, const typename RawFns<T>::WidthFns& wf) {
+  analysis::MultiProbeKernel pk;
+  pk.order = order;
+  pk.dim = dim;
+  pk.width = wf.width;
+  pk.tier = kernels::Tier::kJit;
+  const int w = wf.width;
+  pk.ttsv0 = [fn = wf.m0, dim, w](std::span<const double> values,
+                                  const kernels::VectorBatch<double>& x,
+                                  std::span<double> out0) {
+    const std::vector<T> va(values.begin(), values.end());
+    std::vector<T> xb(static_cast<std::size_t>(dim) *
+                      static_cast<std::size_t>(w));
+    for (int i = 0; i < dim; ++i) {
+      for (int l = 0; l < w; ++l) {
+        xb[static_cast<std::size_t>(i * w + l)] =
+            static_cast<T>(x.at(i, l));
+      }
+    }
+    std::vector<T> out(static_cast<std::size_t>(w), T(0));
+    fn(va.data(), xb.data(), out.data());
+    for (int l = 0; l < w; ++l) {
+      out0[static_cast<std::size_t>(l)] =
+          static_cast<double>(out[static_cast<std::size_t>(l)]);
+    }
+  };
+  pk.ttsv1 = [fn = wf.m1, dim, w](std::span<const double> values,
+                                  const kernels::VectorBatch<double>& x,
+                                  kernels::VectorBatch<double>& y) {
+    const std::vector<T> va(values.begin(), values.end());
+    std::vector<T> xb(static_cast<std::size_t>(dim) *
+                      static_cast<std::size_t>(w));
+    for (int i = 0; i < dim; ++i) {
+      for (int l = 0; l < w; ++l) {
+        xb[static_cast<std::size_t>(i * w + l)] =
+            static_cast<T>(x.at(i, l));
+      }
+    }
+    std::vector<T> yb(xb.size(), T(0));
+    fn(va.data(), xb.data(), yb.data());
+    for (int i = 0; i < dim; ++i) {
+      for (int l = 0; l < w; ++l) {
+        y.at(i, l) =
+            static_cast<double>(yb[static_cast<std::size_t>(i * w + l)]);
+      }
+    }
+  };
+  return pk;
+}
+
+struct AdmitOutcome {
+  bool scalar_ok = false;
+  int widths_rejected = 0;
+  std::string error;
+};
+
+/// Probe every loaded function and register the proven ones. The scalar
+/// pair is the admission gate proper: if it fails, nothing registers. A
+/// width that fails (or is missing) is skipped -- dispatch then uses the
+/// per-lane scalar fallback for it.
+template <Real T>
+AdmitOutcome admit_fns(const RawFns<T>& fns, int order, int dim,
+                       const OpCounts& ops0, const OpCounts& ops1,
+                       bool do_register,
+                       std::vector<analysis::CheckReport>* reports) {
+  AdmitOutcome out;
+  analysis::CheckReport scalar_rep =
+      analysis::check_plan(analysis::extract_plan(
+          make_scalar_probe<T>(order, dim, fns)));
+  const bool scalar_ok = scalar_rep.proven();
+  if (!scalar_ok) out.error = scalar_rep.summary();
+  reports->push_back(std::move(scalar_rep));
+  if (!scalar_ok) return out;
+  out.scalar_ok = true;
+  if (do_register) {
+    kernels::register_jit<T>({order, dim, fns.s0, fns.s1, ops0, ops1});
+  }
+  for (const auto& wf : fns.multi) {
+    const std::vector<analysis::AccessPlan> plans =
+        analysis::extract_multi_plans(
+            make_multi_probe<T>(order, dim, wf));
+    analysis::CheckReport rep = analysis::check_plans(plans);
+    const bool ok = rep.proven();
+    if (!ok) {
+      ++out.widths_rejected;
+      if (out.error.empty()) out.error = rep.summary();
+    }
+    reports->push_back(std::move(rep));
+    if (ok && do_register) {
+      kernels::register_jit_multi<T>({order, dim, wf.width, wf.m0, wf.m1});
+    }
+  }
+  return out;
+}
+
+void* open_object(const fs::path& so, std::string* err) {
+  void* h = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (h == nullptr) {
+    const char* why = dlerror();
+    *err = "dlopen failed: " + std::string(why != nullptr ? why : "?");
+  }
+  return h;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------------------
+// Cache dir control (cache_dir.hpp).
+// -------------------------------------------------------------------------
+
+void set_cache_dir(const std::string& dir) {
+  Engine& e = Engine::get();
+  std::lock_guard lock(e.mutex);
+  e.dir = dir;
+  e.source = DirSource::kExplicit;
+}
+
+void set_default_cache_dir_if_unset(const std::string& dir) {
+  Engine& e = Engine::get();
+  std::lock_guard lock(e.mutex);
+  if (e.source == DirSource::kExplicit || e.source == DirSource::kEnv) return;
+  if (const char* env = std::getenv(kCacheDirEnv); env != nullptr &&
+                                                   *env != '\0') {
+    e.dir = env;
+    e.source = DirSource::kEnv;
+    return;
+  }
+  e.dir = dir;
+  e.source = DirSource::kHook;
+}
+
+std::string cache_dir() {
+  Engine& e = Engine::get();
+  std::lock_guard lock(e.mutex);
+  return resolve_dir_locked(e);
+}
+
+// -------------------------------------------------------------------------
+// acquire / acquire_tier.
+// -------------------------------------------------------------------------
+
+template <Real T>
+AcquireReport acquire(int order, int dim, const AcquireOptions& opt) {
+  AcquireReport rep;
+  rep.order = order;
+  rep.dim = dim;
+  rep.float32 = sizeof(T) == 4;
+
+  if (kernels::find_jit<T>(order, dim) != nullptr) {
+    rep.available = true;
+    return rep;
+  }
+  if (!jit_supported(order, dim)) {
+    rep.error = "shape (" + std::to_string(order) + ", " +
+                std::to_string(dim) + ") outside the JIT generator envelope";
+    return rep;
+  }
+
+  Engine& e = Engine::get();
+  std::lock_guard lock(e.mutex);
+  if (kernels::find_jit<T>(order, dim) != nullptr) {
+    rep.available = true;
+    return rep;
+  }
+
+  const std::string dir = resolve_dir_locked(e);
+  const char* dtype = dtype_str<T>();
+  const std::string csv = widths_str(opt.widths, ',');
+  const std::string base = artifact_base(order, dim, dtype, opt.widths);
+  const auto ci = compiler_info();
+
+  OpCounts ops0;
+  OpCounts ops1;
+  compute_op_counts(order, dim, &ops0, &ops1);
+
+  const auto finish = [&](bool count) {
+    if (count) {
+      e.compiles += rep.compiled;
+      e.cache_hits += rep.cache_hits;
+      e.rejected += rep.rejected;
+      e.compile_ms += rep.compile_ms;
+      TE_OBS_ONLY({
+        auto& reg = obs::global();
+        reg.counter("kernels.jit.compiles").add(rep.compiled);
+        reg.counter("kernels.jit.cache_hits").add(rep.cache_hits);
+        reg.counter("kernels.jit.rejected").add(rep.rejected);
+      });
+      publish_obs_locked(e);
+    }
+  };
+
+  // --- warm path: a cached artifact with matching key -------------------
+  if (!opt.force_recompile) {
+    fs::path manifest;
+    if (ci.has_value()) {
+      const fs::path m = fs::path(dir) /
+                         (base + "_" + hex8(ci->fingerprint) + ".so.manifest");
+      std::error_code ec;
+      if (fs::exists(m, ec)) manifest = m;
+    } else {
+      // No compiler: any self-consistent artifact for this key is usable
+      // (admission below still re-proves the binary).
+      std::error_code ec;
+      for (const auto& ent : fs::directory_iterator(dir, ec)) {
+        const std::string name = ent.path().filename().string();
+        if (name.rfind(base + "_", 0) == 0 &&
+            name.size() > 12 && name.ends_with(".so.manifest")) {
+          manifest = ent.path();
+          break;
+        }
+      }
+    }
+    if (!manifest.empty()) {
+      fs::path so;
+      const std::uint32_t* fp = ci.has_value() ? &ci->fingerprint : nullptr;
+      if (validate_manifest(manifest, order, dim, dtype, csv, fp, &so)) {
+        std::string err;
+        if (void* h = open_object(so, &err)) {
+          RawFns<T> fns;
+          if (resolve_symbols<T>(h, opt.widths, &fns, &err)) {
+            const AdmitOutcome adm = admit_fns<T>(
+                fns, order, dim, ops0, ops1, true, &rep.reports);
+            rep.rejected += adm.widths_rejected;
+            if (adm.scalar_ok) {
+              e.handles.push_back(h);
+              rep.cache_hits = 1;
+              rep.available = true;
+              finish(true);
+              return rep;
+            }
+            // A cached artifact that fails its proof is poison: drop it
+            // and fall through to a fresh compile.
+            ++rep.rejected;
+            rep.error = adm.error;
+          }
+          dlclose(h);
+        }
+        if (!rep.available) remove_artifact(so);
+      }
+    }
+  }
+
+  // --- cold path: generate + compile + prove ----------------------------
+  if (!ci.has_value()) {
+    if (rep.error.empty()) {
+      rep.error = std::string("$") + kCompilerEnv +
+                  " unset and no cached artifact";
+    }
+    finish(true);
+    return rep;
+  }
+
+  CodegenRequest req;
+  req.order = order;
+  req.dim = dim;
+  req.float32 = sizeof(T) == 4;
+  req.widths = opt.widths;
+  const GeneratedSource gen = generate_source(req);
+
+  const fs::path so =
+      fs::path(dir) / (base + "_" + hex8(ci->fingerprint) + ".so");
+  std::string err;
+  if (!compile_source(*ci, gen.source, so, &rep.compile_ms, &err)) {
+    rep.error = err;
+    finish(true);
+    return rep;
+  }
+  rep.compiled = 1;
+  write_manifest(fs::path(so.string() + ".manifest"), order, dim, dtype, csv,
+                 *ci, so);
+
+  void* h = open_object(so, &err);
+  if (h == nullptr) {
+    rep.error = err;
+    remove_artifact(so);
+    finish(true);
+    return rep;
+  }
+  RawFns<T> fns;
+  if (!resolve_symbols<T>(h, opt.widths, &fns, &err)) {
+    rep.error = err;
+    dlclose(h);
+    remove_artifact(so);
+    finish(true);
+    return rep;
+  }
+  const AdmitOutcome adm =
+      admit_fns<T>(fns, order, dim, ops0, ops1, true, &rep.reports);
+  rep.rejected += adm.widths_rejected;
+  if (!adm.scalar_ok) {
+    ++rep.rejected;
+    rep.error = adm.error;
+    dlclose(h);
+    remove_artifact(so);
+    finish(true);
+    return rep;
+  }
+  e.handles.push_back(h);
+  rep.available = true;
+  finish(true);
+  return rep;
+}
+
+template <Real T>
+kernels::Tier acquire_tier(int order, int dim, const AcquireOptions& opt) {
+  try {
+    return acquire<T>(order, dim, opt).available ? kernels::Tier::kJit
+                                                 : kernels::Tier::kPrecomputed;
+  } catch (...) {
+    return kernels::Tier::kPrecomputed;
+  }
+}
+
+// -------------------------------------------------------------------------
+// admit_source (mutant/verification gate).
+// -------------------------------------------------------------------------
+
+template <Real T>
+SourceAdmission admit_source(const std::string& source, int order, int dim,
+                             std::span<const int> widths,
+                             bool register_on_success) {
+  SourceAdmission res;
+  const auto ci = compiler_info();
+  if (!ci.has_value()) {
+    res.error = std::string("$") + kCompilerEnv + " unset";
+    return res;
+  }
+
+  Engine& e = Engine::get();
+  std::lock_guard lock(e.mutex);
+  const std::string dir = resolve_dir_locked(e);
+  const fs::path so =
+      fs::path(dir) / ("mutant_" + std::to_string(::getpid()) + "_" +
+                       std::to_string(++e.mutant_counter) + ".so");
+
+  OpCounts ops0;
+  OpCounts ops1;
+  compute_op_counts(order, dim, &ops0, &ops1);
+
+  double ms = 0;
+  std::string err;
+  if (!compile_source(*ci, source, so, &ms, &err)) {
+    res.error = err;
+    remove_artifact(so);
+    return res;
+  }
+  void* h = open_object(so, &err);
+  if (h == nullptr) {
+    res.error = err;
+    remove_artifact(so);
+    return res;
+  }
+  RawFns<T> fns;
+  if (!resolve_symbols<T>(h, widths, &fns, &err)) {
+    res.error = err;
+    dlclose(h);
+    remove_artifact(so);
+    return res;
+  }
+  const AdmitOutcome adm = admit_fns<T>(fns, order, dim, ops0, ops1,
+                                        register_on_success, &res.reports);
+  res.admitted = adm.scalar_ok && adm.widths_rejected == 0;
+  if (!res.admitted) res.error = adm.error;
+  if (register_on_success && adm.scalar_ok) {
+    e.handles.push_back(h);  // registered pointers must stay alive
+  } else {
+    dlclose(h);
+  }
+  remove_artifact(so);  // never enters the cache
+  return res;
+}
+
+// -------------------------------------------------------------------------
+// cached_shapes.
+// -------------------------------------------------------------------------
+
+std::vector<std::pair<int, int>> cached_shapes(const std::string& dir) {
+  std::string d = dir;
+  if (d.empty()) d = cache_dir();
+  std::vector<std::pair<int, int>> shapes;
+  std::error_code ec;
+  for (const auto& ent : fs::directory_iterator(d, ec)) {
+    const std::string name = ent.path().filename().string();
+    if (name.rfind("jit_m", 0) != 0 || !name.ends_with(".so.manifest")) {
+      continue;
+    }
+    const auto kv = parse_manifest(ent.path());
+    const auto fmt = kv.find("format");
+    const auto o = kv.find("order");
+    const auto n = kv.find("dim");
+    if (fmt == kv.end() || fmt->second != kManifestFormat || o == kv.end() ||
+        n == kv.end()) {
+      continue;
+    }
+    try {
+      shapes.emplace_back(std::stoi(o->second), std::stoi(n->second));
+    } catch (...) {
+      continue;
+    }
+  }
+  std::sort(shapes.begin(), shapes.end());
+  shapes.erase(std::unique(shapes.begin(), shapes.end()), shapes.end());
+  return shapes;
+}
+
+// -------------------------------------------------------------------------
+// Explicit instantiations.
+// -------------------------------------------------------------------------
+
+template AcquireReport acquire<float>(int, int, const AcquireOptions&);
+template AcquireReport acquire<double>(int, int, const AcquireOptions&);
+template kernels::Tier acquire_tier<float>(int, int, const AcquireOptions&);
+template kernels::Tier acquire_tier<double>(int, int, const AcquireOptions&);
+template SourceAdmission admit_source<float>(const std::string&, int, int,
+                                             std::span<const int>, bool);
+template SourceAdmission admit_source<double>(const std::string&, int, int,
+                                              std::span<const int>, bool);
+
+}  // namespace te::jit

@@ -1,0 +1,26 @@
+#pragma once
+// JIT artifact cache directory control (declaration-only so callers that
+// merely *point* the cache somewhere -- TableCache::set_spill_dir -- need
+// no other te_jit header).
+//
+// Resolution order at first use: explicit set_cache_dir() >
+// $TE_JIT_CACHE_DIR > set_default_cache_dir_if_unset() (the TableCache
+// spill-dir hook) > a `te_jit_cache` folder under the system temp dir.
+
+#include <string>
+
+namespace te::jit {
+
+/// Point the artifact cache at `dir` (created on demand). Overrides every
+/// other source; affects subsequent acquires only.
+void set_cache_dir(const std::string& dir);
+
+/// Weak form used by TableCache::set_spill_dir: adopt `dir` only when no
+/// explicit dir or $TE_JIT_CACHE_DIR override is in effect, so kernels and
+/// tables spill side by side by default.
+void set_default_cache_dir_if_unset(const std::string& dir);
+
+/// The resolved cache directory (resolving it on first call).
+[[nodiscard]] std::string cache_dir();
+
+}  // namespace te::jit

@@ -1,0 +1,74 @@
+#pragma once
+// Runtime source generation for the JIT kernel tier (ROADMAP item 3).
+//
+// Serializes the exact transformation unrolled.hpp performs at compile time
+// -- the full index-class enumeration, every Eq. 4 multinomial and every
+// Eq. 6 drop-one coefficient expanded into straight-line code -- into a
+// freestanding C++ translation unit for an *arbitrary* (order, dim). The
+// emitted file has no includes and no dependency on this repo: fixed
+// `extern "C"` entry points (te_jit_ttsv0 / te_jit_ttsv1 plus _w<W>
+// suffixed multi-lane variants over the SoA batch layout), one typedef for
+// the scalar type, and GCC/Clang vector extensions for the lane types, so
+// any host C++ compiler can turn it into a shared object.
+//
+// Every arithmetic statement carries a trailing marker comment
+// (`/*z cls=R*/` for ttsv0 terms, `/*c cls=R out=I*/` for ttsv1
+// contributions) purely so the seeded-defect tests can perform targeted
+// string surgery on real generated source; the markers are inert.
+//
+// The generator is deliberately *not* trusted: whatever the compiler
+// produces from this source is admitted to dispatch only after the
+// te::analysis probing pass proves the loaded binary term-for-term
+// (engine.hpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "te/util/op_counter.hpp"
+
+namespace te::jit {
+
+/// Generator version; part of the artifact cache fingerprint, so bumping it
+/// invalidates every cached object built from older emissions.
+inline constexpr int kGeneratorVersion = 1;
+
+/// Shape caps. Order is capped at 8 (not unrolled.hpp's 16) because the
+/// admission probing must also be exact in *float*: probe outputs are
+/// bounded by m! * 2^m, which stays below float's 2^24 integer range up to
+/// m = 8 (8! * 2^8 = 10,321,920) and overflows it at m = 9. The class cap
+/// matches the unrolled tier's expansion budget; the dim cap matches the
+/// multi-lane batch contract.
+inline constexpr int kMaxJitOrder = 8;
+inline constexpr int kMaxJitDim = 64;
+inline constexpr std::int64_t kMaxJitClasses = 4096;
+
+/// True when (order, dim) is inside the generator's envelope.
+[[nodiscard]] bool jit_supported(int order, int dim);
+
+/// What to generate: one scalar kernel pair always, plus one multi-lane
+/// pair per requested width (each a power of two in [2, 16]).
+struct CodegenRequest {
+  int order = 0;
+  int dim = 0;
+  bool float32 = false;  ///< emit `typedef float R` instead of double
+  std::vector<int> widths;
+};
+
+/// A generated translation unit plus the exact op mix of the scalar
+/// kernels (identical formulas to ttsv0_unrolled_ops / ttsv1_unrolled_ops;
+/// the multi kernels are the scalar mix times the lane width).
+struct GeneratedSource {
+  std::string source;
+  std::int64_t num_classes = 0;
+  OpCounts ops0;
+  OpCounts ops1;
+};
+
+[[nodiscard]] GeneratedSource generate_source(const CodegenRequest& req);
+
+/// The scalar op mix alone (what a warm cache load needs to register a
+/// dispatch entry without regenerating the source text).
+void compute_op_counts(int order, int dim, OpCounts* ops0, OpCounts* ops1);
+
+}  // namespace te::jit

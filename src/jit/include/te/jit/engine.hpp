@@ -1,0 +1,109 @@
+#pragma once
+// JIT engine: compile, cache, load and *prove* generated kernels, then
+// register them behind Tier::kJit (ROADMAP item 3).
+//
+// acquire<T>(order, dim) drives the full pipeline for one shape:
+//
+//   1. cache probe -- a `.so` + CRC-guarded manifest keyed on
+//      (shape, dtype, width set, compiler fingerprint) in the cache dir
+//      (shared with the TableCache `.tetc` spill dir, so scheduler shards
+//      and the serve layer reuse artifacts fleet-wide);
+//   2. on miss, generate source (codegen.hpp) and compile it with the host
+//      toolchain named by $TE_JIT_CC into a shared object (atomic
+//      temp+rename publish);
+//   3. dlopen the object and probe the *loaded binary* with the
+//      te::analysis extraction pass; only functions whose CheckReport
+//      proves (term set, coefficients, write targets, cross-lane
+//      agreement) are registered into the kernels JIT registry -- a failed
+//      scalar proof rejects (and deletes) the whole artifact.
+//
+// Nothing on disk is ever trusted: the manifest CRC only rejects
+// corruption cheaply; admission is re-proven on every load. Failure at any
+// stage (no compiler, compile error, unloadable object, failed proof)
+// degrades gracefully -- acquire_tier<T> returns kPrecomputed instead of
+// kJit and never throws for in-envelope shapes.
+//
+// Loaded objects are intentionally never dlclosed: registered function
+// pointers must stay callable for the life of the process.
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "te/analysis/plan.hpp"
+#include "te/jit/cache_dir.hpp"
+#include "te/jit/codegen.hpp"
+#include "te/kernels/dispatch.hpp"
+
+namespace te::jit {
+
+/// Compiler environment knobs. The compiler is *only* taken from
+/// $TE_JIT_CC (re-read on every acquire, never cached) -- no PATH
+/// guessing, so an unset variable deterministically means "no compile
+/// capability" (cached artifacts still load). $TE_JIT_CFLAGS replaces the
+/// default optimization flags; -fPIC -shared are always appended.
+inline constexpr const char* kCompilerEnv = "TE_JIT_CC";
+inline constexpr const char* kFlagsEnv = "TE_JIT_CFLAGS";
+/// Cache dir override; see cache_dir.hpp for the resolution order.
+inline constexpr const char* kCacheDirEnv = "TE_JIT_CACHE_DIR";
+
+struct AcquireOptions {
+  /// Multi-lane widths to generate besides the scalar kernel.
+  std::vector<int> widths = {2, 4, 8};
+  /// Ignore any cached artifact and recompile (admission still applies).
+  bool force_recompile = false;
+};
+
+/// Outcome of one acquire: admission proofs plus cache accounting. The
+/// same totals are published through te::obs as the
+/// `kernels.jit.{compiles,cache_hits,rejected}` counters and the
+/// like-named cumulative gauges plus `kernels.jit.compile_ms`.
+struct AcquireReport {
+  int order = 0;
+  int dim = 0;
+  bool float32 = false;
+  bool available = false;  ///< scalar kernel proven and registered
+  int compiled = 0;        ///< artifacts built by this call
+  int cache_hits = 0;      ///< artifacts reused from the cache dir
+  int rejected = 0;        ///< loaded functions that failed proven()
+  double compile_ms = 0;   ///< wall time spent in the host compiler
+  std::string error;       ///< first failure description ("" when available)
+  std::vector<analysis::CheckReport> reports;  ///< admission proofs
+};
+
+/// Acquire (compile or cache-load, prove, register) the JIT kernels for
+/// (order, dim) with scalar type T. Idempotent: once the shape is
+/// registered, later calls return immediately with available == true.
+template <Real T>
+[[nodiscard]] AcquireReport acquire(int order, int dim,
+                                    const AcquireOptions& opt = {});
+
+/// Graceful-fallback tier selection: kJit when acquire succeeds,
+/// kPrecomputed otherwise. Never throws for in-envelope shapes.
+template <Real T>
+[[nodiscard]] kernels::Tier acquire_tier(int order, int dim,
+                                         const AcquireOptions& opt = {});
+
+/// Run caller-supplied generated source through the exact compile + load +
+/// prove admission gate. With `register_on_success` false this is a pure
+/// verification probe (the seeded-defect tests feed mutated source through
+/// it); the temporary artifact never enters the cache either way.
+struct SourceAdmission {
+  bool admitted = false;  ///< every present function proved
+  std::string error;
+  std::vector<analysis::CheckReport> reports;
+};
+template <Real T>
+[[nodiscard]] SourceAdmission admit_source(const std::string& source,
+                                           int order, int dim,
+                                           std::span<const int> widths,
+                                           bool register_on_success);
+
+/// Shapes with a cached artifact manifest in `dir` (resolved cache dir
+/// when empty), any dtype, sorted and deduplicated -- the sweep extension
+/// `te_analyze --all` uses to keep cached kernels continuously verified.
+[[nodiscard]] std::vector<std::pair<int, int>> cached_shapes(
+    const std::string& dir = {});
+
+}  // namespace te::jit

@@ -21,6 +21,10 @@ double AutotuneReport::best_us() const {
       return blocked_us;
     case Tier::kUnrolled:
       return unrolled_us;
+    case Tier::kJit:
+      return jit_us;
+    case Tier::kBlockedPar:
+      break;  // not an autotune candidate (thread-count dependent)
   }
   return -1;
 }
@@ -47,6 +51,9 @@ AutotuneReport autotune_tier(int order, int dim, int min_reps) {
     if (tier == Tier::kUnrolled && find_unrolled<float>(order, dim) == nullptr) {
       return -1;
     }
+    if (tier == Tier::kJit && find_jit<float>(order, dim) == nullptr) {
+      return -1;
+    }
     BoundKernels<float> k(a, tier, tab);
     WallTimer timer;
     for (int r = 0; r < min_reps; ++r) {
@@ -62,6 +69,7 @@ AutotuneReport autotune_tier(int order, int dim, int min_reps) {
   report.cse_us = measure(Tier::kCse);
   report.blocked_us = measure(Tier::kBlocked);
   report.unrolled_us = measure(Tier::kUnrolled);
+  report.jit_us = measure(Tier::kJit);
 
   // Keep the compiler from deleting the measurement loops.
   if (sink == 12345.678f) report.general_us += 1e-9;
@@ -78,6 +86,7 @@ AutotuneReport autotune_tier(int order, int dim, int min_reps) {
   consider(Tier::kCse, report.cse_us);
   consider(Tier::kBlocked, report.blocked_us);
   consider(Tier::kUnrolled, report.unrolled_us);
+  consider(Tier::kJit, report.jit_us);
   return report;
 }
 
@@ -99,10 +108,15 @@ MultiWidthReport autotune_multi_width(int order, int dim, Tier tier,
         find_unrolled<float>(order, dim) == nullptr) {
       return -1;
     }
+    if (tier == Tier::kJit && find_jit<float>(order, dim) == nullptr) {
+      return -1;
+    }
     MultiKernels<float> k(a, tier, tab, width);
     // A width that degrades to the per-lane fallback is the scalar math
     // plus gather overhead -- never preferable to width 1, so don't let
-    // timing noise pick it.
+    // timing noise pick it. The predicate is the facade's own vectorized()
+    // (genuine fallback detection), not compile-time registry membership,
+    // so runtime-admitted JIT widths are timed here like any other.
     if (width > 1 && !k.vectorized()) return -1;
     VectorBatch<float> x(dim, width);
     VectorBatch<float> y(dim, width);

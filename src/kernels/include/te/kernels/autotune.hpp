@@ -22,6 +22,7 @@ struct AutotuneReport {
   double cse_us = -1;
   double blocked_us = -1;
   double unrolled_us = -1;
+  double jit_us = -1;
 
   [[nodiscard]] double best_us() const;
 };
@@ -38,17 +39,21 @@ struct MultiWidthReport {
   Tier tier = Tier::kGeneral;
   int best_width = 1;
   /// (width, microseconds per *lane* per ttsv0+ttsv1 pair). Only widths
-  /// with a genuinely vectorized route are candidates; a width that would
-  /// degrade to the per-lane scalar fallback is the same math plus gather
-  /// overhead, so it is never worth picking over width 1 and is not timed.
+  /// with a genuinely vectorized route are candidates -- that includes
+  /// runtime-admitted JIT widths, not just compile-time registry members; a
+  /// width that would degrade to the per-lane scalar fallback is the same
+  /// math plus gather overhead, so it is never worth picking over width 1
+  /// and is not timed.
   std::vector<std::pair<int, double>> lane_us;
 };
 
 /// Measure the multi kernels at (order, dim, tier) across width 1 and all
 /// registered vector widths with a vectorized route, and pick the
-/// cheapest per lane. Tiers with no vectorized route (cse, blocked,
-/// unregistered unrolled shapes) report width 1 without timing the
-/// fallback. The chosen width is recorded in the te::obs gauge
+/// cheapest per lane. The refusal predicate is MultiKernels::vectorized()
+/// -- genuine per-lane fallback -- so JIT-admitted widths are timed like
+/// any registry width; tiers with no vectorized route at a width (cse,
+/// blocked, unregistered unrolled or unadmitted JIT widths) report width 1
+/// without timing the fallback. The chosen width is recorded in the te::obs gauge
 /// `kernels.multi.autotune_width.<tier>` so dispatch regressions show up
 /// in exported metric trajectories.
 [[nodiscard]] MultiWidthReport autotune_multi_width(int order, int dim,

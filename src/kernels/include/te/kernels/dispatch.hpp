@@ -16,6 +16,7 @@
 #include "te/kernels/blocked_par.hpp"
 #include "te/kernels/cse.hpp"
 #include "te/kernels/general.hpp"
+#include "te/kernels/jit_registry.hpp"
 #include "te/kernels/precomputed.hpp"
 #include "te/obs/obs.hpp"
 #include "te/tensor/symmetric_tensor.hpp"
@@ -25,7 +26,9 @@ namespace te::kernels {
 
 /// Kernel implementation tier (paper Section V's "General" vs "Unrolled";
 /// kPrecomputed is the Section III-B.5 storage/compute trade; kCse is the
-/// Section V-D common-subexpression variant with prefix-sharing).
+/// Section V-D common-subexpression variant with prefix-sharing; kJit is
+/// the unrolled expansion generated, compiled and admitted at *runtime*
+/// for shapes the compile-time registry never saw).
 enum class Tier {
   kGeneral,
   kPrecomputed,
@@ -33,10 +36,11 @@ enum class Tier {
   kBlocked,
   kUnrolled,
   kBlockedPar,
+  kJit,
 };
 
 /// Number of tiers (metrics arrays and tier sweeps size off this).
-inline constexpr int kNumTiers = 6;
+inline constexpr int kNumTiers = 7;
 
 [[nodiscard]] constexpr std::string_view tier_name(Tier t) {
   switch (t) {
@@ -52,6 +56,8 @@ inline constexpr int kNumTiers = 6;
       return "unrolled";
     case Tier::kBlockedPar:
       return "blocked_par";
+    case Tier::kJit:
+      return "jit";
   }
   return "?";
 }
@@ -67,9 +73,10 @@ struct DispatchMetrics {
   static DispatchMetrics& get() {
     static DispatchMetrics m = [] {
       DispatchMetrics d;
-      constexpr Tier kTiers[kNumTiers] = {Tier::kGeneral, Tier::kPrecomputed,
-                                          Tier::kCse, Tier::kBlocked,
-                                          Tier::kUnrolled, Tier::kBlockedPar};
+      constexpr Tier kTiers[kNumTiers] = {
+          Tier::kGeneral,  Tier::kPrecomputed, Tier::kCse,
+          Tier::kBlocked,  Tier::kUnrolled,    Tier::kBlockedPar,
+          Tier::kJit};
       for (int i = 0; i < kNumTiers; ++i) {
         const std::string base(tier_name(kTiers[i]));
         d.ttsv0_calls[i] =
@@ -118,7 +125,10 @@ template <Real T>
 ///
 /// The bound tensor and (for kPrecomputed) tables must outlive the facade.
 /// kUnrolled requires the shape to be present in the registry; callers that
-/// want graceful fallback should check find_unrolled first. kBlockedPar
+/// want graceful fallback should check find_unrolled first. kJit likewise
+/// requires an admitted runtime kernel (te::jit acquires, proves and
+/// registers them; jit::acquire_tier is the graceful-fallback entry point
+/// that degrades to kPrecomputed instead of throwing here). kBlockedPar
 /// repacks the tensor into the blocked layout at bind time and runs on the
 /// supplied ParallelExecutor (sequential when none given); its reusable
 /// workspace makes ttsv0/ttsv1 non-reentrant on one facade instance --
@@ -139,6 +149,12 @@ class BoundKernels {
       TE_REQUIRE(unrolled_ != nullptr,
                  "no unrolled instantiation for order "
                      << a.order() << ", dim " << a.dim());
+    } else if (tier == Tier::kJit) {
+      jit_ = find_jit<T>(a.order(), a.dim());
+      TE_REQUIRE(jit_ != nullptr,
+                 "no admitted JIT kernel for order "
+                     << a.order() << ", dim " << a.dim()
+                     << " (acquire via te::jit first)");
     } else if (tier == Tier::kBlockedPar) {
       blocked_ = std::make_shared<BlockedSymmetricTensor<T>>(
           a, default_block_dim(a.dim()));
@@ -166,6 +182,10 @@ class BoundKernels {
       case Tier::kUnrolled: {
         if (ops) *ops += unrolled_->ops0;
         return unrolled_->ttsv0(a_->values().data(), x.data());
+      }
+      case Tier::kJit: {
+        if (ops) *ops += jit_->ops0;
+        return jit_->ttsv0(a_->values().data(), x.data());
       }
       case Tier::kBlockedPar:
         return ttsv0_blocked_par(*blocked_, x, par_ ? *par_ : seq_executor(),
@@ -198,6 +218,10 @@ class BoundKernels {
         if (ops) *ops += unrolled_->ops1;
         unrolled_->ttsv1(a_->values().data(), x.data(), y.data());
         return;
+      case Tier::kJit:
+        if (ops) *ops += jit_->ops1;
+        jit_->ttsv1(a_->values().data(), x.data(), y.data());
+        return;
       case Tier::kBlockedPar:
         ttsv1_blocked_par(*blocked_, x, y, par_ ? *par_ : seq_executor(),
                           *blocked_ws_, ops);
@@ -216,6 +240,7 @@ class BoundKernels {
   Tier tier_;
   const KernelTables<T>* tables_ = nullptr;
   const UnrolledEntry<T>* unrolled_ = nullptr;
+  const JitEntry<T>* jit_ = nullptr;
   const ParallelExecutor* par_ = nullptr;
   std::shared_ptr<BlockedSymmetricTensor<T>> blocked_;
   std::shared_ptr<BlockedParWorkspace<T>> blocked_ws_;

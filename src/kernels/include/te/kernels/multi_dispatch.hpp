@@ -87,9 +87,10 @@ struct MultiDispatchMetrics {
   static MultiDispatchMetrics& get() {
     static MultiDispatchMetrics m = [] {
       MultiDispatchMetrics d;
-      constexpr Tier kTiers[kNumTiers] = {Tier::kGeneral, Tier::kPrecomputed,
-                                          Tier::kCse, Tier::kBlocked,
-                                          Tier::kUnrolled, Tier::kBlockedPar};
+      constexpr Tier kTiers[kNumTiers] = {
+          Tier::kGeneral,  Tier::kPrecomputed, Tier::kCse,
+          Tier::kBlocked,  Tier::kUnrolled,    Tier::kBlockedPar,
+          Tier::kJit};
       for (int i = 0; i < kNumTiers; ++i) {
         const std::string base(tier_name(kTiers[i]));
         d.ttsv0_calls[i] =
@@ -137,6 +138,9 @@ class MultiKernels {
           unrolled_ = find_multi_unrolled<T>(a.order(), a.dim(), width_);
           scalar_unrolled_ = find_unrolled<T>(a.order(), a.dim());
           break;
+        case Tier::kJit:
+          jit_multi_ = find_jit_multi<T>(a.order(), a.dim(), width_);
+          break;
         case Tier::kCse:
         case Tier::kBlocked:
         case Tier::kBlockedPar:
@@ -146,6 +150,11 @@ class MultiKernels {
     }
     if (tier_ == Tier::kUnrolled && scalar_unrolled_ == nullptr) {
       scalar_unrolled_ = find_unrolled<T>(a.order(), a.dim());
+    }
+    if (tier_ == Tier::kJit) {
+      // Always resolvable: scalar_'s construction above already required an
+      // admitted scalar kernel for this shape.
+      jit_scalar_ = find_jit<T>(a.order(), a.dim());
     }
     TE_OBS_ONLY({
       auto& m = detail::MultiDispatchMetrics::get();
@@ -165,7 +174,7 @@ class MultiKernels {
   /// fallback (bitwise identical to BoundKernels, no amortization).
   [[nodiscard]] bool vectorized() const {
     return general_ != nullptr || precomputed_ != nullptr ||
-           unrolled_ != nullptr;
+           unrolled_ != nullptr || jit_multi_ != nullptr;
   }
 
   /// out[w] = A x_w^m for every lane w; out.size() == width().
@@ -190,6 +199,11 @@ class MultiKernels {
     if (unrolled_ != nullptr) {
       if (ops) *ops += scalar_unrolled_->ops0 * width_;
       unrolled_->ttsv0(a_->values().data(), x.data(), out.data());
+      return;
+    }
+    if (jit_multi_ != nullptr) {
+      if (ops) *ops += jit_scalar_->ops0 * width_;
+      jit_multi_->ttsv0(a_->values().data(), x.data(), out.data());
       return;
     }
     T sx[64];
@@ -221,6 +235,11 @@ class MultiKernels {
     if (unrolled_ != nullptr) {
       if (ops) *ops += scalar_unrolled_->ops1 * width_;
       unrolled_->ttsv1(a_->values().data(), x.data(), y.data());
+      return;
+    }
+    if (jit_multi_ != nullptr) {
+      if (ops) *ops += jit_scalar_->ops1 * width_;
+      jit_multi_->ttsv1(a_->values().data(), x.data(), y.data());
       return;
     }
     T sx[64];
@@ -255,6 +274,8 @@ class MultiKernels {
   const MultiPrecomputedFns<T>* precomputed_ = nullptr;
   const MultiUnrolledEntry<T>* unrolled_ = nullptr;
   const UnrolledEntry<T>* scalar_unrolled_ = nullptr;
+  const JitMultiEntry<T>* jit_multi_ = nullptr;
+  const JitEntry<T>* jit_scalar_ = nullptr;
 };
 
 }  // namespace te::kernels

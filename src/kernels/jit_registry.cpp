@@ -1,0 +1,98 @@
+#include "te/kernels/jit_registry.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+
+namespace te::kernels {
+
+namespace {
+
+// Entries live in deques so registration never invalidates a pointer a
+// BoundKernels facade already holds; one mutex guards both tables. Lookups
+// scan linearly -- the registry holds a handful of shapes, and facades
+// resolve once at bind time, not per call.
+template <Real T>
+struct JitTables {
+  std::mutex mutex;
+  std::deque<JitEntry<T>> scalar;
+  std::deque<JitMultiEntry<T>> multi;
+
+  static JitTables& get() {
+    static JitTables t;
+    return t;
+  }
+};
+
+}  // namespace
+
+template <Real T>
+void register_jit(const JitEntry<T>& entry) {
+  auto& t = JitTables<T>::get();
+  std::lock_guard lock(t.mutex);
+  for (auto& e : t.scalar) {
+    if (e.order == entry.order && e.dim == entry.dim) {
+      e = entry;
+      return;
+    }
+  }
+  t.scalar.push_back(entry);
+}
+
+template <Real T>
+void register_jit_multi(const JitMultiEntry<T>& entry) {
+  auto& t = JitTables<T>::get();
+  std::lock_guard lock(t.mutex);
+  for (auto& e : t.multi) {
+    if (e.order == entry.order && e.dim == entry.dim &&
+        e.width == entry.width) {
+      e = entry;
+      return;
+    }
+  }
+  t.multi.push_back(entry);
+}
+
+template <Real T>
+const JitEntry<T>* find_jit(int order, int dim) {
+  auto& t = JitTables<T>::get();
+  std::lock_guard lock(t.mutex);
+  for (const auto& e : t.scalar) {
+    if (e.order == order && e.dim == dim) return &e;
+  }
+  return nullptr;
+}
+
+template <Real T>
+const JitMultiEntry<T>* find_jit_multi(int order, int dim, int width) {
+  auto& t = JitTables<T>::get();
+  std::lock_guard lock(t.mutex);
+  for (const auto& e : t.multi) {
+    if (e.order == order && e.dim == dim && e.width == width) return &e;
+  }
+  return nullptr;
+}
+
+template <Real T>
+std::vector<std::pair<int, int>> jit_shapes() {
+  auto& t = JitTables<T>::get();
+  std::lock_guard lock(t.mutex);
+  std::vector<std::pair<int, int>> shapes;
+  for (const auto& e : t.scalar) shapes.emplace_back(e.order, e.dim);
+  std::sort(shapes.begin(), shapes.end());
+  shapes.erase(std::unique(shapes.begin(), shapes.end()), shapes.end());
+  return shapes;
+}
+
+template void register_jit<float>(const JitEntry<float>&);
+template void register_jit<double>(const JitEntry<double>&);
+template void register_jit_multi<float>(const JitMultiEntry<float>&);
+template void register_jit_multi<double>(const JitMultiEntry<double>&);
+template const JitEntry<float>* find_jit<float>(int, int);
+template const JitEntry<double>* find_jit<double>(int, int);
+template const JitMultiEntry<float>* find_jit_multi<float>(int, int, int);
+template const JitMultiEntry<double>* find_jit_multi<double>(int, int, int);
+template std::vector<std::pair<int, int>> jit_shapes<float>();
+template std::vector<std::pair<int, int>> jit_shapes<double>();
+
+}  // namespace te::kernels

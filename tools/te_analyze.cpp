@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "te/analysis/analyze.hpp"
+#include "te/jit/engine.hpp"
 #include "te/obs/export.hpp"
 #include "te/obs/obs.hpp"
 #include "te/util/cli.hpp"
@@ -29,11 +30,17 @@ namespace {
 void print_usage() {
   std::cerr
       << "usage: te_analyze [--all] [--order M --dim N] [--width W]\n"
+         "                  [--jit M N] [--jit-dir DIR]\n"
          "                  [--no-gpu] [--no-multi] [--json FILE] [--quiet]\n"
-         "  --all        verify every registered shape (default when no\n"
-         "               --order/--dim given)\n"
+         "  --all        verify every registered shape plus every shape\n"
+         "               with a cached JIT artifact in the spill dir\n"
+         "               (default when no --order/--dim given)\n"
          "  --order M    verify one shape (with --dim)\n"
          "  --dim N\n"
+         "  --jit M N    generate (or cache-load) the JIT kernels for one\n"
+         "               shape, then extract-and-prove them like any tier\n"
+         "  --jit-dir D  JIT artifact cache directory (default: the\n"
+         "               TE_JIT_CACHE_DIR env var or the system temp dir)\n"
          "  --width W    restrict multi-lane checks to one width\n"
          "  --no-gpu     skip traced device-kernel checks\n"
          "  --no-multi   skip multi-lane widths\n"
@@ -58,8 +65,41 @@ int main(int argc, char** argv) {
   }
   const bool quiet = args.has("quiet");
 
-  const long order = args.get_or("order", 0L);
-  const long dim = args.get_or("dim", 0L);
+  if (const auto d = args.get("jit-dir")) te::jit::set_cache_dir(*d);
+
+  long order = args.get_or("order", 0L);
+  long dim = args.get_or("dim", 0L);
+
+  // --jit M N: acquire (compile or warm-load) first, so Tier::kJit is an
+  // available tier when the shape is probed below.
+  if (args.has("jit")) {
+    const auto m = args.get("jit");
+    if (!m || m->empty() || args.positional().empty()) {
+      std::cerr << "te_analyze: --jit needs an order and a dimension\n";
+      print_usage();
+      return 2;
+    }
+    order = std::stol(*m);
+    dim = std::stol(args.positional().front());
+    const te::jit::AcquireReport rep =
+        te::jit::acquire<double>(static_cast<int>(order),
+                                 static_cast<int>(dim));
+    if (!quiet) {
+      std::cout << "te_analyze: jit acquire order=" << order
+                << " dim=" << dim << ": "
+                << (rep.available ? "admitted" : "unavailable")
+                << " (compiled=" << rep.compiled
+                << " cache_hits=" << rep.cache_hits << ')';
+      if (!rep.error.empty()) std::cout << " -- " << rep.error;
+      std::cout << '\n';
+    }
+    if (!rep.available) {
+      std::cerr << "te_analyze: JIT kernel not admitted: " << rep.error
+                << '\n';
+      return 1;
+    }
+  }
+
   if ((order > 0) != (dim > 0)) {
     std::cerr << "te_analyze: --order and --dim must be given together\n";
     print_usage();
@@ -71,6 +111,14 @@ int main(int argc, char** argv) {
     all.push_back(te::analysis::analyze_shape(static_cast<int>(order),
                                               static_cast<int>(dim), opt));
   } else {
+    // The --all sweep covers the compile-time registry plus every shape
+    // with a cached JIT artifact: warm-load (and re-prove) each so cached
+    // kernels stay continuously verified, not just verified at build time.
+    for (const auto& [m, n] : te::jit::cached_shapes()) {
+      if (te::jit::acquire<double>(m, n).available) {
+        opt.extra_shapes.emplace_back(m, n);
+      }
+    }
     all = te::analysis::analyze_all(opt);
   }
 
